@@ -1,0 +1,103 @@
+//! Bench for Figure 1: the cost of dimensional navigation over synthetic
+//! dimensions of varying fan-out — upward rules produce one tuple per source
+//! tuple (roll-up is functional under strictness), while downward rules fan
+//! out to one tuple per child member.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontodq_chase::chase;
+use ontodq_mdm::{CategoricalAttribute, CategoricalRelationSchema, MdOntology};
+use ontodq_workload::{generate_linear_dimension, DimensionParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Build an ontology over a synthetic 3-level dimension with `fanout`,
+/// containing `tuples` facts at the bottom level and at the middle level.
+fn navigation_ontology(fanout: usize, tuples: usize) -> MdOntology {
+    let params = DimensionParams::new("Geo", 3, fanout);
+    let dimension = generate_linear_dimension(&params);
+    let bottom = params.category(0);
+    let middle = params.category(1);
+
+    let mut ontology = MdOntology::new(format!("nav-f{fanout}"));
+    ontology.add_dimension(dimension);
+    ontology.add_relation(CategoricalRelationSchema::new(
+        "BottomFacts",
+        vec![
+            CategoricalAttribute::categorical("Low", "Geo", bottom.clone()),
+            CategoricalAttribute::non_categorical("Payload"),
+        ],
+    ));
+    ontology.add_relation(CategoricalRelationSchema::new(
+        "MiddleFacts",
+        vec![
+            CategoricalAttribute::categorical("Mid", "Geo", middle.clone()),
+            CategoricalAttribute::non_categorical("Payload"),
+        ],
+    ));
+    ontology.add_relation(CategoricalRelationSchema::new(
+        "RolledUp",
+        vec![
+            CategoricalAttribute::categorical("Mid", "Geo", middle.clone()),
+            CategoricalAttribute::non_categorical("Payload"),
+        ],
+    ));
+    ontology.add_relation(CategoricalRelationSchema::new(
+        "DrilledDown",
+        vec![
+            CategoricalAttribute::categorical("Low", "Geo", bottom.clone()),
+            CategoricalAttribute::non_categorical("Payload"),
+        ],
+    ));
+    let bottom_members = params.members_at(0);
+    let middle_members = params.members_at(1);
+    for i in 0..tuples {
+        ontology
+            .add_tuple(
+                "BottomFacts",
+                vec![params.member(0, i % bottom_members), ontodq_relational::Value::str(format!("p{i}"))],
+            )
+            .unwrap();
+        ontology
+            .add_tuple(
+                "MiddleFacts",
+                vec![params.member(1, i % middle_members), ontodq_relational::Value::str(format!("p{i}"))],
+            )
+            .unwrap();
+    }
+    // The upward and downward rules, named after the generated parent–child
+    // predicate GeoL1GeoL0(parent, child).
+    ontology
+        .add_rule_text("RolledUp(m, x) :- BottomFacts(l, x), GeoL1GeoL0(m, l).")
+        .unwrap();
+    ontology
+        .add_rule_text("DrilledDown(l, z) :- MiddleFacts(m, x), GeoL1GeoL0(m, l).")
+        .unwrap();
+    ontology
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_navigation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &fanout in &[2usize, 4, 8] {
+        let ontology = navigation_ontology(fanout, 64);
+        let compiled = ontodq_mdm::compile(&ontology);
+        group.bench_with_input(
+            BenchmarkId::new("chase_up_and_down", format!("fanout={fanout}")),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let result = chase(black_box(&compiled.program), black_box(&compiled.database));
+                    black_box(result.stats.tuples_added)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Figure 2: the end-to-end quality-assessment context (map D into
+//! the context, chase, extract D^q, answer a quality query) at growing
+//! instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ontodq_core::assess;
+use ontodq_workload::{generate, HospitalScale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_context");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for &measurements in &[50usize, 100, 200] {
+        let workload = generate(&HospitalScale::with_measurements(measurements));
+        let context = workload.context();
+        let size = workload.instance.relation("Measurements").unwrap().len();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("assess_scaled_hospital", format!("measurements={measurements}")),
+            &(context, workload),
+            |b, (context, workload)| {
+                b.iter(|| {
+                    let result = assess(black_box(context), black_box(&workload.instance));
+                    black_box(result.metrics.total_departure())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench for Tables III/IV: downward navigation from `WorkingSchedules` to
+//! `Shifts` (rule (8)) and the Example 5 query about Mark's shift dates,
+//! comparing chase-based and resolution-based answering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontodq_bench::compiled_hospital;
+use ontodq_qa::{ConjunctiveQuery, DeterministicWsqAns, MaterializedEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table_iii_iv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_iii_iv");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let compiled = compiled_hospital();
+    let query = ConjunctiveQuery::parse("Q(d) :- Shifts(W2, d, \"Mark\", s).").unwrap();
+
+    // Chase the whole ontology, then evaluate the query.
+    group.bench_function("downward_chase_then_evaluate", |b| {
+        b.iter(|| {
+            let engine =
+                MaterializedEngine::new(black_box(&compiled.program), black_box(&compiled.database));
+            black_box(engine.certain_answers(black_box(&query)))
+        })
+    });
+
+    // The deterministic resolution algorithm, no materialization.
+    group.bench_function("downward_deterministic_wsqans", |b| {
+        let engine = DeterministicWsqAns::new(&compiled.program, &compiled.database);
+        b.iter(|| black_box(engine.answer_open(black_box(&query))))
+    });
+
+    // Boolean entailment only (the core of the paper's algorithm).
+    let boolean = ConjunctiveQuery::parse("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", s).").unwrap();
+    group.bench_function("downward_boolean_entailment", |b| {
+        let engine = DeterministicWsqAns::new(&compiled.program, &compiled.database);
+        b.iter(|| black_box(engine.answer_boolean(black_box(&boolean))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_iii_iv);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Table V: the form-(10) rule (9) that navigates downward from
+//! `DischargePatients` while inventing unknown units (existential categorical
+//! variables), compared against the base ontology without it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge};
+use ontodq_chase::chase;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table_v(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_v");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let base = compiled_hospital();
+    let with_discharge = compiled_hospital_with_discharge();
+
+    group.bench_function("chase_without_discharge_rule", |b| {
+        b.iter(|| black_box(chase(black_box(&base.program), black_box(&base.database))))
+    });
+
+    group.bench_function("chase_with_form10_discharge_rule", |b| {
+        b.iter(|| {
+            black_box(chase(
+                black_box(&with_discharge.program),
+                black_box(&with_discharge.database),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_v);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Small helpers for rendering benchmark/experiment output as markdown
+//! tables (consumed by `EXPERIMENTS.md` and the `experiments` binary).
+
+use std::fmt::Write as _;
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Create a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as GitHub-flavoured markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Render a duration in a human-friendly unit.
+pub fn fmt_duration(duration: std::time::Duration) -> String {
+    let micros = duration.as_micros();
+    if micros < 1_000 {
+        format!("{micros} µs")
+    } else if micros < 1_000_000 {
+        format!("{:.1} ms", micros as f64 / 1e3)
+    } else {
+        format!("{:.2} s", micros as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_markdown() {
+        let mut table = MarkdownTable::new(["Time", "Patient", "Value"]);
+        table.row(["Sep/5-12:10", "Tom Waits", "38.2"]);
+        table.row(["Sep/6-11:50", "Tom Waits", "37.1"]);
+        let rendered = table.render();
+        assert!(rendered.starts_with("| Time | Patient | Value |"));
+        assert!(rendered.contains("|---|---|---|"));
+        assert_eq!(rendered.lines().count(), 4);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let table = MarkdownTable::new(["a"]);
+        assert!(table.is_empty());
+        assert_eq!(table.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains("s"));
+    }
+}

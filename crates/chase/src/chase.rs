@@ -1,0 +1,605 @@
+//! The chase procedure for Datalog± programs.
+//!
+//! The chase is the data-completion mechanism of the paper: dimensional rules
+//! (TGDs) *generate* data through upward or downward navigation, possibly
+//! inventing labeled nulls for unknown non-categorical values (rule (8)) or
+//! unknown category members (rule (9)/(10)); dimensional constraints (EGDs
+//! and negative constraints) restrict the admissible instances.
+//!
+//! Two chase variants are provided:
+//!
+//! * the **restricted** (standard) chase fires a trigger only when the rule
+//!   head is not already satisfied by an extension of the trigger — this is
+//!   the variant used for query answering and quality-version computation;
+//! * the **oblivious** chase fires every trigger exactly once regardless of
+//!   satisfaction — useful for analysis and for stress-testing termination
+//!   behaviour.
+//!
+//! EGDs are enforced by unifying labeled nulls with the values they are
+//! equated to; equating two distinct constants is a *hard violation*
+//! (inconsistency).  Negative constraints are checked on the final instance.
+
+use crate::eval::{evaluate, has_extension};
+use crate::provenance::{ChaseStep, ChaseStats, Provenance};
+use crate::violation::{EgdViolation, NcViolation, Violations};
+use ontodq_datalog::{Program, Variable};
+use ontodq_relational::{Database, NullGenerator, Value};
+use std::collections::HashSet;
+
+/// Which chase variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseMode {
+    /// Fire a trigger only if the head is not already satisfied.
+    #[default]
+    Restricted,
+    /// Fire every trigger exactly once, regardless of satisfaction.
+    Oblivious,
+}
+
+/// Configuration of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Chase variant.
+    pub mode: ChaseMode,
+    /// Maximum number of rounds (a round applies every TGD to every current
+    /// trigger); exceeded runs terminate with
+    /// [`TerminationReason::RoundLimit`].
+    pub max_rounds: usize,
+    /// Maximum number of tuples the chase may add before stopping with
+    /// [`TerminationReason::TupleLimit`].
+    pub max_new_tuples: usize,
+    /// Whether to enforce EGDs.
+    pub apply_egds: bool,
+    /// Whether to check negative constraints on the final instance.
+    pub check_constraints: bool,
+    /// Record per-step provenance (disable for large synthetic runs).
+    pub record_provenance: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        Self {
+            mode: ChaseMode::Restricted,
+            max_rounds: 1_000,
+            max_new_tuples: 1_000_000,
+            apply_egds: true,
+            check_constraints: true,
+            record_provenance: false,
+        }
+    }
+}
+
+/// Why the chase stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// No rule application changed the instance: a fixpoint (universal model
+    /// up to the enforced constraints) was reached.
+    Fixpoint,
+    /// The round budget was exhausted.
+    RoundLimit,
+    /// The new-tuple budget was exhausted.
+    TupleLimit,
+}
+
+/// The outcome of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The chased database (the input instance plus all generated tuples,
+    /// with EGD unifications applied).
+    pub database: Database,
+    /// Aggregate statistics.
+    pub stats: ChaseStats,
+    /// EGD and negative-constraint violations observed.
+    pub violations: Violations,
+    /// Per-step provenance (empty unless enabled in the config).
+    pub provenance: Provenance,
+    /// Why the run stopped.
+    pub termination: TerminationReason,
+}
+
+impl ChaseResult {
+    /// `true` when the chase reached a fixpoint without observing any
+    /// violation — i.e. the instance is a model of the program.
+    pub fn is_consistent_model(&self) -> bool {
+        self.termination == TerminationReason::Fixpoint && self.violations.is_empty()
+    }
+}
+
+/// The chase engine.
+#[derive(Debug, Clone, Default)]
+pub struct ChaseEngine {
+    config: ChaseConfig,
+}
+
+impl ChaseEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: ChaseConfig) -> Self {
+        Self { config }
+    }
+
+    /// An engine with default configuration (restricted chase, generous
+    /// budgets, EGDs and constraints enforced).
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ChaseConfig {
+        &self.config
+    }
+
+    /// Run the chase of `program` over `database` (which is not modified; the
+    /// result carries the chased copy).
+    pub fn run(&self, program: &Program, database: &Database) -> ChaseResult {
+        let mut db = database.clone();
+        program.facts_into_database(&mut db);
+        // Make sure every predicate mentioned by the program exists, so that
+        // evaluation of unknown-but-declared predicates is consistent.
+        for (predicate, arity) in program.predicates() {
+            db.relation_or_create(&predicate, arity);
+        }
+
+        let nulls = NullGenerator::starting_at(db.max_null_id().map(|n| n + 1).unwrap_or(0));
+        let mut stats = ChaseStats::default();
+        let mut violations = Violations::default();
+        let mut provenance = if self.config.record_provenance {
+            Provenance::recording()
+        } else {
+            Provenance::disabled()
+        };
+        let mut fired: HashSet<(usize, Vec<(Variable, Value)>)> = HashSet::new();
+        let mut termination = TerminationReason::Fixpoint;
+
+        'rounds: for round in 1..=self.config.max_rounds {
+            stats.rounds = round;
+            let mut changed = false;
+
+            // TGD application.
+            for (tgd_index, tgd) in program.tgds.iter().enumerate() {
+                let triggers = evaluate(&db, &tgd.body);
+                for assignment in triggers {
+                    if stats.tuples_added >= self.config.max_new_tuples {
+                        termination = TerminationReason::TupleLimit;
+                        break 'rounds;
+                    }
+                    match self.config.mode {
+                        ChaseMode::Oblivious => {
+                            let key = (
+                                tgd_index,
+                                assignment
+                                    .iter()
+                                    .map(|(v, val)| (v.clone(), val.clone()))
+                                    .collect::<Vec<_>>(),
+                            );
+                            if !fired.insert(key) {
+                                continue;
+                            }
+                        }
+                        ChaseMode::Restricted => {
+                            // Skip the trigger when the head is already
+                            // satisfied by some extension of the assignment.
+                            let head_atoms: Vec<_> = tgd.head.iter().collect();
+                            if has_extension(&db, &head_atoms, &assignment) {
+                                stats.triggers_satisfied += 1;
+                                continue;
+                            }
+                        }
+                    }
+
+                    // Fire: invent fresh nulls for the existential variables
+                    // and insert the instantiated head atoms.
+                    let mut extended = assignment.clone();
+                    for var in tgd.existential_variables() {
+                        let fresh = Value::Null(nulls.fresh());
+                        stats.nulls_created += 1;
+                        extended.bind(var, fresh);
+                    }
+                    let mut produced = Vec::new();
+                    for head_atom in &tgd.head {
+                        let tuple = extended
+                            .ground_atom(head_atom)
+                            .expect("head variables are bound by the trigger and fresh nulls");
+                        let added = db
+                            .relation_or_create(&head_atom.predicate, head_atom.arity())
+                            .insert_unchecked(tuple.clone());
+                        if added {
+                            stats.tuples_added += 1;
+                            changed = true;
+                            produced.push((head_atom.predicate.clone(), tuple));
+                        }
+                    }
+                    stats.triggers_fired += 1;
+                    if !produced.is_empty() {
+                        provenance.record(ChaseStep {
+                            rule_index: tgd_index,
+                            rule_label: tgd.label.clone(),
+                            produced,
+                            round,
+                        });
+                    }
+                }
+            }
+
+            // EGD enforcement (to local fixpoint within the round).
+            if self.config.apply_egds {
+                let egd_changed = self.apply_egds(program, &mut db, &mut stats, &mut violations);
+                changed = changed || egd_changed;
+            }
+
+            if !changed {
+                termination = TerminationReason::Fixpoint;
+                break;
+            }
+            if round == self.config.max_rounds {
+                termination = TerminationReason::RoundLimit;
+            }
+        }
+
+        // Negative constraints on the final instance.
+        if self.config.check_constraints {
+            for (index, nc) in program.constraints.iter().enumerate() {
+                for witness in evaluate(&db, &nc.body) {
+                    stats.nc_violations += 1;
+                    violations.nc.push(NcViolation {
+                        constraint_index: index,
+                        label: nc.label.clone(),
+                        witness,
+                    });
+                }
+            }
+        }
+
+        ChaseResult {
+            database: db,
+            stats,
+            violations,
+            provenance,
+            termination,
+        }
+    }
+
+    /// Enforce the program's EGDs on `db` until no further change; returns
+    /// whether anything changed.
+    fn apply_egds(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        stats: &mut ChaseStats,
+        violations: &mut Violations,
+    ) -> bool {
+        let mut changed_any = false;
+        loop {
+            let mut changed = false;
+            for (egd_index, egd) in program.egds.iter().enumerate() {
+                let assignments = evaluate(db, &egd.body);
+                for assignment in assignments {
+                    let left = assignment.get(&egd.left).cloned();
+                    let right = assignment.get(&egd.right).cloned();
+                    let (left, right) = match (left, right) {
+                        (Some(l), Some(r)) => (l, r),
+                        // Unbound head variable: ill-formed EGD; skip.
+                        _ => continue,
+                    };
+                    if left == right {
+                        continue;
+                    }
+                    match (&left, &right) {
+                        (Value::Null(id), other) => {
+                            db.substitute_null(*id, other);
+                            stats.egd_unifications += 1;
+                            changed = true;
+                        }
+                        (other, Value::Null(id)) => {
+                            db.substitute_null(*id, other);
+                            stats.egd_unifications += 1;
+                            changed = true;
+                        }
+                        _ => {
+                            stats.egd_violations += 1;
+                            violations.egd.push(EgdViolation {
+                                egd_index,
+                                label: egd.label.clone(),
+                                left: left.clone(),
+                                right: right.clone(),
+                                witness: assignment.clone(),
+                            });
+                        }
+                    }
+                    if changed {
+                        // The substitution invalidated the remaining
+                        // assignments for this EGD; re-evaluate.
+                        break;
+                    }
+                }
+                if changed {
+                    break;
+                }
+            }
+            changed_any = changed_any || changed;
+            if !changed {
+                break;
+            }
+        }
+        changed_any
+    }
+}
+
+/// Convenience function: run the restricted chase with default configuration.
+pub fn chase(program: &Program, database: &Database) -> ChaseResult {
+    ChaseEngine::with_defaults().run(program, database)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_datalog::parse_program;
+    use ontodq_relational::Tuple;
+
+    fn hospital_db() -> Database {
+        let mut db = Database::new();
+        for (u, w) in [
+            ("Standard", "W1"),
+            ("Standard", "W2"),
+            ("Intensive", "W3"),
+            ("Terminal", "W4"),
+        ] {
+            db.insert_values("UnitWard", [u, w]).unwrap();
+        }
+        for (w, d, p) in [
+            ("W1", "Sep/5", "Tom Waits"),
+            ("W1", "Sep/6", "Tom Waits"),
+            ("W3", "Sep/7", "Tom Waits"),
+            ("W2", "Sep/9", "Tom Waits"),
+            ("W2", "Sep/6", "Lou Reed"),
+            ("W1", "Sep/5", "Lou Reed"),
+        ] {
+            db.insert_values("PatientWard", [w, d, p]).unwrap();
+        }
+        for (u, d, n, t) in [
+            ("Intensive", "Sep/5", "Cathy", "cert"),
+            ("Standard", "Sep/5", "Helen", "cert"),
+            ("Standard", "Sep/6", "Helen", "cert"),
+            ("Terminal", "Sep/5", "Susan", "non-c"),
+            ("Standard", "Sep/9", "Mark", "non-c"),
+        ] {
+            db.insert_values("WorkingSchedules", [u, d, n, t]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn upward_navigation_rule7_generates_patient_unit() {
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
+        let result = chase(&program, &hospital_db());
+        assert_eq!(result.termination, TerminationReason::Fixpoint);
+        let pu = result.database.relation("PatientUnit").unwrap();
+        // Six PatientWard tuples, each rolled up to exactly one unit.
+        assert_eq!(pu.len(), 6);
+        assert!(pu.contains(&Tuple::from_iter(["Intensive", "Sep/7", "Tom Waits"])));
+        assert!(pu.contains(&Tuple::from_iter(["Standard", "Sep/5", "Tom Waits"])));
+        assert!(result.violations.is_empty());
+        assert_eq!(result.stats.nulls_created, 0);
+    }
+
+    #[test]
+    fn downward_navigation_rule8_creates_null_shifts() {
+        let program = parse_program(
+            "Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let result = chase(&program, &hospital_db());
+        let shifts = result.database.relation("Shifts").unwrap();
+        // Standard unit has 2 wards; Intensive and Terminal have 1 each.
+        // WorkingSchedules: Intensive×1, Standard×3, Terminal×1 → 1 + 3*2 + 1 = 8.
+        assert_eq!(shifts.len(), 8);
+        assert_eq!(result.stats.nulls_created, 8);
+        // Mark works in the Standard unit on Sep/9 → shifts in W1 and W2.
+        let marks: Vec<_> = shifts
+            .iter()
+            .filter(|t| t.get(2) == Some(&Value::str("Mark")))
+            .collect();
+        assert_eq!(marks.len(), 2);
+        assert!(marks.iter().all(|t| t.get(3).unwrap().is_null()));
+        let wards: Vec<_> = marks.iter().map(|t| t.get(0).unwrap().clone()).collect();
+        assert!(wards.contains(&Value::str("W1")));
+        assert!(wards.contains(&Value::str("W2")));
+    }
+
+    #[test]
+    fn restricted_chase_reaches_fixpoint_and_is_idempotent() {
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
+        let first = chase(&program, &hospital_db());
+        let second = chase(&program, &first.database);
+        assert_eq!(second.stats.tuples_added, 0);
+        assert_eq!(second.termination, TerminationReason::Fixpoint);
+        assert_eq!(
+            first.database.relation("PatientUnit").unwrap().len(),
+            second.database.relation("PatientUnit").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn oblivious_chase_fires_each_trigger_once() {
+        let program = parse_program(
+            "Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let config = ChaseConfig { mode: ChaseMode::Oblivious, ..Default::default() };
+        let result = ChaseEngine::new(config).run(&program, &hospital_db());
+        // Oblivious chase produces the same 8 tuples here because every
+        // trigger is fresh exactly once.
+        assert_eq!(result.database.relation("Shifts").unwrap().len(), 8);
+        assert_eq!(result.termination, TerminationReason::Fixpoint);
+    }
+
+    #[test]
+    fn non_terminating_program_hits_round_or_tuple_limit() {
+        let program = parse_program("R(y, z) :- R(x, y).\n").unwrap();
+        let mut db = Database::new();
+        db.insert_values("R", ["a", "b"]).unwrap();
+        let config = ChaseConfig {
+            max_rounds: 10,
+            max_new_tuples: 50,
+            ..Default::default()
+        };
+        let result = ChaseEngine::new(config).run(&program, &db);
+        assert_ne!(result.termination, TerminationReason::Fixpoint);
+        assert!(result.stats.tuples_added > 0);
+    }
+
+    #[test]
+    fn egd_unifies_nulls_with_constants() {
+        // Shifts gets null shifts for Mark in W1 and W2; the EGD says a
+        // nurse's shifts on a given day are the same across wards, and an
+        // explicit fact pins the W1 shift to "morning" — so the W2 null must
+        // be unified with "morning".
+        let program = parse_program(
+            "Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n\
+             s = s2 :- Shifts(w, d, n, s), Shifts(w2, d, n, s2).\n",
+        )
+        .unwrap();
+        let mut db = hospital_db();
+        db.insert_values("Shifts", ["W1", "Sep/9", "Mark", "morning"]).unwrap();
+        let result = chase(&program, &db);
+        let shifts = result.database.relation("Shifts").unwrap();
+        let marks: Vec<_> = shifts
+            .iter()
+            .filter(|t| t.get(2) == Some(&Value::str("Mark")))
+            .collect();
+        // W1 collapses onto the explicit "morning" tuple, and the W2 null is
+        // unified with "morning" by the EGD.
+        assert_eq!(marks.len(), 2);
+        assert!(marks
+            .iter()
+            .all(|t| t.get(3) == Some(&Value::str("morning"))));
+        assert!(result.stats.egd_unifications >= 1);
+        assert!(result.violations.egd.is_empty());
+    }
+
+    #[test]
+    fn egd_on_distinct_constants_is_a_hard_violation() {
+        let program = parse_program(
+            "t = t2 :- Thermometer(w, t, n), Thermometer(w2, t2, n2), UnitWard(u, w), UnitWard(u, w2).\n",
+        )
+        .unwrap();
+        let mut db = hospital_db();
+        db.insert_values("Thermometer", ["W1", "B1", "Helen"]).unwrap();
+        db.insert_values("Thermometer", ["W2", "B2", "Susan"]).unwrap();
+        let result = chase(&program, &db);
+        assert!(!result.violations.egd.is_empty());
+        assert!(!result.is_consistent_model());
+        let v = &result.violations.egd[0];
+        let pair = (v.left.clone(), v.right.clone());
+        assert!(
+            pair == (Value::str("B1"), Value::str("B2"))
+                || pair == (Value::str("B2"), Value::str("B1"))
+        );
+    }
+
+    #[test]
+    fn negative_constraint_violations_are_reported() {
+        // "No patient was in the intensive care unit after August 2005" —
+        // modelled here with the Intensive ward W3 and a violating tuple.
+        let program = parse_program(
+            "! :- PatientWard(w, d, p), UnitWard(Intensive, w).\n",
+        )
+        .unwrap();
+        let result = chase(&program, &hospital_db());
+        assert_eq!(result.violations.nc.len(), 1);
+        assert_eq!(result.stats.nc_violations, 1);
+        assert!(!result.is_consistent_model());
+    }
+
+    #[test]
+    fn referential_constraint_with_negation() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             ! :- PatientUnit(u, d, p), not Unit(u).\n\
+             Unit(Standard).\nUnit(Intensive).\nUnit(Terminal).\n",
+        )
+        .unwrap();
+        let result = chase(&program, &hospital_db());
+        // Every generated unit is declared → no violation.
+        assert!(result.violations.nc.is_empty());
+
+        // Drop one Unit fact → violations appear.
+        let program2 = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             ! :- PatientUnit(u, d, p), not Unit(u).\n\
+             Unit(Standard).\nUnit(Terminal).\n",
+        )
+        .unwrap();
+        let result2 = chase(&program2, &hospital_db());
+        assert!(!result2.violations.nc.is_empty());
+    }
+
+    #[test]
+    fn conjunctive_head_rule_10_links_fresh_unit() {
+        // Rule (9) of the paper: DischargePatients generates PatientUnit with
+        // an unknown unit, plus the InstitutionUnit link for that unit.
+        let program = parse_program(
+            "InstitutionUnit(i, u), PatientUnit(u, d, p) :- DischargePatients(i, d, p).\n",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_values("DischargePatients", ["H1", "Sep/9", "Tom Waits"]).unwrap();
+        let result = chase(&program, &db);
+        let iu = result.database.relation("InstitutionUnit").unwrap();
+        let pu = result.database.relation("PatientUnit").unwrap();
+        assert_eq!(iu.len(), 1);
+        assert_eq!(pu.len(), 1);
+        // The same fresh null links both atoms.
+        let unit_in_iu = iu.tuples()[0].get(1).unwrap().clone();
+        let unit_in_pu = pu.tuples()[0].get(0).unwrap().clone();
+        assert!(unit_in_iu.is_null());
+        assert_eq!(unit_in_iu, unit_in_pu);
+        assert_eq!(result.stats.nulls_created, 1);
+    }
+
+    #[test]
+    fn provenance_records_producing_rules() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let config = ChaseConfig { record_provenance: true, ..Default::default() };
+        let result = ChaseEngine::new(config).run(&program, &hospital_db());
+        assert!(result.provenance.recorded);
+        assert_eq!(result.provenance.steps_for_relation("PatientUnit").len(), 6);
+        let produced = result
+            .provenance
+            .producer_of(
+                "PatientUnit",
+                &Tuple::from_iter(["Standard", "Sep/5", "Tom Waits"]),
+            )
+            .unwrap();
+        assert_eq!(produced.rule_index, 0);
+    }
+
+    #[test]
+    fn chase_does_not_mutate_the_input_database() {
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
+        let db = hospital_db();
+        let before = db.total_tuples();
+        let _ = chase(&program, &db);
+        assert_eq!(db.total_tuples(), before);
+        assert!(!db.has_relation("PatientUnit"));
+    }
+
+    #[test]
+    fn facts_from_the_program_are_loaded() {
+        let program = parse_program(
+            "Unit(Standard).\nUnit(Intensive).\nCopy(x) :- Unit(x).\n",
+        )
+        .unwrap();
+        let result = chase(&program, &Database::new());
+        assert_eq!(result.database.relation("Unit").unwrap().len(), 2);
+        assert_eq!(result.database.relation("Copy").unwrap().len(), 2);
+    }
+}

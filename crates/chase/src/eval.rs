@@ -1,0 +1,366 @@
+//! Conjunctive-query evaluation over a database instance.
+//!
+//! Rule bodies (of TGDs, EGDs and negative constraints) and conjunctive
+//! queries are conjunctions of relational atoms, negated atoms and built-in
+//! comparisons.  Evaluation finds every [`Assignment`] of the variables to
+//! database values under which all positive atoms are facts of the instance,
+//! no negated atom is (an extension of the assignment to) a fact, and every
+//! comparison holds.
+//!
+//! The evaluator is a straightforward index-assisted nested-loop join with a
+//! greedy "most-bound atom first" ordering — adequate for the instance sizes
+//! the paper's scenarios produce, and deliberately simple so that its results
+//! can serve as the reference semantics for the fancier query-answering
+//! algorithms in `ontodq-qa`.
+
+use ontodq_datalog::{Assignment, Atom, Conjunction, Term};
+use ontodq_relational::{Database, Value};
+
+/// Evaluate a conjunction against a database, returning every satisfying
+/// assignment (restricted to the conjunction's variables).
+pub fn evaluate(db: &Database, conjunction: &Conjunction) -> Vec<Assignment> {
+    let mut results = Vec::new();
+    let mut order: Vec<&Atom> = conjunction.atoms.iter().collect();
+    // Greedy static ordering: atoms with more constants first (they are the
+    // most selective with no bindings yet).
+    order.sort_by_key(|a| std::cmp::Reverse(a.constants().len()));
+    join(db, &order, 0, Assignment::new(), &mut |assignment| {
+        if satisfies_filters(db, conjunction, &assignment) {
+            results.push(assignment.clone());
+        }
+    });
+    results
+}
+
+/// Does the conjunction have at least one satisfying assignment?
+pub fn is_satisfiable(db: &Database, conjunction: &Conjunction) -> bool {
+    !evaluate_limited(db, conjunction, 1).is_empty()
+}
+
+/// Like [`evaluate`], but stops after `limit` assignments have been found.
+pub fn evaluate_limited(
+    db: &Database,
+    conjunction: &Conjunction,
+    limit: usize,
+) -> Vec<Assignment> {
+    let mut results = Vec::new();
+    if limit == 0 {
+        return results;
+    }
+    let mut order: Vec<&Atom> = conjunction.atoms.iter().collect();
+    order.sort_by_key(|a| std::cmp::Reverse(a.constants().len()));
+    join_limited(db, &order, 0, Assignment::new(), limit, &mut |assignment| {
+        if satisfies_filters(db, conjunction, &assignment) {
+            results.push(assignment.clone());
+        }
+        results.len() >= limit
+    });
+    results
+}
+
+/// Extend `assignment` so that all of `atoms` are satisfied; calls `found`
+/// for every complete extension.  Used both for body evaluation and for the
+/// restricted chase's "head already satisfied" check.
+pub fn extend_over_atoms(
+    db: &Database,
+    atoms: &[&Atom],
+    assignment: Assignment,
+    found: &mut dyn FnMut(&Assignment),
+) {
+    join(db, atoms, 0, assignment, found);
+}
+
+/// Is there any extension of `assignment` satisfying all of `atoms`?
+pub fn has_extension(db: &Database, atoms: &[&Atom], assignment: &Assignment) -> bool {
+    let mut hit = false;
+    join_limited(db, atoms, 0, assignment.clone(), 1, &mut |_| {
+        hit = true;
+        true
+    });
+    hit
+}
+
+fn join(
+    db: &Database,
+    atoms: &[&Atom],
+    depth: usize,
+    assignment: Assignment,
+    found: &mut dyn FnMut(&Assignment),
+) {
+    join_limited(db, atoms, depth, assignment, usize::MAX, &mut |a| {
+        found(a);
+        false
+    });
+}
+
+/// Core join loop.  `stop` returns `true` to abort the search early.
+fn join_limited(
+    db: &Database,
+    atoms: &[&Atom],
+    depth: usize,
+    assignment: Assignment,
+    limit: usize,
+    stop: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    if limit == 0 {
+        return true;
+    }
+    if depth == atoms.len() {
+        return stop(&assignment);
+    }
+    let atom = atoms[depth];
+    let relation = match db.relation(&atom.predicate) {
+        Ok(r) => r,
+        // Unknown predicates have empty extensions.
+        Err(_) => return false,
+    };
+    if relation.schema().arity() != atom.arity() {
+        return false;
+    }
+    // Bind as many positions as possible from constants and the current
+    // assignment, then let the relation use an index if it has one.
+    let mut bindings: Vec<(usize, Value)> = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => bindings.push((i, v.clone())),
+            Term::Var(v) => {
+                if let Some(value) = assignment.get(v) {
+                    bindings.push((i, value.clone()));
+                }
+            }
+        }
+    }
+    for tuple in relation.select(&bindings) {
+        if let Some(extended) = assignment.match_atom(atom, tuple) {
+            if join_limited(db, atoms, depth + 1, extended, limit, stop) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Check the negated atoms and comparisons of a conjunction under a complete
+/// assignment of its positive part.
+fn satisfies_filters(db: &Database, conjunction: &Conjunction, assignment: &Assignment) -> bool {
+    for cmp in &conjunction.comparisons {
+        if !assignment.satisfies_comparison(cmp) {
+            return false;
+        }
+    }
+    for negated in &conjunction.negated {
+        // The negated atom may still contain unbound variables; negation is
+        // "no extension of the assignment makes it true" (safe negation when
+        // the variables are bound by the positive part, negation-as-failure
+        // with existential reading otherwise).
+        if has_extension(db, &[negated], assignment) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluate a conjunction and project each satisfying assignment onto
+/// `projection`, deduplicating the resulting tuples.
+pub fn evaluate_project(
+    db: &Database,
+    conjunction: &Conjunction,
+    projection: &[ontodq_datalog::Variable],
+) -> Vec<ontodq_relational::Tuple> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for assignment in evaluate(db, conjunction) {
+        if let Some(tuple) = assignment.project(projection) {
+            if seen.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_datalog::{CompareOp, Comparison, Variable};
+    use ontodq_relational::Tuple;
+
+    fn hospital_db() -> Database {
+        let mut db = Database::new();
+        for (u, w) in [
+            ("Standard", "W1"),
+            ("Standard", "W2"),
+            ("Intensive", "W3"),
+            ("Terminal", "W4"),
+        ] {
+            db.insert_values("UnitWard", [u, w]).unwrap();
+        }
+        for (w, d, p) in [
+            ("W1", "Sep/5", "Tom Waits"),
+            ("W1", "Sep/6", "Tom Waits"),
+            ("W3", "Sep/7", "Tom Waits"),
+            ("W2", "Sep/9", "Tom Waits"),
+            ("W2", "Sep/6", "Lou Reed"),
+            ("W1", "Sep/5", "Lou Reed"),
+        ] {
+            db.insert_values("PatientWard", [w, d, p]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn single_atom_evaluation_binds_all_variables() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("UnitWard", &["u", "w"])]);
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 4);
+        assert!(results
+            .iter()
+            .all(|a| a.get(&Variable::new("u")).is_some() && a.get(&Variable::new("w")).is_some()));
+    }
+
+    #[test]
+    fn join_across_two_atoms() {
+        let db = hospital_db();
+        // Which unit was each patient in on each day?  (The body of rule (7).)
+        let conj = Conjunction::positive(vec![
+            Atom::with_vars("PatientWard", &["w", "d", "p"]),
+            Atom::with_vars("UnitWard", &["u", "w"]),
+        ]);
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 6);
+        // Tom Waits on Sep/7 was in ward W3, i.e. the Intensive unit.
+        let tom_sep7: Vec<_> = results
+            .iter()
+            .filter(|a| {
+                a.get(&Variable::new("p")) == Some(&Value::str("Tom Waits"))
+                    && a.get(&Variable::new("d")) == Some(&Value::str("Sep/7"))
+            })
+            .collect();
+        assert_eq!(tom_sep7.len(), 1);
+        assert_eq!(
+            tom_sep7[0].get(&Variable::new("u")),
+            Some(&Value::str("Intensive"))
+        );
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::new(
+            "UnitWard",
+            vec![Term::constant("Standard"), Term::var("w")],
+        )]);
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn comparisons_filter_assignments() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("PatientWard", &["w", "d", "p"])])
+            .and_compare(Comparison::new(
+                Term::var("p"),
+                CompareOp::Eq,
+                Term::constant("Lou Reed"),
+            ));
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn negated_atoms_exclude_matches() {
+        let mut db = hospital_db();
+        db.insert_values("Closed", ["Intensive"]).unwrap();
+        // Units that are not closed.
+        let conj = Conjunction::positive(vec![Atom::with_vars("UnitWard", &["u", "w"])])
+            .and_not(Atom::with_vars("Closed", &["u"]));
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 3);
+        assert!(results
+            .iter()
+            .all(|a| a.get(&Variable::new("u")) != Some(&Value::str("Intensive"))));
+    }
+
+    #[test]
+    fn negation_on_unknown_relation_is_vacuously_true() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("UnitWard", &["u", "w"])])
+            .and_not(Atom::with_vars("DoesNotExist", &["u"]));
+        assert_eq!(evaluate(&db, &conj).len(), 4);
+    }
+
+    #[test]
+    fn unknown_positive_relation_has_empty_extension() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("Missing", &["x"])]);
+        assert!(evaluate(&db, &conj).is_empty());
+        assert!(!is_satisfiable(&db, &conj));
+    }
+
+    #[test]
+    fn arity_mismatch_yields_no_answers() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("UnitWard", &["u", "w", "x"])]);
+        assert!(evaluate(&db, &conj).is_empty());
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut db = Database::new();
+        db.insert_values("E", ["a", "a"]).unwrap();
+        db.insert_values("E", ["a", "b"]).unwrap();
+        let conj = Conjunction::positive(vec![Atom::with_vars("E", &["x", "x"])]);
+        let results = evaluate(&db, &conj);
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get(&Variable::new("x")),
+            Some(&Value::str("a"))
+        );
+    }
+
+    #[test]
+    fn evaluate_limited_stops_early() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("PatientWard", &["w", "d", "p"])]);
+        assert_eq!(evaluate_limited(&db, &conj, 2).len(), 2);
+        assert_eq!(evaluate_limited(&db, &conj, 0).len(), 0);
+        assert!(is_satisfiable(&db, &conj));
+    }
+
+    #[test]
+    fn evaluate_project_deduplicates() {
+        let db = hospital_db();
+        let conj = Conjunction::positive(vec![Atom::with_vars("PatientWard", &["w", "d", "p"])]);
+        let patients = evaluate_project(&db, &conj, &[Variable::new("p")]);
+        assert_eq!(patients.len(), 2);
+        assert!(patients.contains(&Tuple::from_iter(["Tom Waits"])));
+        assert!(patients.contains(&Tuple::from_iter(["Lou Reed"])));
+    }
+
+    #[test]
+    fn has_extension_respects_partial_assignment() {
+        let db = hospital_db();
+        let atom = Atom::with_vars("UnitWard", &["u", "w"]);
+        let mut assignment = Assignment::new();
+        assignment.bind(Variable::new("u"), Value::str("Standard"));
+        assert!(has_extension(&db, &[&atom], &assignment));
+        let mut assignment2 = Assignment::new();
+        assignment2.bind(Variable::new("u"), Value::str("Oncology"));
+        assert!(!has_extension(&db, &[&atom], &assignment2));
+    }
+
+    #[test]
+    fn indexes_do_not_change_results() {
+        let mut db = hospital_db();
+        let conj = Conjunction::positive(vec![
+            Atom::with_vars("PatientWard", &["w", "d", "p"]),
+            Atom::with_vars("UnitWard", &["u", "w"]),
+        ]);
+        let before = evaluate(&db, &conj).len();
+        db.relation_mut("UnitWard").unwrap().build_index(1);
+        db.relation_mut("PatientWard").unwrap().build_index(0);
+        let after = evaluate(&db, &conj).len();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,227 @@
+//! The assessment pipeline: map `D` into the context, chase, and extract the
+//! quality versions `S^q` (Fig. 2 of the paper, left to right).
+
+use crate::context::Context;
+use crate::metrics::{QualityMetrics, RelationQuality};
+use ontodq_chase::{ChaseConfig, ChaseEngine, ChaseResult};
+use ontodq_datalog::Program;
+use ontodq_mdm::compile;
+use ontodq_relational::{Database, RelationSchema, Tuple};
+
+/// The result of assessing an instance against a context.
+#[derive(Debug, Clone)]
+pub struct AssessmentResult {
+    /// The full chased contextual instance: contextual copies, ontology data,
+    /// generated categorical data, quality predicates and quality versions.
+    pub contextual_instance: Database,
+    /// The quality versions of the original relations, under their *original*
+    /// names and schemas — the instance `D^q` of the paper.
+    pub quality_database: Database,
+    /// Per-relation quality metrics comparing `D` with `D^q`.
+    pub metrics: QualityMetrics,
+    /// The chase result (statistics, violations, provenance).
+    pub chase: ChaseResult,
+    /// The combined Datalog± program that was chased (ontology + context).
+    pub program: Program,
+}
+
+impl AssessmentResult {
+    /// The quality version of `relation` (tuples of `{relation}_q`, renamed
+    /// back to the original schema).  Unknown relations yield an empty list.
+    pub fn quality_tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.quality_database
+            .relation(relation)
+            .map(|r| r.tuples().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// `true` when the context's constraints were not violated by the
+    /// contextual instance.
+    pub fn is_consistent(&self) -> bool {
+        self.chase.violations.is_empty()
+    }
+}
+
+/// Options of the assessment pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentOptions {
+    /// Chase configuration (budget, provenance recording, …).
+    pub chase: ChaseConfig,
+}
+
+/// Assess `instance` against `context` with default options.
+pub fn assess(context: &Context, instance: &Database) -> AssessmentResult {
+    assess_with(context, instance, &AssessmentOptions::default())
+}
+
+/// Assess with explicit options.
+pub fn assess_with(
+    context: &Context,
+    instance: &Database,
+    options: &AssessmentOptions,
+) -> AssessmentResult {
+    // 1. Compile the multidimensional ontology.
+    let compiled = compile(&context.ontology);
+    let mut database = compiled.database.clone();
+    let mut program = compiled.program.clone();
+
+    // 2. Map the instance under assessment into the context: contextual
+    //    copies keep the original tuples under the contextual names.
+    for mapping in &context.mappings {
+        if let Ok(relation) = instance.relation(mapping.original()) {
+            let contextual =
+                database.relation_or_create(mapping.contextual(), relation.schema().arity());
+            for tuple in relation.iter() {
+                contextual.insert_unchecked(tuple.clone());
+            }
+        }
+    }
+
+    // 3. External sources become part of the contextual instance.
+    database
+        .merge(&context.external_sources)
+        .expect("external sources merge into the contextual instance");
+
+    // 4. The context's own rules (contextual predicates, quality predicates,
+    //    quality versions) join the program.
+    program.tgds.extend(context.context_rules());
+
+    // 5. Chase.
+    let chase = ChaseEngine::new(options.chase.clone()).run(&program, &database);
+
+    // 6. Extract the quality versions under the original names/schemas.
+    let mut quality_database = Database::new();
+    for (original, spec) in &context.quality_versions {
+        let schema = instance
+            .relation(original)
+            .map(|r| r.schema().clone())
+            .unwrap_or_else(|_| RelationSchema::untyped(original, 0));
+        // Create even when empty, so callers can distinguish "empty quality
+        // version" from "not assessed".
+        let mut target = ontodq_relational::RelationInstance::new(schema);
+        if let Ok(source) = chase.database.relation(&spec.quality_name) {
+            for tuple in source.iter() {
+                // Quality versions are certain data: drop tuples with nulls.
+                if tuple.is_ground() {
+                    let _ = target.insert(tuple.clone());
+                }
+            }
+        }
+        quality_database.insert_relation(target);
+    }
+
+    // 7. Metrics: how far does D depart from D^q?
+    let mut metrics = QualityMetrics::default();
+    for (original, _) in &context.quality_versions {
+        let original_tuples: Vec<Tuple> = instance
+            .relation(original)
+            .map(|r| r.tuples().to_vec())
+            .unwrap_or_default();
+        let quality_tuples: Vec<Tuple> = quality_database
+            .relation(original)
+            .map(|r| r.tuples().to_vec())
+            .unwrap_or_default();
+        metrics.relations.insert(
+            original.clone(),
+            RelationQuality::compare(original, &original_tuples, &quality_tuples),
+        );
+    }
+
+    AssessmentResult {
+        contextual_instance: chase.database.clone(),
+        quality_database,
+        metrics,
+        chase,
+        program,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::hospital_context;
+    use ontodq_mdm::fixtures::hospital;
+    use ontodq_relational::Value;
+
+    #[test]
+    fn assessment_reproduces_table_ii_for_tom_waits() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let result = assess(&context, &instance);
+
+        // The quality version exists under the original name and schema.
+        let quality = result.quality_tuples("Measurements");
+        // Tom Waits' quality measurements are exactly the two rows of
+        // Table II.
+        let toms: Vec<_> = quality
+            .iter()
+            .filter(|t| t.get(1) == Some(&Value::str(hospital::TOM_WAITS)))
+            .cloned()
+            .collect();
+        let expected = hospital::expected_quality_measurements();
+        assert_eq!(toms.len(), 2);
+        for t in &expected {
+            assert!(toms.contains(t), "missing expected quality tuple {t}");
+        }
+    }
+
+    #[test]
+    fn quality_version_is_a_subset_of_the_original() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let result = assess(&context, &instance);
+        let original = instance.relation("Measurements").unwrap();
+        for t in result.quality_tuples("Measurements") {
+            assert!(original.contains(&t), "quality tuple {t} not in the original");
+        }
+    }
+
+    #[test]
+    fn metrics_quantify_departure_from_quality_version() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let result = assess(&context, &instance);
+        let m = result.metrics.relations.get("Measurements").unwrap();
+        assert_eq!(m.original_count, 6);
+        // Tom's two standard-unit rows plus Lou Reed's two standard-unit rows
+        // satisfy the quality conditions.
+        assert_eq!(m.quality_count, 4);
+        assert_eq!(m.retained, 4);
+        assert_eq!(m.rejected, 2);
+        assert!((m.retention_ratio() - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contextual_instance_contains_generated_dimensional_data() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let result = assess(&context, &instance);
+        assert!(result.contextual_instance.has_relation("PatientUnit"));
+        assert!(result.contextual_instance.has_relation("Measurements_c"));
+        assert!(result.contextual_instance.has_relation("TakenWithTherm"));
+        assert!(result.chase.stats.tuples_added > 0);
+        // The closed-intensive-unit constraint flags the Sep/7 tuple, so the
+        // contextual instance is not violation-free.
+        assert!(!result.is_consistent());
+        assert_eq!(result.chase.violations.nc.len(), 1);
+    }
+
+    #[test]
+    fn assessing_an_empty_instance_yields_empty_quality_versions() {
+        let context = hospital_context();
+        let result = assess(&context, &Database::new());
+        assert!(result.quality_tuples("Measurements").is_empty());
+        let m = result.metrics.relations.get("Measurements").unwrap();
+        assert_eq!(m.original_count, 0);
+        assert_eq!(m.quality_count, 0);
+        assert_eq!(m.retention_ratio(), 1.0);
+    }
+
+    #[test]
+    fn unknown_relations_have_no_quality_tuples() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let result = assess(&context, &instance);
+        assert!(result.quality_tuples("DoesNotExist").is_empty());
+    }
+}

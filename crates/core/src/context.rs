@@ -1,0 +1,346 @@
+//! Contexts for data quality assessment — the paper's Section V (and Fig. 2).
+//!
+//! A [`Context`] packages everything needed to assess an instance `D`:
+//!
+//! * **schema mappings** that send each relation of `D` to a *contextual
+//!   copy* (the paper's `Measurements^c`) or footprint inside the context,
+//! * the **multidimensional ontology** `M` (dimensions, categorical
+//!   relations, dimensional rules and constraints),
+//! * **contextual rules** defining additional contextual predicates (the
+//!   paper's `Measurements'`) and **quality predicates** `P_i` (the paper's
+//!   `TakenByNurse`, `TakenWithTherm`),
+//! * **quality-version definitions**: rules whose heads are the quality
+//!   versions `S_i^q` of the original relations,
+//! * optional **external sources** `E_i` (extra extensional data).
+//!
+//! A context is *assessed* against an instance by
+//! [`crate::assessment::assess`], which compiles everything into one Datalog±
+//! program, chases it, and extracts the quality versions.
+
+use ontodq_datalog::{parse_rule, Rule, Tgd};
+use ontodq_mdm::MdOntology;
+use ontodq_relational::Database;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a relation of the instance under assessment enters the context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaMapping {
+    /// The relation is copied verbatim into a contextual relation (a
+    /// "nickname"); the paper's `Measurements ↦ Measurements^c`.
+    Copy {
+        /// Relation name in the instance under assessment.
+        original: String,
+        /// Name of the contextual copy.
+        contextual: String,
+    },
+}
+
+impl SchemaMapping {
+    /// The default contextual copy mapping for `relation`, using the paper's
+    /// `R ↦ R_c` naming.
+    pub fn copy_of(relation: &str) -> Self {
+        SchemaMapping::Copy {
+            original: relation.to_string(),
+            contextual: format!("{relation}_c"),
+        }
+    }
+
+    /// The original relation name.
+    pub fn original(&self) -> &str {
+        match self {
+            SchemaMapping::Copy { original, .. } => original,
+        }
+    }
+
+    /// The contextual relation name.
+    pub fn contextual(&self) -> &str {
+        match self {
+            SchemaMapping::Copy { contextual, .. } => contextual,
+        }
+    }
+}
+
+impl fmt::Display for SchemaMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaMapping::Copy { original, contextual } => {
+                write!(f, "{original} ↦ {contextual} (copy)")
+            }
+        }
+    }
+}
+
+/// A named quality predicate `P_i` and its defining rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityPredicate {
+    /// Predicate name (e.g. `TakenWithTherm`).
+    pub name: String,
+    /// Defining rules (their heads use `name`).
+    pub rules: Vec<Tgd>,
+    /// Human-readable statement of the quality requirement it captures.
+    pub description: String,
+}
+
+/// The definition of the quality version `S^q` of one original relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityVersionSpec {
+    /// The original relation name `S`.
+    pub original: String,
+    /// The name of the quality-version predicate (default `S_q`).
+    pub quality_name: String,
+    /// The rules defining the quality version.
+    pub rules: Vec<Tgd>,
+}
+
+/// A context for data quality assessment.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// Context name, for diagnostics.
+    pub name: String,
+    /// Mappings from the instance under assessment into the context.
+    pub mappings: Vec<SchemaMapping>,
+    /// The multidimensional ontology `M`.
+    pub ontology: MdOntology,
+    /// Rules defining additional contextual predicates (e.g. the expanded
+    /// `Measurements'` relation).
+    pub contextual_rules: Vec<Tgd>,
+    /// Quality predicates `P_i`.
+    pub quality_predicates: Vec<QualityPredicate>,
+    /// Quality-version definitions, keyed by original relation name.
+    pub quality_versions: BTreeMap<String, QualityVersionSpec>,
+    /// External sources `E_i` (extra extensional data available to the
+    /// context).
+    pub external_sources: Database,
+}
+
+impl Context {
+    /// Start building a context.
+    pub fn builder(name: impl Into<String>) -> ContextBuilder {
+        ContextBuilder { context: Context { name: name.into(), ..Default::default() } }
+    }
+
+    /// The quality-version predicate name for `relation` (`{relation}_q` by
+    /// default, or whatever the spec declares).
+    pub fn quality_name_of(&self, relation: &str) -> String {
+        self.quality_versions
+            .get(relation)
+            .map(|spec| spec.quality_name.clone())
+            .unwrap_or_else(|| format!("{relation}_q"))
+    }
+
+    /// The contextual-copy name for `relation`, if a mapping exists.
+    pub fn contextual_name_of(&self, relation: &str) -> Option<&str> {
+        self.mappings
+            .iter()
+            .find(|m| m.original() == relation)
+            .map(|m| m.contextual())
+    }
+
+    /// All rules contributed by the context itself (contextual rules, quality
+    /// predicates, quality versions) — the ontology's rules are added
+    /// separately during assessment.
+    pub fn context_rules(&self) -> Vec<Tgd> {
+        let mut rules = self.contextual_rules.clone();
+        for qp in &self.quality_predicates {
+            rules.extend(qp.rules.iter().cloned());
+        }
+        for spec in self.quality_versions.values() {
+            rules.extend(spec.rules.iter().cloned());
+        }
+        rules
+    }
+
+    /// Summary line for diagnostics.
+    pub fn summary(&self) -> String {
+        format!(
+            "context '{}': {} mappings, {} contextual rules, {} quality predicates, {} quality versions, ontology: {}",
+            self.name,
+            self.mappings.len(),
+            self.contextual_rules.len(),
+            self.quality_predicates.len(),
+            self.quality_versions.len(),
+            self.ontology.summary()
+        )
+    }
+}
+
+/// Fluent builder for [`Context`].
+#[derive(Debug, Clone, Default)]
+pub struct ContextBuilder {
+    context: Context,
+}
+
+impl ContextBuilder {
+    /// Attach the multidimensional ontology.
+    pub fn ontology(mut self, ontology: MdOntology) -> Self {
+        self.context.ontology = ontology;
+        self
+    }
+
+    /// Map `relation` into the context as a verbatim copy named
+    /// `{relation}_c`.
+    pub fn copy_relation(mut self, relation: &str) -> Self {
+        self.context.mappings.push(SchemaMapping::copy_of(relation));
+        self
+    }
+
+    /// Map `relation` into the context as a copy with an explicit contextual
+    /// name.
+    pub fn copy_relation_as(mut self, relation: &str, contextual: &str) -> Self {
+        self.context.mappings.push(SchemaMapping::Copy {
+            original: relation.to_string(),
+            contextual: contextual.to_string(),
+        });
+        self
+    }
+
+    /// Add a contextual rule from text.
+    ///
+    /// # Panics
+    /// Panics when the text does not parse to a TGD; contexts are built by
+    /// application code with literal rule texts, so a parse failure is a
+    /// programming error.
+    pub fn contextual_rule(mut self, text: &str) -> Self {
+        self.context.contextual_rules.push(parse_tgd(text));
+        self
+    }
+
+    /// Add a quality predicate defined by the given rule texts.
+    pub fn quality_predicate(
+        mut self,
+        name: &str,
+        description: &str,
+        rule_texts: &[&str],
+    ) -> Self {
+        self.context.quality_predicates.push(QualityPredicate {
+            name: name.to_string(),
+            rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Define the quality version of `relation` by the given rule texts
+    /// (their heads must use the `{relation}_q` predicate).
+    pub fn quality_version(mut self, relation: &str, rule_texts: &[&str]) -> Self {
+        let spec = QualityVersionSpec {
+            original: relation.to_string(),
+            quality_name: format!("{relation}_q"),
+            rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
+        };
+        self.context.quality_versions.insert(relation.to_string(), spec);
+        self
+    }
+
+    /// Add an external source relation (extra extensional data).
+    pub fn external_source(mut self, database: Database) -> Self {
+        // Merge rather than replace, so several sources can be added.
+        let mut merged = self.context.external_sources.clone();
+        merged.merge(&database).expect("external sources merge");
+        self.context.external_sources = merged;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Context {
+        self.context
+    }
+}
+
+fn parse_tgd(text: &str) -> Tgd {
+    match parse_rule(text) {
+        Ok(Rule::Tgd(t)) => t,
+        Ok(other) => panic!("expected a TGD rule, got: {other}"),
+        Err(e) => panic!("bad rule text '{text}': {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_mdm::fixtures::hospital;
+
+    fn sample_context() -> Context {
+        Context::builder("hospital-context")
+            .ontology(hospital::ontology())
+            .copy_relation("Measurements")
+            .contextual_rule(
+                "MeasurementsExt(t, p, v, y, b) :- Measurements_c(t, p, v), TakenByNurse(t, p, n, y), TakenWithTherm(t, p, b).",
+            )
+            .quality_predicate(
+                "TakenWithTherm",
+                "temperatures in the standard care unit are taken with brand B1 thermometers",
+                &["TakenWithTherm(t, p, B1) :- PatientUnit(Standard, d, p), DayTime(d, t)."],
+            )
+            .quality_version(
+                "Measurements",
+                &["Measurements_q(t, p, v) :- MeasurementsExt(t, p, v, y, b), y = \"cert.\", b = B1."],
+            )
+            .build()
+    }
+
+    #[test]
+    fn builder_assembles_all_parts() {
+        let ctx = sample_context();
+        assert_eq!(ctx.name, "hospital-context");
+        assert_eq!(ctx.mappings.len(), 1);
+        assert_eq!(ctx.contextual_rules.len(), 1);
+        assert_eq!(ctx.quality_predicates.len(), 1);
+        assert_eq!(ctx.quality_versions.len(), 1);
+        assert_eq!(ctx.contextual_name_of("Measurements"), Some("Measurements_c"));
+        assert_eq!(ctx.contextual_name_of("Other"), None);
+        assert_eq!(ctx.quality_name_of("Measurements"), "Measurements_q");
+        assert_eq!(ctx.quality_name_of("Other"), "Other_q");
+        assert!(ctx.summary().contains("hospital-context"));
+    }
+
+    #[test]
+    fn context_rules_concatenate_all_rule_groups() {
+        let ctx = sample_context();
+        let rules = ctx.context_rules();
+        assert_eq!(rules.len(), 3);
+        let heads: Vec<&str> = rules
+            .iter()
+            .flat_map(|r| r.head.iter().map(|a| a.predicate.as_str()))
+            .collect();
+        assert!(heads.contains(&"MeasurementsExt"));
+        assert!(heads.contains(&"TakenWithTherm"));
+        assert!(heads.contains(&"Measurements_q"));
+    }
+
+    #[test]
+    fn schema_mapping_helpers() {
+        let m = SchemaMapping::copy_of("Measurements");
+        assert_eq!(m.original(), "Measurements");
+        assert_eq!(m.contextual(), "Measurements_c");
+        assert!(m.to_string().contains("copy"));
+    }
+
+    #[test]
+    fn explicit_copy_names_and_external_sources() {
+        let mut external = Database::new();
+        external.insert_values("NurseRegistry", ["Helen", "cert."]).unwrap();
+        let ctx = Context::builder("ctx")
+            .copy_relation_as("Measurements", "MeasurementsContextCopy")
+            .external_source(external)
+            .build();
+        assert_eq!(
+            ctx.contextual_name_of("Measurements"),
+            Some("MeasurementsContextCopy")
+        );
+        assert_eq!(ctx.external_sources.relation("NurseRegistry").unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rule text")]
+    fn bad_rule_text_panics() {
+        let _ = Context::builder("ctx").contextual_rule("this is not a rule");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a TGD rule")]
+    fn non_tgd_rule_text_panics() {
+        let _ = Context::builder("ctx").contextual_rule("! :- R(x).");
+    }
+}

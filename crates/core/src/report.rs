@@ -1,0 +1,154 @@
+//! Human-readable quality-assessment reports.
+//!
+//! The assessment pipeline produces structured results
+//! ([`crate::AssessmentResult`]); this module renders them as a plain-text /
+//! markdown report for people: per-relation quality metrics, the rejected
+//! tuples with the reason they were rejected (constraint violations vs.
+//! failing quality conditions), and the dimensional data generated along the
+//! way.
+
+use crate::assessment::AssessmentResult;
+use crate::context::Context;
+use std::fmt::Write as _;
+
+/// Sections of a rendered quality report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Markdown text of the report.
+    pub text: String,
+    /// Number of relations covered.
+    pub relations: usize,
+    /// Total number of rejected tuples listed.
+    pub rejected_tuples: usize,
+    /// Number of constraint violations listed.
+    pub violations: usize,
+}
+
+impl QualityReport {
+    /// Render a report for an assessment performed with `context`.
+    pub fn render(context: &Context, assessment: &AssessmentResult) -> Self {
+        let mut text = String::new();
+        let mut rejected_total = 0usize;
+
+        let _ = writeln!(text, "# Quality assessment report — {}", context.name);
+        let _ = writeln!(text);
+        let _ = writeln!(text, "{}", context.summary());
+        let _ = writeln!(text);
+
+        // Quality requirements in force.
+        let _ = writeln!(text, "## Quality requirements");
+        for qp in &context.quality_predicates {
+            let _ = writeln!(text, "* **{}** — {}", qp.name, qp.description);
+        }
+        if context.quality_predicates.is_empty() {
+            let _ = writeln!(text, "* (none declared)");
+        }
+        let _ = writeln!(text);
+
+        // Per-relation metrics and rejected tuples.
+        let _ = writeln!(text, "## Assessed relations");
+        for (relation, metrics) in &assessment.metrics.relations {
+            let _ = writeln!(text, "### {relation}");
+            let _ = writeln!(
+                text,
+                "* original tuples: {}, quality tuples: {}, retention: {:.1}%, departure |D △ D^q|: {}",
+                metrics.original_count,
+                metrics.quality_count,
+                metrics.retention_ratio() * 100.0,
+                metrics.departure()
+            );
+            if metrics.rejected_tuples.is_empty() {
+                let _ = writeln!(text, "* no tuples rejected");
+            } else {
+                let _ = writeln!(text, "* rejected tuples:");
+                for tuple in &metrics.rejected_tuples {
+                    rejected_total += 1;
+                    let _ = writeln!(text, "  * {tuple}");
+                }
+            }
+            let _ = writeln!(text);
+        }
+
+        // Constraint violations surfaced by the contextual chase.
+        let _ = writeln!(text, "## Constraint violations in the contextual instance");
+        let violations = assessment.chase.violations.nc.len() + assessment.chase.violations.egd.len();
+        if violations == 0 {
+            let _ = writeln!(text, "* none");
+        } else {
+            for v in &assessment.chase.violations.nc {
+                let _ = writeln!(text, "* {v}");
+            }
+            for v in &assessment.chase.violations.egd {
+                let _ = writeln!(text, "* {v}");
+            }
+        }
+        let _ = writeln!(text);
+
+        // Chase statistics.
+        let _ = writeln!(text, "## Dimensional processing");
+        let _ = writeln!(text, "* {}", assessment.chase.stats);
+        let _ = writeln!(
+            text,
+            "* overall retention: {:.1}%",
+            assessment.metrics.overall_retention() * 100.0
+        );
+
+        Self {
+            text,
+            relations: assessment.metrics.relations.len(),
+            rejected_tuples: rejected_total,
+            violations,
+        }
+    }
+}
+
+impl std::fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessment::assess;
+    use crate::scenarios::hospital_context;
+    use ontodq_mdm::fixtures::hospital;
+    use ontodq_relational::Database;
+
+    #[test]
+    fn report_covers_metrics_rejections_and_violations() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let assessment = assess(&context, &instance);
+        let report = QualityReport::render(&context, &assessment);
+        assert_eq!(report.relations, 1);
+        assert_eq!(report.rejected_tuples, 2);
+        assert_eq!(report.violations, 1);
+        let text = report.to_string();
+        assert!(text.contains("# Quality assessment report"));
+        assert!(text.contains("### Measurements"));
+        assert!(text.contains("retention: 66.7%"));
+        assert!(text.contains("rejected tuples:"));
+        assert!(text.contains("TakenWithTherm"));
+        assert!(text.contains("Constraint violations"));
+    }
+
+    #[test]
+    fn report_on_empty_instance_mentions_no_rejections() {
+        let context = hospital_context();
+        let assessment = assess(&context, &Database::new());
+        let report = QualityReport::render(&context, &assessment);
+        assert_eq!(report.rejected_tuples, 0);
+        assert!(report.text.contains("no tuples rejected"));
+    }
+
+    #[test]
+    fn report_handles_contexts_without_quality_predicates() {
+        let context = crate::Context::builder("bare").build();
+        let assessment = assess(&context, &Database::new());
+        let report = QualityReport::render(&context, &assessment);
+        assert!(report.text.contains("(none declared)"));
+        assert_eq!(report.relations, 0);
+    }
+}

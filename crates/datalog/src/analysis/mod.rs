@@ -1,0 +1,19 @@
+//! Syntactic analyses of Datalog± programs.
+//!
+//! * [`marking`] — the sticky-marking procedure;
+//! * [`classify`] — membership tests for linear, guarded, weakly guarded,
+//!   sticky, weakly sticky and weakly acyclic TGD sets, and a combined
+//!   [`classify::ClassReport`];
+//! * [`separability`] — the sufficient condition for EGDs to be separable
+//!   from the TGDs, as used by the paper for dimensional constraints.
+
+pub mod classify;
+pub mod marking;
+pub mod separability;
+
+pub use classify::{
+    classify, classify_tgds, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
+    is_weakly_guarded, is_weakly_sticky, ClassReport, DatalogClass,
+};
+pub use marking::Marking;
+pub use separability::{check_egds, check_program, EgdSeparability, SeparabilityReport};

@@ -1,0 +1,173 @@
+//! Terms and variables.
+//!
+//! A [`Term`] is either a variable or a constant ([`Value`], which includes
+//! labeled nulls).  Terms appear in atoms; variables are shared across the
+//! body and head of a rule to express joins and value propagation.
+
+use ontodq_relational::Value;
+use std::fmt;
+
+/// A variable, identified by name.
+///
+/// By convention (and by the parser) variable names start with a lowercase
+/// letter or an underscore, e.g. `u`, `d`, `p`, `thermometer_type`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(pub String);
+
+impl Variable {
+    /// Construct a variable.
+    pub fn new(name: impl Into<String>) -> Self {
+        Variable(name.into())
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// A fresh variable derived from this one, used when renaming apart
+    /// (standardizing variables before unification).
+    pub fn renamed(&self, suffix: usize) -> Variable {
+        Variable(format!("{}#{}", self.0, suffix))
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+/// A term: a variable or a constant (domain value or labeled null).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Variable),
+    /// A constant; labeled nulls are constants from the term perspective.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable-term constructor.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(Variable::new(name))
+    }
+
+    /// Constant-term constructor.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// The variable, when the term is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, when the term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// `true` when the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// `true` when the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => {
+                // Strings that could be read back as variables or that contain
+                // separators are quoted; this keeps parse∘print the identity.
+                if s.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "\"{s}\"")
+                }
+            }
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(v: Variable) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_relational::NullId;
+
+    #[test]
+    fn variable_basics() {
+        let v = Variable::new("u");
+        assert_eq!(v.name(), "u");
+        assert_eq!(v.to_string(), "u");
+        assert_eq!(v.renamed(3).name(), "u#3");
+    }
+
+    #[test]
+    fn term_constructors_and_accessors() {
+        let var = Term::var("w");
+        assert!(var.is_var());
+        assert!(!var.is_const());
+        assert_eq!(var.as_var(), Some(&Variable::new("w")));
+        assert_eq!(var.as_const(), None);
+
+        let cons = Term::constant("W1");
+        assert!(cons.is_const());
+        assert_eq!(cons.as_const(), Some(&Value::str("W1")));
+        assert_eq!(cons.as_var(), None);
+    }
+
+    #[test]
+    fn display_quotes_only_when_needed() {
+        assert_eq!(Term::constant("W1").to_string(), "W1");
+        assert_eq!(Term::constant("Tom Waits").to_string(), "\"Tom Waits\"");
+        assert_eq!(Term::constant("standard").to_string(), "\"standard\"");
+        assert_eq!(Term::var("u").to_string(), "u");
+        assert_eq!(Term::constant(Value::int(42)).to_string(), "42");
+        assert_eq!(
+            Term::Const(Value::Null(NullId(2))).to_string(),
+            "⊥2"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Term = Variable::new("x").into();
+        assert!(t.is_var());
+        let t: Term = Value::int(1).into();
+        assert!(t.is_const());
+    }
+}

@@ -1,0 +1,7 @@
+//! Reusable example fixtures.
+//!
+//! [`hospital`] reproduces the paper's running example (Fig. 1, Tables I–V,
+//! rules (7)–(9), the closed-unit constraint and the EGD (6)) and is shared
+//! by the examples, the integration tests and the benchmark harness.
+
+pub mod hospital;

@@ -1,0 +1,236 @@
+//! Summarizability analysis of dimension instances.
+//!
+//! The HM model (Hurtado–Gutierrez–Mendelzon, *Capturing summarizability
+//! with integrity constraints in OLAP*, TODS 2005 — reference [12] of the
+//! paper) characterizes when aggregate values computed at one category can be
+//! correctly derived from a lower category: roll-ups must be **strict**
+//! (functions) and **homogeneous** (total).  The paper inherits these notions
+//! when it fixes the dimension instances of a multidimensional context.
+//!
+//! This module packages the per-pair analysis: for every pair of categories
+//! `(lower, upper)` with `lower ⊑ upper` it reports whether the roll-up
+//! mapping is a total function, and aggregates the verdicts into a
+//! [`SummarizabilityReport`] that the quality-assessment layer (and the
+//! `ontology_analysis` tooling) can surface to users.
+
+use crate::dimension_instance::DimensionInstance;
+use ontodq_relational::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The roll-up behaviour between one pair of comparable categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupProfile {
+    /// The lower category.
+    pub lower: String,
+    /// The upper category.
+    pub upper: String,
+    /// Number of members of the lower category.
+    pub lower_members: usize,
+    /// Members of the lower category with no ancestor in the upper category
+    /// (homogeneity failures for this pair).
+    pub unmapped: Vec<Value>,
+    /// Members of the lower category with more than one ancestor in the
+    /// upper category (strictness failures for this pair).
+    pub ambiguous: Vec<Value>,
+}
+
+impl RollupProfile {
+    /// Is the roll-up from `lower` to `upper` a total function — i.e. is
+    /// aggregation along it summarizable?
+    pub fn is_summarizable(&self) -> bool {
+        self.unmapped.is_empty() && self.ambiguous.is_empty()
+    }
+
+    /// Fraction of lower members that map to exactly one upper member.
+    pub fn coverage(&self) -> f64 {
+        if self.lower_members == 0 {
+            return 1.0;
+        }
+        let bad = self.unmapped.len() + self.ambiguous.len();
+        (self.lower_members - bad.min(self.lower_members)) as f64 / self.lower_members as f64
+    }
+}
+
+impl fmt::Display for RollupProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} → {}: {}/{} members map uniquely ({} unmapped, {} ambiguous)",
+            self.lower,
+            self.upper,
+            self.lower_members - (self.unmapped.len() + self.ambiguous.len()).min(self.lower_members),
+            self.lower_members,
+            self.unmapped.len(),
+            self.ambiguous.len()
+        )
+    }
+}
+
+/// Summarizability analysis of a whole dimension instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SummarizabilityReport {
+    /// One profile per comparable category pair, keyed by `(lower, upper)`.
+    pub profiles: BTreeMap<(String, String), RollupProfile>,
+}
+
+impl SummarizabilityReport {
+    /// Analyze a dimension instance.
+    pub fn analyze(dimension: &DimensionInstance) -> Self {
+        let mut profiles = BTreeMap::new();
+        let schema = dimension.schema();
+        for lower in schema.categories() {
+            for upper in schema.categories() {
+                if !schema.rolls_up_to(lower, upper) {
+                    continue;
+                }
+                let members = dimension.members_of(lower);
+                let mut unmapped = Vec::new();
+                let mut ambiguous = Vec::new();
+                for member in &members {
+                    let ancestors = dimension.roll_up(lower, member, upper);
+                    match ancestors.len() {
+                        0 => unmapped.push(member.clone()),
+                        1 => {}
+                        _ => ambiguous.push(member.clone()),
+                    }
+                }
+                profiles.insert(
+                    (lower.clone(), upper.clone()),
+                    RollupProfile {
+                        lower: lower.clone(),
+                        upper: upper.clone(),
+                        lower_members: members.len(),
+                        unmapped,
+                        ambiguous,
+                    },
+                );
+            }
+        }
+        Self { profiles }
+    }
+
+    /// Is every comparable category pair summarizable?
+    pub fn is_fully_summarizable(&self) -> bool {
+        self.profiles.values().all(RollupProfile::is_summarizable)
+    }
+
+    /// The pairs that are *not* summarizable.
+    pub fn problem_pairs(&self) -> Vec<&RollupProfile> {
+        self.profiles
+            .values()
+            .filter(|p| !p.is_summarizable())
+            .collect()
+    }
+
+    /// The profile for one pair, if the categories are comparable.
+    pub fn profile(&self, lower: &str, upper: &str) -> Option<&RollupProfile> {
+        self.profiles.get(&(lower.to_string(), upper.to_string()))
+    }
+}
+
+impl fmt::Display for SummarizabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for profile in self.profiles.values() {
+            writeln!(f, "{profile}")?;
+        }
+        write!(
+            f,
+            "fully summarizable: {}",
+            self.is_fully_summarizable()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension_schema::DimensionSchema;
+    use crate::fixtures::hospital;
+
+    fn hospital_dim() -> DimensionInstance {
+        hospital::hospital_dimension()
+    }
+
+    #[test]
+    fn hospital_dimension_is_fully_summarizable() {
+        let report = SummarizabilityReport::analyze(&hospital_dim());
+        assert!(report.is_fully_summarizable());
+        assert!(report.problem_pairs().is_empty());
+        // Ward rolls up to Unit, Institution and AllHospital → 3 pairs for
+        // Ward, 2 for Unit, 1 for Institution = 6 in total.
+        assert_eq!(report.profiles.len(), 6);
+        let ward_unit = report.profile("Ward", "Unit").unwrap();
+        assert_eq!(ward_unit.lower_members, 4);
+        assert!(ward_unit.is_summarizable());
+        assert_eq!(ward_unit.coverage(), 1.0);
+        assert!(report.profile("Unit", "Ward").is_none());
+    }
+
+    #[test]
+    fn missing_rollup_is_reported_as_unmapped() {
+        let mut dim = hospital_dim();
+        dim.add_member("Ward", "W9").unwrap();
+        let report = SummarizabilityReport::analyze(&dim);
+        assert!(!report.is_fully_summarizable());
+        let ward_unit = report.profile("Ward", "Unit").unwrap();
+        assert_eq!(ward_unit.unmapped, vec![Value::str("W9")]);
+        assert!(ward_unit.ambiguous.is_empty());
+        assert!((ward_unit.coverage() - 4.0 / 5.0).abs() < 1e-9);
+        // The problem propagates to every higher level.
+        assert_eq!(report.problem_pairs().len(), 3);
+    }
+
+    #[test]
+    fn double_parent_is_reported_as_ambiguous() {
+        let mut dim = hospital_dim();
+        dim.add_rollup("Ward", "W1", "Unit", "Intensive").unwrap();
+        let report = SummarizabilityReport::analyze(&dim);
+        let ward_unit = report.profile("Ward", "Unit").unwrap();
+        assert_eq!(ward_unit.ambiguous, vec![Value::str("W1")]);
+        assert!(!report.is_fully_summarizable());
+        let rendered = report.to_string();
+        assert!(rendered.contains("fully summarizable: false"));
+        assert!(rendered.contains("Ward → Unit"));
+    }
+
+    #[test]
+    fn converging_paths_to_a_single_ancestor_stay_summarizable() {
+        // City rolls up to Country through two different paths but reaches a
+        // single member → still summarizable at the Country level.
+        let mut schema = DimensionSchema::new("Location");
+        for c in ["City", "Province", "SalesRegion", "Country"] {
+            schema.add_category(c);
+        }
+        schema.add_edge("City", "Province").unwrap();
+        schema.add_edge("City", "SalesRegion").unwrap();
+        schema.add_edge("Province", "Country").unwrap();
+        schema.add_edge("SalesRegion", "Country").unwrap();
+        let mut dim = DimensionInstance::new(schema);
+        dim.add_rollup("City", "Ottawa", "Province", "Ontario").unwrap();
+        dim.add_rollup("City", "Ottawa", "SalesRegion", "East").unwrap();
+        dim.add_rollup("Province", "Ontario", "Country", "Canada").unwrap();
+        dim.add_rollup("SalesRegion", "East", "Country", "Canada").unwrap();
+        let report = SummarizabilityReport::analyze(&dim);
+        assert!(report.profile("City", "Country").unwrap().is_summarizable());
+
+        // If the two paths diverge, the City → Country pair becomes
+        // ambiguous.
+        dim.add_rollup("SalesRegion", "East", "Country", "USA").unwrap();
+        let report = SummarizabilityReport::analyze(&dim);
+        assert!(!report.profile("City", "Country").unwrap().is_summarizable());
+        assert!(report
+            .profile("City", "Country")
+            .unwrap()
+            .ambiguous
+            .contains(&Value::str("Ottawa")));
+    }
+
+    #[test]
+    fn empty_dimension_is_trivially_summarizable() {
+        let dim = DimensionInstance::new(DimensionSchema::chain("D", ["A", "B"]));
+        let report = SummarizabilityReport::analyze(&dim);
+        assert!(report.is_fully_summarizable());
+        assert_eq!(report.profile("A", "B").unwrap().coverage(), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal CSV import/export for relation instances.
+//!
+//! The benchmark harness and examples use this to load and dump small tables
+//! (the paper's Tables I–V) without pulling in an external CSV crate.  The
+//! dialect is deliberately simple: comma-separated, no quoting, values are
+//! parsed according to the target schema's attribute types.
+
+use crate::error::{RelationalError, Result};
+use crate::relation::RelationInstance;
+use crate::schema::{AttributeType, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parse one CSV cell according to an attribute type.
+fn parse_cell(ty: AttributeType, raw: &str, line: usize) -> Result<Value> {
+    let raw = raw.trim();
+    let err = |message: String| RelationalError::CsvParse { line, message };
+    match ty {
+        AttributeType::String => Ok(Value::str(raw)),
+        AttributeType::Integer => raw
+            .parse::<i64>()
+            .map(Value::int)
+            .map_err(|_| err(format!("'{raw}' is not an integer"))),
+        AttributeType::Double => raw
+            .parse::<f64>()
+            .map(Value::double)
+            .map_err(|_| err(format!("'{raw}' is not a double"))),
+        AttributeType::Boolean => match raw {
+            "true" | "1" => Ok(Value::bool(true)),
+            "false" | "0" => Ok(Value::bool(false)),
+            _ => Err(err(format!("'{raw}' is not a boolean"))),
+        },
+        AttributeType::Time => Value::parse_time(raw)
+            .ok_or_else(|| err(format!("'{raw}' is not a Mon/D-HH:MM timestamp"))),
+        AttributeType::Any => {
+            // Best-effort inference: integer, then double, then timestamp,
+            // then plain string.
+            if let Ok(i) = raw.parse::<i64>() {
+                Ok(Value::int(i))
+            } else if let Ok(d) = raw.parse::<f64>() {
+                Ok(Value::double(d))
+            } else if let Some(t) = Value::parse_time(raw) {
+                Ok(t)
+            } else {
+                Ok(Value::str(raw))
+            }
+        }
+    }
+}
+
+/// Load CSV text (no header) into a fresh relation instance over `schema`.
+pub fn load_csv(schema: &RelationSchema, text: &str) -> Result<RelationInstance> {
+    let mut relation = RelationInstance::new(schema.clone());
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != schema.arity() {
+            return Err(RelationalError::CsvParse {
+                line: line_no,
+                message: format!(
+                    "expected {} cells, found {}",
+                    schema.arity(),
+                    cells.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(cells.len());
+        for (attr, cell) in schema.attributes().iter().zip(cells) {
+            values.push(parse_cell(attr.ty, cell, line_no)?);
+        }
+        relation.insert(Tuple::new(values))?;
+    }
+    Ok(relation)
+}
+
+/// Render a relation instance as CSV text (no header, one tuple per line).
+pub fn dump_csv(relation: &RelationInstance) -> String {
+    let mut out = String::new();
+    for tuple in relation.iter() {
+        let line: Vec<String> = tuple.values().iter().map(|v| v.to_string()).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new(
+            "Measurements",
+            vec![
+                Attribute::new("Time", AttributeType::Time),
+                Attribute::string("Patient"),
+                Attribute::new("Value", AttributeType::Double),
+            ],
+        )
+    }
+
+    #[test]
+    fn load_simple_table() {
+        let text = "Sep/5-12:10,Tom Waits,38.2\nSep/6-11:50,Tom Waits,37.1\n";
+        let rel = load_csv(&schema(), text).unwrap();
+        assert_eq!(rel.len(), 2);
+        let first = &rel.tuples()[0];
+        assert_eq!(first.get(1), Some(&Value::str("Tom Waits")));
+        assert_eq!(first.get(2), Some(&Value::double(38.2)));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let text = "# comment\n\nSep/5-12:10,Tom Waits,38.2\n";
+        let rel = load_csv(&schema(), text).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported_with_line_number() {
+        let text = "Sep/5-12:10,Tom Waits\n";
+        let err = load_csv(&schema(), text).unwrap_err();
+        assert!(matches!(err, RelationalError::CsvParse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_cell_is_reported() {
+        let text = "Sep/5-12:10,Tom Waits,hot\n";
+        let err = load_csv(&schema(), text).unwrap_err();
+        assert!(err.to_string().contains("not a double"));
+    }
+
+    #[test]
+    fn any_typed_cells_infer_kinds() {
+        let schema = RelationSchema::untyped("R", 3);
+        let rel = load_csv(&schema, "42,3.5,hello\n").unwrap();
+        let t = &rel.tuples()[0];
+        assert_eq!(t.get(0), Some(&Value::int(42)));
+        assert_eq!(t.get(1), Some(&Value::double(3.5)));
+        assert_eq!(t.get(2), Some(&Value::str("hello")));
+    }
+
+    #[test]
+    fn round_trip_dump_then_load() {
+        let text = "Sep/5-12:10,Tom Waits,38.2\nSep/6-11:50,Lou Reed,37.5\n";
+        let rel = load_csv(&schema(), text).unwrap();
+        let dumped = dump_csv(&rel);
+        let reloaded = load_csv(&schema(), &dumped).unwrap();
+        assert_eq!(reloaded.len(), rel.len());
+        for t in rel.iter() {
+            assert!(reloaded.contains(t));
+        }
+    }
+
+    #[test]
+    fn boolean_parsing() {
+        let schema = RelationSchema::new(
+            "Flags",
+            vec![Attribute::new("f", AttributeType::Boolean)],
+        );
+        let rel = load_csv(&schema, "true\n0\n").unwrap();
+        assert_eq!(rel.tuples()[0].get(0), Some(&Value::bool(true)));
+        assert_eq!(rel.tuples()[1].get(0), Some(&Value::bool(false)));
+        assert!(load_csv(&schema, "maybe\n").is_err());
+    }
+}

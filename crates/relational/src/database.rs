@@ -1,0 +1,322 @@
+//! Databases: named collections of relation instances.
+
+use crate::error::{RelationalError, Result};
+use crate::null::NullId;
+use crate::relation::RelationInstance;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database instance: a map from relation names to relation instances.
+///
+/// A `Database` plays several roles in the system:
+/// * the instance `D` under quality assessment,
+/// * the contextual instance `C` (including the copies/footprints of `D`),
+/// * the extensional data `D_M` of the multidimensional ontology
+///   (category members, parent–child relations, categorical relations),
+/// * the working instance of the chase.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, RelationInstance>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self { relations: BTreeMap::new() }
+    }
+
+    /// Register an empty relation with `schema`.
+    ///
+    /// Registering the same name twice is fine when the schemas agree and an
+    /// error otherwise.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
+        let name = schema.name().to_string();
+        match self.relations.get(&name) {
+            None => {
+                self.relations.insert(name, RelationInstance::new(schema));
+                Ok(())
+            }
+            Some(existing) if existing.schema() == &schema => Ok(()),
+            Some(_) => Err(RelationalError::SchemaConflict(name)),
+        }
+    }
+
+    /// Register a relation instance wholesale (replacing any existing
+    /// relation of the same name).
+    pub fn insert_relation(&mut self, relation: RelationInstance) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Does the database know a relation called `name`?
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// The relation called `name`.
+    pub fn relation(&self, name: &str) -> Result<&RelationInstance> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to the relation called `name`.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut RelationInstance> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// The relation called `name`, creating an untyped one of arity
+    /// `arity` when missing.  Used by the Datalog± layer, whose predicates
+    /// need not be declared in advance.
+    pub fn relation_or_create(&mut self, name: &str, arity: usize) -> &mut RelationInstance {
+        self.relations
+            .entry(name.to_string())
+            .or_insert_with(|| RelationInstance::new(RelationSchema::untyped(name, arity)))
+    }
+
+    /// Insert a tuple into relation `name`, creating an untyped relation of
+    /// matching arity when the relation is unknown.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        if !self.relations.contains_key(name) {
+            self.create_relation(RelationSchema::untyped(name, tuple.arity()))?;
+        }
+        self.relation_mut(name)?.insert(tuple)
+    }
+
+    /// Insert a tuple built from anything convertible into values.
+    pub fn insert_values<I, V>(&mut self, name: &str, values: I) -> Result<bool>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.insert(name, Tuple::from_iter(values))
+    }
+
+    /// Does relation `name` contain `tuple`?  Unknown relations contain
+    /// nothing.
+    pub fn contains(&self, name: &str, tuple: &Tuple) -> bool {
+        self.relations
+            .get(name)
+            .map(|r| r.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Iterate over the relation instances in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationInstance> {
+        self.relations.values()
+    }
+
+    /// The names of all relations, in name order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(RelationInstance::len).sum()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All constants appearing anywhere in the database (the *active
+    /// domain*), in sorted order.  Open conjunctive query answering draws
+    /// candidate substitutions from this set.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.relations
+            .values()
+            .flat_map(|r| r.constants())
+            .collect()
+    }
+
+    /// All labeled nulls appearing anywhere in the database.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.relations
+            .values()
+            .flat_map(|r| r.nulls())
+            .collect()
+    }
+
+    /// The largest labeled-null id in the database, if any; used to seed
+    /// fresh-null generation when resuming a chase.
+    pub fn max_null_id(&self) -> Option<u64> {
+        self.nulls().iter().map(|n| n.id()).max()
+    }
+
+    /// Replace every occurrence of the labeled null `from` with `to` in every
+    /// relation; returns the number of tuples changed.
+    pub fn substitute_null(&mut self, from: NullId, to: &Value) -> usize {
+        self.relations
+            .values_mut()
+            .map(|r| r.substitute_null(from, to))
+            .sum()
+    }
+
+    /// Merge another database into this one: relations are created as needed
+    /// and tuples unioned.  Returns the number of new tuples.
+    pub fn merge(&mut self, other: &Database) -> Result<usize> {
+        let mut added = 0;
+        for relation in other.relations() {
+            if !self.has_relation(relation.name()) {
+                self.create_relation(relation.schema().clone())?;
+            }
+            let target = self.relation_mut(relation.name())?;
+            for tuple in relation.iter() {
+                if target.insert(tuple.clone())? {
+                    added += 1;
+                }
+            }
+        }
+        Ok(added)
+    }
+
+    /// A database holding only the relations named in `names` (unknown names
+    /// are skipped).
+    pub fn restrict_to(&self, names: &[&str]) -> Database {
+        let mut db = Database::new();
+        for name in names {
+            if let Some(rel) = self.relations.get(*name) {
+                db.insert_relation(rel.clone());
+            }
+        }
+        db
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for relation in self.relations.values() {
+            write!(f, "{relation}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "PatientWard",
+            vec![
+                Attribute::string("Ward"),
+                Attribute::string("Day"),
+                Attribute::string("Patient"),
+            ],
+        ))
+        .unwrap();
+        db.insert_values("PatientWard", ["W1", "Sep/5", "Tom Waits"]).unwrap();
+        db.insert_values("PatientWard", ["W2", "Sep/6", "Tom Waits"]).unwrap();
+        db.insert_values("UnitWard", ["Standard", "W1"]).unwrap();
+        db.insert_values("UnitWard", ["Standard", "W2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let db = sample();
+        assert!(db.has_relation("PatientWard"));
+        assert!(db.has_relation("UnitWard"));
+        assert!(!db.has_relation("Shifts"));
+        assert_eq!(db.relation("PatientWard").unwrap().len(), 2);
+        assert!(db.relation("Shifts").is_err());
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.total_tuples(), 4);
+    }
+
+    #[test]
+    fn create_relation_is_idempotent_for_equal_schemas() {
+        let mut db = sample();
+        let schema = db.relation("UnitWard").unwrap().schema().clone();
+        assert!(db.create_relation(schema).is_ok());
+        // Conflicting schema is rejected.
+        let conflicting = RelationSchema::untyped("UnitWard", 3);
+        assert!(matches!(
+            db.create_relation(conflicting),
+            Err(RelationalError::SchemaConflict(_))
+        ));
+    }
+
+    #[test]
+    fn insert_auto_creates_untyped_relations() {
+        let mut db = Database::new();
+        assert!(db.insert_values("Fresh", ["a", "b"]).unwrap());
+        assert_eq!(db.relation("Fresh").unwrap().schema().arity(), 2);
+    }
+
+    #[test]
+    fn contains_handles_unknown_relations() {
+        let db = sample();
+        assert!(db.contains("UnitWard", &Tuple::from_iter(["Standard", "W1"])));
+        assert!(!db.contains("UnitWard", &Tuple::from_iter(["Standard", "W9"])));
+        assert!(!db.contains("Nope", &Tuple::from_iter(["x"])));
+    }
+
+    #[test]
+    fn active_domain_collects_constants() {
+        let db = sample();
+        let domain = db.active_domain();
+        assert!(domain.contains(&Value::str("Tom Waits")));
+        assert!(domain.contains(&Value::str("Standard")));
+        assert!(domain.contains(&Value::str("W1")));
+    }
+
+    #[test]
+    fn nulls_and_substitution_span_relations() {
+        let mut db = sample();
+        db.insert("Shifts", Tuple::new(vec![Value::str("W1"), Value::null(NullId(3))]))
+            .unwrap();
+        db.insert("Other", Tuple::new(vec![Value::null(NullId(3))])).unwrap();
+        assert_eq!(db.nulls().len(), 1);
+        assert_eq!(db.max_null_id(), Some(3));
+        let changed = db.substitute_null(NullId(3), &Value::str("morning"));
+        assert_eq!(changed, 2);
+        assert!(db.nulls().is_empty());
+    }
+
+    #[test]
+    fn merge_unions_tuples() {
+        let mut a = sample();
+        let mut b = Database::new();
+        b.insert_values("UnitWard", ["Intensive", "W3"]).unwrap();
+        b.insert_values("UnitWard", ["Standard", "W1"]).unwrap(); // duplicate
+        let added = a.merge(&b).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(a.relation("UnitWard").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn restrict_to_keeps_only_named_relations() {
+        let db = sample();
+        let restricted = db.restrict_to(&["UnitWard", "DoesNotExist"]);
+        assert_eq!(restricted.relation_count(), 1);
+        assert!(restricted.has_relation("UnitWard"));
+    }
+
+    #[test]
+    fn relation_or_create_defaults_to_untyped() {
+        let mut db = Database::new();
+        db.relation_or_create("P", 3)
+            .insert_unchecked(Tuple::from_iter(["a", "b", "c"]));
+        assert_eq!(db.relation("P").unwrap().len(), 1);
+        // A second call reuses the existing relation.
+        db.relation_or_create("P", 3)
+            .insert_unchecked(Tuple::from_iter(["d", "e", "f"]));
+        assert_eq!(db.relation("P").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn relation_names_are_sorted() {
+        let db = sample();
+        assert_eq!(db.relation_names(), vec!["PatientWard", "UnitWard"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+///
+/// The substrate is deliberately strict: schema mismatches are reported as
+/// errors rather than silently coerced, because downstream layers (the chase,
+/// the multidimensional compiler) rely on well-typed instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A tuple's arity does not match the relation schema's arity.
+    ArityMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A tuple value does not match the declared attribute type.
+    TypeMismatch {
+        /// Relation the tuple was destined for.
+        relation: String,
+        /// Attribute (by name) whose type was violated.
+        attribute: String,
+        /// Declared type, rendered for display.
+        expected: String,
+        /// Offending value, rendered for display.
+        actual: String,
+    },
+    /// A relation was looked up by a name that is not part of the database.
+    UnknownRelation(String),
+    /// A relation was registered twice with incompatible schemas.
+    SchemaConflict(String),
+    /// An attribute was looked up by a name not present in the schema.
+    UnknownAttribute {
+        /// Relation whose schema was consulted.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// A CSV line could not be parsed into a tuple of the target schema.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation '{relation}': schema has {expected} attributes, tuple has {actual}"
+            ),
+            RelationalError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for '{relation}.{attribute}': expected {expected}, got {actual}"
+            ),
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation '{name}'")
+            }
+            RelationalError::SchemaConflict(name) => {
+                write!(f, "relation '{name}' already registered with a different schema")
+            }
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation '{relation}' has no attribute named '{attribute}'")
+            }
+            RelationalError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = RelationalError::ArityMismatch {
+            relation: "Measurements".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Measurements"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn display_unknown_relation() {
+        let e = RelationalError::UnknownRelation("Shifts".into());
+        assert_eq!(e.to_string(), "unknown relation 'Shifts'");
+    }
+
+    #[test]
+    fn display_type_mismatch_mentions_attribute() {
+        let e = RelationalError::TypeMismatch {
+            relation: "R".into(),
+            attribute: "a".into(),
+            expected: "Integer".into(),
+            actual: "\"x\"".into(),
+        };
+        assert!(e.to_string().contains("R.a"));
+    }
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = RelationalError::UnknownAttribute {
+            relation: "R".into(),
+            attribute: "missing".into(),
+        };
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn display_csv_parse() {
+        let e = RelationalError::CsvParse {
+            line: 7,
+            message: "bad integer".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RelationalError::UnknownRelation("X".into()),
+            RelationalError::UnknownRelation("X".into())
+        );
+        assert_ne!(
+            RelationalError::UnknownRelation("X".into()),
+            RelationalError::UnknownRelation("Y".into())
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Hash indexes on relation instances.
+//!
+//! The chase and the query-answering algorithms repeatedly look up tuples by
+//! the value at a fixed position (e.g. "all `UnitWard` tuples whose child is
+//! `W1`").  A [`HashIndex`] maps a value at one position to the row ids of the
+//! tuples carrying it.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A single-attribute hash index over a relation's tuples.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    /// The indexed attribute position.
+    position: usize,
+    /// Value at `position` → row ids of tuples carrying that value.
+    entries: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// An empty index on `position`.
+    pub fn new(position: usize) -> Self {
+        Self { position, entries: HashMap::new() }
+    }
+
+    /// Build an index over existing rows.
+    pub fn build(position: usize, tuples: &[Tuple]) -> Self {
+        let mut index = Self::new(position);
+        for (row, tuple) in tuples.iter().enumerate() {
+            index.insert(row, tuple);
+        }
+        index
+    }
+
+    /// The indexed position.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Record that `tuple` lives at `row`.
+    pub fn insert(&mut self, row: usize, tuple: &Tuple) {
+        if let Some(value) = tuple.get(self.position) {
+            self.entries.entry(value.clone()).or_default().push(row);
+        }
+    }
+
+    /// Row ids of tuples whose indexed attribute equals `value`.
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        self.entries.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drop all entries (used when the underlying relation is rewritten,
+    /// e.g. after an EGD-driven null substitution).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::from_iter(["W1", "Standard"]),
+            Tuple::from_iter(["W2", "Standard"]),
+            Tuple::from_iter(["W3", "Intensive"]),
+            Tuple::from_iter(["W4", "Terminal"]),
+        ]
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let index = HashIndex::build(1, &tuples());
+        assert_eq!(index.lookup(&Value::str("Standard")), &[0, 1]);
+        assert_eq!(index.lookup(&Value::str("Intensive")), &[2]);
+        assert_eq!(index.lookup(&Value::str("Unknown")), &[] as &[usize]);
+        assert_eq!(index.distinct_keys(), 3);
+        assert_eq!(index.position(), 1);
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_build() {
+        let ts = tuples();
+        let bulk = HashIndex::build(0, &ts);
+        let mut inc = HashIndex::new(0);
+        for (row, t) in ts.iter().enumerate() {
+            inc.insert(row, t);
+        }
+        for t in &ts {
+            let v = t.get(0).unwrap();
+            assert_eq!(bulk.lookup(v), inc.lookup(v));
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let mut index = HashIndex::build(0, &tuples());
+        index.clear();
+        assert_eq!(index.distinct_keys(), 0);
+        assert!(index.lookup(&Value::str("W1")).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_position_is_ignored() {
+        let mut index = HashIndex::new(9);
+        index.insert(0, &Tuple::from_iter(["only", "two"]));
+        assert_eq!(index.distinct_keys(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! # ontodq-relational
+//!
+//! In-memory relational substrate for the `ontodq` system — the Rust
+//! reproduction of *"Extending Contexts with Ontologies for Multidimensional
+//! Data Quality Assessment"* (Milani, Bertossi, Ariyan; ICDE 2014).
+//!
+//! The crate provides the data model every other layer builds on:
+//!
+//! * [`Value`] — domain constants (strings, integers, doubles, booleans,
+//!   timestamps) and **labeled nulls** introduced by existential rules,
+//! * [`Tuple`], [`RelationSchema`], [`RelationInstance`] — typed relations
+//!   with set semantics and optional hash [`index`]es,
+//! * [`Database`] — named collections of relations playing the roles of the
+//!   instance under assessment `D`, the contextual instance `C`, and the
+//!   extensional data `D_M` of the multidimensional ontology,
+//! * a tiny [`csv`] loader used by examples and benches.
+//!
+//! The substrate is deliberately free of external dependencies and free of
+//! query-processing logic: conjunctive-query evaluation lives in
+//! `ontodq-chase`, and everything ontology-specific lives in `ontodq-datalog`
+//! and `ontodq-mdm`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod null;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use error::{RelationalError, Result};
+pub use index::HashIndex;
+pub use null::{NullGenerator, NullId};
+pub use relation::RelationInstance;
+pub use schema::{Attribute, AttributeType, RelationSchema};
+pub use tuple::Tuple;
+pub use value::Value;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+            any::<i64>().prop_map(Value::int),
+            any::<f64>().prop_filter("finite", |d| d.is_finite()).prop_map(Value::double),
+            any::<bool>().prop_map(Value::bool),
+            (0i64..1_000_000).prop_map(Value::time),
+            (0u64..64).prop_map(|id| Value::null(NullId(id))),
+        ]
+    }
+
+    proptest! {
+        /// The order on values is total and consistent with equality.
+        #[test]
+        fn value_order_is_total(a in arb_value(), b in arb_value()) {
+            use std::cmp::Ordering;
+            match a.cmp(&b) {
+                Ordering::Equal => prop_assert_eq!(&a, &b),
+                Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+                Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            }
+        }
+
+        /// Equal values hash identically.
+        #[test]
+        fn equal_values_hash_equal(a in arb_value()) {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let b = a.clone();
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+
+        /// Time parsing and formatting round-trip.
+        #[test]
+        fn time_round_trips(minutes in 0i64..(365 * 24 * 60)) {
+            let rendered = Value::format_time(minutes);
+            let parsed = Value::parse_time(&rendered).unwrap();
+            prop_assert_eq!(parsed, Value::time(minutes));
+        }
+
+        /// Inserting the same tuples twice leaves a relation unchanged
+        /// (set semantics), regardless of the tuples generated.
+        #[test]
+        fn relation_insert_is_idempotent(
+            rows in proptest::collection::vec(proptest::collection::vec(arb_value(), 3), 0..20)
+        ) {
+            let schema = RelationSchema::untyped("R", 3);
+            let mut rel = RelationInstance::new(schema);
+            for row in &rows {
+                rel.insert_unchecked(Tuple::new(row.clone()));
+            }
+            let size = rel.len();
+            for row in &rows {
+                rel.insert_unchecked(Tuple::new(row.clone()));
+            }
+            prop_assert_eq!(rel.len(), size);
+        }
+
+        /// Selection with an index agrees with a full scan.
+        #[test]
+        fn indexed_select_equals_scan(
+            rows in proptest::collection::vec(proptest::collection::vec(arb_value(), 2), 0..30),
+            probe in arb_value()
+        ) {
+            let schema = RelationSchema::untyped("R", 2);
+            let mut scan_rel = RelationInstance::new(schema.clone());
+            let mut idx_rel = RelationInstance::new(schema);
+            for row in &rows {
+                scan_rel.insert_unchecked(Tuple::new(row.clone()));
+                idx_rel.insert_unchecked(Tuple::new(row.clone()));
+            }
+            idx_rel.build_index(0);
+            let bindings = vec![(0usize, probe)];
+            let scan: Vec<Tuple> = scan_rel.select(&bindings).into_iter().cloned().collect();
+            let indexed: Vec<Tuple> = idx_rel.select(&bindings).into_iter().cloned().collect();
+            prop_assert_eq!(scan, indexed);
+        }
+
+        /// Null substitution removes the substituted null from the database.
+        #[test]
+        fn substitution_eliminates_null(
+            rows in proptest::collection::vec(proptest::collection::vec(arb_value(), 2), 1..20)
+        ) {
+            let mut db = Database::new();
+            for row in &rows {
+                db.insert("R", Tuple::new(row.clone())).unwrap();
+            }
+            db.insert("S", Tuple::new(vec![Value::null(NullId(999)), Value::str("x")])).unwrap();
+            db.substitute_null(NullId(999), &Value::str("replacement"));
+            prop_assert!(!db.nulls().contains(&NullId(999)));
+        }
+    }
+}

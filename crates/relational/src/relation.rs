@@ -1,0 +1,360 @@
+//! Relation instances: sets of tuples conforming to a schema, with optional
+//! per-attribute hash indexes.
+
+use crate::error::Result;
+use crate::index::HashIndex;
+use crate::null::NullId;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An instance of a relation: a duplicate-free, insertion-ordered set of
+/// tuples over a [`RelationSchema`].
+#[derive(Debug, Clone)]
+pub struct RelationInstance {
+    schema: RelationSchema,
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    indexes: HashMap<usize, HashIndex>,
+}
+
+impl RelationInstance {
+    /// An empty instance over `schema`.
+    pub fn new(schema: RelationSchema) -> Self {
+        Self {
+            schema,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Relation name (shortcut for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Does the instance contain `tuple`?
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Insert `tuple`, validating it against the schema.
+    ///
+    /// Returns `Ok(true)` when the tuple was new, `Ok(false)` when it was
+    /// already present (set semantics).
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.schema.validate(&tuple)?;
+        Ok(self.insert_unchecked(tuple))
+    }
+
+    /// Insert without schema validation; used by the Datalog± layer whose
+    /// predicates are untyped.
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        if self.seen.contains(&tuple) {
+            return false;
+        }
+        let row = self.tuples.len();
+        for index in self.indexes.values_mut() {
+            index.insert(row, &tuple);
+        }
+        self.seen.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Insert many tuples; returns the number actually added.
+    pub fn insert_all<I>(&mut self, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Build (or rebuild) a hash index on `position`.
+    pub fn build_index(&mut self, position: usize) {
+        self.indexes
+            .insert(position, HashIndex::build(position, &self.tuples));
+    }
+
+    /// `true` if an index exists on `position`.
+    pub fn has_index(&self, position: usize) -> bool {
+        self.indexes.contains_key(&position)
+    }
+
+    /// Tuples matching all of `bindings` (position → required value).
+    ///
+    /// Uses an index when one is available for some bound position; falls
+    /// back to a scan otherwise.
+    pub fn select(&self, bindings: &[(usize, Value)]) -> Vec<&Tuple> {
+        if bindings.is_empty() {
+            return self.tuples.iter().collect();
+        }
+        // Prefer an indexed position.
+        if let Some((pos, value)) = bindings
+            .iter()
+            .find(|(pos, _)| self.indexes.contains_key(pos))
+        {
+            let rows = self.indexes[pos].lookup(value);
+            return rows
+                .iter()
+                .map(|&r| &self.tuples[r])
+                .filter(|t| Self::matches(t, bindings))
+                .collect();
+        }
+        self.tuples
+            .iter()
+            .filter(|t| Self::matches(t, bindings))
+            .collect()
+    }
+
+    /// Project every tuple onto `positions` (duplicates removed, insertion
+    /// order preserved).
+    pub fn project(&self, positions: &[usize]) -> Vec<Tuple> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            let p = t.project(positions);
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Replace every occurrence of the labeled null `from` with `to`, in
+    /// every tuple.  Duplicate tuples created by the substitution collapse.
+    /// Returns the number of tuples that changed.
+    pub fn substitute_null(&mut self, from: NullId, to: &Value) -> usize {
+        let mut changed = 0;
+        let old = std::mem::take(&mut self.tuples);
+        self.seen.clear();
+        let index_positions: Vec<usize> = self.indexes.keys().copied().collect();
+        self.indexes.clear();
+        for tuple in old {
+            let replaced = tuple.substitute_null(from, to);
+            if replaced != tuple {
+                changed += 1;
+            }
+            if !self.seen.contains(&replaced) {
+                self.seen.insert(replaced.clone());
+                self.tuples.push(replaced);
+            }
+        }
+        for pos in index_positions {
+            self.build_index(pos);
+        }
+        changed
+    }
+
+    /// Remove tuples for which `predicate` returns `true`; returns how many
+    /// were removed.  Indexes are rebuilt.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        let index_positions: Vec<usize> = self.indexes.keys().copied().collect();
+        self.tuples.retain(|t| keep(t));
+        self.seen = self.tuples.iter().cloned().collect();
+        self.indexes.clear();
+        for pos in index_positions {
+            self.build_index(pos);
+        }
+        before - self.tuples.len()
+    }
+
+    /// All labeled nulls occurring anywhere in the instance.
+    pub fn nulls(&self) -> HashSet<NullId> {
+        self.tuples.iter().flat_map(|t| t.nulls()).collect()
+    }
+
+    /// All constant values occurring anywhere in the instance.
+    pub fn constants(&self) -> HashSet<Value> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.values().iter())
+            .filter(|v| v.is_constant())
+            .cloned()
+            .collect()
+    }
+
+    fn matches(tuple: &Tuple, bindings: &[(usize, Value)]) -> bool {
+        bindings
+            .iter()
+            .all(|(pos, value)| tuple.get(*pos) == Some(value))
+    }
+}
+
+impl fmt::Display for RelationInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, AttributeType};
+
+    fn ward_schema() -> RelationSchema {
+        RelationSchema::new(
+            "UnitWard",
+            vec![Attribute::string("Unit"), Attribute::string("Ward")],
+        )
+    }
+
+    fn sample() -> RelationInstance {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        r.insert(Tuple::from_iter(["Terminal", "W4"])).unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = sample();
+        assert_eq!(r.len(), 4);
+        let added = r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        assert!(!added);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = RelationInstance::new(RelationSchema::new(
+            "R",
+            vec![Attribute::new("n", AttributeType::Integer)],
+        ));
+        assert!(r.insert(Tuple::from_iter(["oops"])).is_err());
+        assert!(r.insert(Tuple::from_iter([3i64])).is_ok());
+    }
+
+    #[test]
+    fn select_without_index_scans() {
+        let r = sample();
+        let hits = r.select(&[(0, Value::str("Standard"))]);
+        assert_eq!(hits.len(), 2);
+        let none = r.select(&[(0, Value::str("Oncology"))]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn select_with_index_matches_scan() {
+        let mut r = sample();
+        let scan: Vec<Tuple> = r
+            .select(&[(0, Value::str("Standard"))])
+            .into_iter()
+            .cloned()
+            .collect();
+        r.build_index(0);
+        assert!(r.has_index(0));
+        let indexed: Vec<Tuple> = r
+            .select(&[(0, Value::str("Standard"))])
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn select_with_multiple_bindings() {
+        let r = sample();
+        let hits = r.select(&[(0, Value::str("Standard")), (1, Value::str("W2"))]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], &Tuple::from_iter(["Standard", "W2"]));
+    }
+
+    #[test]
+    fn select_empty_bindings_returns_all() {
+        let r = sample();
+        assert_eq!(r.select(&[]).len(), 4);
+    }
+
+    #[test]
+    fn project_removes_duplicates() {
+        let r = sample();
+        let units = r.project(&[0]);
+        assert_eq!(units.len(), 3);
+        assert!(units.contains(&Tuple::from_iter(["Standard"])));
+    }
+
+    #[test]
+    fn substitute_null_collapses_duplicates_and_updates_indexes() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(0)), Value::str("W1")]))
+            .unwrap();
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.build_index(0);
+        let changed = r.substitute_null(NullId(0), &Value::str("Standard"));
+        assert_eq!(changed, 1);
+        assert_eq!(r.len(), 1);
+        let hits = r.select(&[(0, Value::str("Standard"))]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn retain_removes_and_reports() {
+        let mut r = sample();
+        r.build_index(1);
+        let removed = r.retain(|t| t.get(0) != Some(&Value::str("Intensive")));
+        assert_eq!(removed, 1);
+        assert_eq!(r.len(), 3);
+        assert!(r.select(&[(1, Value::str("W3"))]).is_empty());
+    }
+
+    #[test]
+    fn nulls_and_constants_views() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(5)), Value::str("W9")]))
+            .unwrap();
+        assert_eq!(r.nulls().len(), 1);
+        assert!(r.nulls().contains(&NullId(5)));
+        assert_eq!(r.constants().len(), 1);
+        assert!(r.constants().contains(&Value::str("W9")));
+    }
+
+    #[test]
+    fn display_contains_schema_and_rows() {
+        let r = sample();
+        let rendered = r.to_string();
+        assert!(rendered.contains("UnitWard"));
+        assert!(rendered.contains("(Standard, W1)"));
+    }
+}

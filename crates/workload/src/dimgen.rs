@@ -1,0 +1,142 @@
+//! Synthetic dimension generation.
+//!
+//! The paper's evaluation is a running example; to validate its complexity
+//! claims (PTIME data complexity, the cost of upward vs. downward
+//! navigation) we need dimensions whose depth, fan-out and member counts can
+//! be swept.  [`generate_linear_dimension`] builds a chain-shaped dimension
+//! (like `Hospital` and `Time` in Fig. 1) with a configurable branching
+//! factor per level.
+
+use ontodq_mdm::{DimensionInstance, DimensionSchema};
+use ontodq_relational::Value;
+
+/// Parameters of a synthetic linear dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionParams {
+    /// Dimension name; also used as the member-name prefix.
+    pub name: String,
+    /// Number of category levels, bottom to top (≥ 1).
+    pub depth: usize,
+    /// Fan-out: each member of level `i+1` has this many children at level
+    /// `i`.  The top level has exactly one member.
+    pub fanout: usize,
+}
+
+impl DimensionParams {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, depth: usize, fanout: usize) -> Self {
+        Self { name: name.into(), depth: depth.max(1), fanout: fanout.max(1) }
+    }
+
+    /// The category name of level `level` (0 = bottom).
+    pub fn category(&self, level: usize) -> String {
+        format!("{}L{}", self.name, level)
+    }
+
+    /// The number of members at `level` (the top level has one member).
+    pub fn members_at(&self, level: usize) -> usize {
+        self.fanout.pow((self.depth - 1 - level) as u32)
+    }
+
+    /// Total members across all levels.
+    pub fn total_members(&self) -> usize {
+        (0..self.depth).map(|l| self.members_at(l)).sum()
+    }
+
+    /// The member name of index `index` at `level`.
+    pub fn member(&self, level: usize, index: usize) -> Value {
+        Value::str(format!("{}_{}_{}", self.name, level, index))
+    }
+}
+
+/// Generate a linear (chain) dimension instance from parameters.
+///
+/// Level `depth-1` is the single-member top; each member of level `i+1` has
+/// `fanout` children at level `i`, numbered consecutively, so the instance is
+/// strict and homogeneous by construction.
+pub fn generate_linear_dimension(params: &DimensionParams) -> DimensionInstance {
+    let categories: Vec<String> = (0..params.depth).map(|l| params.category(l)).collect();
+    let schema = DimensionSchema::chain(params.name.clone(), categories.clone());
+    let mut instance = DimensionInstance::new(schema);
+    // Top level member(s).
+    for index in 0..params.members_at(params.depth - 1) {
+        instance
+            .add_member(&categories[params.depth - 1], params.member(params.depth - 1, index))
+            .expect("top category exists");
+    }
+    // Children level by level, top-down.
+    for level in (0..params.depth - 1).rev() {
+        let child_category = &categories[level];
+        let parent_category = &categories[level + 1];
+        for child_index in 0..params.members_at(level) {
+            let parent_index = child_index / params.fanout;
+            instance
+                .add_rollup(
+                    child_category,
+                    params.member(level, child_index),
+                    parent_category,
+                    params.member(level + 1, parent_index),
+                )
+                .expect("adjacent categories");
+        }
+    }
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_counts_follow_fanout() {
+        let params = DimensionParams::new("Geo", 4, 3);
+        assert_eq!(params.members_at(3), 1);
+        assert_eq!(params.members_at(2), 3);
+        assert_eq!(params.members_at(1), 9);
+        assert_eq!(params.members_at(0), 27);
+        assert_eq!(params.total_members(), 1 + 3 + 9 + 27);
+    }
+
+    #[test]
+    fn generated_dimension_is_valid_strict_homogeneous() {
+        let params = DimensionParams::new("Geo", 4, 3);
+        let dim = generate_linear_dimension(&params);
+        assert!(dim.validate().is_ok());
+        assert!(dim.strictness_violations().is_empty());
+        assert!(dim.homogeneity_violations().is_empty());
+        assert_eq!(dim.member_count(), params.total_members());
+    }
+
+    #[test]
+    fn rollup_reaches_the_single_top_member() {
+        let params = DimensionParams::new("Geo", 3, 4);
+        let dim = generate_linear_dimension(&params);
+        let bottom = params.category(0);
+        let top = params.category(2);
+        for index in 0..params.members_at(0) {
+            let ancestors = dim.roll_up(&bottom, &params.member(0, index), &top);
+            assert_eq!(ancestors.len(), 1);
+        }
+    }
+
+    #[test]
+    fn drill_down_returns_fanout_children() {
+        let params = DimensionParams::new("Geo", 3, 5);
+        let dim = generate_linear_dimension(&params);
+        let children = dim.drill_down(
+            &params.category(1),
+            &params.member(1, 0),
+            &params.category(0),
+        );
+        assert_eq!(children.len(), 5);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let params = DimensionParams::new("X", 0, 0);
+        assert_eq!(params.depth, 1);
+        assert_eq!(params.fanout, 1);
+        let dim = generate_linear_dimension(&params);
+        assert_eq!(dim.member_count(), 1);
+    }
+}

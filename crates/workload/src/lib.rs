@@ -1,0 +1,25 @@
+//! # ontodq-workload
+//!
+//! Synthetic workload generation for the `ontodq` benchmark harness.
+//!
+//! The paper evaluates its proposal on a running example only; to validate
+//! its complexity claims empirically this crate provides:
+//!
+//! * [`dimgen`] — synthetic dimensions with configurable depth and fan-out
+//!   (for the Fig. 1 navigation sweeps),
+//! * [`scaled_hospital`] — a size-parameterized version of the hospital
+//!   scenario (dimensions, categorical data, a `Measurements` instance under
+//!   assessment, and the Example 7 quality context), used by the
+//!   data-complexity and end-to-end assessment benchmarks.
+//!
+//! All generators take explicit seeds so benchmark workloads are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimgen;
+pub mod scaled_hospital;
+
+pub use dimgen::{generate_linear_dimension, DimensionParams};
+pub use scaled_hospital::{generate, HospitalScale, ScaledHospital};

@@ -1,0 +1,48 @@
+//! Shared helpers for the `ontodq` integration tests.
+//!
+//! The integration tests span every crate of the workspace: they build the
+//! paper's hospital scenario from `ontodq-mdm`, compile it to Datalog±, chase
+//! it with `ontodq-chase`, answer queries with the three engines of
+//! `ontodq-qa`, and run the full quality-assessment pipeline of
+//! `ontodq-core`.
+
+use ontodq_mdm::fixtures::hospital;
+use ontodq_mdm::{compile, CompiledOntology};
+use ontodq_qa::{ConjunctiveQuery, MaterializedEngine};
+
+/// The compiled hospital ontology (rules (7), (8), constraint, EGD (6)).
+pub fn compiled_hospital() -> CompiledOntology {
+    compile(&hospital::ontology())
+}
+
+/// The compiled hospital ontology including the form-(10) discharge rule.
+pub fn compiled_hospital_with_discharge() -> CompiledOntology {
+    compile(&hospital::ontology_with_discharge_rule())
+}
+
+/// A materialized engine over the compiled hospital ontology.
+pub fn hospital_engine() -> MaterializedEngine {
+    let compiled = compiled_hospital();
+    MaterializedEngine::new(&compiled.program, &compiled.database)
+}
+
+/// Parse a query, panicking with a readable message on failure.
+pub fn query(text: &str) -> ConjunctiveQuery {
+    ConjunctiveQuery::parse(text).unwrap_or_else(|e| panic!("bad query '{text}': {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_the_hospital_scenario() {
+        let compiled = compiled_hospital();
+        assert!(compiled.database.total_tuples() > 0);
+        assert_eq!(compiled.program.tgds.len(), 2);
+        let engine = hospital_engine();
+        assert!(engine.materialized().has_relation("PatientUnit"));
+        let q = query("Q(d) :- Shifts(W2, d, \"Mark\", s).");
+        assert_eq!(q.arity(), 1);
+    }
+}
