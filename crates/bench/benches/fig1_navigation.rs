@@ -54,13 +54,19 @@ fn navigation_ontology(fanout: usize, tuples: usize) -> MdOntology {
         ontology
             .add_tuple(
                 "BottomFacts",
-                vec![params.member(0, i % bottom_members), ontodq_relational::Value::str(format!("p{i}"))],
+                vec![
+                    params.member(0, i % bottom_members),
+                    ontodq_relational::Value::str(format!("p{i}")),
+                ],
             )
             .unwrap();
         ontology
             .add_tuple(
                 "MiddleFacts",
-                vec![params.member(1, i % middle_members), ontodq_relational::Value::str(format!("p{i}"))],
+                vec![
+                    params.member(1, i % middle_members),
+                    ontodq_relational::Value::str(format!("p{i}")),
+                ],
             )
             .unwrap();
     }

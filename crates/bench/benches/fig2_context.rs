@@ -21,7 +21,10 @@ fn bench_fig2(c: &mut Criterion) {
         let size = workload.instance.relation("Measurements").unwrap().len();
         group.throughput(Throughput::Elements(size as u64));
         group.bench_with_input(
-            BenchmarkId::new("assess_scaled_hospital", format!("measurements={measurements}")),
+            BenchmarkId::new(
+                "assess_scaled_hospital",
+                format!("measurements={measurements}"),
+            ),
             &(context, workload),
             |b, (context, workload)| {
                 b.iter(|| {

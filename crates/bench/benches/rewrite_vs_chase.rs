@@ -21,10 +21,8 @@ fn bench_rewrite_vs_chase(c: &mut Criterion) {
 
     // Paper-scale: the hospital example, upward rule only.
     let compiled = compile(&upward_only_hospital());
-    let query = ConjunctiveQuery::parse(
-        "Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
-    )
-    .unwrap();
+    let query =
+        ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".").unwrap();
     group.bench_function("hospital/fo_rewriting", |b| {
         b.iter(|| {
             black_box(answer_by_rewriting(
@@ -36,8 +34,10 @@ fn bench_rewrite_vs_chase(c: &mut Criterion) {
     });
     group.bench_function("hospital/chase_then_evaluate", |b| {
         b.iter(|| {
-            let engine =
-                MaterializedEngine::new(black_box(&compiled.program), black_box(&compiled.database));
+            let engine = MaterializedEngine::new(
+                black_box(&compiled.program),
+                black_box(&compiled.database),
+            );
             black_box(engine.certain_answers(black_box(&query)))
         })
     });
@@ -73,10 +73,9 @@ fn bench_rewrite_vs_chase(c: &mut Criterion) {
         }
         workload.ontology = upward_only;
         let compiled = compile(&workload.ontology);
-        let query = ConjunctiveQuery::parse(
-            "Q(d) :- PatientUnit(Unit_0, d, p), p = \"Patient_0\".",
-        )
-        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("Q(d) :- PatientUnit(Unit_0, d, p), p = \"Patient_0\".")
+                .unwrap();
         let edb = compiled.database.total_tuples();
         group.bench_with_input(
             BenchmarkId::new("scaled/fo_rewriting", format!("edb={edb}")),
@@ -103,6 +102,34 @@ fn bench_rewrite_vs_chase(c: &mut Criterion) {
                     black_box(engine.certain_answers(black_box(&query)))
                 })
             },
+        );
+
+        // The same materialization with the naive reference chase, to keep
+        // the naive-vs-semi-naive gap visible on the QA path too.
+        group.bench_with_input(
+            BenchmarkId::new("scaled/chase_naive_then_evaluate", format!("edb={edb}")),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let engine = MaterializedEngine::with_config(
+                        black_box(&compiled.program),
+                        black_box(&compiled.database),
+                        ontodq_chase::ChaseConfig::naive(),
+                    );
+                    black_box(engine.certain_answers(black_box(&query)))
+                })
+            },
+        );
+
+        // FO rewriting with prepared (indexed) evaluation: the rewriting's
+        // join indexes are built once on a copy of the EDB and reused.
+        let mut prepared_db = compiled.database.clone();
+        let ucq = ontodq_qa::rewrite(&compiled.program, &query);
+        ucq.prepare(&mut prepared_db);
+        group.bench_with_input(
+            BenchmarkId::new("scaled/fo_rewriting_prepared", format!("edb={edb}")),
+            &prepared_db,
+            |b, prepared_db| b.iter(|| black_box(ucq.evaluate(black_box(prepared_db)))),
         );
     }
     group.finish();

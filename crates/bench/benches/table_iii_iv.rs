@@ -21,8 +21,10 @@ fn bench_table_iii_iv(c: &mut Criterion) {
     // Chase the whole ontology, then evaluate the query.
     group.bench_function("downward_chase_then_evaluate", |b| {
         b.iter(|| {
-            let engine =
-                MaterializedEngine::new(black_box(&compiled.program), black_box(&compiled.database));
+            let engine = MaterializedEngine::new(
+                black_box(&compiled.program),
+                black_box(&compiled.database),
+            );
             black_box(engine.certain_answers(black_box(&query)))
         })
     });

@@ -45,7 +45,8 @@ pub fn upward_only_hospital() -> ontodq_mdm::MdOntology {
     }
     for relation in hospital::ontology().data().relations() {
         for tuple in relation.iter() {
-            o.add_tuple(relation.name(), tuple.values().to_vec()).unwrap();
+            o.add_tuple(relation.name(), tuple.values().to_vec())
+                .unwrap();
         }
     }
     o.add_rule(hospital::patient_unit_rule());

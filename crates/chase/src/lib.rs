@@ -25,8 +25,14 @@ pub mod eval;
 pub mod provenance;
 pub mod violation;
 
-pub use chase::{chase, ChaseConfig, ChaseEngine, ChaseMode, ChaseResult, TerminationReason};
-pub use eval::{evaluate, evaluate_limited, evaluate_project, has_extension, is_satisfiable};
+pub use chase::{
+    chase, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, ChaseResult, EvalStrategy,
+    TerminationReason,
+};
+pub use eval::{
+    ensure_indexes, evaluate, evaluate_delta, evaluate_limited, evaluate_project, has_extension,
+    index_positions, is_satisfiable,
+};
 pub use provenance::{ChaseStats, ChaseStep, Provenance};
 pub use violation::{EgdViolation, NcViolation, Violations};
 
@@ -45,7 +51,8 @@ mod proptests {
     fn edge_db(edges: &[(u8, u8)]) -> Database {
         let mut db = Database::new();
         for (a, b) in edges {
-            db.insert_values("E", [format!("n{a}"), format!("n{b}")]).unwrap();
+            db.insert_values("E", [format!("n{a}"), format!("n{b}")])
+                .unwrap();
         }
         db
     }

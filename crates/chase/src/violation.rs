@@ -131,7 +131,10 @@ mod tests {
         assert!(nc.to_string().contains("no-intensive-after-aug-2005"));
         assert!(nc.to_string().contains("W3"));
 
-        let all = Violations { egd: vec![egd], nc: vec![nc] };
+        let all = Violations {
+            egd: vec![egd],
+            nc: vec![nc],
+        };
         assert_eq!(all.to_string().lines().count(), 2);
     }
 }

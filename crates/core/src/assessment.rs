@@ -112,7 +112,7 @@ pub fn assess_with(
 
     // 7. Metrics: how far does D depart from D^q?
     let mut metrics = QualityMetrics::default();
-    for (original, _) in &context.quality_versions {
+    for original in context.quality_versions.keys() {
         let original_tuples: Vec<Tuple> = instance
             .relation(original)
             .map(|r| r.tuples().to_vec())
@@ -172,7 +172,10 @@ mod tests {
         let result = assess(&context, &instance);
         let original = instance.relation("Measurements").unwrap();
         for t in result.quality_tuples("Measurements") {
-            assert!(original.contains(&t), "quality tuple {t} not in the original");
+            assert!(
+                original.contains(&t),
+                "quality tuple {t} not in the original"
+            );
         }
     }
 

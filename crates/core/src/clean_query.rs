@@ -31,7 +31,11 @@ pub fn rewrite_to_quality(context: &Context, query: &ConjunctiveQuery) -> Conjun
         negated: query.body.negated.iter().map(rename).collect(),
         comparisons: query.body.comparisons.clone(),
     };
-    ConjunctiveQuery::new(format!("{}_q", query.name), query.answer_variables.clone(), body)
+    ConjunctiveQuery::new(
+        format!("{}_q", query.name),
+        query.answer_variables.clone(),
+        body,
+    )
 }
 
 /// Answer `query` (over original relations) with quality answers, using an
@@ -53,8 +57,7 @@ pub fn quality_answers(
 /// Answer `query` over the *original* instance without any quality filtering
 /// (the baseline the paper contrasts quality answers with).
 pub fn plain_answers(instance: &Database, query: &ConjunctiveQuery) -> AnswerSet {
-    let tuples =
-        ontodq_chase::evaluate_project(instance, &query.body, &query.answer_variables);
+    let tuples = ontodq_chase::evaluate_project(instance, &query.body, &query.answer_variables);
     AnswerSet::from_tuples(tuples).certain()
 }
 
@@ -130,10 +133,8 @@ mod tests {
     fn all_tom_waits_quality_measurements_reproduce_table_ii() {
         let context = hospital_context();
         let instance = hospital::measurements_database();
-        let q = ConjunctiveQuery::parse(
-            "Q(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".")
+            .unwrap();
         let answers = assess_and_answer(&context, &instance, &q);
         let expected: Vec<Tuple> = hospital::expected_quality_measurements();
         assert_eq!(answers.len(), expected.len());
@@ -149,10 +150,8 @@ mod tests {
         let assessment = assess(&context, &instance);
         // Lou Reed's measurements were all taken in standard-care wards by a
         // certified nurse, so quality answering changes nothing.
-        let q = ConjunctiveQuery::parse(
-            "Q(t, v) :- Measurements(t, p, v), p = \"Lou Reed\".",
-        )
-        .unwrap();
+        let q =
+            ConjunctiveQuery::parse("Q(t, v) :- Measurements(t, p, v), p = \"Lou Reed\".").unwrap();
         let plain = plain_answers(&instance, &q);
         let quality = quality_answers(&context, &assessment, &q);
         assert_eq!(plain, quality);

@@ -64,7 +64,10 @@ impl SchemaMapping {
 impl fmt::Display for SchemaMapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemaMapping::Copy { original, contextual } => {
+            SchemaMapping::Copy {
+                original,
+                contextual,
+            } => {
                 write!(f, "{original} ↦ {contextual} (copy)")
             }
         }
@@ -117,7 +120,12 @@ pub struct Context {
 impl Context {
     /// Start building a context.
     pub fn builder(name: impl Into<String>) -> ContextBuilder {
-        ContextBuilder { context: Context { name: name.into(), ..Default::default() } }
+        ContextBuilder {
+            context: Context {
+                name: name.into(),
+                ..Default::default()
+            },
+        }
     }
 
     /// The quality-version predicate name for `relation` (`{relation}_q` by
@@ -207,12 +215,7 @@ impl ContextBuilder {
     }
 
     /// Add a quality predicate defined by the given rule texts.
-    pub fn quality_predicate(
-        mut self,
-        name: &str,
-        description: &str,
-        rule_texts: &[&str],
-    ) -> Self {
+    pub fn quality_predicate(mut self, name: &str, description: &str, rule_texts: &[&str]) -> Self {
         self.context.quality_predicates.push(QualityPredicate {
             name: name.to_string(),
             rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
@@ -229,7 +232,9 @@ impl ContextBuilder {
             quality_name: format!("{relation}_q"),
             rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
         };
-        self.context.quality_versions.insert(relation.to_string(), spec);
+        self.context
+            .quality_versions
+            .insert(relation.to_string(), spec);
         self
     }
 
@@ -288,7 +293,10 @@ mod tests {
         assert_eq!(ctx.contextual_rules.len(), 1);
         assert_eq!(ctx.quality_predicates.len(), 1);
         assert_eq!(ctx.quality_versions.len(), 1);
-        assert_eq!(ctx.contextual_name_of("Measurements"), Some("Measurements_c"));
+        assert_eq!(
+            ctx.contextual_name_of("Measurements"),
+            Some("Measurements_c")
+        );
         assert_eq!(ctx.contextual_name_of("Other"), None);
         assert_eq!(ctx.quality_name_of("Measurements"), "Measurements_q");
         assert_eq!(ctx.quality_name_of("Other"), "Other_q");
@@ -320,7 +328,9 @@ mod tests {
     #[test]
     fn explicit_copy_names_and_external_sources() {
         let mut external = Database::new();
-        external.insert_values("NurseRegistry", ["Helen", "cert."]).unwrap();
+        external
+            .insert_values("NurseRegistry", ["Helen", "cert."])
+            .unwrap();
         let ctx = Context::builder("ctx")
             .copy_relation_as("Measurements", "MeasurementsContextCopy")
             .external_source(external)
@@ -329,7 +339,13 @@ mod tests {
             ctx.contextual_name_of("Measurements"),
             Some("MeasurementsContextCopy")
         );
-        assert_eq!(ctx.external_sources.relation("NurseRegistry").unwrap().len(), 1);
+        assert_eq!(
+            ctx.external_sources
+                .relation("NurseRegistry")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl QualityMetrics {
 
     /// Total departure across relations.
     pub fn total_departure(&self) -> usize {
-        self.relations.values().map(RelationQuality::departure).sum()
+        self.relations
+            .values()
+            .map(RelationQuality::departure)
+            .sum()
     }
 }
 

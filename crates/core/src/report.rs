@@ -71,7 +71,8 @@ impl QualityReport {
 
         // Constraint violations surfaced by the contextual chase.
         let _ = writeln!(text, "## Constraint violations in the contextual instance");
-        let violations = assessment.chase.violations.nc.len() + assessment.chase.violations.egd.len();
+        let violations =
+            assessment.chase.violations.nc.len() + assessment.chase.violations.egd.len();
         if violations == 0 {
             let _ = writeln!(text, "* none");
         } else {

@@ -64,8 +64,7 @@ pub fn doctors_query() -> ConjunctiveQuery {
 /// The downward-navigation query of Examples 2 and 5: "on which dates does
 /// Mark have a shift in ward W2?".
 pub fn marks_shift_query() -> ConjunctiveQuery {
-    ConjunctiveQuery::parse("Q(d) :- Shifts(W2, d, \"Mark\", s).")
-        .expect("the shift query parses")
+    ConjunctiveQuery::parse("Q(d) :- Shifts(W2, d, \"Mark\", s).").expect("the shift query parses")
 }
 
 #[cfg(test)]

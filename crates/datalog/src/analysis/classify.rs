@@ -181,7 +181,9 @@ fn all_positions(tgds: &[Tgd]) -> Vec<Position> {
     let mut arities: BTreeMap<String, usize> = BTreeMap::new();
     for tgd in tgds {
         for atom in tgd.body.atoms.iter().chain(tgd.head.iter()) {
-            arities.entry(atom.predicate.clone()).or_insert(atom.arity());
+            arities
+                .entry(atom.predicate.clone())
+                .or_insert(atom.arity());
         }
     }
     arities
@@ -379,10 +381,9 @@ mod tests {
 
     #[test]
     fn classify_program_entry_point() {
-        let program = parse_program(
-            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n",
-        )
-        .unwrap();
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
         let report = classify(&program);
         assert!(report.weakly_sticky);
     }

@@ -17,15 +17,15 @@ pub struct Atom {
 impl Atom {
     /// Construct an atom.
     pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
-        Self { predicate: predicate.into(), terms }
+        Self {
+            predicate: predicate.into(),
+            terms,
+        }
     }
 
     /// Construct an atom whose arguments are all variables, named as given.
     pub fn with_vars(predicate: impl Into<String>, vars: &[&str]) -> Self {
-        Self::new(
-            predicate,
-            vars.iter().map(|v| Term::var(*v)).collect(),
-        )
+        Self::new(predicate, vars.iter().map(|v| Term::var(*v)).collect())
     }
 
     /// The atom's arity.
@@ -207,7 +207,11 @@ pub struct Conjunction {
 impl Conjunction {
     /// A conjunction of positive atoms only.
     pub fn positive(atoms: Vec<Atom>) -> Self {
-        Self { atoms, negated: Vec::new(), comparisons: Vec::new() }
+        Self {
+            atoms,
+            negated: Vec::new(),
+            comparisons: Vec::new(),
+        }
     }
 
     /// An empty conjunction (true).
@@ -323,10 +327,7 @@ mod tests {
 
     #[test]
     fn atom_variables_and_positions() {
-        let a = Atom::new(
-            "UnitWard",
-            vec![Term::var("u"), Term::var("u")],
-        );
+        let a = Atom::new("UnitWard", vec![Term::var("u"), Term::var("u")]);
         assert_eq!(a.variables(), vec![Variable::new("u")]);
         assert_eq!(a.positions_of(&Variable::new("u")), vec![0, 1]);
         assert_eq!(a.arity(), 2);
@@ -345,7 +346,11 @@ mod tests {
         assert_eq!(patient_ward().to_string(), "PatientWard(w, d, p)");
         let mixed = Atom::new(
             "PatientUnit",
-            vec![Term::constant("Standard"), Term::var("d"), Term::constant("Tom Waits")],
+            vec![
+                Term::constant("Standard"),
+                Term::var("d"),
+                Term::constant("Tom Waits"),
+            ],
         );
         assert_eq!(mixed.to_string(), "PatientUnit(Standard, d, \"Tom Waits\")");
     }
@@ -372,8 +377,14 @@ mod tests {
 
     #[test]
     fn compare_eval_order_on_numbers_and_times() {
-        assert_eq!(CompareOp::Lt.eval(&Value::int(1), &Value::int(2)), Some(true));
-        assert_eq!(CompareOp::Ge.eval(&Value::double(2.0), &Value::int(2)), Some(true));
+        assert_eq!(
+            CompareOp::Lt.eval(&Value::int(1), &Value::int(2)),
+            Some(true)
+        );
+        assert_eq!(
+            CompareOp::Ge.eval(&Value::double(2.0), &Value::int(2)),
+            Some(true)
+        );
         let a = Value::parse_time("Sep/5-11:45").unwrap();
         let b = Value::parse_time("Sep/5-12:10").unwrap();
         assert_eq!(CompareOp::Le.eval(&a, &b), Some(true));
@@ -382,7 +393,10 @@ mod tests {
 
     #[test]
     fn compare_eval_order_on_strings_and_incomparables() {
-        assert_eq!(CompareOp::Lt.eval(&Value::str("a"), &Value::str("b")), Some(true));
+        assert_eq!(
+            CompareOp::Lt.eval(&Value::str("a"), &Value::str("b")),
+            Some(true)
+        );
         assert_eq!(CompareOp::Lt.eval(&Value::str("a"), &Value::int(1)), None);
         assert_eq!(
             CompareOp::Lt.eval(&Value::Null(NullId(1)), &Value::int(1)),
@@ -428,7 +442,11 @@ mod tests {
     fn conjunction_display() {
         let conj = Conjunction::positive(vec![patient_ward()])
             .and_not(Atom::with_vars("Unit", &["u"]))
-            .and_compare(Comparison::new(Term::var("p"), CompareOp::Eq, Term::constant("Tom Waits")));
+            .and_compare(Comparison::new(
+                Term::var("p"),
+                CompareOp::Eq,
+                Term::constant("Tom Waits"),
+            ));
         assert_eq!(
             conj.to_string(),
             "PatientWard(w, d, p), not Unit(u), p = \"Tom Waits\""

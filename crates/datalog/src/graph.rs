@@ -78,7 +78,10 @@ impl PredicateGraph {
         let mut reverse: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
         for (from, tos) in &self.edges {
             for to in tos {
-                reverse.entry(to.as_str()).or_default().insert(from.as_str());
+                reverse
+                    .entry(to.as_str())
+                    .or_default()
+                    .insert(from.as_str());
             }
         }
         let mut seen: BTreeSet<String> = targets.iter().map(|s| s.to_string()).collect();
@@ -395,8 +398,10 @@ mod tests {
         assert!(graph.edges.iter().any(|e| !e.special
             && e.from == Position::new("WorkingSchedules", 1)
             && e.to == Position::new("Shifts", 1)));
-        assert!(graph.edges.iter().any(|e| e.special
-            && e.to == Position::new("Shifts", 3)));
+        assert!(graph
+            .edges
+            .iter()
+            .any(|e| e.special && e.to == Position::new("Shifts", 3)));
         // Rule (7) has no existentials → no special edge into PatientUnit.
         assert!(!graph
             .edges
@@ -459,10 +464,8 @@ mod tests {
             Atom::with_vars("B", &["x"]),
             vec![Atom::with_vars("A", &["x"])],
         )];
-        let graph = PositionGraph::from_tgds(
-            &tgds,
-            vec![Position::new("A", 0), Position::new("B", 0)],
-        );
+        let graph =
+            PositionGraph::from_tgds(&tgds, vec![Position::new("A", 0), Position::new("B", 0)]);
         assert_eq!(graph.positions.len(), 2);
         assert_eq!(graph.edges.len(), 1);
         assert!(!graph.edges[0].special);

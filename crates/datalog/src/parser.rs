@@ -50,7 +50,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into(), rule_text: None }
+        Self {
+            message: message.into(),
+            rule_text: None,
+        }
     }
 
     fn in_rule(mut self, rule: &str) -> Self {
@@ -187,7 +190,10 @@ fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
                     // Periods terminate rules; only treat '.' as part of a
                     // number when followed by a digit.
                     if chars[i] == '.'
-                        && !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                        && !chars
+                            .get(i + 1)
+                            .map(|c| c.is_ascii_digit())
+                            .unwrap_or(false)
                     {
                         break;
                     }
@@ -478,8 +484,8 @@ mod tests {
 
     #[test]
     fn parse_upward_rule_7() {
-        let rule = parse_rule("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).")
-            .unwrap();
+        let rule =
+            parse_rule("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).").unwrap();
         match rule {
             Rule::Tgd(t) => {
                 assert_eq!(t.head.len(), 1);

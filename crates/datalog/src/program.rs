@@ -24,7 +24,10 @@ pub struct Position {
 impl Position {
     /// Construct a position.
     pub fn new(predicate: impl Into<String>, index: usize) -> Self {
-        Self { predicate: predicate.into(), index }
+        Self {
+            predicate: predicate.into(),
+            index,
+        }
     }
 }
 
@@ -312,7 +315,10 @@ mod tests {
         let positions = p.positions();
         assert!(positions.contains(&Position::new("PatientWard", 2)));
         assert_eq!(
-            positions.iter().filter(|p| p.predicate == "Thermometer").count(),
+            positions
+                .iter()
+                .filter(|p| p.predicate == "Thermometer")
+                .count(),
             3
         );
     }
@@ -400,6 +406,9 @@ mod tests {
 
     #[test]
     fn position_display() {
-        assert_eq!(Position::new("PatientWard", 0).to_string(), "PatientWard[0]");
+        assert_eq!(
+            Position::new("PatientWard", 0).to_string(),
+            "PatientWard[0]"
+        );
     }
 }

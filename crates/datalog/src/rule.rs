@@ -32,12 +32,20 @@ pub struct Tgd {
 impl Tgd {
     /// Construct a TGD with a single head atom.
     pub fn new(body: Conjunction, head: Atom) -> Self {
-        Self { label: None, body, head: vec![head] }
+        Self {
+            label: None,
+            body,
+            head: vec![head],
+        }
     }
 
     /// Construct a TGD with a conjunctive head.
     pub fn with_heads(body: Conjunction, head: Vec<Atom>) -> Self {
-        Self { label: None, body, head }
+        Self {
+            label: None,
+            body,
+            head,
+        }
     }
 
     /// Attach a label (builder style).
@@ -53,10 +61,7 @@ impl Tgd {
 
     /// Variables occurring in the head.
     pub fn head_variables(&self) -> BTreeSet<Variable> {
-        self.head
-            .iter()
-            .flat_map(|a| a.variables())
-            .collect()
+        self.head.iter().flat_map(|a| a.variables()).collect()
     }
 
     /// The *frontier*: variables shared between body and head.
@@ -99,7 +104,11 @@ impl Tgd {
 
     /// Predicates appearing in the body (positive atoms only).
     pub fn body_predicates(&self) -> Vec<&str> {
-        self.body.atoms.iter().map(|a| a.predicate.as_str()).collect()
+        self.body
+            .atoms
+            .iter()
+            .map(|a| a.predicate.as_str())
+            .collect()
     }
 
     /// Predicates appearing in the head.
@@ -136,7 +145,12 @@ pub struct Egd {
 impl Egd {
     /// Construct an EGD.
     pub fn new(body: Conjunction, left: Variable, right: Variable) -> Self {
-        Self { label: None, body, left, right }
+        Self {
+            label: None,
+            body,
+            left,
+            right,
+        }
     }
 
     /// Attach a label (builder style).
@@ -276,10 +290,7 @@ mod tests {
     /// categorical variable `u` and a parent–child atom in the head.
     fn rule9() -> Tgd {
         Tgd::with_heads(
-            Conjunction::positive(vec![Atom::with_vars(
-                "DischargePatients",
-                &["i", "d", "p"],
-            )]),
+            Conjunction::positive(vec![Atom::with_vars("DischargePatients", &["i", "d", "p"])]),
             vec![
                 Atom::with_vars("InstitutionUnit", &["i", "u"]),
                 Atom::with_vars("PatientUnit", &["u", "d", "p"]),
@@ -354,19 +365,17 @@ mod tests {
     #[test]
     fn constraint_display() {
         // The inter-dimensional constraint from Example 4.
-        let nc = NegativeConstraint::new(
-            Conjunction::positive(vec![
-                Atom::with_vars("PatientWard", &["w", "d", "p"]),
-                Atom::new(
-                    "UnitWard",
-                    vec![Term::constant("Intensive"), Term::var("w")],
-                ),
-                Atom::new(
-                    "MonthDay",
-                    vec![Term::constant("August/2005"), Term::var("d")],
-                ),
-            ]),
-        );
+        let nc = NegativeConstraint::new(Conjunction::positive(vec![
+            Atom::with_vars("PatientWard", &["w", "d", "p"]),
+            Atom::new(
+                "UnitWard",
+                vec![Term::constant("Intensive"), Term::var("w")],
+            ),
+            Atom::new(
+                "MonthDay",
+                vec![Term::constant("August/2005"), Term::var("d")],
+            ),
+        ]));
         let rendered = nc.to_string();
         assert!(rendered.starts_with("! :- PatientWard(w, d, p)"));
         assert!(rendered.contains("Intensive"));
@@ -388,8 +397,9 @@ mod tests {
             "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w)."
         );
         let with_cmp = Tgd::new(
-            Conjunction::positive(vec![Atom::with_vars("M", &["t", "p", "v"])])
-                .and_compare(Comparison::new(Term::var("p"), CompareOp::Eq, Term::constant("Tom Waits"))),
+            Conjunction::positive(vec![Atom::with_vars("M", &["t", "p", "v"])]).and_compare(
+                Comparison::new(Term::var("p"), CompareOp::Eq, Term::constant("Tom Waits")),
+            ),
             Atom::with_vars("Q", &["t", "p", "v"]),
         );
         assert_eq!(
@@ -410,8 +420,8 @@ mod tests {
     fn labels_are_carried() {
         let r = rule7().labeled("rule-7");
         assert_eq!(r.label.as_deref(), Some("rule-7"));
-        let e = Egd::new(Conjunction::empty(), Variable::new("x"), Variable::new("y"))
-            .labeled("egd-6");
+        let e =
+            Egd::new(Conjunction::empty(), Variable::new("x"), Variable::new("y")).labeled("egd-6");
         assert_eq!(e.label.as_deref(), Some("egd-6"));
         let c = NegativeConstraint::new(Conjunction::empty()).labeled("nc-1");
         assert_eq!(c.label.as_deref(), Some("nc-1"));

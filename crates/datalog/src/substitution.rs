@@ -292,10 +292,7 @@ mod tests {
 
     #[test]
     fn match_atom_binds_variables_and_checks_constants() {
-        let atom = Atom::new(
-            "UnitWard",
-            vec![Term::constant("Standard"), Term::var("w")],
-        );
+        let atom = Atom::new("UnitWard", vec![Term::constant("Standard"), Term::var("w")]);
         let a = Assignment::new();
         let matched = a
             .match_atom(&atom, &Tuple::from_iter(["Standard", "W1"]))
@@ -305,7 +302,9 @@ mod tests {
             .match_atom(&atom, &Tuple::from_iter(["Intensive", "W3"]))
             .is_none());
         // Arity mismatch.
-        assert!(a.match_atom(&atom, &Tuple::from_iter(["Standard"])).is_none());
+        assert!(a
+            .match_atom(&atom, &Tuple::from_iter(["Standard"]))
+            .is_none());
     }
 
     #[test]
@@ -321,10 +320,7 @@ mod tests {
         let mut a = Assignment::new();
         a.bind(Variable::new("u"), Value::str("Standard"));
         let atom = Atom::with_vars("Unit", &["u"]);
-        assert_eq!(
-            a.ground_atom(&atom),
-            Some(Tuple::from_iter(["Standard"]))
-        );
+        assert_eq!(a.ground_atom(&atom), Some(Tuple::from_iter(["Standard"])));
         let atom2 = Atom::with_vars("UnitWard", &["u", "w"]);
         assert_eq!(a.ground_atom(&atom2), None);
     }
@@ -379,10 +375,7 @@ mod tests {
     #[test]
     fn unify_atoms_checks_predicate_and_arity() {
         let mut u = Unifier::new();
-        assert!(!u.unify_atoms(
-            &Atom::with_vars("P", &["x"]),
-            &Atom::with_vars("Q", &["x"])
-        ));
+        assert!(!u.unify_atoms(&Atom::with_vars("P", &["x"]), &Atom::with_vars("Q", &["x"])));
         assert!(!u.unify_atoms(
             &Atom::with_vars("P", &["x"]),
             &Atom::with_vars("P", &["x", "y"])
@@ -402,7 +395,11 @@ mod tests {
         u.unify_terms(&Term::var("x"), &Term::constant("W1"));
         let conj = Conjunction::positive(vec![Atom::with_vars("P", &["x", "y"])])
             .and_not(Atom::with_vars("N", &["x"]))
-            .and_compare(Comparison::new(Term::var("x"), CompareOp::Neq, Term::var("y")));
+            .and_compare(Comparison::new(
+                Term::var("x"),
+                CompareOp::Neq,
+                Term::var("y"),
+            ));
         let applied = u.apply_conjunction(&conj);
         assert_eq!(applied.atoms[0].terms[0], Term::constant("W1"));
         assert_eq!(applied.negated[0].terms[0], Term::constant("W1"));

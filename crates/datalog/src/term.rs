@@ -98,7 +98,10 @@ impl fmt::Display for Term {
             Term::Const(Value::Str(s)) => {
                 // Strings that could be read back as variables or that contain
                 // separators are quoted; this keeps parse∘print the identity.
-                if s.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                if s.chars()
+                    .next()
+                    .map(|c| c.is_ascii_uppercase())
+                    .unwrap_or(false)
                     && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                 {
                     write!(f, "{s}")
@@ -157,10 +160,7 @@ mod tests {
         assert_eq!(Term::constant("standard").to_string(), "\"standard\"");
         assert_eq!(Term::var("u").to_string(), "u");
         assert_eq!(Term::constant(Value::int(42)).to_string(), "42");
-        assert_eq!(
-            Term::Const(Value::Null(NullId(2))).to_string(),
-            "⊥2"
-        );
+        assert_eq!(Term::Const(Value::Null(NullId(2))).to_string(), "⊥2");
     }
 
     #[test]

@@ -48,12 +48,18 @@ impl CategoricalAttribute {
 
     /// Non-categorical attribute constructor (string typed).
     pub fn non_categorical(name: impl Into<String>) -> Self {
-        CategoricalAttribute::NonCategorical { name: name.into(), ty: AttributeType::String }
+        CategoricalAttribute::NonCategorical {
+            name: name.into(),
+            ty: AttributeType::String,
+        }
     }
 
     /// Non-categorical attribute constructor with an explicit type.
     pub fn non_categorical_typed(name: impl Into<String>, ty: AttributeType) -> Self {
-        CategoricalAttribute::NonCategorical { name: name.into(), ty }
+        CategoricalAttribute::NonCategorical {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// The attribute's name.
@@ -72,9 +78,11 @@ impl CategoricalAttribute {
     /// The `(dimension, category)` the attribute is linked to, if categorical.
     pub fn link(&self) -> Option<(&str, &str)> {
         match self {
-            CategoricalAttribute::Categorical { dimension, category, .. } => {
-                Some((dimension.as_str(), category.as_str()))
-            }
+            CategoricalAttribute::Categorical {
+                dimension,
+                category,
+                ..
+            } => Some((dimension.as_str(), category.as_str())),
             CategoricalAttribute::NonCategorical { .. } => None,
         }
     }
@@ -83,7 +91,11 @@ impl CategoricalAttribute {
 impl fmt::Display for CategoricalAttribute {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CategoricalAttribute::Categorical { name, dimension, category } => {
+            CategoricalAttribute::Categorical {
+                name,
+                dimension,
+                category,
+            } => {
                 write!(f, "{name} -> {dimension}.{category}")
             }
             CategoricalAttribute::NonCategorical { name, ty } => write!(f, "{name}: {ty}"),
@@ -101,7 +113,10 @@ pub struct CategoricalRelationSchema {
 impl CategoricalRelationSchema {
     /// Construct a categorical relation schema.
     pub fn new(name: impl Into<String>, attributes: Vec<CategoricalAttribute>) -> Self {
-        Self { name: name.into(), attributes }
+        Self {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// The relation's name.

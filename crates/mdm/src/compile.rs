@@ -54,7 +54,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { referential_constraints: true, build_indexes: true }
+        Self {
+            referential_constraints: true,
+            build_indexes: true,
+        }
     }
 }
 
@@ -99,21 +102,16 @@ pub fn compile_with(ontology: &MdOntology, options: &CompileOptions) -> Compiled
                 .map(|a| Term::var(format!("x_{}", a.name().to_lowercase())))
                 .collect();
             for (position, _dimension, category) in schema.links() {
-                let body = Conjunction::positive(vec![Atom::new(
-                    schema.name(),
-                    attribute_terms.clone(),
-                )])
-                .and_not(Atom::new(
-                    category,
-                    vec![attribute_terms[position].clone()],
-                ));
-                program.constraints.push(
-                    NegativeConstraint::new(body).labeled(format!(
+                let body =
+                    Conjunction::positive(vec![Atom::new(schema.name(), attribute_terms.clone())])
+                        .and_not(Atom::new(category, vec![attribute_terms[position].clone()]));
+                program
+                    .constraints
+                    .push(NegativeConstraint::new(body).labeled(format!(
                         "ref:{}.{}",
                         schema.name(),
                         schema.attributes()[position].name()
-                    )),
-                );
+                    )));
             }
         }
     }
@@ -121,7 +119,9 @@ pub fn compile_with(ontology: &MdOntology, options: &CompileOptions) -> Compiled
     // Dimensional rules and constraints, verbatim.
     program.tgds.extend(ontology.rules().iter().cloned());
     program.egds.extend(ontology.egds().iter().cloned());
-    program.constraints.extend(ontology.constraints().iter().cloned());
+    program
+        .constraints
+        .extend(ontology.constraints().iter().cloned());
 
     // Indexes on categorical positions.
     if options.build_indexes {
@@ -150,11 +150,21 @@ mod tests {
     fn mini_ontology() -> MdOntology {
         let schema = DimensionSchema::chain("Hospital", ["Ward", "Unit", "Institution"]);
         let mut hospital = DimensionInstance::new(schema);
-        hospital.add_rollup("Ward", "W1", "Unit", "Standard").unwrap();
-        hospital.add_rollup("Ward", "W2", "Unit", "Standard").unwrap();
-        hospital.add_rollup("Ward", "W3", "Unit", "Intensive").unwrap();
-        hospital.add_rollup("Unit", "Standard", "Institution", "H1").unwrap();
-        hospital.add_rollup("Unit", "Intensive", "Institution", "H1").unwrap();
+        hospital
+            .add_rollup("Ward", "W1", "Unit", "Standard")
+            .unwrap();
+        hospital
+            .add_rollup("Ward", "W2", "Unit", "Standard")
+            .unwrap();
+        hospital
+            .add_rollup("Ward", "W3", "Unit", "Intensive")
+            .unwrap();
+        hospital
+            .add_rollup("Unit", "Standard", "Institution", "H1")
+            .unwrap();
+        hospital
+            .add_rollup("Unit", "Intensive", "Institution", "H1")
+            .unwrap();
 
         let mut ontology = MdOntology::new("mini");
         ontology.add_dimension(hospital);
@@ -166,8 +176,12 @@ mod tests {
                 CategoricalAttribute::non_categorical("Patient"),
             ],
         ));
-        ontology.add_tuple("PatientWard", ["W1", "Sep/5", "Tom Waits"]).unwrap();
-        ontology.add_tuple("PatientWard", ["W3", "Sep/7", "Tom Waits"]).unwrap();
+        ontology
+            .add_tuple("PatientWard", ["W1", "Sep/5", "Tom Waits"])
+            .unwrap();
+        ontology
+            .add_tuple("PatientWard", ["W3", "Sep/7", "Tom Waits"])
+            .unwrap();
         ontology
             .add_rule_text("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).")
             .unwrap();
@@ -205,7 +219,10 @@ mod tests {
     fn compilation_can_skip_referential_constraints_and_indexes() {
         let compiled = compile_with(
             &mini_ontology(),
-            &CompileOptions { referential_constraints: false, build_indexes: false },
+            &CompileOptions {
+                referential_constraints: false,
+                build_indexes: false,
+            },
         );
         assert!(compiled.program.constraints.is_empty());
         assert!(!compiled.database.relation("UnitWard").unwrap().has_index(0));
@@ -229,11 +246,14 @@ mod tests {
         // check by writing into the compiled database instead.
         let compiled = compile(&ontology);
         let mut db = compiled.database.clone();
-        db.insert("PatientWard", Tuple::from_iter(["W9", "Sep/8", "Lou Reed"])).unwrap();
+        db.insert("PatientWard", Tuple::from_iter(["W9", "Sep/8", "Lou Reed"]))
+            .unwrap();
         let result = chase(&compiled.program, &db);
         assert_eq!(result.violations.nc.len(), 1);
         // The MD-level referential check reports the same problem.
-        ontology.add_tuple("PatientWard", ["W9", "Sep/8", "Lou Reed"]).unwrap();
+        ontology
+            .add_tuple("PatientWard", ["W9", "Sep/8", "Lou Reed"])
+            .unwrap();
         assert_eq!(ontology.referential_violations().len(), 1);
     }
 

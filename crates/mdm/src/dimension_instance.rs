@@ -113,7 +113,11 @@ impl DimensionInstance {
     }
 
     /// The adjacency-level roll-up pairs between two adjacent categories.
-    pub fn rollup_pairs(&self, child_category: &str, parent_category: &str) -> BTreeSet<(Value, Value)> {
+    pub fn rollup_pairs(
+        &self,
+        child_category: &str,
+        parent_category: &str,
+    ) -> BTreeSet<(Value, Value)> {
         self.rollups
             .get(&(child_category.to_string(), parent_category.to_string()))
             .cloned()
@@ -309,11 +313,16 @@ mod tests {
         dim.add_rollup("Ward", "W2", "Unit", "Standard").unwrap();
         dim.add_rollup("Ward", "W3", "Unit", "Intensive").unwrap();
         dim.add_rollup("Ward", "W4", "Unit", "Terminal").unwrap();
-        dim.add_rollup("Unit", "Standard", "Institution", "H1").unwrap();
-        dim.add_rollup("Unit", "Intensive", "Institution", "H1").unwrap();
-        dim.add_rollup("Unit", "Terminal", "Institution", "H2").unwrap();
-        dim.add_rollup("Institution", "H1", "AllHospital", "allHospital").unwrap();
-        dim.add_rollup("Institution", "H2", "AllHospital", "allHospital").unwrap();
+        dim.add_rollup("Unit", "Standard", "Institution", "H1")
+            .unwrap();
+        dim.add_rollup("Unit", "Intensive", "Institution", "H1")
+            .unwrap();
+        dim.add_rollup("Unit", "Terminal", "Institution", "H2")
+            .unwrap();
+        dim.add_rollup("Institution", "H1", "AllHospital", "allHospital")
+            .unwrap();
+        dim.add_rollup("Institution", "H2", "AllHospital", "allHospital")
+            .unwrap();
         dim
     }
 
@@ -364,7 +373,9 @@ mod tests {
             dim.roll_up("Unit", &Value::str("Standard"), "Unit"),
             [Value::str("Standard")].into()
         );
-        assert!(dim.roll_up("Unit", &Value::str("Oncology"), "Unit").is_empty());
+        assert!(dim
+            .roll_up("Unit", &Value::str("Oncology"), "Unit")
+            .is_empty());
     }
 
     #[test]
@@ -426,10 +437,14 @@ mod tests {
         schema.add_edge("Province", "Country").unwrap();
         schema.add_edge("SalesRegion", "Country").unwrap();
         let mut dim = DimensionInstance::new(schema);
-        dim.add_rollup("City", "Ottawa", "Province", "Ontario").unwrap();
-        dim.add_rollup("City", "Ottawa", "SalesRegion", "East").unwrap();
-        dim.add_rollup("Province", "Ontario", "Country", "Canada").unwrap();
-        dim.add_rollup("SalesRegion", "East", "Country", "Canada").unwrap();
+        dim.add_rollup("City", "Ottawa", "Province", "Ontario")
+            .unwrap();
+        dim.add_rollup("City", "Ottawa", "SalesRegion", "East")
+            .unwrap();
+        dim.add_rollup("Province", "Ontario", "Country", "Canada")
+            .unwrap();
+        dim.add_rollup("SalesRegion", "East", "Country", "Canada")
+            .unwrap();
         // Two paths, one ancestor: still strict at the Country level.
         assert_eq!(
             dim.roll_up("City", &Value::str("Ottawa"), "Country"),

@@ -100,7 +100,8 @@ impl DimensionSchema {
     pub fn children_of(&self, category: &str) -> BTreeSet<String> {
         self.parents
             .iter()
-            .filter_map(|(child, parents)| parents.contains(category).then(|| child.clone()))
+            .filter(|&(_child, parents)| parents.contains(category))
+            .map(|(child, _parents)| child.clone())
             .collect()
     }
 
@@ -167,7 +168,11 @@ impl DimensionSchema {
             return None;
         }
         // Longest path in a DAG via memoized DFS downwards.
-        fn longest(schema: &DimensionSchema, cat: &str, memo: &mut BTreeMap<String, usize>) -> usize {
+        fn longest(
+            schema: &DimensionSchema,
+            cat: &str,
+            memo: &mut BTreeMap<String, usize>,
+        ) -> usize {
             if let Some(level) = memo.get(cat) {
                 return *level;
             }
@@ -216,7 +221,9 @@ impl DimensionSchema {
             }
         }
         if visited < self.categories.len() {
-            return Err(MdError::CyclicCategoryGraph { dimension: self.name.clone() });
+            return Err(MdError::CyclicCategoryGraph {
+                dimension: self.name.clone(),
+            });
         }
         Ok(())
     }

@@ -154,12 +154,23 @@ mod tests {
     fn displays_are_informative() {
         let cases: Vec<(MdError, &str)> = vec![
             (
-                MdError::UnknownCategory { dimension: "Hospital".into(), category: "Wing".into() },
+                MdError::UnknownCategory {
+                    dimension: "Hospital".into(),
+                    category: "Wing".into(),
+                },
                 "Wing",
             ),
             (MdError::UnknownDimension("Time".into()), "Time"),
-            (MdError::UnknownCategoricalRelation("Shifts".into()), "Shifts"),
-            (MdError::CyclicCategoryGraph { dimension: "Hospital".into() }, "cyclic"),
+            (
+                MdError::UnknownCategoricalRelation("Shifts".into()),
+                "Shifts",
+            ),
+            (
+                MdError::CyclicCategoryGraph {
+                    dimension: "Hospital".into(),
+                },
+                "cyclic",
+            ),
             (
                 MdError::NotAdjacent {
                     dimension: "Hospital".into(),

@@ -55,18 +55,22 @@ pub const MEASUREMENT_TIMES: [&str; 6] = [
 
 /// The `Hospital` dimension instance of Fig. 1.
 pub fn hospital_dimension() -> DimensionInstance {
-    let schema =
-        DimensionSchema::chain("Hospital", ["Ward", "Unit", "Institution", "AllHospital"]);
+    let schema = DimensionSchema::chain("Hospital", ["Ward", "Unit", "Institution", "AllHospital"]);
     let mut dim = DimensionInstance::new(schema);
     dim.add_rollup("Ward", "W1", "Unit", "Standard").unwrap();
     dim.add_rollup("Ward", "W2", "Unit", "Standard").unwrap();
     dim.add_rollup("Ward", "W3", "Unit", "Intensive").unwrap();
     dim.add_rollup("Ward", "W4", "Unit", "Terminal").unwrap();
-    dim.add_rollup("Unit", "Standard", "Institution", "H1").unwrap();
-    dim.add_rollup("Unit", "Intensive", "Institution", "H1").unwrap();
-    dim.add_rollup("Unit", "Terminal", "Institution", "H2").unwrap();
-    dim.add_rollup("Institution", "H1", "AllHospital", "allHospital").unwrap();
-    dim.add_rollup("Institution", "H2", "AllHospital", "allHospital").unwrap();
+    dim.add_rollup("Unit", "Standard", "Institution", "H1")
+        .unwrap();
+    dim.add_rollup("Unit", "Intensive", "Institution", "H1")
+        .unwrap();
+    dim.add_rollup("Unit", "Terminal", "Institution", "H2")
+        .unwrap();
+    dim.add_rollup("Institution", "H1", "AllHospital", "allHospital")
+        .unwrap();
+    dim.add_rollup("Institution", "H2", "AllHospital", "allHospital")
+        .unwrap();
     dim
 }
 
@@ -87,15 +91,18 @@ pub fn time_dimension() -> DimensionInstance {
     }
     // Day → month roll-ups (MonthDay in the paper).
     for day in ["Sep/5", "Sep/6", "Sep/7", "Sep/9"] {
-        dim.add_rollup("Day", day, "Month", "September/2005").unwrap();
+        dim.add_rollup("Day", day, "Month", "September/2005")
+            .unwrap();
     }
-    dim.add_rollup("Day", "Oct/5", "Month", "October/2005").unwrap();
+    dim.add_rollup("Day", "Oct/5", "Month", "October/2005")
+        .unwrap();
     dim.add_member("Month", "August/2005").unwrap();
     // Month → year and year → all.
     for month in ["August/2005", "September/2005", "October/2005"] {
         dim.add_rollup("Month", month, "Year", "2005").unwrap();
     }
-    dim.add_rollup("Year", "2005", "AllTime", "allTime").unwrap();
+    dim.add_rollup("Year", "2005", "AllTime", "allTime")
+        .unwrap();
     dim
 }
 
@@ -227,7 +234,9 @@ pub fn ontology() -> MdOntology {
         ("Terminal", "Sep/5", "Susan", "non-c."),
         ("Standard", "Sep/9", "Mark", "non-c."),
     ] {
-        ontology.add_tuple("WorkingSchedules", [u, d, n, t]).unwrap();
+        ontology
+            .add_tuple("WorkingSchedules", [u, d, n, t])
+            .unwrap();
     }
 
     // Table IV: Shifts.
@@ -362,7 +371,11 @@ mod tests {
     fn dimensions_are_valid_strict_and_homogeneous() {
         for dim in [hospital_dimension(), time_dimension()] {
             assert!(dim.validate().is_ok(), "{} invalid", dim.name());
-            assert!(dim.strictness_violations().is_empty(), "{} not strict", dim.name());
+            assert!(
+                dim.strictness_violations().is_empty(),
+                "{} not strict",
+                dim.name()
+            );
             assert!(
                 dim.homogeneity_violations().is_empty(),
                 "{} not homogeneous",
@@ -407,7 +420,10 @@ mod tests {
     fn compiled_ontology_is_weakly_sticky_with_separable_egds() {
         let compiled = compile(&ontology());
         let report = analysis::classify(&compiled.program);
-        assert!(report.weakly_sticky, "hospital ontology must be weakly sticky");
+        assert!(
+            report.weakly_sticky,
+            "hospital ontology must be weakly sticky"
+        );
         let separability = analysis::check_program(&compiled.program);
         assert!(separability.all_separable(), "EGD (6) must be separable");
         // With the form-(10) discharge rule, separability of a unit-level EGD
@@ -455,17 +471,11 @@ mod tests {
         // unit (he was in W2 that day), while Tom Waits' Sep/9 and Elvis
         // Costello's Oct/5 discharges invent unknown units.
         assert_eq!(iu.len(), 5);
-        let null_links: Vec<_> = iu
-            .iter()
-            .filter(|t| t.get(1).unwrap().is_null())
-            .collect();
+        let null_links: Vec<_> = iu.iter().filter(|t| t.get(1).unwrap().is_null()).collect();
         assert_eq!(null_links.len(), 2);
         // The invented units also appear in PatientUnit (shared nulls).
         let pu = result.database.relation("PatientUnit").unwrap();
-        let null_units: Vec<_> = pu
-            .iter()
-            .filter(|t| t.get(0).unwrap().is_null())
-            .collect();
+        let null_units: Vec<_> = pu.iter().filter(|t| t.get(0).unwrap().is_null()).collect();
         assert_eq!(null_units.len(), 2);
     }
 
@@ -494,7 +504,8 @@ mod tests {
             [Value::str("September/2005")].into()
         );
         assert_eq!(
-            time.drill_down("Month", &Value::str("September/2005"), "Day").len(),
+            time.drill_down("Month", &Value::str("September/2005"), "Day")
+                .len(),
             4
         );
     }

@@ -92,8 +92,12 @@ pub fn direction_of(ontology: &MdOntology, rule: &Tgd) -> NavigationDirection {
         };
         let parent_var = parent_term.as_var();
         let child_var = child_term.as_var();
-        let child_in_body = child_var.map(|v| body_data_vars.contains(v)).unwrap_or(false);
-        let parent_in_body = parent_var.map(|v| body_data_vars.contains(v)).unwrap_or(false);
+        let child_in_body = child_var
+            .map(|v| body_data_vars.contains(v))
+            .unwrap_or(false);
+        let parent_in_body = parent_var
+            .map(|v| body_data_vars.contains(v))
+            .unwrap_or(false);
         let child_in_head = child_var.map(|v| head_vars.contains(v)).unwrap_or(false);
         let parent_in_head = parent_var.map(|v| head_vars.contains(v)).unwrap_or(false);
         if child_in_body && parent_in_head {
@@ -151,7 +155,10 @@ pub fn is_upward_only(ontology: &MdOntology) -> bool {
 /// `true` when some rule introduces existential values (labeled nulls) —
 /// downward rules with schema mismatches or form-(10) rules.
 pub fn has_value_invention(ontology: &MdOntology) -> bool {
-    ontology.rules().iter().any(|r| !r.existential_variables().is_empty())
+    ontology
+        .rules()
+        .iter()
+        .any(|r| !r.existential_variables().is_empty())
 }
 
 /// A per-rule navigation report for diagnostics.
@@ -194,14 +201,20 @@ mod tests {
         let schema =
             DimensionSchema::chain("Hospital", ["Ward", "Unit", "Institution", "AllHospital"]);
         let mut hospital = DimensionInstance::new(schema);
-        hospital.add_rollup("Ward", "W1", "Unit", "Standard").unwrap();
-        hospital.add_rollup("Unit", "Standard", "Institution", "H1").unwrap();
+        hospital
+            .add_rollup("Ward", "W1", "Unit", "Standard")
+            .unwrap();
+        hospital
+            .add_rollup("Unit", "Standard", "Institution", "H1")
+            .unwrap();
         hospital
             .add_rollup("Institution", "H1", "AllHospital", "allHospital")
             .unwrap();
         let time = DimensionSchema::chain("Time", ["Time", "Day", "Month", "Year", "AllTime"]);
         let mut time_instance = DimensionInstance::new(time);
-        time_instance.add_rollup("Day", "Sep/5", "Month", "September/2005").unwrap();
+        time_instance
+            .add_rollup("Day", "Sep/5", "Month", "September/2005")
+            .unwrap();
 
         let mut ontology = MdOntology::new("hospital");
         ontology.add_dimension(hospital);
@@ -235,16 +248,21 @@ mod tests {
     fn rule_8_is_downward() {
         let ontology = hospital_ontology();
         let rule = tgd("Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).");
-        assert_eq!(direction_of(&ontology, &rule), NavigationDirection::Downward);
+        assert_eq!(
+            direction_of(&ontology, &rule),
+            NavigationDirection::Downward
+        );
     }
 
     #[test]
     fn rule_9_with_head_parent_child_atom_is_downward() {
         let ontology = hospital_ontology();
-        let rule = tgd(
-            "InstitutionUnit(i, u), PatientUnit(u, d, p) :- DischargePatients(i, d, p).",
+        let rule =
+            tgd("InstitutionUnit(i, u), PatientUnit(u, d, p) :- DischargePatients(i, d, p).");
+        assert_eq!(
+            direction_of(&ontology, &rule),
+            NavigationDirection::Downward
         );
-        assert_eq!(direction_of(&ontology, &rule), NavigationDirection::Downward);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct MdOntology {
 impl MdOntology {
     /// An empty ontology.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Default::default() }
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The ontology's name.
@@ -42,7 +45,8 @@ impl MdOntology {
 
     /// Add (or replace) a dimension instance.
     pub fn add_dimension(&mut self, dimension: DimensionInstance) -> &mut Self {
-        self.dimensions.insert(dimension.name().to_string(), dimension);
+        self.dimensions
+            .insert(dimension.name().to_string(), dimension);
         self
     }
 
@@ -200,7 +204,9 @@ impl MdOntology {
                     continue;
                 }
                 for tuple in instance.iter() {
-                    let Some(value) = tuple.get(position) else { continue };
+                    let Some(value) = tuple.get(position) else {
+                        continue;
+                    };
                     if value.is_null() {
                         continue;
                     }
@@ -227,13 +233,13 @@ impl MdOntology {
         for schema in self.relations.values() {
             schema.validate()?;
             for (_, dimension, category) in schema.links() {
-                let dim = self.dimension(dimension).map_err(|_| {
-                    MdError::BadCategoricalAttribute {
-                        relation: schema.name().to_string(),
-                        attribute: "<link>".into(),
-                        reason: format!("unknown dimension '{dimension}'"),
-                    }
-                })?;
+                let dim =
+                    self.dimension(dimension)
+                        .map_err(|_| MdError::BadCategoricalAttribute {
+                            relation: schema.name().to_string(),
+                            attribute: "<link>".into(),
+                            reason: format!("unknown dimension '{dimension}'"),
+                        })?;
                 if !dim.schema().has_category(category) {
                     return Err(MdError::UnknownCategory {
                         dimension: dimension.to_string(),
@@ -337,9 +343,15 @@ mod tests {
         let schema =
             DimensionSchema::chain("Hospital", ["Ward", "Unit", "Institution", "AllHospital"]);
         let mut hospital = DimensionInstance::new(schema);
-        hospital.add_rollup("Ward", "W1", "Unit", "Standard").unwrap();
-        hospital.add_rollup("Ward", "W2", "Unit", "Standard").unwrap();
-        hospital.add_rollup("Unit", "Standard", "Institution", "H1").unwrap();
+        hospital
+            .add_rollup("Ward", "W1", "Unit", "Standard")
+            .unwrap();
+        hospital
+            .add_rollup("Ward", "W2", "Unit", "Standard")
+            .unwrap();
+        hospital
+            .add_rollup("Unit", "Standard", "Institution", "H1")
+            .unwrap();
         hospital
             .add_rollup("Institution", "H1", "AllHospital", "allHospital")
             .unwrap();
@@ -354,7 +366,9 @@ mod tests {
                 CategoricalAttribute::non_categorical("Patient"),
             ],
         ));
-        ontology.add_tuple("PatientWard", ["W1", "Sep/5", "Tom Waits"]).unwrap();
+        ontology
+            .add_tuple("PatientWard", ["W1", "Sep/5", "Tom Waits"])
+            .unwrap();
         ontology
             .add_rule_text("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).")
             .unwrap();
@@ -375,13 +389,20 @@ mod tests {
 
     #[test]
     fn parent_child_predicate_naming_follows_the_paper() {
-        assert_eq!(MdOntology::parent_child_predicate("Unit", "Ward"), "UnitWard");
+        assert_eq!(
+            MdOntology::parent_child_predicate("Unit", "Ward"),
+            "UnitWard"
+        );
         let o = small_ontology();
         let pcs = o.parent_child_predicates();
         assert!(pcs.contains_key("UnitWard"));
         assert_eq!(
             pcs.get("UnitWard"),
-            Some(&("Hospital".to_string(), "Ward".to_string(), "Unit".to_string()))
+            Some(&(
+                "Hospital".to_string(),
+                "Ward".to_string(),
+                "Unit".to_string()
+            ))
         );
         assert!(pcs.contains_key("InstitutionUnit"));
         assert!(pcs.contains_key("AllHospitalInstitution"));
@@ -399,7 +420,8 @@ mod tests {
     #[test]
     fn add_rule_text_dispatches_by_kind() {
         let mut o = small_ontology();
-        o.add_rule_text("! :- PatientWard(w, d, p), UnitWard(Intensive, w).").unwrap();
+        o.add_rule_text("! :- PatientWard(w, d, p), UnitWard(Intensive, w).")
+            .unwrap();
         o.add_rule_text(
             "t = t2 :- Thermometer(w, t, n), Thermometer(w2, t2, n2), UnitWard(u, w), UnitWard(u, w2).",
         )
@@ -416,7 +438,8 @@ mod tests {
         assert!(o.referential_violations().is_empty());
         assert!(o.validate().is_ok());
         // W9 is not a ward member.
-        o.add_tuple("PatientWard", ["W9", "Sep/5", "Lou Reed"]).unwrap();
+        o.add_tuple("PatientWard", ["W9", "Sep/5", "Lou Reed"])
+            .unwrap();
         let violations = o.referential_violations();
         assert_eq!(violations.len(), 1);
         assert!(matches!(
@@ -431,13 +454,17 @@ mod tests {
         let mut o = small_ontology();
         o.add_relation(CategoricalRelationSchema::new(
             "Bad",
-            vec![CategoricalAttribute::categorical("Wing", "Hospital", "Wing")],
+            vec![CategoricalAttribute::categorical(
+                "Wing", "Hospital", "Wing",
+            )],
         ));
         assert!(o.validate().is_err());
         let mut o2 = small_ontology();
         o2.add_relation(CategoricalRelationSchema::new(
             "Bad2",
-            vec![CategoricalAttribute::categorical("City", "Location", "City")],
+            vec![CategoricalAttribute::categorical(
+                "City", "Location", "City",
+            )],
         ));
         assert!(o2.validate().is_err());
     }

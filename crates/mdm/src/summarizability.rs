@@ -59,7 +59,8 @@ impl fmt::Display for RollupProfile {
             "{} → {}: {}/{} members map uniquely ({} unmapped, {} ambiguous)",
             self.lower,
             self.upper,
-            self.lower_members - (self.unmapped.len() + self.ambiguous.len()).min(self.lower_members),
+            self.lower_members
+                - (self.unmapped.len() + self.ambiguous.len()).min(self.lower_members),
             self.lower_members,
             self.unmapped.len(),
             self.ambiguous.len()
@@ -134,11 +135,7 @@ impl fmt::Display for SummarizabilityReport {
         for profile in self.profiles.values() {
             writeln!(f, "{profile}")?;
         }
-        write!(
-            f,
-            "fully summarizable: {}",
-            self.is_fully_summarizable()
-        )
+        write!(f, "fully summarizable: {}", self.is_fully_summarizable())
     }
 }
 
@@ -207,16 +204,21 @@ mod tests {
         schema.add_edge("Province", "Country").unwrap();
         schema.add_edge("SalesRegion", "Country").unwrap();
         let mut dim = DimensionInstance::new(schema);
-        dim.add_rollup("City", "Ottawa", "Province", "Ontario").unwrap();
-        dim.add_rollup("City", "Ottawa", "SalesRegion", "East").unwrap();
-        dim.add_rollup("Province", "Ontario", "Country", "Canada").unwrap();
-        dim.add_rollup("SalesRegion", "East", "Country", "Canada").unwrap();
+        dim.add_rollup("City", "Ottawa", "Province", "Ontario")
+            .unwrap();
+        dim.add_rollup("City", "Ottawa", "SalesRegion", "East")
+            .unwrap();
+        dim.add_rollup("Province", "Ontario", "Country", "Canada")
+            .unwrap();
+        dim.add_rollup("SalesRegion", "East", "Country", "Canada")
+            .unwrap();
         let report = SummarizabilityReport::analyze(&dim);
         assert!(report.profile("City", "Country").unwrap().is_summarizable());
 
         // If the two paths diverge, the City → Country pair becomes
         // ambiguous.
-        dim.add_rollup("SalesRegion", "East", "Country", "USA").unwrap();
+        dim.add_rollup("SalesRegion", "East", "Country", "USA")
+            .unwrap();
         let report = SummarizabilityReport::analyze(&dim);
         assert!(!report.profile("City", "Country").unwrap().is_summarizable());
         assert!(report

@@ -30,4 +30,7 @@ pub mod rewrite;
 pub use materialize::{certain_answers, MaterializedEngine};
 pub use query::{AnswerSet, ConjunctiveQuery};
 pub use resolution::{DeterministicWsqAns, ResolutionConfig};
-pub use rewrite::{answer_by_rewriting, rewrite, rewrite_with, RewriteConfig, UnionQuery};
+pub use rewrite::{
+    answer_by_rewriting, answer_by_rewriting_prepared, rewrite, rewrite_with, RewriteConfig,
+    UnionQuery,
+};

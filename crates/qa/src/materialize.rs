@@ -7,6 +7,13 @@
 //! ontologies (whose chase terminates on fixed dimension instances) and the
 //! reference oracle that the deterministic resolution algorithm and the FO
 //! rewriting are tested against.
+//!
+//! Query evaluation is routed through the shared join engine of
+//! `ontodq-chase`: the (semi-naive) chase builds hash indexes for every
+//! rule-body join position and maintains them incrementally while
+//! materializing, so queries over the chased instance hit indexed joins for
+//! free.  [`MaterializedEngine::prepare`] additionally builds the indexes a
+//! specific query's own join positions want.
 
 use crate::query::{AnswerSet, ConjunctiveQuery};
 use ontodq_chase::{ChaseConfig, ChaseEngine, ChaseResult};
@@ -40,6 +47,14 @@ impl MaterializedEngine {
     /// The chased (materialized) instance.
     pub fn materialized(&self) -> &Database {
         &self.result.database
+    }
+
+    /// Build the hash indexes `query`'s join positions benefit from on the
+    /// materialized instance (idempotent; indexes the chase already built
+    /// are reused).  Worth calling before answering the same query shape
+    /// repeatedly.
+    pub fn prepare(&mut self, query: &ConjunctiveQuery) {
+        ontodq_chase::ensure_indexes(&mut self.result.database, &query.body);
     }
 
     /// All answers to the query over the materialized instance, including
@@ -107,10 +122,8 @@ mod tests {
     #[test]
     fn upward_navigation_answers_patient_unit_queries() {
         let engine = hospital_engine();
-        let q = ConjunctiveQuery::parse(
-            "Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".")
+            .unwrap();
         let answers = engine.certain_answers(&q);
         assert_eq!(answers.len(), 2);
         assert!(answers.contains(&Tuple::from_iter(["Sep/5"])));
@@ -154,6 +167,29 @@ mod tests {
         assert!(engine.materialized().has_relation("PatientUnit"));
         assert!(engine.materialized().has_relation("Shifts"));
         assert!(engine.chase_result().stats.tuples_added > 0);
+    }
+
+    #[test]
+    fn chase_built_indexes_survive_into_query_evaluation() {
+        let mut engine = hospital_engine();
+        // The semi-naive chase indexed the rule-body join positions of the
+        // hospital program; those indexes live on in the materialized
+        // instance.
+        assert!(engine
+            .materialized()
+            .relation("UnitWard")
+            .unwrap()
+            .has_index(1));
+        // Preparing a query adds its own join/constant positions.
+        let q = ConjunctiveQuery::parse("Q(d) :- Shifts(W2, d, \"Mark\", s).").unwrap();
+        let before = engine.certain_answers(&q);
+        engine.prepare(&q);
+        assert!(engine
+            .materialized()
+            .relation("Shifts")
+            .unwrap()
+            .has_index(0));
+        assert_eq!(engine.certain_answers(&q), before);
     }
 
     #[test]

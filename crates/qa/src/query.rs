@@ -20,8 +20,16 @@ pub struct ConjunctiveQuery {
 
 impl ConjunctiveQuery {
     /// Construct a query.
-    pub fn new(name: impl Into<String>, answer_variables: Vec<Variable>, body: Conjunction) -> Self {
-        Self { name: name.into(), answer_variables, body }
+    pub fn new(
+        name: impl Into<String>,
+        answer_variables: Vec<Variable>,
+        body: Conjunction,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            answer_variables,
+            body,
+        }
     }
 
     /// A Boolean query with the given body.
@@ -60,7 +68,11 @@ impl ConjunctiveQuery {
                         return Err(format!("answer variable {v} does not occur in the body"));
                     }
                 }
-                Ok(Self::new(head.predicate.clone(), answer_variables, tgd.body))
+                Ok(Self::new(
+                    head.predicate.clone(),
+                    answer_variables,
+                    tgd.body,
+                ))
             }
             other => Err(format!("not a conjunctive query: {other}")),
         }
@@ -135,7 +147,9 @@ impl AnswerSet {
 
     /// Build an answer set from tuples.
     pub fn from_tuples<I: IntoIterator<Item = Tuple>>(tuples: I) -> Self {
-        Self { tuples: tuples.into_iter().collect() }
+        Self {
+            tuples: tuples.into_iter().collect(),
+        }
     }
 
     /// Add a tuple; returns `true` when it was new.
@@ -171,7 +185,12 @@ impl AnswerSet {
     /// Keep only the *certain* answers: tuples without labeled nulls.
     pub fn certain(&self) -> AnswerSet {
         AnswerSet {
-            tuples: self.tuples.iter().filter(|t| t.is_ground()).cloned().collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.is_ground())
+                .cloned()
+                .collect(),
         }
     }
 }

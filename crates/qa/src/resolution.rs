@@ -44,7 +44,10 @@ pub struct ResolutionConfig {
 
 impl Default for ResolutionConfig {
     fn default() -> Self {
-        Self { max_rule_depth: 32, max_open_candidates: 1_000_000 }
+        Self {
+            max_rule_depth: 32,
+            max_open_candidates: 1_000_000,
+        }
     }
 }
 
@@ -68,7 +71,11 @@ impl<'a> DeterministicWsqAns<'a> {
         database: &'a Database,
         config: ResolutionConfig,
     ) -> Self {
-        Self { program, database, config }
+        Self {
+            program,
+            database,
+            config,
+        }
     }
 
     /// Answer a Boolean conjunctive query: is it entailed by the ontology
@@ -175,7 +182,9 @@ impl<'a> DeterministicWsqAns<'a> {
     ) -> Option<Unifier> {
         let Some((goal, rest)) = goals.split_first() else {
             // All atoms resolved: check the comparison literals.
-            return self.comparisons_hold(comparisons, &unifier).then_some(unifier);
+            return self
+                .comparisons_hold(comparisons, &unifier)
+                .then_some(unifier);
         };
         let goal = unifier.apply_atom(goal);
 
@@ -193,14 +202,9 @@ impl<'a> DeterministicWsqAns<'a> {
                 for tuple in relation.select(&bindings) {
                     let mut candidate = unifier.clone();
                     if unify_with_tuple(&mut candidate, &goal, tuple) {
-                        if let Some(result) = self.resolve(
-                            rest,
-                            candidate,
-                            comparisons,
-                            depth,
-                            rename_counter,
-                            nulls,
-                        ) {
+                        if let Some(result) =
+                            self.resolve(rest, candidate, comparisons, depth, rename_counter, nulls)
+                        {
                             return Some(result);
                         }
                     }
@@ -338,15 +342,11 @@ mod tests {
         let engine = DeterministicWsqAns::new(&program, &db);
         // PatientUnit is purely intensional: answering requires resolving
         // through rule (7).
-        let q = ConjunctiveQuery::parse(
-            "Q() :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q() :- PatientUnit(Standard, d, p), p = \"Tom Waits\".")
+            .unwrap();
         assert!(engine.answer_boolean(&q));
-        let q2 = ConjunctiveQuery::parse(
-            "Q() :- PatientUnit(Terminal, d, p), p = \"Lou Reed\".",
-        )
-        .unwrap();
+        let q2 = ConjunctiveQuery::parse("Q() :- PatientUnit(Terminal, d, p), p = \"Lou Reed\".")
+            .unwrap();
         assert!(!engine.answer_boolean(&q2));
     }
 
@@ -359,10 +359,9 @@ mod tests {
         let q = ConjunctiveQuery::parse("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", s).").unwrap();
         assert!(engine.answer_boolean(&q));
         // But no particular shift value is certain.
-        let q2 = ConjunctiveQuery::parse(
-            "Q() :- Shifts(W2, \"Sep/9\", \"Mark\", s), s = \"morning\".",
-        )
-        .unwrap();
+        let q2 =
+            ConjunctiveQuery::parse("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", s), s = \"morning\".")
+                .unwrap();
         assert!(!engine.answer_boolean(&q2));
     }
 
@@ -372,9 +371,11 @@ mod tests {
         let engine = DeterministicWsqAns::new(&program, &db);
         // Asking for a *specific* shift value that only exists as a null must
         // fail; the extensional Shifts tuples still answer their own values.
-        let q = ConjunctiveQuery::parse("Q() :- Shifts(W1, \"Sep/6\", \"Helen\", \"morning\").").unwrap();
+        let q = ConjunctiveQuery::parse("Q() :- Shifts(W1, \"Sep/6\", \"Helen\", \"morning\").")
+            .unwrap();
         assert!(engine.answer_boolean(&q));
-        let q2 = ConjunctiveQuery::parse("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", \"morning\").").unwrap();
+        let q2 = ConjunctiveQuery::parse("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", \"morning\").")
+            .unwrap();
         assert!(!engine.answer_boolean(&q2));
     }
 
@@ -427,7 +428,10 @@ mod tests {
         let strict = DeterministicWsqAns::with_config(
             &program,
             &db,
-            ResolutionConfig { max_rule_depth: 1, ..Default::default() },
+            ResolutionConfig {
+                max_rule_depth: 1,
+                ..Default::default()
+            },
         );
         assert!(!strict.answer_boolean(&q));
         // The bound does not affect directly provable goals.
@@ -466,7 +470,10 @@ mod tests {
         let engine = DeterministicWsqAns::with_config(
             &program,
             &db,
-            ResolutionConfig { max_open_candidates: 5, ..Default::default() },
+            ResolutionConfig {
+                max_open_candidates: 5,
+                ..Default::default()
+            },
         );
         let q = ConjunctiveQuery::parse("Q(u) :- PatientUnit(u, d, \"Tom Waits\").").unwrap();
         // The guard keeps the engine from enumerating the full domain; it may

@@ -33,7 +33,10 @@ pub struct RewriteConfig {
 
 impl Default for RewriteConfig {
     fn default() -> Self {
-        Self { max_queries: 10_000, max_steps: 100_000 }
+        Self {
+            max_queries: 10_000,
+            max_steps: 100_000,
+        }
     }
 }
 
@@ -56,21 +59,37 @@ impl UnionQuery {
     }
 
     /// Evaluate the union over an extensional database, returning certain
-    /// (null-free) answers.
+    /// (null-free) answers.  Evaluation goes through the shared join engine
+    /// of `ontodq-chase`, so any hash indexes present on the database (built
+    /// by [`UnionQuery::prepare`], by a prior chase, or by hand) are used.
     pub fn evaluate(&self, database: &Database) -> AnswerSet {
         let mut answers = AnswerSet::new();
         for query in &self.disjuncts {
-            for tuple in ontodq_chase::evaluate_project(
-                database,
-                &query.body,
-                &query.answer_variables,
-            ) {
+            for tuple in
+                ontodq_chase::evaluate_project(database, &query.body, &query.answer_variables)
+            {
                 if tuple.is_ground() {
                     answers.insert(tuple);
                 }
             }
         }
         answers
+    }
+
+    /// Build the hash indexes every disjunct's join positions want
+    /// (idempotent).  A rewriting is evaluated once per disjunct over the
+    /// same extensional database, so shared join positions pay the build
+    /// cost once and every disjunct profits.
+    pub fn prepare(&self, database: &mut Database) {
+        for query in &self.disjuncts {
+            ontodq_chase::ensure_indexes(database, &query.body);
+        }
+    }
+
+    /// [`UnionQuery::prepare`] + [`UnionQuery::evaluate`] in one call.
+    pub fn evaluate_prepared(&self, database: &mut Database) -> AnswerSet {
+        self.prepare(database);
+        self.evaluate(database)
     }
 }
 
@@ -139,6 +158,18 @@ pub fn answer_by_rewriting(
     query: &ConjunctiveQuery,
 ) -> AnswerSet {
     rewrite(program, query).evaluate(database)
+}
+
+/// Rewrite and evaluate in one step, building the rewriting's join indexes
+/// on the extensional database first (they persist on `database` and are
+/// maintained incrementally by `ontodq-relational`, so repeated calls pay
+/// the build cost once).
+pub fn answer_by_rewriting_prepared(
+    program: &Program,
+    database: &mut Database,
+    query: &ConjunctiveQuery,
+) -> AnswerSet {
+    rewrite(program, query).evaluate_prepared(database)
 }
 
 /// Attempt to unfold `atom` (at `atom_index` in `query`) against head atom
@@ -211,7 +242,13 @@ fn unfold(
         .body
         .comparisons
         .iter()
-        .map(|c| Comparison::new(unifier.apply_term(&c.left), c.op, unifier.apply_term(&c.right)))
+        .map(|c| {
+            Comparison::new(
+                unifier.apply_term(&c.left),
+                c.op,
+                unifier.apply_term(&c.right),
+            )
+        })
         .collect();
 
     // Rename answer variables through the unifier (a head variable may have
@@ -227,7 +264,11 @@ fn unfold(
 
     let mut body = Conjunction::positive(atoms);
     body.comparisons = comparisons;
-    Some(ConjunctiveQuery::new(query.name.clone(), answer_variables, body))
+    Some(ConjunctiveQuery::new(
+        query.name.clone(),
+        answer_variables,
+        body,
+    ))
 }
 
 /// Count variable occurrences across the query body and head.
@@ -348,10 +389,8 @@ mod tests {
     #[test]
     fn rewriting_unfolds_patient_unit_into_patient_ward() {
         let compiled = compile(&upward_only_ontology());
-        let q = ConjunctiveQuery::parse(
-            "Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".")
+            .unwrap();
         let ucq = rewrite(&compiled.program, &q);
         // Original query plus one unfolding through rule (7).
         assert_eq!(ucq.len(), 2);
@@ -390,7 +429,8 @@ mod tests {
             .relation("PatientUnit")
             .map(|r| r.is_empty())
             .unwrap_or(true));
-        let q = ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, \"Tom Waits\").").unwrap();
+        let q =
+            ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, \"Tom Waits\").").unwrap();
         let answers = answer_by_rewriting(&compiled.program, &compiled.database, &q);
         assert_eq!(answers.len(), 2);
         assert!(answers.contains(&Tuple::from_iter(["Sep/5"])));
@@ -402,10 +442,8 @@ mod tests {
         // Rule (8) invents the shift value; a query that constrains the shift
         // cannot be answered by unfolding through it.
         let compiled = compile(&hospital::ontology());
-        let q = ConjunctiveQuery::parse(
-            "Q(d) :- Shifts(W2, d, \"Mark\", s), s = \"morning\".",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q(d) :- Shifts(W2, d, \"Mark\", s), s = \"morning\".")
+            .unwrap();
         let ucq = rewrite(&compiled.program, &q);
         // Only the original disjunct remains (s occurs in the comparison, so
         // the existential applicability condition fails).
@@ -436,7 +474,10 @@ mod tests {
         )
         .unwrap();
         let q = ConjunctiveQuery::parse("Q(x, y) :- T(x, y).").unwrap();
-        let config = RewriteConfig { max_queries: 50, max_steps: 5_000 };
+        let config = RewriteConfig {
+            max_queries: 50,
+            max_steps: 5_000,
+        };
         let ucq = rewrite_with(&program, &q, &config);
         assert!(ucq.len() <= 50);
         // The rewriting contains at least the one-step and two-step
@@ -447,6 +488,25 @@ mod tests {
         let answers = ucq.evaluate(&db);
         assert!(answers.contains(&Tuple::from_iter(["a", "b"])));
         assert!(answers.contains(&Tuple::from_iter(["a", "c"])));
+    }
+
+    #[test]
+    fn prepared_evaluation_builds_indexes_and_agrees_with_unprepared() {
+        let ontology = upward_only_ontology();
+        let compiled = compile(&ontology);
+        let q = ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".")
+            .unwrap();
+        let plain = answer_by_rewriting(&compiled.program, &compiled.database, &q);
+        let mut db = compiled.database.clone();
+        let prepared = answer_by_rewriting_prepared(&compiled.program, &mut db, &q);
+        assert_eq!(plain, prepared);
+        // The rewriting joins PatientWard and UnitWard on the ward variable;
+        // preparation must have left an index behind on at least one of the
+        // join positions.
+        assert!(
+            db.relation("PatientWard").unwrap().has_index(0)
+                || db.relation("UnitWard").unwrap().has_index(1)
+        );
     }
 
     #[test]

@@ -61,11 +61,7 @@ pub fn load_csv(schema: &RelationSchema, text: &str) -> Result<RelationInstance>
         if cells.len() != schema.arity() {
             return Err(RelationalError::CsvParse {
                 line: line_no,
-                message: format!(
-                    "expected {} cells, found {}",
-                    schema.arity(),
-                    cells.len()
-                ),
+                message: format!("expected {} cells, found {}", schema.arity(), cells.len()),
             });
         }
         let mut values = Vec::with_capacity(cells.len());
@@ -159,10 +155,8 @@ mod tests {
 
     #[test]
     fn boolean_parsing() {
-        let schema = RelationSchema::new(
-            "Flags",
-            vec![Attribute::new("f", AttributeType::Boolean)],
-        );
+        let schema =
+            RelationSchema::new("Flags", vec![Attribute::new("f", AttributeType::Boolean)]);
         let rel = load_csv(&schema, "true\n0\n").unwrap();
         assert_eq!(rel.tuples()[0].get(0), Some(&Value::bool(true)));
         assert_eq!(rel.tuples()[1].get(0), Some(&Value::bool(false)));

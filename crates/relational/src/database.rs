@@ -20,12 +20,34 @@ use std::fmt;
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, RelationInstance>,
+    /// Monotone epoch counter stamped onto inserts; advanced by
+    /// [`Database::advance_epoch`] (the chase advances it once per round so
+    /// each relation's delta is exactly the rows produced since the previous
+    /// round).
+    epoch: u64,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
-        Self { relations: BTreeMap::new() }
+        Self::default()
+    }
+
+    /// The current epoch: rows inserted now are stamped with it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the epoch by one and propagate it to every relation, so that
+    /// subsequent inserts are distinguishable from all existing rows via
+    /// [`RelationInstance::delta_since`].  Returns the new epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for relation in self.relations.values_mut() {
+            relation.set_epoch(epoch);
+        }
+        epoch
     }
 
     /// Register an empty relation with `schema`.
@@ -36,7 +58,9 @@ impl Database {
         let name = schema.name().to_string();
         match self.relations.get(&name) {
             None => {
-                self.relations.insert(name, RelationInstance::new(schema));
+                let mut relation = RelationInstance::new(schema);
+                relation.set_epoch(self.epoch);
+                self.relations.insert(name, relation);
                 Ok(())
             }
             Some(existing) if existing.schema() == &schema => Ok(()),
@@ -45,8 +69,11 @@ impl Database {
     }
 
     /// Register a relation instance wholesale (replacing any existing
-    /// relation of the same name).
-    pub fn insert_relation(&mut self, relation: RelationInstance) {
+    /// relation of the same name).  The database epoch absorbs the
+    /// relation's stamps so delta queries stay meaningful.
+    pub fn insert_relation(&mut self, mut relation: RelationInstance) {
+        self.epoch = self.epoch.max(relation.last_stamp().unwrap_or(0));
+        relation.set_epoch(self.epoch);
         self.relations.insert(relation.name().to_string(), relation);
     }
 
@@ -73,9 +100,12 @@ impl Database {
     /// `arity` when missing.  Used by the Datalog± layer, whose predicates
     /// need not be declared in advance.
     pub fn relation_or_create(&mut self, name: &str, arity: usize) -> &mut RelationInstance {
-        self.relations
-            .entry(name.to_string())
-            .or_insert_with(|| RelationInstance::new(RelationSchema::untyped(name, arity)))
+        let epoch = self.epoch;
+        self.relations.entry(name.to_string()).or_insert_with(|| {
+            let mut relation = RelationInstance::new(RelationSchema::untyped(name, arity));
+            relation.set_epoch(epoch);
+            relation
+        })
     }
 
     /// Insert a tuple into relation `name`, creating an untyped relation of
@@ -137,10 +167,7 @@ impl Database {
 
     /// All labeled nulls appearing anywhere in the database.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.relations
-            .values()
-            .flat_map(|r| r.nulls())
-            .collect()
+        self.relations.values().flat_map(|r| r.nulls()).collect()
     }
 
     /// The largest labeled-null id in the database, if any; used to seed
@@ -180,6 +207,7 @@ impl Database {
     /// are skipped).
     pub fn restrict_to(&self, names: &[&str]) -> Database {
         let mut db = Database::new();
+        db.epoch = self.epoch;
         for name in names {
             if let Some(rel) = self.relations.get(*name) {
                 db.insert_relation(rel.clone());
@@ -214,8 +242,10 @@ mod tests {
             ],
         ))
         .unwrap();
-        db.insert_values("PatientWard", ["W1", "Sep/5", "Tom Waits"]).unwrap();
-        db.insert_values("PatientWard", ["W2", "Sep/6", "Tom Waits"]).unwrap();
+        db.insert_values("PatientWard", ["W1", "Sep/5", "Tom Waits"])
+            .unwrap();
+        db.insert_values("PatientWard", ["W2", "Sep/6", "Tom Waits"])
+            .unwrap();
         db.insert_values("UnitWard", ["Standard", "W1"]).unwrap();
         db.insert_values("UnitWard", ["Standard", "W2"]).unwrap();
         db
@@ -273,9 +303,13 @@ mod tests {
     #[test]
     fn nulls_and_substitution_span_relations() {
         let mut db = sample();
-        db.insert("Shifts", Tuple::new(vec![Value::str("W1"), Value::null(NullId(3))]))
+        db.insert(
+            "Shifts",
+            Tuple::new(vec![Value::str("W1"), Value::null(NullId(3))]),
+        )
+        .unwrap();
+        db.insert("Other", Tuple::new(vec![Value::null(NullId(3))]))
             .unwrap();
-        db.insert("Other", Tuple::new(vec![Value::null(NullId(3))])).unwrap();
         assert_eq!(db.nulls().len(), 1);
         assert_eq!(db.max_null_id(), Some(3));
         let changed = db.substitute_null(NullId(3), &Value::str("morning"));
@@ -318,5 +352,69 @@ mod tests {
     fn relation_names_are_sorted() {
         let db = sample();
         assert_eq!(db.relation_names(), vec!["PatientWard", "UnitWard"]);
+    }
+
+    #[test]
+    fn advance_epoch_partitions_inserts_into_deltas() {
+        let mut db = sample();
+        let before = db.epoch();
+        let epoch = db.advance_epoch();
+        assert_eq!(epoch, before + 1);
+        db.insert_values("UnitWard", ["Oncology", "W9"]).unwrap();
+        // Auto-created relations also pick up the current epoch.
+        db.insert_values("Fresh", ["x"]).unwrap();
+        let delta = db.relation("UnitWard").unwrap().delta_since(before);
+        assert_eq!(delta, &[Tuple::from_iter(["Oncology", "W9"])]);
+        assert_eq!(db.relation("Fresh").unwrap().delta_since(before).len(), 1);
+        assert!(db
+            .relation("PatientWard")
+            .unwrap()
+            .delta_since(before)
+            .is_empty());
+    }
+
+    /// Regression test for the stale-index hazard: substituting a null
+    /// through the database must leave every per-relation hash index
+    /// consistent with the rewritten tuples — an indexed select must agree
+    /// with a full scan for both the old and the new key.
+    #[test]
+    fn substitute_null_keeps_indexes_consistent() {
+        let mut db = sample();
+        db.insert(
+            "Shifts",
+            Tuple::new(vec![Value::str("W1"), Value::null(NullId(3))]),
+        )
+        .unwrap();
+        db.insert(
+            "Shifts",
+            Tuple::new(vec![Value::str("W2"), Value::str("evening")]),
+        )
+        .unwrap();
+        db.relation_mut("Shifts").unwrap().build_index(1);
+        db.relation_mut("UnitWard").unwrap().build_index(0);
+
+        db.substitute_null(NullId(3), &Value::str("morning"));
+
+        let shifts = db.relation("Shifts").unwrap();
+        assert!(shifts.has_index(1));
+        // Old key must be gone from the index…
+        assert!(shifts.select(&[(1, Value::null(NullId(3)))]).is_empty());
+        // …and the new key must be reachable through it, agreeing with a
+        // scan.
+        let indexed = shifts.select(&[(1, Value::str("morning"))]);
+        let scanned: Vec<&Tuple> = shifts
+            .iter()
+            .filter(|t| t.get(1) == Some(&Value::str("morning")))
+            .collect();
+        assert_eq!(indexed, scanned);
+        assert_eq!(indexed.len(), 1);
+        // Untouched relations keep working through their indexes too.
+        assert_eq!(
+            db.relation("UnitWard")
+                .unwrap()
+                .select(&[(0, Value::str("Standard"))])
+                .len(),
+            2
+        );
     }
 }

@@ -21,7 +21,10 @@ pub struct HashIndex {
 impl HashIndex {
     /// An empty index on `position`.
     pub fn new(position: usize) -> Self {
-        Self { position, entries: HashMap::new() }
+        Self {
+            position,
+            entries: HashMap::new(),
+        }
     }
 
     /// Build an index over existing rows.

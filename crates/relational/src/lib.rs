@@ -37,7 +37,7 @@ pub use database::Database;
 pub use error::{RelationalError, Result};
 pub use index::HashIndex;
 pub use null::{NullGenerator, NullId};
-pub use relation::RelationInstance;
+pub use relation::{RelationInstance, StampWindow};
 pub use schema::{Attribute, AttributeType, RelationSchema};
 pub use tuple::Tuple;
 pub use value::Value;
@@ -51,7 +51,9 @@ mod proptests {
         prop_oneof![
             "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
             any::<i64>().prop_map(Value::int),
-            any::<f64>().prop_filter("finite", |d| d.is_finite()).prop_map(Value::double),
+            any::<f64>()
+                .prop_filter("finite", |d| d.is_finite())
+                .prop_map(Value::double),
             any::<bool>().prop_map(Value::bool),
             (0i64..1_000_000).prop_map(Value::time),
             (0u64..64).prop_map(|id| Value::null(NullId(id))),

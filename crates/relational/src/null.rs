@@ -46,13 +46,17 @@ pub struct NullGenerator {
 impl NullGenerator {
     /// A generator that starts numbering nulls at zero.
     pub fn new() -> Self {
-        Self { next: AtomicU64::new(0) }
+        Self {
+            next: AtomicU64::new(0),
+        }
     }
 
     /// A generator that starts numbering at `start`; useful when resuming a
     /// chase over an instance that already contains nulls.
     pub fn starting_at(start: u64) -> Self {
-        Self { next: AtomicU64::new(start) }
+        Self {
+            next: AtomicU64::new(start),
+        }
     }
 
     /// Produce a fresh null id.

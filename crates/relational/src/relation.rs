@@ -1,5 +1,12 @@
 //! Relation instances: sets of tuples conforming to a schema, with optional
-//! per-attribute hash indexes.
+//! per-attribute hash indexes and per-tuple epoch stamps.
+//!
+//! Epoch stamps are the substrate of the semi-naive (delta-driven) chase in
+//! `ontodq-chase`: every insert records the relation's current epoch, and
+//! [`RelationInstance::delta_since`] / [`StampWindow`]-restricted selection
+//! expose exactly the rows added (or rewritten by null substitution) after a
+//! given epoch.  Stamps are kept sorted: rewritten tuples are re-appended
+//! with the current epoch so they re-enter the delta.
 
 use crate::error::Result;
 use crate::index::HashIndex;
@@ -10,14 +17,63 @@ use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+/// A stamp restriction on a selection: rows whose insert epoch lies in
+/// `(after, up_to]` (either bound may be absent).
+///
+/// The semi-naive chase evaluates each rule body once per body position,
+/// restricting that position's atom to the *delta* (`after = previous
+/// watermark`) and the earlier positions to the *old* rows (`up_to =
+/// previous watermark`), so every new trigger is discovered exactly through
+/// its first delta atom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StampWindow {
+    /// Exclusive lower bound: only rows stamped strictly later match.
+    pub after: Option<u64>,
+    /// Inclusive upper bound: only rows stamped at or before match.
+    pub up_to: Option<u64>,
+}
+
+impl StampWindow {
+    /// No restriction: all rows.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Only rows stamped strictly after `epoch` (the delta).
+    pub fn delta_after(epoch: u64) -> Self {
+        Self {
+            after: Some(epoch),
+            up_to: None,
+        }
+    }
+
+    /// Only rows stamped at or before `epoch` (the old instance).
+    pub fn old_up_to(epoch: u64) -> Self {
+        Self {
+            after: None,
+            up_to: Some(epoch),
+        }
+    }
+
+    /// `true` when the window imposes no restriction.
+    pub fn is_all(&self) -> bool {
+        self.after.is_none() && self.up_to.is_none()
+    }
+}
+
 /// An instance of a relation: a duplicate-free, insertion-ordered set of
 /// tuples over a [`RelationSchema`].
 #[derive(Debug, Clone)]
 pub struct RelationInstance {
     schema: RelationSchema,
     tuples: Vec<Tuple>,
+    /// Insert epoch of each tuple, parallel to `tuples` and non-decreasing.
+    stamps: Vec<u64>,
     seen: HashSet<Tuple>,
     indexes: HashMap<usize, HashIndex>,
+    /// Epoch stamped onto new inserts; advanced by the owning
+    /// [`crate::Database`].  Invariant: `epoch >= stamps.last()`.
+    epoch: u64,
 }
 
 impl RelationInstance {
@@ -26,8 +82,10 @@ impl RelationInstance {
         Self {
             schema,
             tuples: Vec::new(),
+            stamps: Vec::new(),
             seen: HashSet::new(),
             indexes: HashMap::new(),
+            epoch: 0,
         }
     }
 
@@ -61,6 +119,29 @@ impl RelationInstance {
         &self.tuples
     }
 
+    /// The epoch new inserts are stamped with.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The stamp of the most recently inserted row, if any.
+    pub fn last_stamp(&self) -> Option<u64> {
+        self.stamps.last().copied()
+    }
+
+    /// Set the epoch stamped onto subsequent inserts.  Clamped so that the
+    /// non-decreasing stamp invariant is preserved.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch.max(self.last_stamp().unwrap_or(0));
+    }
+
+    /// The rows inserted (or rewritten by null substitution) strictly after
+    /// `epoch`, in insertion order.
+    pub fn delta_since(&self, epoch: u64) -> &[Tuple] {
+        let start = self.stamps.partition_point(|s| *s <= epoch);
+        &self.tuples[start..]
+    }
+
     /// Does the instance contain `tuple`?
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.seen.contains(tuple)
@@ -76,7 +157,8 @@ impl RelationInstance {
     }
 
     /// Insert without schema validation; used by the Datalog± layer whose
-    /// predicates are untyped.
+    /// predicates are untyped.  The tuple is stamped with the current epoch
+    /// and live hash indexes are extended in place.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
         if self.seen.contains(&tuple) {
             return false;
@@ -87,6 +169,7 @@ impl RelationInstance {
         }
         self.seen.insert(tuple.clone());
         self.tuples.push(tuple);
+        self.stamps.push(self.epoch);
         true
     }
 
@@ -120,8 +203,25 @@ impl RelationInstance {
     /// Uses an index when one is available for some bound position; falls
     /// back to a scan otherwise.
     pub fn select(&self, bindings: &[(usize, Value)]) -> Vec<&Tuple> {
+        self.select_window(bindings, StampWindow::all())
+    }
+
+    /// Like [`RelationInstance::select`], restricted to rows whose insert
+    /// epoch lies inside `window`.
+    pub fn select_window(&self, bindings: &[(usize, Value)], window: StampWindow) -> Vec<&Tuple> {
+        let lo = window
+            .after
+            .map(|e| self.stamps.partition_point(|s| *s <= e))
+            .unwrap_or(0);
+        let hi = window
+            .up_to
+            .map(|e| self.stamps.partition_point(|s| *s <= e))
+            .unwrap_or(self.tuples.len());
+        if lo >= hi {
+            return Vec::new();
+        }
         if bindings.is_empty() {
-            return self.tuples.iter().collect();
+            return self.tuples[lo..hi].iter().collect();
         }
         // Prefer an indexed position.
         if let Some((pos, value)) = bindings
@@ -131,11 +231,12 @@ impl RelationInstance {
             let rows = self.indexes[pos].lookup(value);
             return rows
                 .iter()
+                .filter(|&&r| r >= lo && r < hi)
                 .map(|&r| &self.tuples[r])
                 .filter(|t| Self::matches(t, bindings))
                 .collect();
         }
-        self.tuples
+        self.tuples[lo..hi]
             .iter()
             .filter(|t| Self::matches(t, bindings))
             .collect()
@@ -158,39 +259,60 @@ impl RelationInstance {
     /// Replace every occurrence of the labeled null `from` with `to`, in
     /// every tuple.  Duplicate tuples created by the substitution collapse.
     /// Returns the number of tuples that changed.
+    ///
+    /// Rewritten tuples are re-appended with the *current* epoch, so they
+    /// show up in [`RelationInstance::delta_since`] — an EGD unification
+    /// re-enables exactly the rule triggers that touch the rewritten rows,
+    /// and the semi-naive chase discovers them through the delta.  Hash
+    /// indexes are rebuilt iff at least one row changed (row ids shift when
+    /// rows are re-appended); untouched relations keep their indexes as-is.
     pub fn substitute_null(&mut self, from: NullId, to: &Value) -> usize {
-        let mut changed = 0;
-        let old = std::mem::take(&mut self.tuples);
+        let references_null = |t: &Tuple| t.values().iter().any(|v| v.as_null() == Some(from));
+        if !self.tuples.iter().any(references_null) {
+            return 0;
+        }
+        let old_tuples = std::mem::take(&mut self.tuples);
+        let old_stamps = std::mem::take(&mut self.stamps);
         self.seen.clear();
-        let index_positions: Vec<usize> = self.indexes.keys().copied().collect();
-        self.indexes.clear();
-        for tuple in old {
+        let mut rewritten: Vec<Tuple> = Vec::new();
+        let mut changed = 0;
+        for (tuple, stamp) in old_tuples.into_iter().zip(old_stamps) {
             let replaced = tuple.substitute_null(from, to);
-            if replaced != tuple {
+            if replaced == tuple {
+                if self.seen.insert(replaced.clone()) {
+                    self.tuples.push(replaced);
+                    self.stamps.push(stamp);
+                }
+            } else {
                 changed += 1;
+                rewritten.push(replaced);
             }
-            if !self.seen.contains(&replaced) {
-                self.seen.insert(replaced.clone());
+        }
+        for replaced in rewritten {
+            if self.seen.insert(replaced.clone()) {
                 self.tuples.push(replaced);
+                self.stamps.push(self.epoch);
             }
         }
-        for pos in index_positions {
-            self.build_index(pos);
-        }
+        self.rebuild_indexes();
         changed
     }
 
-    /// Remove tuples for which `predicate` returns `true`; returns how many
-    /// were removed.  Indexes are rebuilt.
+    /// Remove tuples for which `keep` returns `false`; returns how many
+    /// were removed.  Indexes are rebuilt; stamps of surviving rows are
+    /// preserved.
     pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
         let before = self.tuples.len();
-        let index_positions: Vec<usize> = self.indexes.keys().copied().collect();
-        self.tuples.retain(|t| keep(t));
-        self.seen = self.tuples.iter().cloned().collect();
-        self.indexes.clear();
-        for pos in index_positions {
-            self.build_index(pos);
+        let old_tuples = std::mem::take(&mut self.tuples);
+        let old_stamps = std::mem::take(&mut self.stamps);
+        for (tuple, stamp) in old_tuples.into_iter().zip(old_stamps) {
+            if keep(&tuple) {
+                self.tuples.push(tuple);
+                self.stamps.push(stamp);
+            }
         }
+        self.seen = self.tuples.iter().cloned().collect();
+        self.rebuild_indexes();
         before - self.tuples.len()
     }
 
@@ -207,6 +329,13 @@ impl RelationInstance {
             .filter(|v| v.is_constant())
             .cloned()
             .collect()
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let positions: Vec<usize> = self.indexes.keys().copied().collect();
+        for pos in positions {
+            self.build_index(pos);
+        }
     }
 
     fn matches(tuple: &Tuple, bindings: &[(usize, Value)]) -> bool {
@@ -356,5 +485,87 @@ mod tests {
         let rendered = r.to_string();
         assert!(rendered.contains("UnitWard"));
         assert!(rendered.contains("(Standard, W1)"));
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch stamping and delta tracking.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn delta_since_sees_only_later_epochs() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.set_epoch(1);
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        r.set_epoch(2);
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+
+        assert_eq!(r.delta_since(0).len(), 2);
+        assert_eq!(r.delta_since(1), &[Tuple::from_iter(["Intensive", "W3"])]);
+        assert!(r.delta_since(2).is_empty());
+        // Nothing can be stamped after the maximum epoch.
+        assert_eq!(r.delta_since(u64::MAX), &[] as &[Tuple]);
+    }
+
+    #[test]
+    fn select_window_splits_old_and_delta() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.set_epoch(1);
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        r.build_index(0);
+
+        let binding = [(0usize, Value::str("Standard"))];
+        let old = r.select_window(&binding, StampWindow::old_up_to(0));
+        assert_eq!(old, vec![&Tuple::from_iter(["Standard", "W1"])]);
+        let delta = r.select_window(&binding, StampWindow::delta_after(0));
+        assert_eq!(delta, vec![&Tuple::from_iter(["Standard", "W2"])]);
+        let all = r.select_window(&binding, StampWindow::all());
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn substitution_restamps_rewritten_rows_into_the_delta() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(9)), Value::str("W1")]))
+            .unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        r.set_epoch(5);
+        let changed = r.substitute_null(NullId(9), &Value::str("Standard"));
+        assert_eq!(changed, 1);
+        // The rewritten row is in the delta after epoch 0; the untouched row
+        // is not.
+        assert_eq!(r.delta_since(0), &[Tuple::from_iter(["Standard", "W1"])]);
+        // Stamps stay sorted, so window selection still works.
+        assert_eq!(
+            r.select_window(&[], StampWindow::old_up_to(0)),
+            vec![&Tuple::from_iter(["Intensive", "W3"])]
+        );
+    }
+
+    #[test]
+    fn substitution_keeps_indexed_select_consistent() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(1)), Value::str("W1")]))
+            .unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        r.build_index(0);
+        r.substitute_null(NullId(1), &Value::str("Standard"));
+        // The old index key must be gone and the new key present.
+        assert!(r.select(&[(0, Value::null(NullId(1)))]).is_empty());
+        assert_eq!(r.select(&[(0, Value::str("Standard"))]).len(), 1);
+        assert_eq!(r.select(&[(0, Value::str("Intensive"))]).len(), 1);
+    }
+
+    #[test]
+    fn set_epoch_never_regresses_below_last_stamp() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.set_epoch(7);
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.set_epoch(3); // clamped to 7
+        assert_eq!(r.current_epoch(), 7);
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        assert_eq!(r.last_stamp(), Some(7));
+        assert!(r.delta_since(6).len() == 2);
     }
 }

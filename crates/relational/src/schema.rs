@@ -32,17 +32,17 @@ impl AttributeType {
     /// Does `value` conform to this type?  Labeled nulls conform to every
     /// type (they stand for an unknown domain value).
     pub fn admits(self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null(_)) => true,
-            (AttributeType::Any, _) => true,
-            (AttributeType::String, Value::Str(_)) => true,
-            (AttributeType::Integer, Value::Int(_)) => true,
-            (AttributeType::Double, Value::Double(_)) => true,
-            (AttributeType::Double, Value::Int(_)) => true,
-            (AttributeType::Boolean, Value::Bool(_)) => true,
-            (AttributeType::Time, Value::Time(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null(_))
+                | (AttributeType::Any, _)
+                | (AttributeType::String, Value::Str(_))
+                | (AttributeType::Integer, Value::Int(_))
+                | (AttributeType::Double, Value::Double(_))
+                | (AttributeType::Double, Value::Int(_))
+                | (AttributeType::Boolean, Value::Bool(_))
+                | (AttributeType::Time, Value::Time(_))
+        )
     }
 }
 
@@ -72,7 +72,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an attribute.
     pub fn new(name: impl Into<String>, ty: AttributeType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// A string-typed attribute (the most common case in the paper).
@@ -102,7 +105,10 @@ pub struct RelationSchema {
 impl RelationSchema {
     /// Construct a schema from a name and attributes.
     pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        Self { name: name.into(), attributes }
+        Self {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Construct a schema whose attributes are all [`AttributeType::Any`],
@@ -111,7 +117,10 @@ impl RelationSchema {
         let attributes = (0..arity)
             .map(|i| Attribute::any(format!("a{i}")))
             .collect();
-        Self { name: name.into(), attributes }
+        Self {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Relation name.
@@ -258,7 +267,11 @@ mod tests {
         let tuple = Tuple::new(vec![Value::str("Tom Waits")]);
         assert!(matches!(
             schema.validate(&tuple),
-            Err(RelationalError::ArityMismatch { expected: 3, actual: 1, .. })
+            Err(RelationalError::ArityMismatch {
+                expected: 3,
+                actual: 1,
+                ..
+            })
         ));
     }
 
@@ -299,7 +312,10 @@ mod tests {
     fn untyped_schema_has_any_attributes() {
         let schema = RelationSchema::untyped("P", 4);
         assert_eq!(schema.arity(), 4);
-        assert!(schema.attributes().iter().all(|a| a.ty == AttributeType::Any));
+        assert!(schema
+            .attributes()
+            .iter()
+            .all(|a| a.ty == AttributeType::Any));
         assert_eq!(schema.attribute_names(), vec!["a0", "a1", "a2", "a3"]);
     }
 

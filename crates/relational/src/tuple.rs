@@ -20,12 +20,20 @@ impl Tuple {
     }
 
     /// Construct a tuple from anything convertible into values.
+    ///
+    /// Deliberately an inherent method (not the `FromIterator` trait): the
+    /// generic `V: Into<Value>` bound lets call sites write
+    /// `Tuple::from_iter(["a", "b"])`, which trait-based collection cannot
+    /// infer.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, V>(values: I) -> Self
     where
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Self { values: values.into_iter().map(Into::into).collect() }
+        Self {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of values.

@@ -442,7 +442,10 @@ mod tests {
         let feb1 = Value::parse_time("Feb/1").unwrap().as_time().unwrap();
         assert_eq!(feb1, 31 * 24 * 60);
         assert_eq!(Value::format_time(feb1), "Feb/1-00:00");
-        let dec31 = Value::parse_time("Dec/31-23:59").unwrap().as_time().unwrap();
+        let dec31 = Value::parse_time("Dec/31-23:59")
+            .unwrap()
+            .as_time()
+            .unwrap();
         assert_eq!(Value::format_time(dec31), "Dec/31-23:59");
     }
 }

@@ -25,7 +25,11 @@ pub struct DimensionParams {
 impl DimensionParams {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, depth: usize, fanout: usize) -> Self {
-        Self { name: name.into(), depth: depth.max(1), fanout: fanout.max(1) }
+        Self {
+            name: name.into(),
+            depth: depth.max(1),
+            fanout: fanout.max(1),
+        }
     }
 
     /// The category name of level `level` (0 = bottom).
@@ -61,7 +65,10 @@ pub fn generate_linear_dimension(params: &DimensionParams) -> DimensionInstance 
     // Top level member(s).
     for index in 0..params.members_at(params.depth - 1) {
         instance
-            .add_member(&categories[params.depth - 1], params.member(params.depth - 1, index))
+            .add_member(
+                &categories[params.depth - 1],
+                params.member(params.depth - 1, index),
+            )
             .expect("top category exists");
     }
     // Children level by level, top-down.

@@ -11,8 +11,7 @@
 
 use ontodq_core::Context;
 use ontodq_mdm::{
-    CategoricalAttribute, CategoricalRelationSchema, DimensionInstance, DimensionSchema,
-    MdOntology,
+    CategoricalAttribute, CategoricalRelationSchema, DimensionInstance, DimensionSchema, MdOntology,
 };
 use ontodq_relational::{Database, Tuple, Value};
 use rand::rngs::StdRng;
@@ -38,7 +37,14 @@ pub struct HospitalScale {
 impl HospitalScale {
     /// A small default scale (a few times the paper's example).
     pub fn small() -> Self {
-        Self { units: 3, wards_per_unit: 2, patients: 8, days: 6, measurements: 64, seed: 7 }
+        Self {
+            units: 3,
+            wards_per_unit: 2,
+            patients: 8,
+            days: 6,
+            measurements: 64,
+            seed: 7,
+        }
     }
 
     /// A scale with roughly `n` measurement tuples and proportionally many
@@ -123,14 +129,18 @@ pub fn generate(scale: &HospitalScale) -> ScaledHospital {
         let unit_name = format!("Unit_{unit}");
         for ward in 0..scale.wards_per_unit {
             let ward_name = format!("Ward_{unit}_{ward}");
-            hospital.add_rollup("Ward", ward_name, "Unit", unit_name.clone()).unwrap();
+            hospital
+                .add_rollup("Ward", ward_name, "Unit", unit_name.clone())
+                .unwrap();
         }
         hospital
             .add_rollup("Unit", unit_name, "Institution", format!("H{}", unit % 2))
             .unwrap();
     }
     for h in ["H0", "H1"] {
-        hospital.add_rollup("Institution", h, "AllHospital", "all").unwrap();
+        hospital
+            .add_rollup("Institution", h, "AllHospital", "all")
+            .unwrap();
     }
 
     // Time dimension: minutes → days → months (one month per 30 days).
@@ -139,12 +149,15 @@ pub fn generate(scale: &HospitalScale) -> ScaledHospital {
     let minutes_per_day = [9 * 60, 12 * 60, 15 * 60, 18 * 60];
     for day in 0..scale.days {
         for minute in minutes_per_day {
-            time.add_rollup("Time", time_value(day, minute), "Day", day_name(day)).unwrap();
+            time.add_rollup("Time", time_value(day, minute), "Day", day_name(day))
+                .unwrap();
         }
-        time.add_rollup("Day", day_name(day), "Month", format!("Month_{}", day / 30)).unwrap();
+        time.add_rollup("Day", day_name(day), "Month", format!("Month_{}", day / 30))
+            .unwrap();
     }
     for month in 0..=(scale.days.saturating_sub(1) / 30) {
-        time.add_rollup("Month", format!("Month_{month}"), "AllTime", "all").unwrap();
+        time.add_rollup("Month", format!("Month_{month}"), "AllTime", "all")
+            .unwrap();
     }
 
     // Ontology with the categorical relations of the running example.
@@ -202,7 +215,10 @@ pub fn generate(scale: &HospitalScale) -> ScaledHospital {
             let (ward, unit) = ward_of(&mut rng);
             patient_day_ward.push((patient, day, ward.clone(), unit));
             ontology
-                .add_tuple("PatientWard", [ward, day_name(day), format!("Patient_{patient}")])
+                .add_tuple(
+                    "PatientWard",
+                    [ward, day_name(day), format!("Patient_{patient}")],
+                )
                 .unwrap();
         }
     }
@@ -211,11 +227,20 @@ pub fn generate(scale: &HospitalScale) -> ScaledHospital {
     for unit in 0..scale.units {
         for day in 0..scale.days {
             let nurse = format!("Nurse_{unit}_{}", day % 3);
-            let status = if (unit + day) % 3 == 0 { "non-c." } else { "cert." };
+            let status = if (unit + day) % 3 == 0 {
+                "non-c."
+            } else {
+                "cert."
+            };
             ontology
                 .add_tuple(
                     "WorkingSchedules",
-                    [format!("Unit_{unit}"), day_name(day), nurse, status.to_string()],
+                    [
+                        format!("Unit_{unit}"),
+                        day_name(day),
+                        nurse,
+                        status.to_string(),
+                    ],
                 )
                 .unwrap();
         }
@@ -248,7 +273,11 @@ pub fn generate(scale: &HospitalScale) -> ScaledHospital {
             .unwrap();
     }
 
-    ScaledHospital { scale: scale.clone(), ontology, instance }
+    ScaledHospital {
+        scale: scale.clone(),
+        ontology,
+        instance,
+    }
 }
 
 #[cfg(test)]
@@ -303,8 +332,18 @@ mod tests {
         let a = generate(&scale);
         scale.seed = 99;
         let b = generate(&scale);
-        let ta: Vec<_> = a.instance.relation("Measurements").unwrap().tuples().to_vec();
-        let tb: Vec<_> = b.instance.relation("Measurements").unwrap().tuples().to_vec();
+        let ta: Vec<_> = a
+            .instance
+            .relation("Measurements")
+            .unwrap()
+            .tuples()
+            .to_vec();
+        let tb: Vec<_> = b
+            .instance
+            .relation("Measurements")
+            .unwrap()
+            .tuples()
+            .to_vec();
         assert_ne!(ta, tb);
     }
 }

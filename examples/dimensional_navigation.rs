@@ -32,7 +32,10 @@ fn main() {
         println!("  {label}: {direction}");
     }
     println!("  upward-only ontology: {}", report.upward_only);
-    println!("  invents values (labeled nulls): {}", report.value_invention);
+    println!(
+        "  invents values (labeled nulls): {}",
+        report.value_invention
+    );
 
     let compiled = compile(&ontology);
 
@@ -49,8 +52,16 @@ fn main() {
         let by_resolution = resolution.answer_open(&query);
         println!(
             "  ward {ward}: chase-based answers = {:?}, resolution-based answers = {:?}",
-            by_chase.to_vec().iter().map(|t| t.to_string()).collect::<Vec<_>>(),
-            by_resolution.to_vec().iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            by_chase
+                .to_vec()
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
+            by_resolution
+                .to_vec()
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
         );
         assert_eq!(by_chase, by_resolution);
     }
@@ -97,10 +108,8 @@ fn main() {
     upward_only.add_rule(hospital::patient_unit_rule());
     assert!(navigation::is_upward_only(&upward_only));
     let compiled_upward = compile(&upward_only);
-    let query = ConjunctiveQuery::parse(
-        "Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
-    )
-    .unwrap();
+    let query =
+        ConjunctiveQuery::parse("Q(d) :- PatientUnit(Standard, d, p), p = \"Tom Waits\".").unwrap();
     let rewriting = ontodq_qa::rewrite(&compiled_upward.program, &query);
     println!("  query: {query}");
     println!("  rewriting ({} disjuncts):", rewriting.len());
@@ -110,6 +119,10 @@ fn main() {
     let answers = answer_by_rewriting(&compiled_upward.program, &compiled_upward.database, &query);
     println!(
         "  answers evaluated directly on the extensional database: {:?}",
-        answers.to_vec().iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        answers
+            .to_vec()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
     );
 }

@@ -26,7 +26,10 @@ fn main() {
     println!("  predicates: {}", compiled.program.predicates().len());
     println!("  TGDs: {}", compiled.program.tgds.len());
     println!("  EGDs: {}", compiled.program.egds.len());
-    println!("  negative constraints: {}", compiled.program.constraints.len());
+    println!(
+        "  negative constraints: {}",
+        compiled.program.constraints.len()
+    );
     println!("  extensional tuples: {}", compiled.database.total_tuples());
 
     let report = analysis::classify(&compiled.program);
@@ -57,7 +60,10 @@ fn main() {
     for (index, direction) in &nav.rules {
         println!("  rule #{index}: {direction}");
     }
-    println!("  FO rewriting applicable (upward-only): {}", nav.upward_only);
+    println!(
+        "  FO rewriting applicable (upward-only): {}",
+        nav.upward_only
+    );
 
     // ------------------------------------------------------------------
     // Adding the form-(10) discharge rule (Example 6).
@@ -67,7 +73,10 @@ fn main() {
     let report_ext = analysis::classify(&compiled_ext.program);
     println!("\n== With the form-(10) discharge rule (Example 6) ==");
     println!("  {report_ext}");
-    assert!(report_ext.weakly_sticky, "form-(10) rules preserve weak stickiness");
+    assert!(
+        report_ext.weakly_sticky,
+        "form-(10) rules preserve weak stickiness"
+    );
 
     // A unit-level EGD is no longer syntactically separable once rule (9)
     // can put nulls into the Unit position of PatientUnit.

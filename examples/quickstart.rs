@@ -48,9 +48,7 @@ fn main() {
     for tuple in assessment.quality_tuples("Measurements") {
         println!("  {tuple}");
     }
-    println!(
-        "\n== Table II: Tom Waits' quality measurements ==",
-    );
+    println!("\n== Table II: Tom Waits' quality measurements ==",);
     for tuple in assessment
         .quality_tuples("Measurements")
         .iter()

@@ -1,0 +1,231 @@
+//! Offline stand-in for the subset of the `proptest` crate API used by this
+//! workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! tiny property-testing harness with the same surface syntax:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` combinators,
+//! * strategies for integer ranges, tuples, `Vec`s ([`collection::vec`]),
+//!   `any::<T>()` for primitives, and simplified-regex string literals
+//!   (character classes with `{m,n}` repetition, e.g. `"[a-z][a-z0-9]{0,4}"`),
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`
+//!   header) and the `prop_assert*` macros,
+//! * [`prop_oneof!`] unions.
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! regression files: cases are generated from a deterministic per-test seed,
+//! so failures are reproducible but minimal counterexamples are not
+//! computed.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` in a test module expects.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one property closure over `cases` generated inputs.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the
+/// macro expansion can call it from test crates.
+pub fn run_cases<F>(test_name: &str, config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    // Seed derived from the test name so distinct properties explore
+    // distinct streams, deterministically across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case_index in 0..config.cases {
+        let mut rng = test_runner::TestRng::new(
+            seed ^ (case_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest property '{test_name}' failed at case {case_index}/{}: {}",
+                config.cases, e.0
+            );
+        }
+    }
+}
+
+/// The macro behind `proptest! { ... }`.
+///
+/// Supports an optional `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.  `prop_assert*`
+/// macros early-return a `TestCaseError`; plain `assert!`/`panic!` also work
+/// (they abort the whole property instead of reporting the case index).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &config, |__ptrng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __ptrng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: pick one of the strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let strat = "[A-Z][a-z0-9]{0,4}";
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().expect("first class has no quantifier");
+            assert!(first.is_ascii_uppercase());
+            let rest: Vec<char> = chars.collect();
+            assert!(rest.len() <= 4);
+            assert!(rest
+                .iter()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_vecs_stay_in_bounds() {
+        let strat = crate::collection::vec((0u8..8, 3i64..9), 2..5);
+        let mut rng = crate::test_runner::TestRng::new(2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 8);
+                assert!((3..9).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0usize..10, s in "[a-z]{1,3}") {
+            prop_assert!(x < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_is_accepted(x in prop_oneof![0i64..5, 100i64..105]) {
+            prop_assert!((0..5).contains(&x) || (100..105).contains(&x));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let strat = any::<f64>()
+            .prop_filter("finite", |d| d.is_finite())
+            .prop_map(|d| d.abs());
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The [`Strategy`] trait and the generators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A boxed, object-safe strategy (used by `prop_oneof!`).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// A generator of values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `keep` returns `true`.  Retries generation
+    /// (up to an internal limit) rather than shrinking.
+    fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            keep,
+        }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    keep: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.inner.generate(rng);
+            if (self.keep)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns cover the full space (including NaN/inf, which
+        // callers exclude with prop_filter when needed).
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// `&'static str` literals are string strategies over a simplified regex
+/// dialect: a sequence of character classes (`[a-z0-9_]`) or literal
+/// characters, each optionally followed by `{m,n}` / `{m}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for element in &elements {
+            let count = element.min + rng.below((element.max - element.min + 1) as u64) as usize;
+            for _ in 0..count {
+                let pick = rng.below(element.chars.len() as u64) as usize;
+                out.push(element.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternElement {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternElement> {
+    let mut elements = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = if c == '[' {
+            let mut class = Vec::new();
+            let mut prev: Option<char> = None;
+            while let Some(member) = chars.next() {
+                if member == ']' {
+                    break;
+                }
+                if member == '-' {
+                    // Range like `a-z`: combine prev with the next char.
+                    if let (Some(low), Some(&high)) = (prev, chars.peek()) {
+                        if high != ']' {
+                            chars.next();
+                            class.pop();
+                            for code in (low as u32)..=(high as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    class.push(ch);
+                                }
+                            }
+                            prev = None;
+                            continue;
+                        }
+                    }
+                    class.push('-');
+                    prev = Some('-');
+                } else {
+                    class.push(member);
+                    prev = Some(member);
+                }
+            }
+            assert!(
+                !class.is_empty(),
+                "empty character class in pattern '{pattern}'"
+            );
+            class
+        } else {
+            vec![c]
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} quantifier"),
+                    hi.trim().parse().expect("bad {m,n} quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern '{pattern}'");
+        elements.push(PatternElement {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    elements
+}

@@ -1,23 +1,31 @@
 //! Property-based integration tests of the quality-assessment pipeline over
 //! randomly scaled hospital workloads.
 
-use ontodq_core::clean_query::{plain_answers, quality_answers};
 use ontodq_core::assess;
+use ontodq_core::clean_query::{plain_answers, quality_answers};
 use ontodq_integration_tests::query;
 use ontodq_workload::{generate, HospitalScale};
 use proptest::prelude::*;
 
 fn arb_scale() -> impl Strategy<Value = HospitalScale> {
-    (1usize..4, 1usize..4, 2usize..8, 2usize..8, 5usize..60, 0u64..1000).prop_map(
-        |(units, wards, patients, days, measurements, seed)| HospitalScale {
-            units,
-            wards_per_unit: wards,
-            patients,
-            days,
-            measurements,
-            seed,
-        },
+    (
+        1usize..4,
+        1usize..4,
+        2usize..8,
+        2usize..8,
+        5usize..60,
+        0u64..1000,
     )
+        .prop_map(
+            |(units, wards, patients, days, measurements, seed)| HospitalScale {
+                units,
+                wards_per_unit: wards,
+                patients,
+                days,
+                measurements,
+                seed,
+            },
+        )
 }
 
 proptest! {

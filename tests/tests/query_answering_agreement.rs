@@ -19,7 +19,8 @@ fn upward_only() -> MdOntology {
     }
     for relation in hospital::ontology().data().relations() {
         for tuple in relation.iter() {
-            o.add_tuple(relation.name(), tuple.values().to_vec()).unwrap();
+            o.add_tuple(relation.name(), tuple.values().to_vec())
+                .unwrap();
         }
     }
     o.add_rule(hospital::patient_unit_rule());
@@ -128,15 +129,35 @@ fn boolean_queries_agree_between_resolution_and_materialization() {
     let materialized = MaterializedEngine::new(&compiled.program, &compiled.database);
     let resolution = DeterministicWsqAns::new(&compiled.program, &compiled.database);
     for (text, expected) in [
-        ("Q() :- PatientUnit(Standard, d, p), p = \"Tom Waits\".", true),
-        ("Q() :- PatientUnit(Standard, d, p), p = \"Elvis Costello\".", false),
+        (
+            "Q() :- PatientUnit(Standard, d, p), p = \"Tom Waits\".",
+            true,
+        ),
+        (
+            "Q() :- PatientUnit(Standard, d, p), p = \"Elvis Costello\".",
+            false,
+        ),
         ("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", s).", true),
         ("Q() :- Shifts(W3, \"Sep/9\", \"Mark\", s).", false),
-        ("Q() :- Shifts(W1, \"Sep/6\", \"Helen\", \"morning\").", true),
-        ("Q() :- Shifts(W2, \"Sep/9\", \"Mark\", \"morning\").", false),
+        (
+            "Q() :- Shifts(W1, \"Sep/6\", \"Helen\", \"morning\").",
+            true,
+        ),
+        (
+            "Q() :- Shifts(W2, \"Sep/9\", \"Mark\", \"morning\").",
+            false,
+        ),
     ] {
         let q = query(text);
-        assert_eq!(resolution.answer_boolean(&q), expected, "resolution on {text}");
-        assert_eq!(materialized.boolean(&q), expected, "materialization on {text}");
+        assert_eq!(
+            resolution.answer_boolean(&q),
+            expected,
+            "resolution on {text}"
+        );
+        assert_eq!(
+            materialized.boolean(&q),
+            expected,
+            "materialization on {text}"
+        );
     }
 }
