@@ -6,15 +6,23 @@
 //! ```text
 //! cargo run --release -p ontodq-bench --bin experiments            # everything
 //! cargo run --release -p ontodq-bench --bin experiments -- table2  # one experiment
+//! cargo run --release -p ontodq-bench --bin experiments -- --scale 4 scaling
 //! ```
 //!
 //! Available experiment ids: `table1`, `table2`, `table3_4`, `table5`,
 //! `example5`, `example7`, `fig1`, `fig2`, `classes`, `scaling`,
-//! `chase_perf`.
+//! `chase_perf`, `service_throughput`.
+//!
+//! `--scale N` multiplies the synthetic workload sizes of the scaling
+//! experiments (`scaling`, `chase_perf`, `service_throughput`); unknown ids
+//! or flags print usage and exit non-zero.
 //!
 //! `chase_perf` additionally writes a machine-readable `BENCH_chase.json`
 //! (naive vs semi-naive chase timings, rounds, trigger counts, tuples/sec)
-//! so future changes have a perf trajectory to compare against.
+//! and `service_throughput` writes `BENCH_service.json` (queries/sec at
+//! 1/2/4/8 worker threads; incremental vs from-scratch re-chase latency per
+//! update batch) so future changes have a perf trajectory to compare
+//! against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -28,9 +36,71 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
+const EXPERIMENT_IDS: [&str; 12] = [
+    "table1",
+    "table2",
+    "table3_4",
+    "table5",
+    "example5",
+    "example7",
+    "fig1",
+    "fig2",
+    "classes",
+    "scaling",
+    "chase_perf",
+    "service_throughput",
+];
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "usage: experiments [--scale N] [ID ...]\n\
+         \n\
+         Run the named experiments (all of them when no ID is given).\n\
+         \n\
+         options:\n\
+         \x20 --scale N   multiply synthetic workload sizes by N (default 1);\n\
+         \x20             affects scaling, chase_perf and service_throughput\n\
+         \n\
+         experiment ids:\n\
+         \x20 {}",
+        EXPERIMENT_IDS.join(", ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id || f == "all");
+    let mut scale = 1usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(value) = arg.strip_prefix("--scale=") {
+            scale = value
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad scale '{value}'")));
+        } else if arg == "--scale" {
+            let value = args
+                .next()
+                .unwrap_or_else(|| usage("--scale needs a number"));
+            scale = value
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad scale '{value}'")));
+        } else if arg == "--help" || arg == "-h" {
+            usage("");
+        } else if arg.starts_with('-') {
+            usage(&format!("unknown flag '{arg}'"));
+        } else if arg == "all" || EXPERIMENT_IDS.contains(&arg.as_str()) {
+            ids.push(arg);
+        } else {
+            usage(&format!("unknown experiment '{arg}'"));
+        }
+    }
+    if scale == 0 {
+        usage("--scale must be at least 1");
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|f| f == id || f == "all");
 
     if want("table1") {
         table1();
@@ -60,10 +130,13 @@ fn main() {
         classes();
     }
     if want("scaling") {
-        scaling();
+        scaling(scale);
     }
     if want("chase_perf") {
-        chase_perf();
+        chase_perf(scale);
+    }
+    if want("service_throughput") {
+        service_throughput(scale);
     }
 }
 
@@ -353,7 +426,7 @@ fn classes() {
 }
 
 /// Section IV claims: data-complexity scaling and rewriting vs chase.
-fn scaling() {
+fn scaling(scale: usize) {
     println!("### Section IV claims — scaling and strategy comparison\n");
     let mut table = MarkdownTable::new([
         "measurements",
@@ -363,7 +436,7 @@ fn scaling() {
         "retention",
     ]);
     for &n in &[50usize, 100, 200, 400] {
-        let workload = generate(&HospitalScale::with_measurements(n));
+        let workload = generate(&HospitalScale::with_measurements(n * scale));
         let context = workload.context();
         let start = Instant::now();
         let result = assess(&context, &workload.instance);
@@ -408,7 +481,7 @@ fn scaling() {
 
 /// Naive vs semi-naive chase on the scaled hospital workload, printed as
 /// markdown and written to `BENCH_chase.json` for machine consumption.
-fn chase_perf() {
+fn chase_perf(scale: usize) {
     use ontodq_chase::{chase, chase_naive};
 
     println!("### Chase engine — naive vs delta-driven semi-naive\n");
@@ -439,7 +512,7 @@ fn chase_perf() {
 
     let mut entries: Vec<String> = Vec::new();
     for &measurements in &[100usize, 200, 400, 800] {
-        let workload = generate(&HospitalScale::with_measurements(measurements));
+        let workload = generate(&HospitalScale::with_measurements(measurements * scale));
         let compiled = compile(&workload.ontology);
         let edb = compiled.database.total_tuples();
 
@@ -502,6 +575,181 @@ fn chase_perf() {
         entries.join(",\n")
     );
     let path = "BENCH_chase.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// `ontodq-server` under load: read throughput against a snapshot at
+/// 1/2/4/8 worker threads, and per-update-batch incremental re-chase
+/// latency vs a from-scratch re-assessment — printed as markdown and
+/// written to `BENCH_service.json`.
+fn service_throughput(scale: usize) {
+    use ontodq_server::{QualityService, WorkerPool};
+    use std::sync::Arc;
+
+    println!("### ontodq-server — snapshot read throughput and incremental re-chase\n");
+    let measurements = 200 * scale;
+    let workload = generate(&HospitalScale::with_measurements(measurements));
+    let context = workload.context();
+    let service = Arc::new(QualityService::new());
+    service
+        .register_context("scaled", context.clone(), workload.instance.clone())
+        .expect("register the scaled context");
+
+    // A mix of quality and plain query shapes over distinct patients, so the
+    // prepared-query cache sees many keys rather than one hot entry.
+    let patients: Vec<String> = (0..16).map(|p| format!("Patient_{p}")).collect();
+    let queries: Vec<(String, bool)> = patients
+        .iter()
+        .enumerate()
+        .map(|(index, patient)| {
+            (
+                format!("Measurements(t, p, v), p = \"{patient}\""),
+                index % 2 == 0,
+            )
+        })
+        .chain([
+            ("PatientUnit(Unit_0, d, p)".to_string(), false),
+            ("Measurements(t, p, v)".to_string(), true),
+        ])
+        .collect();
+
+    // -------- read throughput at 1/2/4/8 workers --------
+    let total_queries = 4_000 * scale;
+    let mut table = MarkdownTable::new(["workers", "queries", "elapsed", "queries/sec"]);
+    let mut throughput_entries: Vec<String> = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        let start = Instant::now();
+        let receivers: Vec<_> = (0..total_queries)
+            .map(|index| {
+                let service = Arc::clone(&service);
+                let (text, quality) = queries[index % queries.len()].clone();
+                pool.submit(move || {
+                    let response = if quality {
+                        service.quality_answers("scaled", &text)
+                    } else {
+                        service.plain_answers("scaled", &text)
+                    };
+                    response.expect("bench queries answer").answers.len()
+                })
+            })
+            .collect();
+        let mut answered = 0usize;
+        for receiver in receivers {
+            answered += receiver.recv().expect("worker delivers");
+        }
+        let elapsed = start.elapsed();
+        let qps = total_queries as f64 / elapsed.as_secs_f64().max(1e-9);
+        table.row([
+            workers.to_string(),
+            total_queries.to_string(),
+            fmt_duration(elapsed),
+            format!("{qps:.0}"),
+        ]);
+        throughput_entries.push(format!(
+            "    {{ \"workers\": {workers}, \"queries\": {total_queries}, \"seconds\": {:.6}, \"queries_per_second\": {qps:.1}, \"answers\": {answered} }}",
+            elapsed.as_secs_f64(),
+        ));
+    }
+    println!("{}", table.render());
+
+    // -------- incremental vs from-scratch re-chase per update batch --------
+    println!("### update batches — incremental re-chase vs from-scratch\n");
+    let batch_size = 10 * scale;
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .expect("scaled instance has measurements")
+        .tuples()
+        .to_vec();
+    let mut accumulated = workload.instance.clone();
+    let mut table = MarkdownTable::new([
+        "batch",
+        "facts",
+        "incremental",
+        "from-scratch",
+        "speedup",
+        "derived",
+    ]);
+    let mut update_entries: Vec<String> = Vec::new();
+    for batch_index in 0..5usize {
+        // New readings at existing (time, patient) pairs with fresh values,
+        // so they roll up through the Time dimension like real traffic.
+        let batch: Vec<(String, Tuple)> = (0..batch_size)
+            .map(|i| {
+                let source = &base[(batch_index * batch_size + i) % base.len()];
+                let value = 41.0 + (batch_index * batch_size + i) as f64 / 100.0;
+                (
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        source.get(0).unwrap().clone(),
+                        source.get(1).unwrap().clone(),
+                        Value::double(value),
+                    ]),
+                )
+            })
+            .collect();
+        for (name, tuple) in &batch {
+            accumulated.insert(name, tuple.clone()).unwrap();
+        }
+
+        let report = service
+            .insert_facts("scaled", batch)
+            .expect("bench batches apply");
+        let incremental = report.elapsed;
+
+        let start = Instant::now();
+        let scratch = assess(&context, &accumulated);
+        let from_scratch = start.elapsed();
+
+        let speedup = from_scratch.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
+        table.row([
+            report.version.to_string(),
+            report.new_facts.to_string(),
+            fmt_duration(incremental),
+            fmt_duration(from_scratch),
+            format!("{speedup:.1}x"),
+            report.derived.to_string(),
+        ]);
+        update_entries.push(format!(
+            "    {{ \"batch\": {}, \"facts\": {}, \"incremental_seconds\": {:.6}, \"from_scratch_seconds\": {:.6}, \"speedup\": {:.2}, \"derived\": {}, \"from_scratch_quality_tuples\": {} }}",
+            report.version,
+            report.new_facts,
+            incremental.as_secs_f64(),
+            from_scratch.as_secs_f64(),
+            speedup,
+            report.derived,
+            scratch.quality_tuples("Measurements").len(),
+        ));
+    }
+    println!("{}", table.render());
+
+    let cache = service.cache_stats();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"service_throughput\",\n",
+            "  \"workload\": \"scaled_hospital\",\n",
+            "  \"scale\": {},\n",
+            "  \"measurements\": {},\n",
+            "  \"throughput\": [\n{}\n  ],\n",
+            "  \"updates\": [\n{}\n  ],\n",
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"entries\": {} }}\n",
+            "}}\n"
+        ),
+        scale,
+        measurements,
+        throughput_entries.join(",\n"),
+        update_entries.join(",\n"),
+        cache.hits,
+        cache.misses,
+        cache.invalidations,
+        cache.entries,
+    );
+    let path = "BENCH_service.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

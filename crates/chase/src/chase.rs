@@ -33,12 +33,19 @@
 //! (inconsistency).  Tuples rewritten by a unification are re-stamped into
 //! the delta, so the semi-naive strategy re-examines exactly the rules they
 //! can re-trigger.  Negative constraints are checked on the final instance.
+//!
+//! For long-lived instances that receive update batches, the per-rule
+//! watermarks can be carried *across* chase runs: [`ChaseState`] +
+//! [`ChaseEngine::resume`] (or the [`chase_incremental`] shorthand) re-chase
+//! only the consequences of newly inserted facts instead of starting from
+//! scratch — the machinery behind `ontodq-server`'s incrementally maintained
+//! snapshots.
 
 use crate::eval::{ensure_indexes, evaluate, evaluate_delta, has_extension};
 use crate::provenance::{ChaseStats, ChaseStep, Provenance};
 use crate::violation::{EgdViolation, NcViolation, Violations};
 use ontodq_datalog::{Program, Tgd, Variable};
-use ontodq_relational::{Database, NullGenerator, Value};
+use ontodq_relational::{Database, NullGenerator, Tuple, Value};
 use std::collections::HashSet;
 
 /// Which chase variant to run.
@@ -160,6 +167,163 @@ impl ChaseResult {
     }
 }
 
+/// Persistent chase state for **incremental re-chasing**.
+///
+/// A `ChaseState` owns the working instance together with the per-rule
+/// epoch watermarks ("floors") of the delta-driven semi-naive strategy and
+/// the next fresh labeled-null id.  It is the resumable counterpart of
+/// [`ChaseEngine::run`]: after an initial [`ChaseEngine::resume`] has chased
+/// the state to a fixpoint, new extensional facts can be appended with
+/// [`ChaseState::insert_batch`] and a further `resume` call performs an
+/// **incremental re-chase** — trigger discovery is seeded from the rows
+/// stamped after each rule's stored watermark, so work is proportional to
+/// the update batch and its consequences, not to the whole instance.
+///
+/// ```
+/// use ontodq_chase::{chase, chase_incremental, ChaseState};
+/// use ontodq_datalog::parse_program;
+/// use ontodq_relational::{Database, Tuple};
+///
+/// let program = parse_program(
+///     "T(x, y) :- E(x, y).\nT(x, z) :- T(x, y), E(y, z).\n",
+/// ).unwrap();
+/// let mut db = Database::new();
+/// db.insert_values("E", ["a", "b"]).unwrap();
+///
+/// // Initial chase, keeping the resumable state.
+/// let mut state = ChaseState::new(&program, &db);
+/// chase_incremental(&program, &mut state);
+///
+/// // A later update batch: only the new tuples are re-joined.
+/// state.insert_batch([("E".to_string(), Tuple::from_iter(["b", "c"]))]);
+/// let incremental = chase_incremental(&program, &mut state);
+///
+/// // The incremental result equals a from-scratch chase of all facts.
+/// db.insert_values("E", ["b", "c"]).unwrap();
+/// let scratch = chase(&program, &db);
+/// assert_eq!(
+///     incremental.database.relation("T").unwrap().len(),
+///     scratch.database.relation("T").unwrap().len(),
+/// );
+/// ```
+///
+/// The state is tied to the program it was chased with: rules are identified
+/// by index, so resuming with a *different* program is only meaningful when
+/// the original rules keep their positions (appending new rules is fine —
+/// their floors start at `None`, i.e. a full first evaluation).
+///
+/// `resume` always uses delta-driven (semi-naive) trigger discovery under
+/// the **restricted** chase; the engine's `strategy`/`mode` configuration
+/// fields are ignored by the resumable path.
+#[derive(Debug, Clone)]
+pub struct ChaseState {
+    database: Database,
+    tgd_floor: Vec<Option<u64>>,
+    egd_floor: Vec<Option<u64>>,
+    next_null: u64,
+}
+
+impl ChaseState {
+    /// Seed a resumable state from `database` (cloned) for `program`: the
+    /// program's facts are loaded, every predicate the program mentions is
+    /// registered, and all rule watermarks start at `None` (never
+    /// evaluated), so the first [`ChaseEngine::resume`] performs a full
+    /// chase.
+    pub fn new(program: &Program, database: &Database) -> Self {
+        let mut db = database.clone();
+        program.facts_into_database(&mut db);
+        for (predicate, arity) in program.predicates() {
+            db.relation_or_create(&predicate, arity);
+        }
+        let next_null = db.max_null_id().map(|n| n + 1).unwrap_or(0);
+        Self {
+            database: db,
+            tgd_floor: vec![None; program.tgds.len()],
+            egd_floor: vec![None; program.egds.len()],
+            next_null,
+        }
+    }
+
+    /// The current working instance (extensional facts plus everything the
+    /// chase derived so far).
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The current epoch of the working instance.
+    pub fn epoch(&self) -> u64 {
+        self.database.epoch()
+    }
+
+    /// Append a batch of extensional facts, stamping them **after** every
+    /// stored rule watermark so the next [`ChaseEngine::resume`] discovers
+    /// exactly the triggers they enable.  Returns the number of genuinely
+    /// new tuples (duplicates are ignored).
+    ///
+    /// # Errors
+    /// Fails when a fact conflicts with its relation's schema (arity or
+    /// attribute types) or when two facts disagree on a new relation's
+    /// arity.  The whole batch is validated up front, so on error **nothing
+    /// is applied** — a long-lived state is never left half-updated.
+    pub fn insert_batch<I>(&mut self, facts: I) -> ontodq_relational::Result<usize>
+    where
+        I: IntoIterator<Item = (String, Tuple)>,
+    {
+        let facts: Vec<(String, Tuple)> = facts.into_iter().collect();
+        let mut fresh_arities: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for (predicate, tuple) in &facts {
+            match self.database.relation(predicate) {
+                Ok(relation) => relation.schema().validate(tuple)?,
+                Err(_) => {
+                    let arity = *fresh_arities.entry(predicate).or_insert(tuple.arity());
+                    if arity != tuple.arity() {
+                        return Err(ontodq_relational::RelationalError::ArityMismatch {
+                            relation: predicate.clone(),
+                            expected: arity,
+                            actual: tuple.arity(),
+                        });
+                    }
+                }
+            }
+        }
+        // One epoch tick per batch: EGD floors may sit exactly at the
+        // current epoch (their drain path does not advance it), and
+        // `delta_since` is strict, so rows stamped at the current epoch
+        // would be invisible to those rules.
+        self.database.advance_epoch();
+        let mut added = 0;
+        for (predicate, tuple) in facts {
+            if self
+                .database
+                .insert(&predicate, tuple)
+                .expect("batch was validated before application")
+            {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Re-align the state with `program` before a resume: load any new
+    /// program facts, register new predicates, and extend the watermark
+    /// vectors so appended rules get a full first evaluation.
+    fn sync_with(&mut self, program: &Program) {
+        if program.facts_into_database(&mut self.database) > 0 {
+            // Fresh program facts must land in every rule's delta; they were
+            // stamped at the current epoch, which may equal an EGD floor.
+            self.database.advance_epoch();
+        }
+        for (predicate, arity) in program.predicates() {
+            self.database.relation_or_create(&predicate, arity);
+        }
+        self.tgd_floor.resize(program.tgds.len(), None);
+        self.egd_floor.resize(program.egds.len(), None);
+        let floor = self.database.max_null_id().map(|n| n + 1).unwrap_or(0);
+        self.next_null = self.next_null.max(floor);
+    }
+}
+
 /// Mutable chase-run state shared between the strategies.
 struct RunState {
     nulls: NullGenerator,
@@ -240,6 +404,68 @@ impl ChaseEngine {
             stats: state.stats,
             violations: state.violations,
             provenance: state.provenance,
+            termination,
+        }
+    }
+
+    /// Resume the chase of `program` over a persistent [`ChaseState`].
+    ///
+    /// The first call on a fresh state performs a full (delta-driven
+    /// semi-naive, restricted) chase; subsequent calls after
+    /// [`ChaseState::insert_batch`] perform an **incremental re-chase**:
+    /// every rule's trigger discovery is seeded from the rows stamped after
+    /// its stored watermark, so only consequences of the new facts are
+    /// recomputed.  The state's watermarks, null counter and working
+    /// instance are updated in place; the returned [`ChaseResult`] carries a
+    /// snapshot (clone) of the chased instance plus the statistics and
+    /// violations of *this* resume step (negative constraints are re-checked
+    /// on the full final instance every time).
+    ///
+    /// The incremental result is a universal model of the program over the
+    /// accumulated facts, so certain query answers agree with a from-scratch
+    /// chase of the same fact set (the instances themselves may differ by
+    /// labeled nulls a from-scratch restricted chase would not invent).
+    pub fn resume(&self, program: &Program, state: &mut ChaseState) -> ChaseResult {
+        state.sync_with(program);
+        let mut run = RunState {
+            nulls: NullGenerator::starting_at(state.next_null),
+            stats: ChaseStats::default(),
+            violations: Violations::default(),
+            provenance: if self.config.record_provenance {
+                Provenance::recording()
+            } else {
+                Provenance::disabled()
+            },
+            fired: HashSet::new(),
+        };
+
+        let termination = self.run_seminaive_with_floors(
+            program,
+            &mut state.database,
+            &mut run,
+            &mut state.tgd_floor,
+            &mut state.egd_floor,
+        );
+        state.next_null = run.nulls.peek();
+
+        if self.config.check_constraints {
+            for (index, nc) in program.constraints.iter().enumerate() {
+                for witness in evaluate(&state.database, &nc.body) {
+                    run.stats.nc_violations += 1;
+                    run.violations.nc.push(NcViolation {
+                        constraint_index: index,
+                        label: nc.label.clone(),
+                        witness,
+                    });
+                }
+            }
+        }
+
+        ChaseResult {
+            database: state.database.clone(),
+            stats: run.stats,
+            violations: run.violations,
+            provenance: run.provenance,
             termination,
         }
     }
@@ -346,15 +572,28 @@ impl ChaseEngine {
         db: &mut Database,
         state: &mut RunState,
     ) -> TerminationReason {
-        if self.config.build_indexes {
-            self.build_rule_indexes(program, db);
-        }
-
         // Per-rule evaluation watermarks: a rule's next evaluation only
         // joins through rows stamped after its previous one.  `None` means
         // "never evaluated" → full join (the seeding round).
         let mut tgd_floor: Vec<Option<u64>> = vec![None; program.tgds.len()];
         let mut egd_floor: Vec<Option<u64>> = vec![None; program.egds.len()];
+        self.run_seminaive_with_floors(program, db, state, &mut tgd_floor, &mut egd_floor)
+    }
+
+    /// The semi-naive driver, parameterized over externally-held watermark
+    /// floors so a [`ChaseState`] can carry them across [`ChaseEngine::resume`]
+    /// calls.
+    fn run_seminaive_with_floors(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        state: &mut RunState,
+        tgd_floor: &mut [Option<u64>],
+        egd_floor: &mut [Option<u64>],
+    ) -> TerminationReason {
+        if self.config.build_indexes {
+            self.build_rule_indexes(program, db);
+        }
 
         let mut termination = TerminationReason::Fixpoint;
         'rounds: for round in 1..=self.config.max_rounds {
@@ -382,7 +621,7 @@ impl ChaseEngine {
             }
 
             if self.config.apply_egds {
-                let egd_changed = self.apply_egds_seminaive(program, db, state, &mut egd_floor);
+                let egd_changed = self.apply_egds_seminaive(program, db, state, egd_floor);
                 changed = changed || egd_changed;
             }
 
@@ -576,6 +815,14 @@ pub fn chase(program: &Program, database: &Database) -> ChaseResult {
 /// strategy.
 pub fn chase_naive(program: &Program, database: &Database) -> ChaseResult {
     ChaseEngine::new(ChaseConfig::naive()).run(program, database)
+}
+
+/// Convenience function: resume the chase of `program` over `state` with the
+/// default engine configuration — see [`ChaseEngine::resume`].  Call once on
+/// a fresh [`ChaseState`] for the initial full chase, then again after each
+/// [`ChaseState::insert_batch`] for an incremental re-chase.
+pub fn chase_incremental(program: &Program, state: &mut ChaseState) -> ChaseResult {
+    ChaseEngine::with_defaults().resume(program, state)
 }
 
 #[cfg(test)]
@@ -942,6 +1189,171 @@ mod tests {
                 config.strategy
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Resumable / incremental chase.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn first_resume_equals_a_full_chase() {
+        let program = parse_program(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- T(x, y), E(y, z).\n",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.insert_values("E", [a, b]).unwrap();
+        }
+        let scratch = chase(&program, &db);
+        let mut state = ChaseState::new(&program, &db);
+        let resumed = chase_incremental(&program, &mut state);
+        assert_eq!(resumed.termination, TerminationReason::Fixpoint);
+        assert_eq!(
+            resumed.database.relation("T").unwrap().len(),
+            scratch.database.relation("T").unwrap().len()
+        );
+        assert_eq!(resumed.stats.tuples_added, scratch.stats.tuples_added);
+    }
+
+    #[test]
+    fn incremental_rechase_matches_from_scratch_and_is_cheaper() {
+        let program = parse_program(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- T(x, y), E(y, z).\n",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for i in 0..20 {
+            db.insert_values("E", [format!("n{i}"), format!("n{}", i + 1)])
+                .unwrap();
+        }
+        let mut state = ChaseState::new(&program, &db);
+        let initial = chase_incremental(&program, &mut state);
+        assert_eq!(initial.termination, TerminationReason::Fixpoint);
+
+        // Append one edge and re-chase incrementally.
+        let added = state
+            .insert_batch([("E".to_string(), Tuple::from_iter(["n20", "n21"]))])
+            .unwrap();
+        assert_eq!(added, 1);
+        let incremental = chase_incremental(&program, &mut state);
+        assert_eq!(incremental.termination, TerminationReason::Fixpoint);
+
+        let mut full_db = db.clone();
+        full_db.insert_values("E", ["n20", "n21"]).unwrap();
+        let scratch = chase(&program, &full_db);
+        let st: std::collections::BTreeSet<_> = scratch
+            .database
+            .relation("T")
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        let it: std::collections::BTreeSet<_> = incremental
+            .database
+            .relation("T")
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        assert_eq!(st, it);
+        // The incremental step only derived the new paths (those ending in
+        // n21), a strict subset of the full re-derivation.
+        assert!(incremental.stats.tuples_added < scratch.stats.tuples_added);
+        assert_eq!(incremental.stats.tuples_added, 21);
+    }
+
+    #[test]
+    fn resume_empty_batch_is_a_cheap_noop() {
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
+        let mut state = ChaseState::new(&program, &hospital_db());
+        let _ = chase_incremental(&program, &mut state);
+        let again = chase_incremental(&program, &mut state);
+        assert_eq!(again.stats.tuples_added, 0);
+        assert_eq!(again.stats.triggers_fired, 0);
+        assert_eq!(again.termination, TerminationReason::Fixpoint);
+    }
+
+    #[test]
+    fn incremental_batch_retriggers_egd_unification() {
+        // Initial chase invents a null shift for Mark in W2; a later batch
+        // pins the W1 shift to "morning", and the EGD must unify the W2 null
+        // on resume — exercising delta-driven EGD floors across batches.
+        let program = parse_program(
+            "Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n\
+             s = s2 :- Shifts(w, d, n, s), Shifts(w2, d, n, s2).\n",
+        )
+        .unwrap();
+        let mut state = ChaseState::new(&program, &hospital_db());
+        let initial = chase_incremental(&program, &mut state);
+        assert!(initial.stats.nulls_created > 0);
+
+        state
+            .insert_batch([(
+                "Shifts".to_string(),
+                Tuple::from_iter(["W1", "Sep/9", "Mark", "morning"]),
+            )])
+            .unwrap();
+        let resumed = chase_incremental(&program, &mut state);
+        assert!(resumed.stats.egd_unifications >= 1);
+        let shifts = resumed.database.relation("Shifts").unwrap();
+        let marks: Vec<_> = shifts
+            .iter()
+            .filter(|t| t.get(2) == Some(&Value::str("Mark")))
+            .collect();
+        assert!(marks
+            .iter()
+            .all(|t| t.get(3) == Some(&Value::str("morning"))));
+    }
+
+    #[test]
+    fn fresh_nulls_after_resume_do_not_collide() {
+        let program =
+            parse_program("Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n")
+                .unwrap();
+        let mut state = ChaseState::new(&program, &hospital_db());
+        let initial = chase_incremental(&program, &mut state);
+        let nulls_before = initial.database.nulls().len();
+        // A new schedule row triggers downward navigation again → new nulls,
+        // distinct from all existing ones.
+        state
+            .insert_batch([(
+                "WorkingSchedules".to_string(),
+                Tuple::from_iter(["Intensive", "Sep/9", "Rita", "cert"]),
+            )])
+            .unwrap();
+        let resumed = chase_incremental(&program, &mut state);
+        assert_eq!(resumed.stats.nulls_created, 1);
+        assert_eq!(resumed.database.nulls().len(), nulls_before + 1);
+    }
+
+    #[test]
+    fn insert_batch_rejects_bad_batches_atomically() {
+        let program = parse_program("T(x, y) :- E(x, y).\n").unwrap();
+        let mut db = Database::new();
+        db.insert_values("E", ["a", "b"]).unwrap();
+        let mut state = ChaseState::new(&program, &db);
+        // A bad fact anywhere in the batch rejects the whole batch: the
+        // valid leading fact must not be applied.
+        let before = state.database().total_tuples();
+        let err = state.insert_batch([
+            ("E".to_string(), Tuple::from_iter(["c", "d"])),
+            ("E".to_string(), Tuple::from_iter(["only-one"])),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(state.database().total_tuples(), before);
+        // Two facts disagreeing on a brand-new relation's arity are rejected
+        // too.
+        let err = state.insert_batch([
+            ("Fresh".to_string(), Tuple::from_iter(["x"])),
+            ("Fresh".to_string(), Tuple::from_iter(["x", "y"])),
+        ]);
+        assert!(err.is_err());
+        assert!(!state.database().has_relation("Fresh"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`eval`] — evaluation of rule bodies / conjunctive queries over a
 //!   [`ontodq_relational::Database`] (the reference semantics reused by the
 //!   query-answering algorithms in `ontodq-qa`),
-//! * [`chase`] — the restricted and oblivious chase with EGD enforcement
+//! * [`mod@chase`] — the restricted and oblivious chase with EGD enforcement
 //!   (null unification or hard violations) and negative-constraint checking,
 //! * [`violation`] and [`provenance`] — structured reports of what the chase
 //!   found and did.
@@ -26,8 +26,8 @@ pub mod provenance;
 pub mod violation;
 
 pub use chase::{
-    chase, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, ChaseResult, EvalStrategy,
-    TerminationReason,
+    chase, chase_incremental, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, ChaseResult,
+    ChaseState, EvalStrategy, TerminationReason,
 };
 pub use eval::{
     ensure_indexes, evaluate, evaluate_delta, evaluate_limited, evaluate_project, has_extension,

@@ -1,9 +1,15 @@
 //! The assessment pipeline: map `D` into the context, chase, and extract the
 //! quality versions `S^q` (Fig. 2 of the paper, left to right).
+//!
+//! Two entry points are provided: [`assess`] / [`assess_with`] run the whole
+//! pipeline once (batch mode), while [`ResumableAssessment`] keeps the chase
+//! state alive so update batches can be folded in with an **incremental
+//! re-chase** ([`ontodq_chase::ChaseEngine::resume`]) instead of starting
+//! from scratch — the write path of `ontodq-server`.
 
 use crate::context::Context;
 use crate::metrics::{QualityMetrics, RelationQuality};
-use ontodq_chase::{ChaseConfig, ChaseEngine, ChaseResult};
+use ontodq_chase::{ChaseConfig, ChaseEngine, ChaseResult, ChaseState};
 use ontodq_datalog::Program;
 use ontodq_mdm::compile;
 use ontodq_relational::{Database, RelationSchema, Tuple};
@@ -60,6 +66,28 @@ pub fn assess_with(
     instance: &Database,
     options: &AssessmentOptions,
 ) -> AssessmentResult {
+    let (program, database) = compile_context(context, instance);
+
+    // Chase.
+    let chase = ChaseEngine::new(options.chase.clone()).run(&program, &database);
+
+    // Extract quality versions and metrics.
+    let (quality_database, metrics) = extract_quality(context, instance, &chase.database);
+
+    AssessmentResult {
+        contextual_instance: chase.database.clone(),
+        quality_database,
+        metrics,
+        chase,
+        program,
+    }
+}
+
+/// Steps 1–4 of the pipeline: compile the ontology, map `instance` into the
+/// context under the contextual names, merge external sources, and append
+/// the context's own rules — yielding the Datalog± program and the
+/// pre-chase contextual instance.
+fn compile_context(context: &Context, instance: &Database) -> (Program, Database) {
     // 1. Compile the multidimensional ontology.
     let compiled = compile(&context.ontology);
     let mut database = compiled.database.clone();
@@ -77,7 +105,8 @@ pub fn assess_with(
         }
     }
 
-    // 3. External sources become part of the contextual instance.
+    // 3. External sources become part of the contextual instance.  Schema
+    //    conflicts were already rejected by `ContextBuilder::build`.
     database
         .merge(&context.external_sources)
         .expect("external sources merge into the contextual instance");
@@ -86,10 +115,20 @@ pub fn assess_with(
     //    quality versions) join the program.
     program.tgds.extend(context.context_rules());
 
-    // 5. Chase.
-    let chase = ChaseEngine::new(options.chase.clone()).run(&program, &database);
+    (program, database)
+}
 
-    // 6. Extract the quality versions under the original names/schemas.
+/// Steps 6–7 of the pipeline: extract the quality versions under the
+/// original names/schemas from a chased contextual instance, and compute the
+/// per-relation departure metrics against `instance`.
+///
+/// Exposed so long-lived services (`ontodq-server`) can re-extract after an
+/// incremental re-chase without re-running the whole pipeline.
+pub fn extract_quality(
+    context: &Context,
+    instance: &Database,
+    chased: &Database,
+) -> (Database, QualityMetrics) {
     let mut quality_database = Database::new();
     for (original, spec) in &context.quality_versions {
         let schema = instance
@@ -99,7 +138,7 @@ pub fn assess_with(
         // Create even when empty, so callers can distinguish "empty quality
         // version" from "not assessed".
         let mut target = ontodq_relational::RelationInstance::new(schema);
-        if let Ok(source) = chase.database.relation(&spec.quality_name) {
+        if let Ok(source) = chased.relation(&spec.quality_name) {
             for tuple in source.iter() {
                 // Quality versions are certain data: drop tuples with nulls.
                 if tuple.is_ground() {
@@ -110,7 +149,6 @@ pub fn assess_with(
         quality_database.insert_relation(target);
     }
 
-    // 7. Metrics: how far does D depart from D^q?
     let mut metrics = QualityMetrics::default();
     for original in context.quality_versions.keys() {
         let original_tuples: Vec<Tuple> = instance
@@ -127,12 +165,213 @@ pub fn assess_with(
         );
     }
 
-    AssessmentResult {
-        contextual_instance: chase.database.clone(),
-        quality_database,
-        metrics,
-        chase,
-        program,
+    (quality_database, metrics)
+}
+
+/// The outcome of folding one update batch into a [`ResumableAssessment`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Number of genuinely new extensional tuples the batch contributed.
+    pub new_facts: usize,
+    /// The incremental re-chase step: a snapshot of the chased contextual
+    /// instance plus the statistics and violations of this step only.
+    pub chase: ChaseResult,
+}
+
+/// A long-lived assessment that folds update batches in with an incremental
+/// re-chase instead of re-running the pipeline from scratch.
+///
+/// The batch pipeline ([`assess`]) recompiles, re-maps and re-chases the
+/// whole contextual instance on every call.  `ResumableAssessment` compiles
+/// once, chases once, and then keeps the [`ChaseState`] (per-rule epoch
+/// watermarks, null counter, working instance) alive; each
+/// [`ResumableAssessment::insert_batch`] stamps the new facts into the delta
+/// and resumes the chase, so the work done is proportional to the update and
+/// its consequences.  This is the write path behind the snapshot-swapping
+/// `QualityService` of the `ontodq-server` crate.
+///
+/// Facts whose predicate is a mapped original relation (e.g. `Measurements`
+/// when the context maps `Measurements ↦ Measurements_c`) are inserted into
+/// the instance under assessment *and* into its contextual copy; all other
+/// predicates (categorical relations, parent–child predicates, external
+/// data) go directly into the contextual instance.
+#[derive(Debug, Clone)]
+pub struct ResumableAssessment {
+    context: Context,
+    program: Program,
+    instance: Database,
+    engine: ChaseEngine,
+    state: ChaseState,
+    last: ChaseSummary,
+    batches_applied: u64,
+}
+
+/// The statistics/violations of the most recent chase step, kept **without**
+/// the instance snapshot a full [`ChaseResult`] carries — so a long-lived
+/// assessment does not pay an extra whole-database clone per batch.
+#[derive(Debug, Clone)]
+struct ChaseSummary {
+    stats: ontodq_chase::ChaseStats,
+    violations: ontodq_chase::Violations,
+    termination: ontodq_chase::TerminationReason,
+}
+
+impl ChaseSummary {
+    fn of(result: &ChaseResult) -> Self {
+        Self {
+            stats: result.stats.clone(),
+            violations: result.violations.clone(),
+            termination: result.termination,
+        }
+    }
+}
+
+impl ResumableAssessment {
+    /// Compile `context` over `instance` and run the initial full chase.
+    pub fn new(context: Context, instance: Database) -> Self {
+        Self::with_options(context, instance, &AssessmentOptions::default())
+    }
+
+    /// Like [`ResumableAssessment::new`] with explicit chase options.
+    pub fn with_options(context: Context, instance: Database, options: &AssessmentOptions) -> Self {
+        let (program, database) = compile_context(&context, &instance);
+        let engine = ChaseEngine::new(options.chase.clone());
+        let mut state = ChaseState::new(&program, &database);
+        let last = ChaseSummary::of(&engine.resume(&program, &mut state));
+        Self {
+            context,
+            program,
+            instance,
+            engine,
+            state,
+            last,
+            batches_applied: 0,
+        }
+    }
+
+    /// The context being assessed against.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// The combined Datalog± program (ontology + context rules).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The instance under assessment `D`, including every batch applied so
+    /// far.
+    pub fn instance(&self) -> &Database {
+        &self.instance
+    }
+
+    /// The chased contextual instance (live working copy).
+    pub fn contextual(&self) -> &Database {
+        self.state.database()
+    }
+
+    /// Chase statistics of the most recent step (initial chase or last
+    /// incremental re-chase).
+    pub fn last_stats(&self) -> &ontodq_chase::ChaseStats {
+        &self.last.stats
+    }
+
+    /// Violations observed by the most recent chase step.
+    pub fn last_violations(&self) -> &ontodq_chase::Violations {
+        &self.last.violations
+    }
+
+    /// Why the most recent chase step stopped.
+    pub fn last_termination(&self) -> ontodq_chase::TerminationReason {
+        self.last.termination
+    }
+
+    /// Number of update batches folded in since construction.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// Fold a batch of new facts in and incrementally re-chase.
+    ///
+    /// # Errors
+    /// Fails when a fact conflicts with its relation's schema.  Both the
+    /// instance-under-assessment side and the contextual side of the batch
+    /// are validated before anything is applied, so on error the assessment
+    /// is unchanged and no re-chase runs (the batch is atomic).
+    pub fn insert_batch<I>(&mut self, facts: I) -> ontodq_relational::Result<BatchOutcome>
+    where
+        I: IntoIterator<Item = (String, Tuple)>,
+    {
+        let mut staged = Vec::new();
+        let mut originals = Vec::new();
+        let mut fresh_arities: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for (predicate, tuple) in facts {
+            if let Some(contextual) = self.context.contextual_name_of(&predicate) {
+                // A mapped original relation: lands in D and in its
+                // contextual copy.  Validate the D side now (the contextual
+                // side is validated by `ChaseState::insert_batch`); apply
+                // only after the whole batch has been validated.
+                match self.instance.relation(&predicate) {
+                    Ok(relation) => relation.schema().validate(&tuple)?,
+                    Err(_) => {
+                        let arity = *fresh_arities
+                            .entry(predicate.clone())
+                            .or_insert(tuple.arity());
+                        if arity != tuple.arity() {
+                            return Err(ontodq_relational::RelationalError::ArityMismatch {
+                                relation: predicate.clone(),
+                                expected: arity,
+                                actual: tuple.arity(),
+                            });
+                        }
+                    }
+                }
+                originals.push((predicate, tuple.clone()));
+                staged.push((contextual.to_string(), tuple));
+            } else {
+                staged.push((predicate, tuple));
+            }
+        }
+        // Contextual side first: it validates the full staged batch and
+        // applies atomically; only then is the D side (already validated
+        // above) applied.
+        let new_facts = self.state.insert_batch(staged)?;
+        for (predicate, tuple) in originals {
+            self.instance
+                .insert(&predicate, tuple)
+                .expect("the instance side of the batch was validated before application");
+        }
+        let chase = self.engine.resume(&self.program, &mut self.state);
+        self.last = ChaseSummary::of(&chase);
+        self.batches_applied += 1;
+        Ok(BatchOutcome { new_facts, chase })
+    }
+
+    /// Extract the current quality versions and metrics (steps 6–7 of the
+    /// pipeline) from the live chased instance.
+    pub fn extract(&self) -> (Database, QualityMetrics) {
+        extract_quality(&self.context, &self.instance, self.state.database())
+    }
+
+    /// Package the current state as a full [`AssessmentResult`], equivalent
+    /// (up to labeled-null renaming and chase statistics) to re-running
+    /// [`assess`] over the accumulated instance.
+    pub fn assessment(&self) -> AssessmentResult {
+        let (quality_database, metrics) = self.extract();
+        AssessmentResult {
+            contextual_instance: self.state.database().clone(),
+            quality_database,
+            metrics,
+            chase: ChaseResult {
+                database: self.state.database().clone(),
+                stats: self.last.stats.clone(),
+                violations: self.last.violations.clone(),
+                provenance: ontodq_chase::Provenance::disabled(),
+                termination: self.last.termination,
+            },
+            program: self.program.clone(),
+        }
     }
 }
 
@@ -226,5 +465,95 @@ mod tests {
         let instance = hospital::measurements_database();
         let result = assess(&context, &instance);
         assert!(result.quality_tuples("DoesNotExist").is_empty());
+    }
+
+    #[test]
+    fn resumable_assessment_matches_batch_assessment_initially() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let batch = assess(&context, &instance);
+        let resumable = ResumableAssessment::new(context, instance);
+        let snap = resumable.assessment();
+        assert_eq!(
+            snap.quality_tuples("Measurements"),
+            batch.quality_tuples("Measurements")
+        );
+        assert_eq!(snap.metrics.relations, batch.metrics.relations);
+    }
+
+    #[test]
+    fn incremental_batches_match_from_scratch_assessment() {
+        // Start from an EMPTY instance, stream the measurements in across
+        // two batches, and require the final quality version to equal the
+        // one-shot assessment of the full instance.
+        let context = hospital_context();
+        let full = hospital::measurements_database();
+        let all: Vec<Tuple> = full.relation("Measurements").unwrap().tuples().to_vec();
+
+        let mut resumable = ResumableAssessment::new(context.clone(), Database::new());
+        assert!(resumable
+            .assessment()
+            .quality_tuples("Measurements")
+            .is_empty());
+
+        let (first, second) = all.split_at(all.len() / 2);
+        for batch in [first, second] {
+            let outcome = resumable
+                .insert_batch(
+                    batch
+                        .iter()
+                        .map(|t| ("Measurements".to_string(), t.clone())),
+                )
+                .unwrap();
+            assert_eq!(outcome.new_facts, batch.len());
+        }
+        assert_eq!(resumable.batches_applied(), 2);
+
+        let scratch = assess(&context, &full);
+        let snap = resumable.assessment();
+        let mut incremental = snap.quality_tuples("Measurements");
+        let mut from_scratch = scratch.quality_tuples("Measurements");
+        incremental.sort();
+        from_scratch.sort();
+        assert_eq!(incremental, from_scratch);
+        assert_eq!(
+            snap.metrics.relations.get("Measurements"),
+            scratch.metrics.relations.get("Measurements")
+        );
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_assessment_unchanged() {
+        let context = hospital_context();
+        let mut resumable = ResumableAssessment::new(context, hospital::measurements_database());
+        let instance_before = resumable.instance().total_tuples();
+        let contextual_before = resumable.contextual().total_tuples();
+        let batches_before = resumable.batches_applied();
+        // A batch with a valid fact followed by a wrong-arity fact must be
+        // rejected wholesale: neither side applied, no re-chase run.
+        let good = hospital::expected_quality_measurements()[0].clone();
+        let err = resumable.insert_batch([
+            ("Measurements".to_string(), good),
+            ("Measurements".to_string(), Tuple::from_iter(["only-one"])),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(resumable.instance().total_tuples(), instance_before);
+        assert_eq!(resumable.contextual().total_tuples(), contextual_before);
+        assert_eq!(resumable.batches_applied(), batches_before);
+    }
+
+    #[test]
+    fn mapped_facts_land_in_instance_and_contextual_copy() {
+        let context = hospital_context();
+        let mut resumable = ResumableAssessment::new(context, Database::new());
+        let tuple = hospital::expected_quality_measurements()[0].clone();
+        resumable
+            .insert_batch([("Measurements".to_string(), tuple.clone())])
+            .unwrap();
+        assert!(resumable.instance().contains("Measurements", &tuple));
+        assert!(resumable.contextual().contains("Measurements_c", &tuple));
+        // The re-chase re-derived the quality version for the new tuple.
+        let (quality, _) = resumable.extract();
+        assert!(quality.contains("Measurements", &tuple));
     }
 }

@@ -23,6 +23,51 @@ use ontodq_relational::Database;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Why a [`Context`] could not be built.
+///
+/// Contexts used to panic on malformed rule texts; a long-running service
+/// registers contexts on behalf of callers, so construction failures must be
+/// reportable instead of fatal — [`ContextBuilder::build`] returns the first
+/// error it accumulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// A rule text did not parse at all.
+    BadRuleText {
+        /// The offending rule text.
+        text: String,
+        /// The parser's diagnostic.
+        message: String,
+    },
+    /// A rule text parsed, but not to a TGD (contexts only contribute TGDs;
+    /// constraints belong to the ontology).
+    NotATgd {
+        /// The offending rule text.
+        text: String,
+        /// What it parsed to instead.
+        parsed: String,
+    },
+    /// Two external sources disagreed on a relation schema.
+    ExternalSourceConflict(String),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::BadRuleText { text, message } => {
+                write!(f, "bad rule text '{text}': {message}")
+            }
+            ContextError::NotATgd { text, parsed } => {
+                write!(f, "expected a TGD rule, got '{parsed}' (from '{text}')")
+            }
+            ContextError::ExternalSourceConflict(message) => {
+                write!(f, "external sources conflict: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
 /// How a relation of the instance under assessment enters the context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaMapping {
@@ -125,6 +170,7 @@ impl Context {
                 name: name.into(),
                 ..Default::default()
             },
+            errors: Vec::new(),
         }
     }
 
@@ -174,9 +220,15 @@ impl Context {
 }
 
 /// Fluent builder for [`Context`].
+///
+/// The builder stays chainable even when a rule text is malformed: errors
+/// are accumulated and surfaced by [`ContextBuilder::build`], so a service
+/// registering caller-supplied contexts can reject them gracefully instead
+/// of panicking.
 #[derive(Debug, Clone, Default)]
 pub struct ContextBuilder {
     context: Context,
+    errors: Vec<ContextError>,
 }
 
 impl ContextBuilder {
@@ -203,22 +255,28 @@ impl ContextBuilder {
         self
     }
 
-    /// Add a contextual rule from text.
-    ///
-    /// # Panics
-    /// Panics when the text does not parse to a TGD; contexts are built by
-    /// application code with literal rule texts, so a parse failure is a
-    /// programming error.
+    /// Add a contextual rule from text.  A text that does not parse to a TGD
+    /// is recorded as an error and reported by [`ContextBuilder::build`].
     pub fn contextual_rule(mut self, text: &str) -> Self {
-        self.context.contextual_rules.push(parse_tgd(text));
+        match parse_tgd(text) {
+            Ok(tgd) => self.context.contextual_rules.push(tgd),
+            Err(e) => self.errors.push(e),
+        }
         self
     }
 
     /// Add a quality predicate defined by the given rule texts.
     pub fn quality_predicate(mut self, name: &str, description: &str, rule_texts: &[&str]) -> Self {
+        let mut rules = Vec::new();
+        for text in rule_texts {
+            match parse_tgd(text) {
+                Ok(tgd) => rules.push(tgd),
+                Err(e) => self.errors.push(e),
+            }
+        }
         self.context.quality_predicates.push(QualityPredicate {
             name: name.to_string(),
-            rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
+            rules,
             description: description.to_string(),
         });
         self
@@ -227,10 +285,17 @@ impl ContextBuilder {
     /// Define the quality version of `relation` by the given rule texts
     /// (their heads must use the `{relation}_q` predicate).
     pub fn quality_version(mut self, relation: &str, rule_texts: &[&str]) -> Self {
+        let mut rules = Vec::new();
+        for text in rule_texts {
+            match parse_tgd(text) {
+                Ok(tgd) => rules.push(tgd),
+                Err(e) => self.errors.push(e),
+            }
+        }
         let spec = QualityVersionSpec {
             original: relation.to_string(),
             quality_name: format!("{relation}_q"),
-            rules: rule_texts.iter().map(|t| parse_tgd(t)).collect(),
+            rules,
         };
         self.context
             .quality_versions
@@ -242,22 +307,40 @@ impl ContextBuilder {
     pub fn external_source(mut self, database: Database) -> Self {
         // Merge rather than replace, so several sources can be added.
         let mut merged = self.context.external_sources.clone();
-        merged.merge(&database).expect("external sources merge");
-        self.context.external_sources = merged;
+        match merged.merge(&database) {
+            Ok(_) => self.context.external_sources = merged,
+            Err(e) => self
+                .errors
+                .push(ContextError::ExternalSourceConflict(e.to_string())),
+        }
         self
     }
 
     /// Finish building.
-    pub fn build(self) -> Context {
-        self.context
+    ///
+    /// # Errors
+    /// Returns the first error accumulated while building — a malformed rule
+    /// text, a non-TGD rule, or an external-source schema conflict.
+    pub fn build(mut self) -> Result<Context, ContextError> {
+        if self.errors.is_empty() {
+            Ok(self.context)
+        } else {
+            Err(self.errors.remove(0))
+        }
     }
 }
 
-fn parse_tgd(text: &str) -> Tgd {
+fn parse_tgd(text: &str) -> Result<Tgd, ContextError> {
     match parse_rule(text) {
-        Ok(Rule::Tgd(t)) => t,
-        Ok(other) => panic!("expected a TGD rule, got: {other}"),
-        Err(e) => panic!("bad rule text '{text}': {e}"),
+        Ok(Rule::Tgd(t)) => Ok(t),
+        Ok(other) => Err(ContextError::NotATgd {
+            text: text.to_string(),
+            parsed: other.to_string(),
+        }),
+        Err(e) => Err(ContextError::BadRuleText {
+            text: text.to_string(),
+            message: e.to_string(),
+        }),
     }
 }
 
@@ -283,6 +366,7 @@ mod tests {
                 &["Measurements_q(t, p, v) :- MeasurementsExt(t, p, v, y, b), y = \"cert.\", b = B1."],
             )
             .build()
+            .expect("the sample context is well-formed")
     }
 
     #[test]
@@ -334,7 +418,8 @@ mod tests {
         let ctx = Context::builder("ctx")
             .copy_relation_as("Measurements", "MeasurementsContextCopy")
             .external_source(external)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(
             ctx.contextual_name_of("Measurements"),
             Some("MeasurementsContextCopy")
@@ -349,14 +434,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad rule text")]
-    fn bad_rule_text_panics() {
-        let _ = Context::builder("ctx").contextual_rule("this is not a rule");
+    fn bad_rule_text_is_an_error_not_a_panic() {
+        let err = Context::builder("ctx")
+            .contextual_rule("this is not a rule")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ContextError::BadRuleText { .. }));
+        assert!(err.to_string().contains("bad rule text"));
     }
 
     #[test]
-    #[should_panic(expected = "expected a TGD rule")]
-    fn non_tgd_rule_text_panics() {
-        let _ = Context::builder("ctx").contextual_rule("! :- R(x).");
+    fn non_tgd_rule_text_is_an_error() {
+        let err = Context::builder("ctx")
+            .contextual_rule("! :- R(x).")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ContextError::NotATgd { .. }));
+        assert!(err.to_string().contains("expected a TGD"));
+    }
+
+    #[test]
+    fn first_of_several_errors_is_reported() {
+        let err = Context::builder("ctx")
+            .contextual_rule("garbage")
+            .quality_version("R", &["! :- R(x)."])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ContextError::BadRuleText { .. }));
+    }
+
+    #[test]
+    fn external_source_conflicts_are_errors() {
+        let mut a = Database::new();
+        a.insert_values("E", ["x"]).unwrap();
+        let mut b = Database::new();
+        b.insert_values("E", ["x", "y"]).unwrap();
+        let err = Context::builder("ctx")
+            .external_source(a)
+            .external_source(b)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ContextError::ExternalSourceConflict(_)));
     }
 }

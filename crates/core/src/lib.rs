@@ -40,8 +40,12 @@ pub mod metrics;
 pub mod report;
 pub mod scenarios;
 
-pub use assessment::{assess, assess_with, AssessmentOptions, AssessmentResult};
+pub use assessment::{
+    assess, assess_with, AssessmentOptions, AssessmentResult, BatchOutcome, ResumableAssessment,
+};
 pub use clean_query::{assess_and_answer, plain_answers, quality_answers, rewrite_to_quality};
-pub use context::{Context, ContextBuilder, QualityPredicate, QualityVersionSpec, SchemaMapping};
+pub use context::{
+    Context, ContextBuilder, ContextError, QualityPredicate, QualityVersionSpec, SchemaMapping,
+};
 pub use metrics::{QualityMetrics, RelationQuality};
 pub use report::QualityReport;

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn report_handles_contexts_without_quality_predicates() {
-        let context = crate::Context::builder("bare").build();
+        let context = crate::Context::builder("bare").build().unwrap();
         let assessment = assess(&context, &Database::new());
         let report = QualityReport::render(&context, &assessment);
         assert!(report.text.contains("(none declared)"));

@@ -48,6 +48,7 @@ pub fn hospital_context() -> Context {
             ],
         )
         .build()
+        .expect("the Example 7 context is well-formed")
 }
 
 /// The doctor's query of Examples 1 and 7: "the body temperatures of Tom

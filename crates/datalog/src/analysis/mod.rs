@@ -1,7 +1,7 @@
 //! Syntactic analyses of Datalog± programs.
 //!
 //! * [`marking`] — the sticky-marking procedure;
-//! * [`classify`] — membership tests for linear, guarded, weakly guarded,
+//! * [`mod@classify`] — membership tests for linear, guarded, weakly guarded,
 //!   sticky, weakly sticky and weakly acyclic TGD sets, and a combined
 //!   [`classify::ClassReport`];
 //! * [`separability`] — the sufficient condition for EGDs to be separable

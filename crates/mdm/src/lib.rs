@@ -17,7 +17,7 @@
 //!   bundling dimensions, categorical relations with data, dimensional rules
 //!   (forms (4)/(10)), dimensional EGDs (form (2)) and negative constraints
 //!   (form (3)),
-//! * [`compile`] — the translation into Datalog± (category predicates,
+//! * [`mod@compile`] — the translation into Datalog± (category predicates,
 //!   parent–child predicates, referential constraints of form (1)) consumed
 //!   by `ontodq-chase` and `ontodq-qa`,
 //! * [`navigation`] — upward/downward direction analysis of dimensional

@@ -1,7 +1,7 @@
 //! Summarizability analysis of dimension instances.
 //!
 //! The HM model (Hurtado–Gutierrez–Mendelzon, *Capturing summarizability
-//! with integrity constraints in OLAP*, TODS 2005 — reference [12] of the
+//! with integrity constraints in OLAP*, TODS 2005 — reference \[12\] of the
 //! paper) characterizes when aggregate values computed at one category can be
 //! correctly derived from a lower category: roll-ups must be **strict**
 //! (functions) and **homogeneous** (total).  The paper inherits these notions

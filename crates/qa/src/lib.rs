@@ -12,7 +12,7 @@
 //!   top-down backtracking search for accepting resolution proof schemas,
 //!   answering Boolean conjunctive queries directly over the extensional
 //!   database and open queries by enumerating candidate substitutions,
-//! * [`rewrite`] — first-order (union-of-CQ) rewriting for upward-navigation
+//! * [`mod@rewrite`] — first-order (union-of-CQ) rewriting for upward-navigation
 //!   ontologies, evaluated directly on the extensional database.
 //!
 //! All three agree on certain answers for the ontologies the paper considers;
@@ -33,4 +33,15 @@ pub use resolution::{DeterministicWsqAns, ResolutionConfig};
 pub use rewrite::{
     answer_by_rewriting, answer_by_rewriting_prepared, rewrite, rewrite_with, RewriteConfig,
     UnionQuery,
+};
+
+// Compile-time thread-safety audit: `ontodq-server` prepares queries once
+// and reuses them from every worker thread (the shared prepared-query
+// cache), and ships answer sets across threads in `Arc`s.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConjunctiveQuery>();
+    assert_send_sync::<AnswerSet>();
+    assert_send_sync::<UnionQuery>();
+    assert_send_sync::<MaterializedEngine>();
 };

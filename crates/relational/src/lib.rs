@@ -42,6 +42,20 @@ pub use schema::{Attribute, AttributeType, RelationSchema};
 pub use tuple::Tuple;
 pub use value::Value;
 
+// Compile-time thread-safety audit: `ontodq-server` shares immutable
+// `Arc<Database>` snapshots across reader threads and moves whole databases
+// between writer and worker threads, so the substrate must stay `Send +
+// Sync` (no interior mutability, no `Rc`).  A regression fails right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<RelationInstance>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<NullGenerator>();
+    assert_send_sync::<HashIndex>();
+};
+
 #[cfg(test)]
 mod proptests {
     use super::*;

@@ -9,7 +9,7 @@
 //!
 //! Nulls compare equal only to themselves.  They can later be *unified* with
 //! constants or with other nulls by equality-generating dependencies; the
-//! [`crate::Database::substitute_value`] operation performs the global
+//! [`crate::Database::substitute_null`] operation performs the global
 //! replacement required by EGD enforcement.
 
 use std::fmt;

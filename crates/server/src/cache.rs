@@ -1,0 +1,261 @@
+//! The prepared-query cache.
+//!
+//! Queries arrive as protocol text; parsing and quality-rewriting them is
+//! pure per-`(context, query)` work, and their *answers* are pure
+//! per-snapshot-version work.  The cache memoizes both layers:
+//!
+//! * the **prepared** layer (parsed [`ConjunctiveQuery`], quality-rewritten
+//!   when asked with `?q-`) never expires — it only depends on the context's
+//!   rewrite map, which is immutable after registration;
+//! * the **answer** layer is keyed by the snapshot version that produced it
+//!   and is invalidated *by construction* when the writer swaps in a new
+//!   snapshot: a lookup with a newer version simply misses (counted as an
+//!   invalidation) and the caller recomputes against the new snapshot.
+//!
+//! The cache is shared by every worker thread; the map lock is held only for
+//! lookups and stores, never while a query is evaluated.
+
+use crate::error::ServiceError;
+use ontodq_core::{rewrite_to_quality, Context};
+use ontodq_datalog::{parse_rule, Rule};
+use ontodq_qa::{AnswerSet, ConjunctiveQuery};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which answer semantics a query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Certain answers over the snapshot as-is (`?-`).
+    Plain,
+    /// Certain answers after rewriting assessed relations to their quality
+    /// versions (`?q-`) — the paper's quality query answering.
+    Quality,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Answer-layer hits (query answered without touching the instance).
+    pub hits: u64,
+    /// Answer-layer misses for queries never answered before.
+    pub misses: u64,
+    /// Answer-layer misses because the snapshot version moved on (epoch
+    /// invalidation).
+    pub invalidations: u64,
+    /// Number of prepared `(context, kind, query)` entries resident.
+    pub entries: u64,
+    /// Times the cache hit its size bound and was reset.
+    pub evictions: u64,
+}
+
+/// Upper bound on resident prepared entries.  Query texts arrive from
+/// untrusted connections; without a bound a client cycling unique strings
+/// would grow server memory without limit.  When the bound is reached the
+/// cache is reset wholesale (counted in [`CacheStats::evictions`]) — crude,
+/// but a full reset costs one re-parse per *live* query shape, and a
+/// workload with more than this many distinct shapes gets little from
+/// memoization anyway.
+const MAX_ENTRIES: usize = 8_192;
+
+struct Entry {
+    query: Arc<ConjunctiveQuery>,
+    answers: Option<(u64, Arc<AnswerSet>)>,
+}
+
+type Key = (String, QueryKind, String);
+
+/// A concurrent `(context, query) → prepared query + versioned answers`
+/// cache — see the module docs.
+pub struct QueryCache {
+    entries: Mutex<HashMap<Key, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The prepared form of `text` for `kind` under `context`, parsing (and
+    /// quality-rewriting) on first sight.
+    pub fn prepared(
+        &self,
+        context_name: &str,
+        context: &Context,
+        kind: QueryKind,
+        text: &str,
+    ) -> Result<Arc<ConjunctiveQuery>, ServiceError> {
+        let key: Key = (context_name.to_string(), kind, text.to_string());
+        if let Some(entry) = self.entries.lock().unwrap().get(&key) {
+            return Ok(entry.query.clone());
+        }
+        // Parse outside the lock; a racing thread may do the same work, but
+        // the outcome is identical and the first store wins.
+        let parsed = parse_query_text(text)?;
+        let query = Arc::new(match kind {
+            QueryKind::Plain => parsed,
+            QueryKind::Quality => rewrite_to_quality(context, &parsed),
+        });
+        let mut map = self.entries.lock().unwrap();
+        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
+            map.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = map.entry(key).or_insert(Entry {
+            query: query.clone(),
+            answers: None,
+        });
+        Ok(entry.query.clone())
+    }
+
+    /// The memoized answers for `(context, kind, text)` **iff** they were
+    /// computed against snapshot `version`; stale or absent memos count as
+    /// invalidations/misses respectively.
+    pub fn cached_answers(
+        &self,
+        context_name: &str,
+        kind: QueryKind,
+        text: &str,
+        version: u64,
+    ) -> Option<Arc<AnswerSet>> {
+        let key: Key = (context_name.to_string(), kind, text.to_string());
+        let map = self.entries.lock().unwrap();
+        match map.get(&key).and_then(|e| e.answers.as_ref()) {
+            Some((v, answers)) if *v == version => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answers.clone())
+            }
+            Some(_) => {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoize `answers` as computed against snapshot `version`.  An entry
+    /// computed against a newer version is never overwritten by a slower
+    /// thread holding an older one.
+    pub fn store_answers(
+        &self,
+        context_name: &str,
+        kind: QueryKind,
+        text: &str,
+        version: u64,
+        answers: Arc<AnswerSet>,
+    ) {
+        let key: Key = (context_name.to_string(), kind, text.to_string());
+        let mut map = self.entries.lock().unwrap();
+        if let Some(entry) = map.get_mut(&key) {
+            match &entry.answers {
+                Some((v, _)) if *v > version => {}
+                _ => entry.answers = Some((version, answers)),
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parse protocol query text into a [`ConjunctiveQuery`].
+///
+/// Two spellings are accepted:
+///
+/// * a full rule, `Q(d) :- Shifts(W2, d, n, s).` — the head names the
+///   answer variables;
+/// * a bare body, `Shifts(W2, d, n, s), n = "Mark".` — every variable of a
+///   positive atom becomes an answer variable, in order of first appearance.
+pub fn parse_query_text(text: &str) -> Result<ConjunctiveQuery, ServiceError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ServiceError::Parse("empty query".to_string()));
+    }
+    let normalized = if trimmed.ends_with('.') {
+        trimmed.to_string()
+    } else {
+        format!("{trimmed}.")
+    };
+    if normalized.contains(":-") {
+        return ConjunctiveQuery::parse(&normalized).map_err(ServiceError::Parse);
+    }
+    // Bare body: parse it through the negative-constraint form, which takes
+    // exactly a conjunction, then surface the positive-atom variables.
+    match parse_rule(&format!("! :- {normalized}")) {
+        Ok(Rule::Constraint(nc)) => {
+            let mut answer_variables = Vec::new();
+            for atom in &nc.body.atoms {
+                for v in atom.variables() {
+                    if !answer_variables.contains(&v) {
+                        answer_variables.push(v);
+                    }
+                }
+            }
+            Ok(ConjunctiveQuery::new("Q", answer_variables, nc.body))
+        }
+        Ok(other) => Err(ServiceError::Parse(format!(
+            "expected a query body, got: {other}"
+        ))),
+        Err(e) => Err(ServiceError::Parse(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_body_queries_expose_positive_variables_in_order() {
+        let q = parse_query_text("Shifts(W2, d, n, s), n = \"Mark\"").unwrap();
+        assert_eq!(q.arity(), 3);
+        let names: Vec<String> = q.answer_variables.iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, vec!["d", "n", "s"]);
+    }
+
+    #[test]
+    fn full_rule_queries_keep_their_head() {
+        let q = parse_query_text("Q(d) :- Shifts(W2, d, n, s).").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.name, "Q");
+    }
+
+    #[test]
+    fn bad_query_text_is_a_parse_error() {
+        assert!(matches!(
+            parse_query_text("this is not a query"),
+            Err(ServiceError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query_text("   "),
+            Err(ServiceError::Parse(_))
+        ));
+    }
+}

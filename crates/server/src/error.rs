@@ -1,0 +1,52 @@
+//! Service-level errors.
+
+use ontodq_core::ContextError;
+use ontodq_relational::RelationalError;
+use std::fmt;
+
+/// Why a [`crate::QualityService`] operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No context registered under the given name.
+    UnknownContext(String),
+    /// A context is already registered under the given name.
+    DuplicateContext(String),
+    /// The context could not be built (malformed rule text, …) — surfaced
+    /// through the registration path instead of panicking the service.
+    Context(ContextError),
+    /// A query or fact line did not parse.
+    Parse(String),
+    /// A fact conflicted with a relation schema (wrong arity, …).
+    Data(String),
+    /// The worker pool was shut down while a job was pending.
+    PoolClosed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownContext(name) => write!(f, "unknown context '{name}'"),
+            ServiceError::DuplicateContext(name) => {
+                write!(f, "context '{name}' is already registered")
+            }
+            ServiceError::Context(e) => write!(f, "context rejected: {e}"),
+            ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ServiceError::Data(msg) => write!(f, "data error: {msg}"),
+            ServiceError::PoolClosed => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ContextError> for ServiceError {
+    fn from(e: ContextError) -> Self {
+        ServiceError::Context(e)
+    }
+}
+
+impl From<RelationalError> for ServiceError {
+    fn from(e: RelationalError) -> Self {
+        ServiceError::Data(e.to_string())
+    }
+}

@@ -1,0 +1,159 @@
+//! The `ontodq-server` binary: the quality-assessment service behind the
+//! line protocol, over stdin/stdout or TCP.
+//!
+//! ```text
+//! ontodq-server --stdin                     one session on stdin/stdout
+//! ontodq-server --listen 127.0.0.1:7407     thread-per-connection TCP
+//! ```
+//!
+//! Options: `--workers N` (query worker threads, default 4), `--empty`
+//! (register the hospital context with an empty instance under assessment),
+//! `--scale N` (additionally register a `scaled` context with an
+//! N-hundred-measurement scaled-hospital workload).
+
+use ontodq_core::scenarios;
+use ontodq_mdm::fixtures::hospital;
+use ontodq_relational::Database;
+use ontodq_server::{serve_session, QualityService, WorkerPool};
+use ontodq_workload::{generate, HospitalScale};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: ontodq-server (--stdin | --listen ADDR) [options]
+  --stdin          serve one protocol session on stdin/stdout
+  --listen ADDR    serve TCP connections (thread per connection), e.g. 127.0.0.1:7407
+  --workers N      query worker threads shared by all sessions (default 4)
+  --empty          register the hospital context with an empty instance
+  --scale N        also register a 'scaled' context (N hundred measurements)
+  --help           this text";
+
+struct Options {
+    stdin: bool,
+    listen: Option<String>,
+    workers: usize,
+    empty: bool,
+    scale: Option<usize>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        stdin: false,
+        listen: None,
+        workers: 4,
+        empty: false,
+        scale: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => options.stdin = true,
+            "--listen" => {
+                options.listen = Some(args.next().ok_or("--listen needs an address")?);
+            }
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a number")?;
+                options.workers = n.parse().map_err(|_| format!("bad worker count '{n}'"))?;
+            }
+            "--empty" => options.empty = true,
+            "--scale" => {
+                let n = args.next().ok_or("--scale needs a number")?;
+                options.scale = Some(n.parse().map_err(|_| format!("bad scale '{n}'"))?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if options.stdin == options.listen.is_some() {
+        return Err("pick exactly one of --stdin / --listen ADDR".to_string());
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let service = Arc::new(QualityService::new());
+    let instance = if options.empty {
+        Database::new()
+    } else {
+        hospital::measurements_database()
+    };
+    service
+        .register_context("hospital", scenarios::hospital_context(), instance)
+        .expect("register the hospital context");
+    if let Some(scale) = options.scale {
+        let workload = generate(&HospitalScale::with_measurements(scale * 100));
+        service
+            .register_context("scaled", workload.context(), workload.instance.clone())
+            .expect("register the scaled context");
+    }
+    let pool = Arc::new(WorkerPool::new(options.workers));
+
+    if options.stdin {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = serve_session(&service, &pool, "hospital", stdin.lock(), stdout.lock()) {
+            eprintln!("session error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let address = options.listen.expect("validated above");
+    let listener = match TcpListener::bind(&address) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot listen on {address}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "ontodq-server listening on {address} ({} workers, contexts: {})",
+        pool.size(),
+        service.context_names().join(", ")
+    );
+    for connection in listener.incoming() {
+        let stream = match connection {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string());
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(e) => {
+                    eprintln!("[{peer}] cannot clone stream: {e}");
+                    return;
+                }
+            };
+            // Buffer the response side: large answer sets would otherwise
+            // pay one write syscall per tuple (serve_session flushes at
+            // every request boundary).
+            let mut writer = BufWriter::new(stream);
+            let _ = writeln!(writer, "ok ontodq-server ready (try !help)");
+            let _ = writer.flush();
+            if let Err(e) = serve_session(&service, &pool, "hospital", reader, writer) {
+                eprintln!("[{peer}] session error: {e}");
+            }
+        });
+    }
+}

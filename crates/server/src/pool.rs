@@ -1,0 +1,167 @@
+//! A fixed worker-thread pool with a channel job queue.
+//!
+//! `std`-only: N `std::thread` workers drain a shared `mpsc` queue.  Query
+//! jobs from every connection funnel through the pool, so the degree of
+//! query parallelism is a single deployment knob (`--workers`) independent
+//! of the number of connections, and all workers share one prepared-query
+//! cache through the service.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool — see the module docs.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `size` workers (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ontodq-worker-{index}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only to pop; run the job after
+                        // releasing it so workers drain in parallel.  A lock
+                        // poisoned by a panicking *peer* only means the peer
+                        // died mid-pop, which cannot corrupt the receiver —
+                        // keep draining.
+                        let job = match receiver
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .recv()
+                        {
+                            Ok(job) => job,
+                            Err(_) => break, // all senders dropped: shut down
+                        };
+                        // A panicking job must not take the worker down with
+                        // it: once every worker has died, all later submits
+                        // would block forever.  The job's result sender is
+                        // dropped by the unwind, so the submitter sees a
+                        // RecvError instead of a hang.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a fire-and-forget job.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Enqueue `job` and return a receiver for its result; `recv()` on it
+    /// blocks until a worker has run the job.
+    pub fn submit<F, T>(&self, job: F) -> mpsc::Receiver<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.execute(move || {
+            // The caller may have hung up; that only means nobody wants the
+            // result.
+            let _ = tx.send(job());
+        });
+        rx
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let rx = pool.submit(|| 21 * 2);
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn many_jobs_across_workers_all_complete() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let receivers: Vec<_> = (0..64)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let mut sum = 0usize;
+        for rx in receivers {
+            sum += rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(sum, (0..64).sum());
+    }
+
+    #[test]
+    fn zero_requested_workers_still_yields_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.submit(|| 1).recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = WorkerPool::new(2);
+        let rx = pool.submit(|| "done");
+        assert_eq!(rx.recv().unwrap(), "done");
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        // The single worker survives more panics than there are workers…
+        for _ in 0..3 {
+            let rx = pool.submit(|| panic!("job blew up"));
+            // …and the submitter observes a RecvError, not a hang.
+            assert!(rx.recv().is_err());
+        }
+        // The pool still serves jobs afterwards.
+        assert_eq!(pool.submit(|| 7).recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,426 @@
+//! The line protocol front end.
+//!
+//! One session per connection (TCP) or per process (`--stdin`); each line is
+//! a request, each request produces one or more response lines ending in an
+//! `ok …` or `err: …` status line.  See `docs/protocol.md` for the full
+//! specification.  Summary:
+//!
+//! ```text
+//! +Measurements(@Sep/5-12:10, "Tom Waits", 38.2).   stage a fact
+//! !flush                                            apply staged facts (re-chase)
+//! ?- Measurements(t, p, v), p = "Tom Waits".        plain certain answers
+//! ?q- Measurements(t, p, v).                        quality answers
+//! !use CONTEXT                                      switch context
+//! !contexts    !stats    !help    !quit
+//! ```
+//!
+//! Staged facts are applied as **one batch** before any query (or on
+//! `!flush`), so a client streaming many `+fact.` lines pays one incremental
+//! re-chase, not one per fact.  Query evaluation is dispatched to the shared
+//! [`WorkerPool`]; the session thread only parses, stages and prints.
+
+use crate::cache::QueryKind;
+use crate::error::ServiceError;
+use crate::pool::WorkerPool;
+use crate::service::QualityService;
+use ontodq_datalog::{parse_program, Term};
+use ontodq_relational::Tuple;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// One parsed protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `+Pred(c1, …, cn).` — stage a ground fact.
+    InsertFact(String),
+    /// `?- body.` — plain certain answers.
+    PlainQuery(String),
+    /// `?q- body.` — quality answers.
+    QualityQuery(String),
+    /// `!flush` — apply the staged batch now.
+    Flush,
+    /// `!discard` — drop the staged batch without applying it.
+    Discard,
+    /// `!use NAME` — switch the session to another context.
+    UseContext(String),
+    /// `!contexts` — list registered contexts.
+    Contexts,
+    /// `!stats` — snapshot version, instance sizes, cache counters.
+    Stats,
+    /// `!help` — print the command summary.
+    Help,
+    /// `!quit` — end the session.
+    Quit,
+    /// Blank line or `# comment`.
+    Empty,
+}
+
+/// Parse one protocol line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Request::Empty);
+    }
+    if let Some(rest) = line.strip_prefix("?q-") {
+        return Ok(Request::QualityQuery(rest.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("?-") {
+        return Ok(Request::PlainQuery(rest.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix('+') {
+        return Ok(Request::InsertFact(rest.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix('!') {
+        let mut parts = rest.trim().splitn(2, char::is_whitespace);
+        let command = parts.next().unwrap_or_default();
+        let argument = parts.next().unwrap_or("").trim();
+        return match (command, argument) {
+            ("flush", "") => Ok(Request::Flush),
+            ("discard", "") => Ok(Request::Discard),
+            ("use", name) if !name.is_empty() => Ok(Request::UseContext(name.to_string())),
+            ("contexts", "") => Ok(Request::Contexts),
+            ("stats", "") => Ok(Request::Stats),
+            ("help", "") => Ok(Request::Help),
+            ("quit", "") | ("exit", "") => Ok(Request::Quit),
+            _ => Err(format!("unknown command '!{rest}' (try !help)")),
+        };
+    }
+    Err(format!(
+        "unrecognized line '{line}' (facts start with '+', queries with '?-' or '?q-', commands with '!')"
+    ))
+}
+
+/// Parse the text after `+` into `(predicate, tuple)` facts.
+///
+/// The text must be one or more ground facts in rule syntax (e.g.
+/// `Measurements(@Sep/5-12:10, "Tom Waits", 38.2).`); rules are rejected —
+/// the program is fixed by the registered context.
+pub fn parse_facts(text: &str) -> Result<Vec<(String, Tuple)>, ServiceError> {
+    let normalized = if text.trim_end().ends_with('.') {
+        text.to_string()
+    } else {
+        format!("{text}.")
+    };
+    let program = parse_program(&normalized).map_err(|e| ServiceError::Parse(e.to_string()))?;
+    if program.rule_count() != program.facts.len() {
+        return Err(ServiceError::Parse(
+            "only ground facts may be inserted; rules are fixed by the context".to_string(),
+        ));
+    }
+    if program.facts.is_empty() {
+        return Err(ServiceError::Parse("no fact found".to_string()));
+    }
+    Ok(program
+        .facts
+        .iter()
+        .map(|fact| {
+            let atom = fact.atom();
+            let values = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect::<Vec<_>>();
+            (atom.predicate.clone(), Tuple::new(values))
+        })
+        .collect())
+}
+
+const HELP: &str = "\
++Fact(c1, ..., cn).   stage a ground fact for the current context
+!flush                apply staged facts as one batch (incremental re-chase)
+!discard              drop staged facts without applying them
+?- body.              plain certain answers (auto-flushes staged facts)
+?q- body.             quality answers over the quality versions
+!use NAME             switch context        !contexts  list contexts
+!stats                versions and cache    !help      this text
+!quit                 end the session";
+
+/// Serve one session: read protocol lines from `reader`, write responses to
+/// `writer`, until EOF or `!quit`.
+pub fn serve_session<R: BufRead, W: Write>(
+    service: &Arc<QualityService>,
+    pool: &Arc<WorkerPool>,
+    default_context: &str,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let mut context = default_context.to_string();
+    let mut staged: Vec<(String, Tuple)> = Vec::new();
+
+    for line in reader.lines() {
+        let line = line?;
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                writeln!(writer, "err: {message}")?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match request {
+            Request::Empty => continue,
+            Request::Quit => {
+                writeln!(writer, "ok bye")?;
+                writer.flush()?;
+                break;
+            }
+            Request::Help => writeln!(writer, "{HELP}\nok")?,
+            Request::Contexts => {
+                let names = service.context_names();
+                writeln!(writer, "ok contexts={}", names.join(","))?;
+            }
+            Request::UseContext(name) => {
+                if !staged.is_empty() {
+                    // Staged facts belong to the context they were staged
+                    // for; switching would silently apply them elsewhere.
+                    writeln!(
+                        writer,
+                        "err: {} fact(s) staged for context '{context}'; !flush them first",
+                        staged.len()
+                    )?;
+                } else if service.context_names().iter().any(|n| n == &name) {
+                    context = name;
+                    writeln!(writer, "ok context={context}")?;
+                } else {
+                    writeln!(writer, "err: unknown context '{name}'")?;
+                }
+            }
+            Request::Stats => match service.snapshot(&context) {
+                Ok(snapshot) => {
+                    let cache = service.cache_stats();
+                    writeln!(
+                        writer,
+                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={}",
+                        context,
+                        snapshot.version,
+                        snapshot.total_tuples(),
+                        staged.len(),
+                        cache.hits,
+                        cache.misses,
+                        cache.invalidations,
+                    )?;
+                }
+                Err(e) => writeln!(writer, "err: {e}")?,
+            },
+            Request::InsertFact(text) => match parse_facts(&text) {
+                Ok(facts) => {
+                    staged.extend(facts);
+                    writeln!(writer, "ok staged={}", staged.len())?;
+                }
+                Err(e) => writeln!(writer, "err: {e}")?,
+            },
+            Request::Discard => {
+                let dropped = staged.len();
+                staged.clear();
+                writeln!(writer, "ok discarded={dropped}")?;
+            }
+            Request::Flush => {
+                match flush(service, &context, &mut staged) {
+                    Ok(Some(report)) => writeln!(
+                        writer,
+                        "ok applied new={} derived={} version={} violations={} micros={}",
+                        report.new_facts,
+                        report.derived,
+                        report.version,
+                        report.violations,
+                        report.elapsed.as_micros(),
+                    )?,
+                    Ok(None) => writeln!(writer, "ok applied new=0 (nothing staged)")?,
+                    Err(e) => writeln!(writer, "err: {e}")?,
+                };
+            }
+            ref request @ (Request::PlainQuery(ref text) | Request::QualityQuery(ref text)) => {
+                let text = text.clone();
+                let kind = match request {
+                    Request::QualityQuery(_) => QueryKind::Quality,
+                    _ => QueryKind::Plain,
+                };
+                // Writes are visible to the writer's own subsequent reads:
+                // staged facts are applied before answering.
+                if let Err(e) = flush(service, &context, &mut staged) {
+                    writeln!(writer, "err: {e}")?;
+                    writer.flush()?;
+                    continue;
+                }
+                // Evaluate on the shared worker pool.
+                let service = Arc::clone(service);
+                let job_context = context.clone();
+                let receiver = pool.submit(move || match kind {
+                    QueryKind::Plain => service.plain_answers(&job_context, &text),
+                    QueryKind::Quality => service.quality_answers(&job_context, &text),
+                });
+                match receiver.recv() {
+                    Ok(Ok(response)) => {
+                        for tuple in response.answers.iter() {
+                            writeln!(writer, "{tuple}")?;
+                        }
+                        writeln!(
+                            writer,
+                            "ok answers={} version={} cached={}",
+                            response.answers.len(),
+                            response.version,
+                            response.cached,
+                        )?;
+                    }
+                    Ok(Err(e)) => writeln!(writer, "err: {e}")?,
+                    Err(_) => writeln!(writer, "err: {}", ServiceError::PoolClosed)?,
+                }
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Apply the staged batch, if any.  On failure the staged facts are kept —
+/// batches are applied atomically (a rejected batch changed nothing), so the
+/// client can drop or fix the offending fact and `!flush` again.
+fn flush(
+    service: &Arc<QualityService>,
+    context: &str,
+    staged: &mut Vec<(String, Tuple)>,
+) -> Result<Option<crate::service::UpdateReport>, ServiceError> {
+    if staged.is_empty() {
+        return Ok(None);
+    }
+    let report = service.insert_facts(context, staged.clone())?;
+    staged.clear();
+    Ok(Some(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_core::scenarios;
+    use ontodq_mdm::fixtures::hospital;
+
+    fn session_output(input: &str) -> String {
+        let service = Arc::new(QualityService::new());
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut output = Vec::new();
+        serve_session(&service, &pool, "hospital", input.as_bytes(), &mut output).unwrap();
+        String::from_utf8(output).unwrap()
+    }
+
+    #[test]
+    fn parse_request_covers_every_form() {
+        assert_eq!(parse_request(""), Ok(Request::Empty));
+        assert_eq!(parse_request("# hi"), Ok(Request::Empty));
+        assert_eq!(
+            parse_request("+R(a)."),
+            Ok(Request::InsertFact("R(a).".to_string()))
+        );
+        assert_eq!(
+            parse_request("?- R(x)."),
+            Ok(Request::PlainQuery("R(x).".to_string()))
+        );
+        assert_eq!(
+            parse_request("?q- R(x)."),
+            Ok(Request::QualityQuery("R(x).".to_string()))
+        );
+        assert_eq!(parse_request("!flush"), Ok(Request::Flush));
+        assert_eq!(parse_request("!discard"), Ok(Request::Discard));
+        assert_eq!(
+            parse_request("!use scaled"),
+            Ok(Request::UseContext("scaled".to_string()))
+        );
+        assert_eq!(parse_request("!contexts"), Ok(Request::Contexts));
+        assert_eq!(parse_request("!stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("!help"), Ok(Request::Help));
+        assert_eq!(parse_request("!quit"), Ok(Request::Quit));
+        assert!(parse_request("!nope").is_err());
+        assert!(parse_request("garbage").is_err());
+    }
+
+    #[test]
+    fn facts_parse_to_predicate_tuple_pairs() {
+        let facts = parse_facts("Measurements(@Sep/5-12:10, \"Tom Waits\", 38.2).").unwrap();
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].0, "Measurements");
+        assert_eq!(facts[0].1.arity(), 3);
+        // Rules are rejected.
+        assert!(parse_facts("R(x) :- S(x).").is_err());
+        assert!(parse_facts("").is_err());
+    }
+
+    #[test]
+    fn end_to_end_stdin_session() {
+        let out = session_output(
+            "?q- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             +Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).\n\
+             ?q- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             !stats\n\
+             !quit\n",
+        );
+        // Tom's two quality rows from version 0.
+        assert!(out.contains("ok answers=2 version=0"));
+        // The staged fact is applied before Lou's query: 2 original quality
+        // rows + the new reading.
+        assert!(out.contains("ok staged=1"));
+        assert!(out.contains("39.9"));
+        assert!(out.contains("ok answers=3 version=1"));
+        assert!(out.contains("ok context=hospital version=1"));
+        assert!(out.trim_end().ends_with("ok bye"));
+    }
+
+    #[test]
+    fn use_refuses_to_carry_staged_facts_across_contexts() {
+        let out = session_output(
+            "+Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).\n\
+             !use hospital\n\
+             !discard\n\
+             !use hospital\n\
+             ?q- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             !quit\n",
+        );
+        // Switching with staged facts is refused, even to the same name…
+        assert!(out.contains("err: 1 fact(s) staged for context 'hospital'"));
+        // …discarding clears them, after which switching works and the
+        // discarded fact never reached the instance (Lou keeps 2 quality
+        // rows).
+        assert!(out.contains("ok discarded=1"));
+        assert!(out.contains("ok context=hospital"));
+        assert!(out.contains("ok answers=2 version=0"));
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_staged_batch_for_retry() {
+        let out = session_output(
+            "+Measurements(@Sep/6-11:05, \"Lou Reed\").\n\
+             !flush\n\
+             !stats\n\
+             !discard\n\
+             !quit\n",
+        );
+        // The wrong-arity fact stages fine but the batch is rejected
+        // atomically…
+        assert!(out.contains("ok staged=1"));
+        assert!(out.contains("err: data error"));
+        // …and stays staged (visible in !stats) until discarded.
+        assert!(out.contains("staged=1 cache_hits"));
+        assert!(out.contains("ok discarded=1"));
+    }
+
+    #[test]
+    fn errors_are_reported_inline_and_do_not_kill_the_session() {
+        let out = session_output(
+            "?- not a query at all\n\
+             +R(x) :- S(x).\n\
+             !use nope\n\
+             ?- Measurements(t, p, v).\n\
+             !quit\n",
+        );
+        assert!(out.matches("err:").count() >= 3);
+        assert!(out.contains("ok answers=6 version=0"));
+    }
+}

@@ -1,0 +1,425 @@
+//! The concurrent quality-assessment service.
+
+use crate::cache::{CacheStats, QueryCache, QueryKind};
+use crate::error::ServiceError;
+use crate::snapshot::Snapshot;
+use ontodq_core::{Context, ContextBuilder, ResumableAssessment};
+use ontodq_qa::AnswerSet;
+use ontodq_relational::{Database, Tuple};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// One registered context: an immutable snapshot slot for readers and a
+/// serialized writer state.
+struct ContextEntry {
+    /// The context definition (immutable after registration; used for
+    /// quality rewriting).
+    context: Context,
+    /// The current snapshot.  Readers hold this lock only long enough to
+    /// clone the `Arc`; the writer only to swap it.  All query evaluation
+    /// happens on the immutable snapshot outside any lock.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// The resumable chase state.  One writer at a time per context; readers
+    /// never touch it.
+    writer: Mutex<ResumableAssessment>,
+}
+
+impl ContextEntry {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.read().unwrap().clone()
+    }
+}
+
+/// What an applied update batch did.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// The snapshot version the batch produced.
+    pub version: u64,
+    /// Genuinely new extensional tuples in the batch (duplicates ignored).
+    pub new_facts: usize,
+    /// Tuples derived by the incremental re-chase.
+    pub derived: usize,
+    /// EGD/constraint violations observed by this step.
+    pub violations: usize,
+    /// Wall-clock time of the incremental re-chase + snapshot swap.
+    pub elapsed: Duration,
+}
+
+/// The answers to one query, with their provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The snapshot version the answers are valid for.
+    pub version: u64,
+    /// The certain answers.
+    pub answers: Arc<AnswerSet>,
+    /// Whether the answers came from the prepared-query cache.
+    pub cached: bool,
+}
+
+/// A concurrent, snapshot-isolated quality-assessment service.
+///
+/// Each registered context keeps its fully-chased instance as an immutable
+/// [`Snapshot`] behind an `Arc`.  Reads clone the `Arc` and evaluate with no
+/// further synchronization; writes go through a per-context writer lock,
+/// fold the batch in with an **incremental re-chase**
+/// ([`ontodq_core::ResumableAssessment`], resuming from the stored epoch
+/// watermarks instead of re-chasing from scratch) and atomically swap the
+/// snapshot.  Readers therefore never observe a half-applied batch, and a
+/// long chase never blocks queries — they keep hitting the previous
+/// snapshot until the swap.
+///
+/// A shared [`QueryCache`] memoizes parsed/rewritten queries per
+/// `(context, query)` and their answers per snapshot version, so repeated
+/// queries between updates cost a map lookup.
+pub struct QualityService {
+    contexts: RwLock<BTreeMap<String, Arc<ContextEntry>>>,
+    cache: QueryCache,
+}
+
+impl QualityService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self {
+            contexts: RwLock::new(BTreeMap::new()),
+            cache: QueryCache::new(),
+        }
+    }
+
+    /// Register a context under `name` with its initial instance under
+    /// assessment; runs the initial full chase and publishes snapshot
+    /// version 0.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateContext`] when the name is taken.
+    pub fn register_context(
+        &self,
+        name: &str,
+        context: Context,
+        instance: Database,
+    ) -> Result<(), ServiceError> {
+        // Fast duplicate probe before paying for the initial chase.  The
+        // authoritative check is repeated under the write lock below (two
+        // racing registrations may both pass the probe; one loses there).
+        if self.contexts.read().unwrap().contains_key(name) {
+            return Err(ServiceError::DuplicateContext(name.to_string()));
+        }
+        // Chase outside the map lock: registration of a large context must
+        // not stall queries against other contexts.
+        let writer = ResumableAssessment::new(context.clone(), instance);
+        let snapshot = Self::build_snapshot(name, 0, &writer, writer.contextual().clone());
+        let entry = Arc::new(ContextEntry {
+            context,
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(writer),
+        });
+        let mut map = self.contexts.write().unwrap();
+        if map.contains_key(name) {
+            return Err(ServiceError::DuplicateContext(name.to_string()));
+        }
+        map.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Build and register a context in one step, surfacing
+    /// [`ontodq_core::ContextError`]s (malformed rule texts, …) as
+    /// [`ServiceError::Context`] instead of panicking — the fallible
+    /// registration path for caller-supplied context definitions.
+    pub fn register_built(
+        &self,
+        name: &str,
+        builder: ContextBuilder,
+        instance: Database,
+    ) -> Result<(), ServiceError> {
+        let context = builder.build()?;
+        self.register_context(name, context, instance)
+    }
+
+    /// The names of all registered contexts.
+    pub fn context_names(&self) -> Vec<String> {
+        self.contexts.read().unwrap().keys().cloned().collect()
+    }
+
+    /// The current snapshot of `context` — the entry point for lock-free
+    /// read paths that want to run many queries against one consistent
+    /// version.
+    pub fn snapshot(&self, context: &str) -> Result<Arc<Snapshot>, ServiceError> {
+        Ok(self.entry(context)?.snapshot())
+    }
+
+    /// Apply a batch of facts to `context`: facts for mapped original
+    /// relations update the instance under assessment and its contextual
+    /// copy, everything else lands in the contextual instance; then an
+    /// incremental re-chase brings the instance back to a universal model
+    /// and the new snapshot is swapped in atomically.
+    pub fn insert_facts(
+        &self,
+        context: &str,
+        facts: Vec<(String, Tuple)>,
+    ) -> Result<UpdateReport, ServiceError> {
+        let entry = self.entry(context)?;
+        let start = Instant::now();
+        let mut writer = entry.writer.lock().unwrap();
+        let outcome = writer.insert_batch(facts)?;
+        let version = writer.batches_applied();
+        let derived = outcome.chase.stats.tuples_added;
+        let violations = outcome.chase.violations.len();
+        let snapshot = Self::build_snapshot(context, version, &writer, outcome.chase.database);
+        *entry.snapshot.write().unwrap() = Arc::new(snapshot);
+        // Release the writer lock only after the swap so versions are
+        // published in order.
+        drop(writer);
+        Ok(UpdateReport {
+            version,
+            new_facts: outcome.new_facts,
+            derived,
+            violations,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The certain answers to `text` (see
+    /// [`crate::cache::parse_query_text`] for accepted spellings) over the
+    /// current snapshot of `context`.
+    pub fn plain_answers(&self, context: &str, text: &str) -> Result<QueryResponse, ServiceError> {
+        self.query(context, QueryKind::Plain, text)
+    }
+
+    /// The quality answers: `text` is rewritten so assessed relations read
+    /// their quality versions (the paper's clean query answering), then
+    /// evaluated over the current snapshot.
+    pub fn quality_answers(
+        &self,
+        context: &str,
+        text: &str,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.query(context, QueryKind::Quality, text)
+    }
+
+    /// Shared query path: prepare (cached), consult the answer memo for the
+    /// snapshot's version, evaluate on miss.
+    fn query(
+        &self,
+        context: &str,
+        kind: QueryKind,
+        text: &str,
+    ) -> Result<QueryResponse, ServiceError> {
+        let entry = self.entry(context)?;
+        let prepared = self.cache.prepared(context, &entry.context, kind, text)?;
+        let snapshot = entry.snapshot();
+        if let Some(answers) = self
+            .cache
+            .cached_answers(context, kind, text, snapshot.version)
+        {
+            return Ok(QueryResponse {
+                version: snapshot.version,
+                answers,
+                cached: true,
+            });
+        }
+        let answers = Arc::new(snapshot.answers(&prepared));
+        self.cache
+            .store_answers(context, kind, text, snapshot.version, answers.clone());
+        Ok(QueryResponse {
+            version: snapshot.version,
+            answers,
+            cached: false,
+        })
+    }
+
+    /// Prepared-query cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn entry(&self, context: &str) -> Result<Arc<ContextEntry>, ServiceError> {
+        self.contexts
+            .read()
+            .unwrap()
+            .get(context)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownContext(context.to_string()))
+    }
+
+    /// Assemble a snapshot from the writer state: the chased contextual
+    /// instance (`chased` — the clone the re-chase step already produced, so
+    /// no further whole-database copy is paid), merged with the original
+    /// relations of the instance under assessment, plus freshly extracted
+    /// quality versions and metrics.
+    fn build_snapshot(
+        name: &str,
+        version: u64,
+        writer: &ResumableAssessment,
+        mut database: Database,
+    ) -> Snapshot {
+        let epoch = database.epoch();
+        database
+            .merge(writer.instance())
+            .expect("original relations merge into the snapshot");
+        let (quality, metrics) = writer.extract();
+        Snapshot {
+            context: name.to_string(),
+            version,
+            database,
+            quality,
+            metrics,
+            violations: writer.last_violations().len(),
+            epoch,
+        }
+    }
+}
+
+impl Default for QualityService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontodq_core::scenarios;
+    use ontodq_mdm::fixtures::hospital;
+    use ontodq_relational::Value;
+
+    fn hospital_service() -> QualityService {
+        let service = QualityService::new();
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn registration_publishes_version_zero() {
+        let service = hospital_service();
+        assert_eq!(service.context_names(), vec!["hospital".to_string()]);
+        let snap = service.snapshot("hospital").unwrap();
+        assert_eq!(snap.version, 0);
+        assert!(snap.database.has_relation("Measurements"));
+        assert!(snap.database.has_relation("Measurements_c"));
+        assert!(snap.database.has_relation("Measurements_q"));
+        assert!(snap.quality.has_relation("Measurements"));
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let service = hospital_service();
+        let err = service
+            .register_context("hospital", scenarios::hospital_context(), Database::new())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::DuplicateContext(_)));
+    }
+
+    #[test]
+    fn malformed_contexts_are_rejected_not_panicked() {
+        let service = QualityService::new();
+        let builder = Context::builder("broken").contextual_rule("not a rule at all");
+        let err = service
+            .register_built("broken", builder, Database::new())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Context(_)));
+        assert!(service.context_names().is_empty());
+    }
+
+    #[test]
+    fn unknown_context_errors() {
+        let service = QualityService::new();
+        assert!(matches!(
+            service.plain_answers("nope", "R(x)"),
+            Err(ServiceError::UnknownContext(_))
+        ));
+    }
+
+    #[test]
+    fn quality_answers_match_the_batch_pipeline() {
+        let service = hospital_service();
+        let response = service
+            .quality_answers("hospital", "Measurements(t, p, v), p = \"Tom Waits\"")
+            .unwrap();
+        let expected = hospital::expected_quality_measurements();
+        assert_eq!(response.answers.len(), expected.len());
+        for t in expected {
+            assert!(response.answers.contains(&t));
+        }
+        // Plain answers see all six raw rows.
+        let plain = service
+            .plain_answers("hospital", "Measurements(t, p, v), p = \"Tom Waits\"")
+            .unwrap();
+        assert!(plain.answers.len() > response.answers.len());
+    }
+
+    #[test]
+    fn inserts_bump_the_version_and_invalidate_cached_answers() {
+        let service = hospital_service();
+        let q = "Measurements(t, p, v)";
+        let first = service.quality_answers("hospital", q).unwrap();
+        assert!(!first.cached);
+        let second = service.quality_answers("hospital", q).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.answers, second.answers);
+
+        // A new quality measurement: Lou Reed was in a standard-care ward on
+        // Sep/6 with a certified nurse on duty, and Sep/6-11:05 is a known
+        // `Time` member rolling up to Sep/6 — so the new reading (a second
+        // value at that time) gains a quality version.
+        let report = service
+            .insert_facts(
+                "hospital",
+                vec![(
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        Value::parse_time("Sep/6-11:05").unwrap(),
+                        Value::str("Lou Reed"),
+                        Value::double(39.9),
+                    ]),
+                )],
+            )
+            .unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(report.new_facts, 1);
+
+        let third = service.quality_answers("hospital", q).unwrap();
+        assert_eq!(third.version, 1);
+        assert!(!third.cached, "snapshot bump must invalidate the memo");
+        assert_eq!(third.answers.len(), first.answers.len() + 1);
+        let stats = service.cache_stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let service = hospital_service();
+        let before = service.snapshot("hospital").unwrap();
+        let count_before = before.database.relation("Measurements").unwrap().len();
+        service
+            .insert_facts(
+                "hospital",
+                vec![(
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        Value::parse_time("Sep/6-12:00").unwrap(),
+                        Value::str("Lou Reed"),
+                        Value::double(36.9),
+                    ]),
+                )],
+            )
+            .unwrap();
+        // The old snapshot still answers from its own frozen instance.
+        assert_eq!(
+            before.database.relation("Measurements").unwrap().len(),
+            count_before
+        );
+        let after = service.snapshot("hospital").unwrap();
+        assert_eq!(
+            after.database.relation("Measurements").unwrap().len(),
+            count_before + 1
+        );
+        assert_eq!(after.version, before.version + 1);
+    }
+}

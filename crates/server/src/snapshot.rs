@@ -1,0 +1,52 @@
+//! Immutable point-in-time views of an assessed context.
+
+use ontodq_chase::evaluate_project;
+use ontodq_core::QualityMetrics;
+use ontodq_qa::{AnswerSet, ConjunctiveQuery};
+use ontodq_relational::Database;
+
+/// An immutable, fully-chased view of one registered context.
+///
+/// Snapshots are shared as `Arc<Snapshot>`: readers clone the `Arc` (one
+/// brief read-lock on the slot holding it) and then evaluate queries with no
+/// locking at all, while the writer path chases the *next* version and swaps
+/// the slot atomically — writers never block readers and a reader always
+/// sees a consistent instance (snapshot isolation).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Name of the context this snapshot belongs to.
+    pub context: String,
+    /// Monotone snapshot version: 0 after registration, +1 per applied
+    /// update batch.  Doubles as the prepared-query cache invalidation key.
+    pub version: u64,
+    /// The queryable instance: the chased contextual instance (contextual
+    /// copies, generated dimensional data, quality predicates, quality
+    /// versions under `…_q` names) **plus** the original relations of the
+    /// instance under assessment, so queries may mix original, contextual
+    /// and quality predicates.
+    pub database: Database,
+    /// The quality versions under the original relation names/schemas
+    /// (the paper's `D^q`).
+    pub quality: Database,
+    /// Per-relation departure metrics of `D` vs `D^q`.
+    pub metrics: QualityMetrics,
+    /// Number of EGD/negative-constraint violations observed by the chase
+    /// step that produced this snapshot.
+    pub violations: usize,
+    /// Chase epoch of the underlying instance when the snapshot was taken.
+    pub epoch: u64,
+}
+
+impl Snapshot {
+    /// The certain answers to `query` over this snapshot (labeled-null
+    /// answers are dropped).  Entirely lock-free: the snapshot is immutable.
+    pub fn answers(&self, query: &ConjunctiveQuery) -> AnswerSet {
+        let tuples = evaluate_project(&self.database, &query.body, &query.answer_variables);
+        AnswerSet::from_tuples(tuples).certain()
+    }
+
+    /// Total number of tuples visible to queries.
+    pub fn total_tuples(&self) -> usize {
+        self.database.total_tuples()
+    }
+}

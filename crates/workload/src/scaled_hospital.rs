@@ -106,6 +106,7 @@ impl ScaledHospital {
                 ],
             )
             .build()
+            .expect("the scaled-hospital context is well-formed")
     }
 }
 

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// A length specification for [`vec`]: either an exact length (`usize`) or a
+/// A length specification for [`vec()`]: either an exact length (`usize`) or a
 /// half-open range (`Range<usize>`).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {

@@ -4,7 +4,7 @@
 //! The build environment has no crates.io access, so the workspace vendors a
 //! tiny property-testing harness with the same surface syntax:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_filter` combinators,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_filter` combinators,
 //! * strategies for integer ranges, tuples, `Vec`s ([`collection::vec`]),
 //!   `any::<T>()` for primitives, and simplified-regex string literals
 //!   (character classes with `{m,n}` repetition, e.g. `"[a-z][a-z0-9]{0,4}"`),
