@@ -11,18 +11,20 @@
 //!
 //! Available experiment ids: `table1`, `table2`, `table3_4`, `table5`,
 //! `example5`, `example7`, `fig1`, `fig2`, `classes`, `scaling`,
-//! `chase_perf`, `service_throughput`.
+//! `chase_perf`, `intern_bench`, `service_throughput`.
 //!
 //! `--scale N` multiplies the synthetic workload sizes of the scaling
 //! experiments (`scaling`, `chase_perf`, `service_throughput`); unknown ids
 //! or flags print usage and exit non-zero.
 //!
 //! `chase_perf` additionally writes a machine-readable `BENCH_chase.json`
-//! (naive vs semi-naive chase timings, rounds, trigger counts, tuples/sec)
-//! and `service_throughput` writes `BENCH_service.json` (queries/sec at
-//! 1/2/4/8 worker threads; incremental vs from-scratch re-chase latency per
-//! update batch) so future changes have a perf trajectory to compare
-//! against.
+//! (naive vs semi-naive vs parallel chase timings, rounds, trigger counts,
+//! tuples/sec, plus a regression note against the pre-interning storage
+//! layer), `intern_bench` writes `BENCH_intern.json` (symbol intern/resolve
+//! rates and interned-vs-string join-probe throughput), and
+//! `service_throughput` writes `BENCH_service.json` (queries/sec at 1/2/4/8
+//! worker threads; incremental vs from-scratch re-chase latency per update
+//! batch) so future changes have a perf trajectory to compare against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -36,7 +38,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 12] = [
+const EXPERIMENT_IDS: [&str; 13] = [
     "table1",
     "table2",
     "table3_4",
@@ -48,6 +50,7 @@ const EXPERIMENT_IDS: [&str; 12] = [
     "classes",
     "scaling",
     "chase_perf",
+    "intern_bench",
     "service_throughput",
 ];
 
@@ -134,6 +137,9 @@ fn main() {
     }
     if want("chase_perf") {
         chase_perf(scale);
+    }
+    if want("intern_bench") {
+        intern_bench(scale);
     }
     if want("service_throughput") {
         service_throughput(scale);
@@ -479,22 +485,37 @@ fn scaling(scale: usize) {
     assert_eq!(by_rewriting, by_chase);
 }
 
-/// Naive vs semi-naive chase on the scaled hospital workload, printed as
-/// markdown and written to `BENCH_chase.json` for machine consumption.
+/// Naive vs semi-naive vs parallel chase on the scaled hospital workload,
+/// printed as markdown and written to `BENCH_chase.json` for machine
+/// consumption.
 fn chase_perf(scale: usize) {
-    use ontodq_chase::{chase, chase_naive};
+    use ontodq_chase::{chase, chase_naive, chase_parallel};
 
-    println!("### Chase engine — naive vs delta-driven semi-naive\n");
+    /// Semi-naive tuples/sec measured at the tip of PR 2, before the
+    /// interned-symbol storage layer, at the seed `--scale 1` points
+    /// (`(edb_tuples, tuples_per_second)`).  Kept as the regression
+    /// baseline the JSON note compares against: throughput used to *fall*
+    /// as the instance grew.
+    const PRE_INTERNING_SEMINAIVE: [(usize, f64); 4] = [
+        (828, 124_306.7),
+        (1_218, 115_927.9),
+        (1_968, 98_032.6),
+        (3_468, 73_536.7),
+    ];
+
+    println!("### Chase engine — naive vs delta-driven semi-naive vs parallel\n");
     let mut table = MarkdownTable::new([
         "edb tuples",
         "chased tuples",
         "rounds",
         "fired",
-        "satisfied",
         "naive",
         "semi-naive",
-        "speedup",
-        "tuples/sec (semi-naive)",
+        "parallel",
+        "speedup (semi)",
+        "speedup (par)",
+        "tuples/sec (semi)",
+        "tuples/sec (par)",
     ]);
 
     /// Best-of-`runs` wall-clock of `f`, with the last result returned.
@@ -510,36 +531,55 @@ fn chase_perf(scale: usize) {
         (best, last.expect("runs >= 1"))
     }
 
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut entries: Vec<String> = Vec::new();
-    for &measurements in &[100usize, 200, 400, 800] {
+    let mut seminaive_curve: Vec<(usize, f64)> = Vec::new();
+    // The two largest points push the EDB past 8x the seed's smallest
+    // instance, where the pre-interning curve had already collapsed.
+    for &measurements in &[100usize, 200, 400, 800, 1600, 3200] {
         let workload = generate(&HospitalScale::with_measurements(measurements * scale));
         let compiled = compile(&workload.ontology);
         let edb = compiled.database.total_tuples();
 
         let (naive_time, naive_result) =
-            time_best(3, || chase_naive(&compiled.program, &compiled.database));
+            time_best(5, || chase_naive(&compiled.program, &compiled.database));
         let (semi_time, semi_result) =
-            time_best(3, || chase(&compiled.program, &compiled.database));
+            time_best(5, || chase(&compiled.program, &compiled.database));
+        let (par_time, par_result) =
+            time_best(5, || chase_parallel(&compiled.program, &compiled.database));
         assert_eq!(
             naive_result.database.total_tuples(),
             semi_result.database.total_tuples(),
             "strategies disagree on the chased instance size"
         );
+        assert_eq!(
+            naive_result.database.total_tuples(),
+            par_result.database.total_tuples(),
+            "parallel strategy disagrees on the chased instance size"
+        );
 
         let speedup = naive_time.as_secs_f64() / semi_time.as_secs_f64().max(1e-9);
+        let par_speedup = naive_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9);
         let tuples_per_sec =
             semi_result.stats.tuples_added as f64 / semi_time.as_secs_f64().max(1e-9);
+        let par_tuples_per_sec =
+            par_result.stats.tuples_added as f64 / par_time.as_secs_f64().max(1e-9);
+        seminaive_curve.push((edb, tuples_per_sec));
         let stats = &semi_result.stats;
         table.row([
             edb.to_string(),
             semi_result.database.total_tuples().to_string(),
             stats.rounds.to_string(),
             stats.triggers_fired.to_string(),
-            stats.triggers_satisfied.to_string(),
             fmt_duration(naive_time),
             fmt_duration(semi_time),
+            fmt_duration(par_time),
             format!("{speedup:.2}x"),
+            format!("{par_speedup:.2}x"),
             format!("{tuples_per_sec:.0}"),
+            format!("{par_tuples_per_sec:.0}"),
         ]);
         entries.push(format!(
             concat!(
@@ -552,8 +592,11 @@ fn chase_perf(scale: usize) {
                 "      \"tuples_added\": {},\n",
                 "      \"naive_seconds\": {:.6},\n",
                 "      \"seminaive_seconds\": {:.6},\n",
+                "      \"parallel_seconds\": {:.6},\n",
                 "      \"speedup\": {:.3},\n",
-                "      \"tuples_per_second\": {:.1}\n",
+                "      \"parallel_speedup\": {:.3},\n",
+                "      \"tuples_per_second\": {:.1},\n",
+                "      \"tuples_per_second_parallel\": {:.1}\n",
                 "    }}"
             ),
             edb,
@@ -564,17 +607,197 @@ fn chase_perf(scale: usize) {
             stats.tuples_added,
             naive_time.as_secs_f64(),
             semi_time.as_secs_f64(),
+            par_time.as_secs_f64(),
             speedup,
+            par_speedup,
             tuples_per_sec,
+            par_tuples_per_sec,
         ));
     }
     println!("{}", table.render());
 
+    // Regression note: pre-interning throughput fell with scale; the
+    // interned storage layer must hold (or raise) it.
+    let (first_edb, first_tps) = seminaive_curve.first().copied().unwrap_or((0, 0.0));
+    let (last_edb, last_tps) = seminaive_curve.last().copied().unwrap_or((0, 0.0));
+    let (pre_first_edb, pre_first_tps) = PRE_INTERNING_SEMINAIVE[0];
+    let (pre_last_edb, pre_last_tps) = PRE_INTERNING_SEMINAIVE[PRE_INTERNING_SEMINAIVE.len() - 1];
+    let regression_note = format!(
+        "pre-interning (PR 2, Vec<Value::Str(String)> tuples, SipHash joins) semi-naive \
+         throughput FELL from {:.0} tuples/s at {} EDB tuples to {:.0} at {}; \
+         post-interning (Sym(u32) values, Arc<[Value]> tuples, FxHash joins) it runs at \
+         {:.0} tuples/s at {} EDB tuples and {:.0} at {} — the curve must stay \
+         monotone-or-flat (largest-scale >= smallest-scale)",
+        pre_first_tps,
+        pre_first_edb,
+        pre_last_tps,
+        pre_last_edb,
+        first_tps,
+        first_edb,
+        last_tps,
+        last_edb,
+    );
+    let pre_baseline: Vec<String> = PRE_INTERNING_SEMINAIVE
+        .iter()
+        .map(|(edb, tps)| {
+            format!("    {{ \"edb_tuples\": {edb}, \"tuples_per_second\": {tps:.1} }}")
+        })
+        .collect();
+    println!("note: {regression_note}\n");
+
     let json = format!(
-        "{{\n  \"experiment\": \"chase_naive_vs_seminaive\",\n  \"workload\": \"scaled_hospital\",\n  \"scales\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"chase_naive_vs_seminaive_vs_parallel\",\n",
+            "  \"workload\": \"scaled_hospital\",\n",
+            "  \"threads\": {},\n",
+            "  \"regression_note\": \"{}\",\n",
+            "  \"pre_interning_seminaive_baseline\": [\n{}\n  ],\n",
+            "  \"scales\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        threads,
+        regression_note,
+        pre_baseline.join(",\n"),
         entries.join(",\n")
     );
     let path = "BENCH_chase.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Microbenchmark of the interned storage layer: symbol intern/resolve
+/// rates, and join-probe throughput of interned `Value` keys under the
+/// FxHash shim vs raw `String` keys under SipHash (the pre-interning
+/// representation) — printed as markdown and written to
+/// `BENCH_intern.json`.
+fn intern_bench(scale: usize) {
+    use ontodq_relational::{FxHashMap, SymbolInterner};
+    use std::collections::HashMap;
+
+    println!("### Interned-symbol storage layer — microbenchmarks\n");
+    let distinct = 50_000 * scale;
+    let probes = 2_000_000usize;
+    let strings: Vec<String> = (0..distinct)
+        .map(|i| format!("member-{:02}-{i}", i % 97))
+        .collect();
+
+    // Interning throughput on a fresh, isolated table (cold: every string
+    // is new and takes the write path once).
+    let table = SymbolInterner::new();
+    let start = Instant::now();
+    let syms: Vec<ontodq_relational::Sym> = strings.iter().map(|s| table.intern(s)).collect();
+    let cold = start.elapsed();
+
+    // Re-interning (warm: read path only).
+    let start = Instant::now();
+    for s in &strings {
+        std::hint::black_box(table.intern(s));
+    }
+    let warm = start.elapsed();
+
+    // Resolution.
+    let start = Instant::now();
+    for &sym in &syms {
+        std::hint::black_box(table.resolve(sym));
+    }
+    let resolve = start.elapsed();
+
+    // Join-probe throughput: interned Value keys + FxHash vs the
+    // pre-interning shape (owned String keys + SipHash).
+    let values: Vec<Value> = strings.iter().map(Value::str).collect();
+    let mut interned_map: FxHashMap<Value, usize> = FxHashMap::default();
+    for (i, v) in values.iter().enumerate() {
+        interned_map.insert(*v, i);
+    }
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for i in 0..probes {
+        let v = &values[(i * 31) % values.len()];
+        if interned_map.contains_key(v) {
+            hits += 1;
+        }
+    }
+    let interned_probe = start.elapsed();
+    assert_eq!(hits, probes);
+
+    let mut string_map: HashMap<String, usize> = HashMap::new();
+    for (i, s) in strings.iter().enumerate() {
+        string_map.insert(s.clone(), i);
+    }
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for i in 0..probes {
+        let s = &strings[(i * 31) % strings.len()];
+        if string_map.contains_key(s.as_str()) {
+            hits += 1;
+        }
+    }
+    let string_probe = start.elapsed();
+    assert_eq!(hits, probes);
+
+    let rate = |n: usize, d: std::time::Duration| n as f64 / d.as_secs_f64().max(1e-9);
+    let probe_speedup = string_probe.as_secs_f64() / interned_probe.as_secs_f64().max(1e-9);
+    let mut table_md = MarkdownTable::new(["operation", "ops", "elapsed", "ops/sec"]);
+    table_md.row([
+        "intern (cold, new symbols)".to_string(),
+        distinct.to_string(),
+        fmt_duration(cold),
+        format!("{:.0}", rate(distinct, cold)),
+    ]);
+    table_md.row([
+        "intern (warm, read path)".to_string(),
+        distinct.to_string(),
+        fmt_duration(warm),
+        format!("{:.0}", rate(distinct, warm)),
+    ]);
+    table_md.row([
+        "resolve".to_string(),
+        distinct.to_string(),
+        fmt_duration(resolve),
+        format!("{:.0}", rate(distinct, resolve)),
+    ]);
+    table_md.row([
+        "probe interned Value (FxHash)".to_string(),
+        probes.to_string(),
+        fmt_duration(interned_probe),
+        format!("{:.0}", rate(probes, interned_probe)),
+    ]);
+    table_md.row([
+        "probe String (SipHash, pre-interning)".to_string(),
+        probes.to_string(),
+        fmt_duration(string_probe),
+        format!("{:.0}", rate(probes, string_probe)),
+    ]);
+    println!("{}", table_md.render());
+    println!("probe speedup (interned vs string keys): {probe_speedup:.2}x\n");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"intern_bench\",\n",
+            "  \"distinct_symbols\": {},\n",
+            "  \"probes\": {},\n",
+            "  \"intern_cold_per_second\": {:.1},\n",
+            "  \"intern_warm_per_second\": {:.1},\n",
+            "  \"resolve_per_second\": {:.1},\n",
+            "  \"probe_interned_per_second\": {:.1},\n",
+            "  \"probe_string_per_second\": {:.1},\n",
+            "  \"probe_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        distinct,
+        probes,
+        rate(distinct, cold),
+        rate(distinct, warm),
+        rate(distinct, resolve),
+        rate(probes, interned_probe),
+        rate(probes, string_probe),
+        probe_speedup,
+    );
+    let path = "BENCH_intern.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -685,8 +908,8 @@ fn service_throughput(scale: usize) {
                 (
                     "Measurements".to_string(),
                     Tuple::new(vec![
-                        source.get(0).unwrap().clone(),
-                        source.get(1).unwrap().clone(),
+                        *source.get(0).unwrap(),
+                        *source.get(1).unwrap(),
                         Value::double(value),
                     ]),
                 )

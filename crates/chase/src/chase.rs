@@ -26,7 +26,12 @@
 //!   the new tuples, not to the whole instance;
 //! * [`EvalStrategy::Naive`] re-evaluates every rule body over the full
 //!   instance every round — the simple reference oracle the semi-naive
-//!   engine is tested against (equivalence modulo labeled-null renaming).
+//!   engine is tested against (equivalence modulo labeled-null renaming);
+//! * [`EvalStrategy::Parallel`] keeps the delta-driven discovery but fans
+//!   the independent per-rule delta-joins of each round out across a scoped
+//!   thread team, merging the per-rule trigger batches deterministically in
+//!   rule order before the stamp step — same results as the sequential
+//!   engine (modulo labeled-null renaming), one join per core.
 //!
 //! EGDs are enforced by unifying labeled nulls with the values they are
 //! equated to; equating two distinct constants is a *hard violation*
@@ -68,6 +73,23 @@ pub enum EvalStrategy {
     /// Full re-evaluation of every rule body every round — the reference
     /// oracle.
     Naive,
+    /// Delta-driven evaluation with the independent TGD delta-joins of each
+    /// round fanned out across a scoped thread pool
+    /// ([`crate::par::parallel_map`]).
+    ///
+    /// # Determinism guarantee
+    ///
+    /// All of a round's rule bodies are evaluated against the same immutable
+    /// snapshot of the instance, and the per-rule trigger batches are merged
+    /// **sequentially in rule order** (each batch in its evaluation order)
+    /// before anything is stamped into the next delta.  Fresh labeled nulls
+    /// are therefore invented in a schedule-independent order: two runs of
+    /// the same program over the same instance produce identical results,
+    /// and the final instance equals the sequential strategies' fixpoint
+    /// modulo labeled-null renaming (rules see their peers' same-round
+    /// output one round later, which shifts derivation rounds but not the
+    /// fixpoint).
+    Parallel,
 }
 
 /// Configuration of a chase run.
@@ -95,6 +117,11 @@ pub struct ChaseConfig {
     /// chase inserts, and naive-vs-semi-naive comparisons isolate the
     /// delta-evaluation gain).
     pub build_indexes: bool,
+    /// Worker threads for [`EvalStrategy::Parallel`] trigger discovery; `0`
+    /// means "one per available CPU".  Ignored by the sequential
+    /// strategies.  The effective team size is additionally capped by the
+    /// number of TGDs (one delta-join per rule per round).
+    pub threads: usize,
 }
 
 impl Default for ChaseConfig {
@@ -108,6 +135,7 @@ impl Default for ChaseConfig {
             check_constraints: true,
             record_provenance: false,
             build_indexes: true,
+            threads: 0,
         }
     }
 }
@@ -126,6 +154,24 @@ impl ChaseConfig {
     pub fn semi_naive() -> Self {
         Self {
             strategy: EvalStrategy::SemiNaive,
+            ..Default::default()
+        }
+    }
+
+    /// The default configuration with parallel trigger discovery (one
+    /// worker per available CPU).
+    pub fn parallel() -> Self {
+        Self {
+            strategy: EvalStrategy::Parallel,
+            ..Default::default()
+        }
+    }
+
+    /// Parallel trigger discovery with an explicit worker count.
+    pub fn parallel_with_threads(threads: usize) -> Self {
+        Self {
+            strategy: EvalStrategy::Parallel,
+            threads,
             ..Default::default()
         }
     }
@@ -212,9 +258,10 @@ impl ChaseResult {
 /// the original rules keep their positions (appending new rules is fine —
 /// their floors start at `None`, i.e. a full first evaluation).
 ///
-/// `resume` always uses delta-driven (semi-naive) trigger discovery under
-/// the **restricted** chase; the engine's `strategy`/`mode` configuration
-/// fields are ignored by the resumable path.
+/// `resume` always uses delta-driven trigger discovery under the
+/// **restricted** chase — sequentially by default, fanned out per rule when
+/// the engine is configured with [`EvalStrategy::Parallel`]; the `mode`
+/// configuration field is ignored by the resumable path.
 #[derive(Debug, Clone)]
 pub struct ChaseState {
     database: Database,
@@ -383,6 +430,7 @@ impl ChaseEngine {
         let termination = match self.config.strategy {
             EvalStrategy::Naive => self.run_naive(program, &mut db, &mut state),
             EvalStrategy::SemiNaive => self.run_seminaive(program, &mut db, &mut state),
+            EvalStrategy::Parallel => self.run_parallel(program, &mut db, &mut state),
         };
 
         // Negative constraints on the final instance.
@@ -439,13 +487,23 @@ impl ChaseEngine {
             fired: HashSet::new(),
         };
 
-        let termination = self.run_seminaive_with_floors(
-            program,
-            &mut state.database,
-            &mut run,
-            &mut state.tgd_floor,
-            &mut state.egd_floor,
-        );
+        let termination = if self.config.strategy == EvalStrategy::Parallel {
+            self.run_parallel_with_floors(
+                program,
+                &mut state.database,
+                &mut run,
+                &mut state.tgd_floor,
+                &mut state.egd_floor,
+            )
+        } else {
+            self.run_seminaive_with_floors(
+                program,
+                &mut state.database,
+                &mut run,
+                &mut state.tgd_floor,
+                &mut state.egd_floor,
+            )
+        };
         state.next_null = run.nulls.peek();
 
         if self.config.check_constraints {
@@ -554,9 +612,38 @@ impl ChaseEngine {
 
     /// Build hash indexes on the join positions of every rule body; they
     /// are maintained incrementally by `ontodq-relational` from then on.
+    ///
+    /// Existential TGDs additionally get an index on one *frontier*
+    /// position of each head atom: the restricted chase probes the head
+    /// relation once per trigger (`has_extension`), and without an index
+    /// that probe is a scan of a relation that grows with every fired
+    /// trigger — a quadratic term that dominated large instances.
     fn build_rule_indexes(&self, program: &Program, db: &mut Database) {
         for tgd in &program.tgds {
             ensure_indexes(db, &tgd.body);
+            if !tgd.is_full() {
+                let frontier = tgd.frontier();
+                for atom in &tgd.head {
+                    let positions: Vec<usize> = atom
+                        .terms
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, term)| match term {
+                            ontodq_datalog::Term::Const(_) => true,
+                            ontodq_datalog::Term::Var(v) => frontier.contains(v),
+                        })
+                        .map(|(position, _)| position)
+                        .collect();
+                    if let Ok(relation) = db.relation_mut(&atom.predicate) {
+                        for position in positions {
+                            if position < relation.schema().arity() && !relation.has_index(position)
+                            {
+                                relation.build_index(position);
+                            }
+                        }
+                    }
+                }
+            }
         }
         for egd in &program.egds {
             ensure_indexes(db, &egd.body);
@@ -609,8 +696,121 @@ impl ChaseEngine {
                     None => evaluate(db, &tgd.body),
                     Some(floor) => evaluate_delta(db, &tgd.body, floor),
                 };
-                tgd_floor[tgd_index] = Some(watermark);
                 db.advance_epoch();
+                for assignment in triggers {
+                    if state.stats.tuples_added >= self.config.max_new_tuples {
+                        // Leave the floor untouched: the unfired remainder
+                        // of this rule's triggers must be re-discoverable
+                        // if the run is resumed from its [`ChaseState`].
+                        termination = TerminationReason::TupleLimit;
+                        break 'rounds;
+                    }
+                    changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                }
+                // Only after every discovered trigger has been processed is
+                // the delta up to `watermark` really consumed.
+                tgd_floor[tgd_index] = Some(watermark);
+            }
+
+            if self.config.apply_egds {
+                let egd_changed = self.apply_egds_seminaive(program, db, state, egd_floor);
+                changed = changed || egd_changed;
+            }
+
+            if !changed {
+                termination = TerminationReason::Fixpoint;
+                break;
+            }
+            if round == self.config.max_rounds {
+                termination = TerminationReason::RoundLimit;
+            }
+        }
+        termination
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel strategy: per-rule delta-joins fanned out per round.
+    // ------------------------------------------------------------------
+
+    /// The worker-team size for parallel trigger discovery: the configured
+    /// thread count (or the CPU count when 0), capped by the number of
+    /// rules — a round never has more independent joins than TGDs.
+    fn effective_threads(&self, rules: usize) -> usize {
+        let configured = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        configured.min(rules.max(1))
+    }
+
+    fn run_parallel(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        state: &mut RunState,
+    ) -> TerminationReason {
+        let mut tgd_floor: Vec<Option<u64>> = vec![None; program.tgds.len()];
+        let mut egd_floor: Vec<Option<u64>> = vec![None; program.egds.len()];
+        self.run_parallel_with_floors(program, db, state, &mut tgd_floor, &mut egd_floor)
+    }
+
+    /// The parallel driver — see [`EvalStrategy::Parallel`] for the
+    /// determinism guarantee.
+    ///
+    /// Each round:
+    /// 1. every TGD's delta-join is evaluated against the same immutable
+    ///    snapshot of the instance, fanned out across a scoped thread team
+    ///    ([`crate::par::parallel_map`]) — trigger discovery is read-only,
+    ///    so the workers share `&Database` freely;
+    /// 2. the per-rule trigger batches are merged sequentially in rule
+    ///    order (restricted-mode satisfaction checks and null invention
+    ///    happen here, against the live instance), then the epoch advances
+    ///    so the merged inserts form the next round's delta;
+    /// 3. EGDs are enforced exactly as in the sequential semi-naive driver
+    ///    (substitutions mutate the instance, so they stay sequential).
+    fn run_parallel_with_floors(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        state: &mut RunState,
+        tgd_floor: &mut [Option<u64>],
+        egd_floor: &mut [Option<u64>],
+    ) -> TerminationReason {
+        if self.config.build_indexes {
+            self.build_rule_indexes(program, db);
+        }
+        let threads = self.effective_threads(program.tgds.len());
+
+        let mut termination = TerminationReason::Fixpoint;
+        'rounds: for round in 1..=self.config.max_rounds {
+            state.stats.rounds = round;
+            let mut changed = false;
+
+            // Everything stamped up to `watermark` is visible to this
+            // round's joins; the merged inserts land strictly after it.
+            let watermark = db.epoch();
+            let floors: Vec<Option<u64>> = tgd_floor.to_vec();
+            let snapshot: &Database = db;
+            let batches =
+                crate::par::parallel_map(threads, &program.tgds, |index, tgd| {
+                    match floors[index] {
+                        None => evaluate(snapshot, &tgd.body),
+                        Some(floor) => evaluate_delta(snapshot, &tgd.body, floor),
+                    }
+                });
+            db.advance_epoch();
+
+            // Deterministic merge: rule order, then each batch in its
+            // evaluation order.  A rule's floor advances only once its
+            // whole batch is merged — a `TupleLimit` break mid-merge must
+            // not mark the dropped triggers of this (or any later) rule as
+            // consumed, or a subsequent [`ChaseState`] resume would
+            // silently lose them.
+            for (tgd_index, triggers) in batches.into_iter().enumerate() {
+                let tgd = &program.tgds[tgd_index];
                 for assignment in triggers {
                     if state.stats.tuples_added >= self.config.max_new_tuples {
                         termination = TerminationReason::TupleLimit;
@@ -618,6 +818,7 @@ impl ChaseEngine {
                     }
                     changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
                 }
+                tgd_floor[tgd_index] = Some(watermark);
             }
 
             if self.config.apply_egds {
@@ -708,7 +909,7 @@ impl ChaseEngine {
                     tgd_index,
                     assignment
                         .iter()
-                        .map(|(v, val)| (v.clone(), val.clone()))
+                        .map(|(v, val)| (*v, *val))
                         .collect::<Vec<_>>(),
                 );
                 if !state.fired.insert(key) {
@@ -718,10 +919,26 @@ impl ChaseEngine {
             ChaseMode::Restricted => {
                 // Skip the trigger when the head is already satisfied by
                 // some extension of the assignment.
-                let head_atoms: Vec<_> = tgd.head.iter().collect();
-                if has_extension(db, &head_atoms, assignment) {
-                    state.stats.triggers_satisfied += 1;
-                    return false;
+                if tgd.is_full() {
+                    // No existential variables: the only extension is the
+                    // trigger itself, so satisfaction is a set-membership
+                    // probe per head atom — O(1) instead of a join.
+                    let satisfied = tgd.head.iter().all(|atom| {
+                        assignment
+                            .ground_atom(atom)
+                            .map(|tuple| db.contains(&atom.predicate, &tuple))
+                            .unwrap_or(false)
+                    });
+                    if satisfied {
+                        state.stats.triggers_satisfied += 1;
+                        return false;
+                    }
+                } else {
+                    let head_atoms: Vec<_> = tgd.head.iter().collect();
+                    if has_extension(db, &head_atoms, assignment) {
+                        state.stats.triggers_satisfied += 1;
+                        return false;
+                    }
                 }
             }
         }
@@ -795,8 +1012,8 @@ impl ChaseEngine {
                 state.violations.egd.push(EgdViolation {
                     egd_index,
                     label: egd.label.clone(),
-                    left: left.clone(),
-                    right: right.clone(),
+                    left,
+                    right,
                     witness: assignment.clone(),
                 });
                 false
@@ -815,6 +1032,13 @@ pub fn chase(program: &Program, database: &Database) -> ChaseResult {
 /// strategy.
 pub fn chase_naive(program: &Program, database: &Database) -> ChaseResult {
     ChaseEngine::new(ChaseConfig::naive()).run(program, database)
+}
+
+/// Convenience function: run the restricted chase with parallel per-rule
+/// trigger discovery (one worker per available CPU) — see
+/// [`EvalStrategy::Parallel`] for the determinism guarantee.
+pub fn chase_parallel(program: &Program, database: &Database) -> ChaseResult {
+    ChaseEngine::new(ChaseConfig::parallel()).run(program, database)
 }
 
 /// Convenience function: resume the chase of `program` over `state` with the
@@ -863,9 +1087,15 @@ mod tests {
         db
     }
 
-    /// Both strategies, for tests that must hold under each.
-    fn strategies() -> [ChaseConfig; 2] {
-        [ChaseConfig::semi_naive(), ChaseConfig::naive()]
+    /// All strategies, for tests that must hold under each.  The parallel
+    /// config pins an explicit team size so the scoped pool really runs
+    /// multi-threaded even on single-CPU test machines.
+    fn strategies() -> [ChaseConfig; 3] {
+        [
+            ChaseConfig::semi_naive(),
+            ChaseConfig::naive(),
+            ChaseConfig::parallel_with_threads(4),
+        ]
     }
 
     #[test]
@@ -905,7 +1135,7 @@ mod tests {
                 .collect();
             assert_eq!(marks.len(), 2);
             assert!(marks.iter().all(|t| t.get(3).unwrap().is_null()));
-            let wards: Vec<_> = marks.iter().map(|t| t.get(0).unwrap().clone()).collect();
+            let wards: Vec<_> = marks.iter().map(|t| *t.get(0).unwrap()).collect();
             assert!(wards.contains(&Value::str("W1")));
             assert!(wards.contains(&Value::str("W2")));
         }
@@ -931,7 +1161,11 @@ mod tests {
         let program =
             parse_program("Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n")
                 .unwrap();
-        for strategy in [EvalStrategy::SemiNaive, EvalStrategy::Naive] {
+        for strategy in [
+            EvalStrategy::SemiNaive,
+            EvalStrategy::Naive,
+            EvalStrategy::Parallel,
+        ] {
             let config = ChaseConfig {
                 mode: ChaseMode::Oblivious,
                 strategy,
@@ -950,7 +1184,11 @@ mod tests {
         let program = parse_program("R(y, z) :- R(x, y).\n").unwrap();
         let mut db = Database::new();
         db.insert_values("R", ["a", "b"]).unwrap();
-        for strategy in [EvalStrategy::SemiNaive, EvalStrategy::Naive] {
+        for strategy in [
+            EvalStrategy::SemiNaive,
+            EvalStrategy::Naive,
+            EvalStrategy::Parallel,
+        ] {
             let config = ChaseConfig {
                 strategy,
                 max_rounds: 10,
@@ -1011,7 +1249,7 @@ mod tests {
             assert!(!result.violations.egd.is_empty());
             assert!(!result.is_consistent_model());
             let v = &result.violations.egd[0];
-            let pair = (v.left.clone(), v.right.clone());
+            let pair = (v.left, v.right);
             assert!(
                 pair == (Value::str("B1"), Value::str("B2"))
                     || pair == (Value::str("B2"), Value::str("B1"))
@@ -1074,8 +1312,8 @@ mod tests {
             assert_eq!(iu.len(), 1);
             assert_eq!(pu.len(), 1);
             // The same fresh null links both atoms.
-            let unit_in_iu = iu.tuples()[0].get(1).unwrap().clone();
-            let unit_in_pu = pu.tuples()[0].get(0).unwrap().clone();
+            let unit_in_iu = *iu.tuples()[0].get(1).unwrap();
+            let unit_in_pu = *pu.tuples()[0].get(0).unwrap();
             assert!(unit_in_iu.is_null());
             assert_eq!(unit_in_iu, unit_in_pu);
             assert_eq!(result.stats.nulls_created, 1);

@@ -195,14 +195,16 @@ fn join_limited(
         return false;
     }
     // Bind as many positions as possible from constants and the current
-    // assignment, then let the relation use an index if it has one.
-    let mut bindings: Vec<(usize, Value)> = Vec::new();
+    // assignment, then let the relation use an index if it has one.  Probe
+    // values are borrowed straight from the atom and the assignment — no
+    // key is rebuilt per probe.
+    let mut bindings: Vec<(usize, &Value)> = Vec::new();
     for (i, term) in atom.terms.iter().enumerate() {
         match term {
-            Term::Const(v) => bindings.push((i, v.clone())),
+            Term::Const(v) => bindings.push((i, v)),
             Term::Var(v) => {
                 if let Some(value) = assignment.get(v) {
-                    bindings.push((i, value.clone()));
+                    bindings.push((i, value));
                 }
             }
         }

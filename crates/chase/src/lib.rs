@@ -22,17 +22,19 @@
 
 pub mod chase;
 pub mod eval;
+pub mod par;
 pub mod provenance;
 pub mod violation;
 
 pub use chase::{
-    chase, chase_incremental, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, ChaseResult,
-    ChaseState, EvalStrategy, TerminationReason,
+    chase, chase_incremental, chase_naive, chase_parallel, ChaseConfig, ChaseEngine, ChaseMode,
+    ChaseResult, ChaseState, EvalStrategy, TerminationReason,
 };
 pub use eval::{
     ensure_indexes, evaluate, evaluate_delta, evaluate_limited, evaluate_project, has_extension,
     index_positions, is_satisfiable,
 };
+pub use par::parallel_map;
 pub use provenance::{ChaseStats, ChaseStep, Provenance};
 pub use violation::{EgdViolation, NcViolation, Violations};
 

@@ -1,0 +1,114 @@
+//! A scoped fork-join pool for per-rule parallel evaluation.
+//!
+//! `ontodq-server` already runs a fixed [`std::thread`] + `mpsc` worker pool
+//! for `'static` query jobs; the chase needs the same fan-out shape but over
+//! *borrowed* data — a round's delta-joins all read the same `&Database`
+//! snapshot.  [`parallel_map`] generalizes the pool pattern to scoped
+//! borrows: a team of `std::thread::scope` workers drains an atomic work
+//! queue and writes each item's result into its slot, so the output order is
+//! the input order regardless of which worker ran what — callers get
+//! deterministic merges for free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item of `items`, running up to `threads` workers, and
+/// return the results in input order.
+///
+/// * `threads <= 1` (or a single item) runs inline on the caller's thread —
+///   no spawn cost for the sequential case.
+/// * Workers claim items through an atomic cursor, so uneven per-item cost
+///   balances itself.
+/// * `f` must be `Sync` (shared by the workers) and may freely borrow from
+///   the caller's scope — this is the point of scoped threads.
+///
+/// A panic in `f` propagates to the caller after the scope joins, like the
+/// sequential loop would.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = f(index, item);
+                // Each slot is written exactly once (the cursor hands every
+                // index to one worker), so the lock is uncontended.
+                *slots[index].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every index was claimed and computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(4, &items, |_, &x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(1, &items, |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn borrows_from_the_caller_scope() {
+        let base = String::from("shared");
+        let items = vec![1usize, 2, 3, 4];
+        let out = parallel_map(2, &items, |_, &x| format!("{base}-{x}"));
+        assert_eq!(out, vec!["shared-1", "shared-2", "shared-3", "shared-4"]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = vec![10, 20];
+        let out = parallel_map(16, &items, |_, &x| x + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(4, &items, |_, &x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -50,7 +50,7 @@ impl Marking {
             let mut changed = false;
             for (idx, tgd) in tgds.iter().enumerate() {
                 for var in tgd.frontier() {
-                    if marking.marked.contains(&(idx, var.clone())) {
+                    if marking.marked.contains(&(idx, var)) {
                         continue;
                     }
                     // Head positions of `var` in this TGD.
@@ -76,7 +76,7 @@ impl Marking {
     }
 
     fn mark(&mut self, tgd_index: usize, var: Variable, tgds: &[Tgd]) {
-        if !self.marked.insert((tgd_index, var.clone())) {
+        if !self.marked.insert((tgd_index, var)) {
             return;
         }
         // Record the body positions where the newly marked variable occurs.
@@ -95,7 +95,7 @@ impl Marking {
 
     /// Is `var` marked in the body of TGD number `tgd_index`?
     pub fn is_marked(&self, tgd_index: usize, var: &Variable) -> bool {
-        self.marked.contains(&(tgd_index, var.clone()))
+        self.marked.contains(&(tgd_index, *var))
     }
 
     /// The set of positions at which marked variables occur (in bodies).

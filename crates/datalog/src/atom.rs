@@ -40,8 +40,8 @@ impl Atom {
         let mut out = Vec::new();
         for t in &self.terms {
             if let Term::Var(v) = t {
-                if seen.insert(v.clone()) {
-                    out.push(v.clone());
+                if seen.insert(*v) {
+                    out.push(*v);
                 }
             }
         }
@@ -115,7 +115,7 @@ impl CompareOp {
             CompareOp::Neq => Some(left != right),
             _ => {
                 let ordering = match (left, right) {
-                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
                     (Value::Null(_), _) | (_, Value::Null(_)) => return None,
                     _ => {
                         let (a, b) = (left.numeric()?, right.numeric()?);
@@ -176,7 +176,7 @@ impl Comparison {
         for t in [&self.left, &self.right] {
             if let Term::Var(v) = t {
                 if !out.contains(v) {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             }
         }
@@ -268,7 +268,7 @@ impl Conjunction {
         for atom in &self.atoms {
             for term in &atom.terms {
                 if let Term::Var(v) = term {
-                    *counts.entry(v.clone()).or_default() += 1;
+                    *counts.entry(*v).or_default() += 1;
                 }
             }
         }

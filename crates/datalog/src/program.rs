@@ -228,7 +228,7 @@ impl Program {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Const(v) => v.clone(),
+                    Term::Const(v) => *v,
                     Term::Var(_) => unreachable!("facts are ground"),
                 })
                 .collect();

@@ -17,9 +17,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A ground assignment of variables to values.
+///
+/// Stored as a flat vector sorted by the variables' interned ids: rule
+/// bodies bind a handful of variables, and the join extends (clones) an
+/// assignment once per candidate tuple — with interned `Copy` variables
+/// and scalar values, a clone is one allocation plus a memcpy, lookups are
+/// a short scan, and ordering never takes the interner's lock.  Iteration
+/// (and [`Assignment`]'s `Display`) follows that id order: deterministic
+/// within a process, but *not* lexicographic by name.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Assignment {
-    map: BTreeMap<Variable, Value>,
+    entries: Vec<(Variable, Value)>,
 }
 
 impl Assignment {
@@ -31,10 +39,13 @@ impl Assignment {
     /// Bind `var` to `value`; returns `false` (and leaves the assignment
     /// unchanged) when `var` is already bound to a different value.
     pub fn bind(&mut self, var: Variable, value: Value) -> bool {
-        match self.map.get(&var) {
-            Some(existing) => existing == &value,
-            None => {
-                self.map.insert(var, value);
+        match self
+            .entries
+            .binary_search_by_key(&var.sym_id(), |(v, _)| v.sym_id())
+        {
+            Ok(position) => self.entries[position].1 == value,
+            Err(position) => {
+                self.entries.insert(position, (var, value));
                 true
             }
         }
@@ -42,30 +53,34 @@ impl Assignment {
 
     /// The value bound to `var`, if any.
     pub fn get(&self, var: &Variable) -> Option<&Value> {
-        self.map.get(var)
+        self.entries
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, value)| value)
     }
 
     /// `true` when no variable is bound.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
     /// Number of bound variables.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
-    /// Iterate over the bindings in variable order.
+    /// Iterate over the bindings in a canonical (interned-id) order —
+    /// deterministic within a process, independent of bind order.
     pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Value)> {
-        self.map.iter()
+        self.entries.iter().map(|(var, value)| (var, value))
     }
 
     /// Apply the assignment to a term: bound variables become constants,
     /// unbound variables and constants are returned unchanged.
     pub fn apply_term(&self, term: &Term) -> Term {
         match term {
-            Term::Var(v) => match self.map.get(v) {
-                Some(value) => Term::Const(value.clone()),
+            Term::Var(v) => match self.get(v) {
+                Some(value) => Term::Const(*value),
                 None => term.clone(),
             },
             Term::Const(_) => term.clone(),
@@ -101,7 +116,8 @@ impl Assignment {
         if atom.arity() != tuple.arity() {
             return None;
         }
-        let mut extended = self.clone();
+        // Reject constant and already-bound mismatches before paying for
+        // the clone — the join calls this once per candidate tuple.
         for (term, value) in atom.terms.iter().zip(tuple.values()) {
             match term {
                 Term::Const(c) => {
@@ -110,9 +126,19 @@ impl Assignment {
                     }
                 }
                 Term::Var(v) => {
-                    if !extended.bind(v.clone(), value.clone()) {
-                        return None;
+                    if let Some(bound) = self.get(v) {
+                        if bound != value {
+                            return None;
+                        }
                     }
+                }
+            }
+        }
+        let mut extended = self.clone();
+        for (term, value) in atom.terms.iter().zip(tuple.values()) {
+            if let Term::Var(v) = term {
+                if !extended.bind(*v, *value) {
+                    return None;
                 }
             }
         }
@@ -138,7 +164,7 @@ impl Assignment {
     pub fn project(&self, vars: &[Variable]) -> Option<Tuple> {
         let mut values = Vec::with_capacity(vars.len());
         for v in vars {
-            values.push(self.map.get(v)?.clone());
+            values.push(*self.get(v)?);
         }
         Some(Tuple::new(values))
     }
@@ -147,7 +173,7 @@ impl Assignment {
 impl fmt::Display for Assignment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (var, value)) in self.map.iter().enumerate() {
+        for (i, (var, value)) in self.entries.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }

@@ -4,37 +4,67 @@
 //! labeled nulls).  Terms appear in atoms; variables are shared across the
 //! body and head of a rule to express joins and value propagation.
 
-use ontodq_relational::Value;
+use ontodq_relational::{Sym, Value};
 use std::fmt;
 
 /// A variable, identified by name.
 ///
 /// By convention (and by the parser) variable names start with a lowercase
 /// letter or an underscore, e.g. `u`, `d`, `p`, `thermometer_type`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Variable(pub String);
+///
+/// Variable names are interned in the global symbol table, so a `Variable`
+/// is a `Copy` handle: cloning assignments and unifiers in the join hot
+/// path never allocates for the keys.  Equality compares interned ids; the
+/// order is the lexicographic order of the names (as it was when names
+/// were owned strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variable(Sym);
 
 impl Variable {
     /// Construct a variable.
-    pub fn new(name: impl Into<String>) -> Self {
-        Variable(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Variable(Sym::new(name.as_ref()))
     }
 
     /// The variable's name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
     }
 
     /// A fresh variable derived from this one, used when renaming apart
     /// (standardizing variables before unification).
     pub fn renamed(&self, suffix: usize) -> Variable {
-        Variable(format!("{}#{}", self.0, suffix))
+        Variable::new(format!("{}#{}", self.name(), suffix))
+    }
+
+    /// The interned id of the variable's name — a process-stable total
+    /// order usable without resolving the name (no interner lock).  Id
+    /// order is first-intern order, not lexicographic; hot-path containers
+    /// (e.g. [`crate::Assignment`]) sort by it.
+    pub(crate) fn sym_id(&self) -> u32 {
+        self.0.id()
+    }
+}
+
+impl PartialOrd for Variable {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Variable {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name().cmp(other.name())
+        }
     }
 }
 
 impl fmt::Display for Variable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name())
     }
 }
 
@@ -55,7 +85,7 @@ pub enum Term {
 
 impl Term {
     /// Variable-term constructor.
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl AsRef<str>) -> Self {
         Term::Var(Variable::new(name))
     }
 
@@ -95,9 +125,10 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
-            Term::Const(Value::Str(s)) => {
+            Term::Const(Value::Str(sym)) => {
                 // Strings that could be read back as variables or that contain
                 // separators are quoted; this keeps parse∘print the identity.
+                let s = sym.as_str();
                 if s.chars()
                     .next()
                     .map(|c| c.is_ascii_uppercase())

@@ -85,8 +85,8 @@ impl DimensionInstance {
         }
         let child_member = child_member.into();
         let parent_member = parent_member.into();
-        self.add_member(child_category, child_member.clone())?;
-        self.add_member(parent_category, parent_member.clone())?;
+        self.add_member(child_category, child_member)?;
+        self.add_member(parent_category, parent_member)?;
         self.rollups
             .entry((child_category.to_string(), parent_category.to_string()))
             .or_default()
@@ -164,7 +164,7 @@ impl DimensionInstance {
     ) -> BTreeSet<Value> {
         if from_category == to_category {
             return if self.is_member(from_category, member) {
-                std::iter::once(member.clone()).collect()
+                std::iter::once(*member).collect()
             } else {
                 BTreeSet::new()
             };
@@ -172,14 +172,14 @@ impl DimensionInstance {
         let mut result = BTreeSet::new();
         let mut queue: VecDeque<(String, Value)> = VecDeque::new();
         let mut seen: BTreeSet<(String, Value)> = BTreeSet::new();
-        queue.push_back((from_category.to_string(), member.clone()));
+        queue.push_back((from_category.to_string(), *member));
         while let Some((category, current)) = queue.pop_front() {
             for parent_category in self.schema.parents_of(&category) {
                 for parent in self.parents_of_member(&category, &current, &parent_category) {
                     if parent_category == to_category {
-                        result.insert(parent.clone());
+                        result.insert(parent);
                     }
-                    if seen.insert((parent_category.clone(), parent.clone())) {
+                    if seen.insert((parent_category.clone(), parent)) {
                         queue.push_back((parent_category.clone(), parent));
                     }
                 }
@@ -198,7 +198,7 @@ impl DimensionInstance {
     ) -> BTreeSet<Value> {
         if from_category == to_category {
             return if self.is_member(from_category, member) {
-                std::iter::once(member.clone()).collect()
+                std::iter::once(*member).collect()
             } else {
                 BTreeSet::new()
             };
@@ -206,14 +206,14 @@ impl DimensionInstance {
         let mut result = BTreeSet::new();
         let mut queue: VecDeque<(String, Value)> = VecDeque::new();
         let mut seen: BTreeSet<(String, Value)> = BTreeSet::new();
-        queue.push_back((from_category.to_string(), member.clone()));
+        queue.push_back((from_category.to_string(), *member));
         while let Some((category, current)) = queue.pop_front() {
             for child_category in self.schema.children_of(&category) {
                 for child in self.children_of_member(&category, &current, &child_category) {
                     if child_category == to_category {
-                        result.insert(child.clone());
+                        result.insert(child);
                     }
-                    if seen.insert((child_category.clone(), child.clone())) {
+                    if seen.insert((child_category.clone(), child)) {
                         queue.push_back((child_category.clone(), child));
                     }
                 }

@@ -91,9 +91,9 @@ impl SummarizabilityReport {
                 for member in &members {
                     let ancestors = dimension.roll_up(lower, member, upper);
                     match ancestors.len() {
-                        0 => unmapped.push(member.clone()),
+                        0 => unmapped.push(*member),
                         1 => {}
-                        _ => ambiguous.push(member.clone()),
+                        _ => ambiguous.push(*member),
                     }
                 }
                 profiles.insert(

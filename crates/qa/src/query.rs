@@ -53,7 +53,7 @@ impl ConjunctiveQuery {
                 let mut answer_variables = Vec::new();
                 for term in &head.terms {
                     match term {
-                        Term::Var(v) => answer_variables.push(v.clone()),
+                        Term::Var(v) => answer_variables.push(*v),
                         Term::Const(c) => {
                             return Err(format!(
                                 "query heads may only contain variables, found constant {c}"
@@ -103,7 +103,7 @@ impl ConjunctiveQuery {
         assert_eq!(tuple.arity(), self.arity(), "arity mismatch in instantiate");
         let mut unifier = ontodq_datalog::Unifier::new();
         for (var, value) in self.answer_variables.iter().zip(tuple.values()) {
-            let bound = unifier.unify_terms(&Term::Var(var.clone()), &Term::Const(value.clone()));
+            let bound = unifier.unify_terms(&Term::Var(*var), &Term::Const(*value));
             debug_assert!(bound);
         }
         ConjunctiveQuery {

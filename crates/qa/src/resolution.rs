@@ -122,7 +122,7 @@ impl<'a> DeterministicWsqAns<'a> {
                 break;
             }
             emitted += 1;
-            let tuple = Tuple::new(indices.iter().map(|&i| domain[i].clone()).collect());
+            let tuple = Tuple::new(indices.iter().map(|&i| domain[i]).collect());
             let grounded = query.instantiate(&tuple);
             if self.answer_boolean(&grounded) {
                 answers.insert(tuple);
@@ -192,12 +192,12 @@ impl<'a> DeterministicWsqAns<'a> {
         // program-fact) tuple.
         if let Ok(relation) = self.database.relation(&goal.predicate) {
             if relation.schema().arity() == goal.arity() {
-                // Bind constant positions to narrow the scan.
-                let bindings: Vec<(usize, Value)> = goal
+                // Bind constant positions (borrowed) to narrow the scan.
+                let bindings: Vec<(usize, &Value)> = goal
                     .terms
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, t)| t.as_const().map(|v| (i, v.clone())))
+                    .filter_map(|(i, t)| t.as_const().map(|v| (i, v)))
                     .collect();
                 for tuple in relation.select(&bindings) {
                     let mut candidate = unifier.clone();
@@ -243,7 +243,7 @@ impl<'a> DeterministicWsqAns<'a> {
                 let mut consistent = true;
                 for var in &existential {
                     let fresh = Term::Const(Value::Null(nulls.fresh()));
-                    if !candidate.unify_terms(&Term::Var(var.clone()), &fresh) {
+                    if !candidate.unify_terms(&Term::Var(*var), &fresh) {
                         consistent = false;
                         break;
                     }
@@ -291,7 +291,7 @@ fn unify_with_tuple(unifier: &mut Unifier, goal: &Atom, tuple: &Tuple) -> bool {
     goal.terms
         .iter()
         .zip(tuple.values())
-        .all(|(term, value)| unifier.unify_terms(term, &Term::Const(value.clone())))
+        .all(|(term, value)| unifier.unify_terms(term, &Term::Const(*value)))
 }
 
 /// Rename a TGD's variables apart by suffixing them with a use counter.

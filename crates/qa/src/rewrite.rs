@@ -222,7 +222,7 @@ fn unfold(
     // Answer variables must remain variables (we do not specialize the answer
     // tuple shape).
     for answer in &query.answer_variables {
-        if unifier.apply_term(&Term::Var(answer.clone())).is_const() {
+        if unifier.apply_term(&Term::Var(*answer)).is_const() {
             return None;
         }
     }
@@ -256,7 +256,7 @@ fn unfold(
     let answer_variables: Vec<Variable> = query
         .answer_variables
         .iter()
-        .map(|v| match unifier.apply_term(&Term::Var(v.clone())) {
+        .map(|v| match unifier.apply_term(&Term::Var(*v)) {
             Term::Var(nv) => nv,
             Term::Const(_) => unreachable!("checked above"),
         })
@@ -277,14 +277,14 @@ fn variable_occurrences(query: &ConjunctiveQuery) -> BTreeMap<Variable, usize> {
     for atom in &query.body.atoms {
         for term in &atom.terms {
             if let Term::Var(v) = term {
-                *counts.entry(v.clone()).or_default() += 1;
+                *counts.entry(*v).or_default() += 1;
             }
         }
     }
     for cmp in &query.body.comparisons {
         for term in [&cmp.left, &cmp.right] {
             if let Term::Var(v) = term {
-                *counts.entry(v.clone()).or_default() += 1;
+                *counts.entry(*v).or_default() += 1;
             }
         }
     }
@@ -299,7 +299,7 @@ fn canonicalize(query: &ConjunctiveQuery) -> String {
     let mut canonical_term = |t: &Term| -> String {
         match t {
             Term::Var(v) => mapping
-                .entry(v.clone())
+                .entry(*v)
                 .or_insert_with(|| {
                     let name = format!("v{next}");
                     next += 1;
@@ -314,7 +314,7 @@ fn canonicalize(query: &ConjunctiveQuery) -> String {
         query
             .answer_variables
             .iter()
-            .map(|v| canonical_term(&Term::Var(v.clone())))
+            .map(|v| canonical_term(&Term::Var(*v)))
             .collect::<Vec<_>>()
             .join(","),
     );

@@ -1,6 +1,7 @@
 //! Databases: named collections of relation instances.
 
 use crate::error::{RelationalError, Result};
+use crate::interner::SymbolInterner;
 use crate::null::NullId;
 use crate::relation::RelationInstance;
 use crate::schema::RelationSchema;
@@ -36,6 +37,17 @@ impl Database {
     /// The current epoch: rows inserted now are stamped with it.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The symbol table this database's string constants live in.
+    ///
+    /// All databases share the process-wide [`SymbolInterner`] (see its
+    /// docs for the interning contract), so symbols — and therefore tuples
+    /// — are freely comparable and movable across databases.  Batch loaders
+    /// (CSV, the server's fact protocol) intern through this handle once at
+    /// parse time; everything downstream operates on fixed-width ids.
+    pub fn interner(&self) -> &'static SymbolInterner {
+        SymbolInterner::global()
     }
 
     /// Advance the epoch by one and propagate it to every relation, so that
@@ -398,10 +410,10 @@ mod tests {
         let shifts = db.relation("Shifts").unwrap();
         assert!(shifts.has_index(1));
         // Old key must be gone from the index…
-        assert!(shifts.select(&[(1, Value::null(NullId(3)))]).is_empty());
+        assert!(shifts.select(&[(1, &Value::null(NullId(3)))]).is_empty());
         // …and the new key must be reachable through it, agreeing with a
         // scan.
-        let indexed = shifts.select(&[(1, Value::str("morning"))]);
+        let indexed = shifts.select(&[(1, &Value::str("morning"))]);
         let scanned: Vec<&Tuple> = shifts
             .iter()
             .filter(|t| t.get(1) == Some(&Value::str("morning")))
@@ -412,7 +424,7 @@ mod tests {
         assert_eq!(
             db.relation("UnitWard")
                 .unwrap()
-                .select(&[(0, Value::str("Standard"))])
+                .select(&[(0, &Value::str("Standard"))])
                 .len(),
             2
         );

@@ -5,17 +5,23 @@
 //! `W1`").  A [`HashIndex`] maps a value at one position to the row ids of the
 //! tuples carrying it.
 
+use crate::fxhash::FxHashMap;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A single-attribute hash index over a relation's tuples.
+///
+/// Postings are keyed by [`Value`] under the crate's [FxHash
+/// shim](crate::fxhash): keys are interned scalars, so both insert and probe
+/// hash a handful of machine words.  Probes
+/// ([`HashIndex::lookup`]) take the key by reference — callers never
+/// rebuild or clone a probe `Value` to ask a question.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
     /// The indexed attribute position.
     position: usize,
     /// Value at `position` → row ids of tuples carrying that value.
-    entries: HashMap<Value, Vec<usize>>,
+    entries: FxHashMap<Value, Vec<usize>>,
 }
 
 impl HashIndex {
@@ -23,7 +29,7 @@ impl HashIndex {
     pub fn new(position: usize) -> Self {
         Self {
             position,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 
@@ -44,7 +50,7 @@ impl HashIndex {
     /// Record that `tuple` lives at `row`.
     pub fn insert(&mut self, row: usize, tuple: &Tuple) {
         if let Some(value) = tuple.get(self.position) {
-            self.entries.entry(value.clone()).or_default().push(row);
+            self.entries.entry(*value).or_default().push(row);
         }
     }
 

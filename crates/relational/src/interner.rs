@@ -1,0 +1,278 @@
+//! Symbol interning: the string side of the storage layer.
+//!
+//! Every string constant in the system is stored exactly once in a
+//! [`SymbolInterner`] and referred to by a fixed-width [`Sym`] handle.  Hot
+//! paths (join probes, index keys, tuple dedup sets) compare and hash a
+//! `u32` instead of walking heap-allocated strings, which is what makes the
+//! chase's per-tuple cost independent of constant length and instance size.
+//!
+//! # The interning contract
+//!
+//! * **One process-wide table.**  [`Value::str`](crate::Value::str) and the
+//!   parsers intern through the [`SymbolInterner::global`] table, so two
+//!   `Sym`s are comparable (`==`, `Hash`) **iff** they come from that table —
+//!   which they do for every `Value` in the system.  [`crate::Database`]
+//!   instances therefore share symbols freely: a tuple built for one database means
+//!   the same thing in another ([`Database::interner`](crate::Database::interner)
+//!   hands out the shared table).
+//! * **Ids are identity, not order.**  `Sym` ids are assigned in first-intern
+//!   order.  Equality of ids is equality of strings, but the numeric order of
+//!   ids is meaningless; the lexicographic order of the underlying strings is
+//!   recovered through [`Sym::as_str`], which is how
+//!   [`Value`](crate::Value)'s total order stays the pre-interning string
+//!   order.
+//! * **Display resolves through the table.**  `Sym: Display` (and therefore
+//!   `Value::Str`) prints the original string; `parse → intern → Display →
+//!   parse` is the identity.
+//! * **Interned strings live forever.**  The table leaks each distinct
+//!   string once (`Box::leak`), so resolution returns `&'static str` without
+//!   holding any lock while the caller uses it.  The leak is bounded by the
+//!   number of *distinct* strings ever **parsed** — typically the active
+//!   domain of the workload, but note that parsing interns before
+//!   validation, so constants from rejected or discarded input count too.
+//!   Front ends accepting untrusted traffic should quota or validate input
+//!   before parsing it.
+//! * **Readers never touch the write path.**  Resolving a `Sym` and
+//!   interning an *already-known* string take the shared read lock only; the
+//!   exclusive write lock is taken exactly when a genuinely new string is
+//!   added.  [`SymbolInterner::write_acquisitions`] counts write-lock
+//!   acquisitions so tests (and the server) can assert that snapshot readers
+//!   run entirely on the read path.
+//!
+//! Isolated tables can be created with [`SymbolInterner::new`] for embedding
+//! scenarios that must not share the process-wide symbol space; their ids
+//! are independent (see the cross-table isolation tests).  Handles minted by
+//! an isolated table are **only** meaningful through that table's
+//! [`SymbolInterner::resolve`] — [`Sym::as_str`], `Sym: Display` and every
+//! `Value` API are defined for globally-interned handles alone, so isolated
+//! symbols must not be wrapped into `Value`s.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string symbol: a fixed-width handle into the process-wide
+/// symbol table.
+///
+/// `Sym` is `Copy`, compares and hashes as a `u32`, and resolves back to the
+/// original string with [`Sym::as_str`].  Two `Sym`s are equal iff their
+/// strings are equal (they come from the same global table).  There is
+/// deliberately no `Ord` on `Sym`: id order is first-seen order, not
+/// lexicographic order — string comparisons go through `as_str`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Intern `text` in the global table and return its symbol.
+    pub fn new(text: &str) -> Sym {
+        SymbolInterner::global().intern(text)
+    }
+
+    /// The interned string.  Resolution takes the table's read lock only
+    /// and the returned reference is `'static` (interned strings are never
+    /// freed), so callers can hold it without blocking anyone.
+    ///
+    /// Defined for handles minted by the **global** table (everything
+    /// [`Sym::new`], `Value::str` and the parsers produce).  A handle from
+    /// an isolated [`SymbolInterner::new`] table must be resolved through
+    /// that table instead; passing one here panics (or, if the id happens
+    /// to be in range, names an unrelated global string).
+    pub fn as_str(self) -> &'static str {
+        SymbolInterner::global()
+            .resolve(self)
+            .expect("Sym handles are only minted by the global interner")
+    }
+
+    /// The raw id (diagnostics only; ids carry no order).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Interior of the interner: both views of the string ↔ id bijection.
+#[derive(Debug, Default)]
+struct Inner {
+    /// string → id.  Keys are the same leaked allocations `strings` holds.
+    map: HashMap<&'static str, u32>,
+    /// id → string, indexed by `Sym` id.
+    strings: Vec<&'static str>,
+}
+
+/// A thread-safe string ↔ [`Sym`] table — see the module docs for the
+/// interning contract.
+#[derive(Debug, Default)]
+pub struct SymbolInterner {
+    inner: RwLock<Inner>,
+    /// Number of write-lock acquisitions (i.e. genuinely new symbols); lets
+    /// tests assert that read-heavy phases never touch the write path.
+    write_acquisitions: AtomicU64,
+}
+
+impl SymbolInterner {
+    /// An empty, isolated table (independent of the global one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide table every [`crate::Value`] resolves through.
+    pub fn global() -> &'static SymbolInterner {
+        static GLOBAL: OnceLock<SymbolInterner> = OnceLock::new();
+        GLOBAL.get_or_init(SymbolInterner::new)
+    }
+
+    /// Intern `text`, returning its symbol.  Already-known strings are
+    /// answered under the shared read lock; only a genuinely new string
+    /// takes the exclusive write lock (double-checked, so a race between
+    /// two writers of the same string yields one id).
+    pub fn intern(&self, text: &str) -> Sym {
+        if let Some(&id) = self.read().map.get(text) {
+            return Sym(id);
+        }
+        self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = inner.map.get(text) {
+            return Sym(id);
+        }
+        let id = u32::try_from(inner.strings.len()).expect("fewer than 2^32 distinct symbols");
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The string behind `sym`, if this table minted it.
+    pub fn resolve(&self, sym: Sym) -> Option<&'static str> {
+        self.read().strings.get(sym.0 as usize).copied()
+    }
+
+    /// The symbol of `text`, if already interned (never takes the write
+    /// lock).
+    pub fn lookup(&self, text: &str) -> Option<Sym> {
+        self.read().map.get(text).map(|&id| Sym(id))
+    }
+
+    /// Number of distinct symbols in the table.
+    pub fn len(&self) -> usize {
+        self.read().strings.len()
+    }
+
+    /// `true` when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many times the exclusive write lock has been acquired — one per
+    /// *new* symbol.  A phase that only resolves or re-interns known
+    /// strings leaves this counter unchanged; the server's snapshot-reader
+    /// tests assert exactly that.
+    pub fn write_acquisitions(&self) -> u64 {
+        self.write_acquisitions.load(Ordering::Relaxed)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        // A poisoned lock only means a peer panicked mid-operation; the
+        // table itself is append-only and stays consistent.
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_round_trips() {
+        let table = SymbolInterner::new();
+        let a = table.intern("Tom Waits");
+        let b = table.intern("Tom Waits");
+        let c = table.intern("Lou Reed");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(table.resolve(a), Some("Tom Waits"));
+        assert_eq!(table.resolve(c), Some("Lou Reed"));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        let table = SymbolInterner::new();
+        assert_eq!(table.lookup("missing"), None);
+        let sym = table.intern("present");
+        assert_eq!(table.lookup("present"), Some(sym));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn tables_are_isolated_from_each_other() {
+        let a = SymbolInterner::new();
+        let b = SymbolInterner::new();
+        let in_a = a.intern("only-in-a");
+        // Interning in `a` does not leak into `b`…
+        assert_eq!(b.lookup("only-in-a"), None);
+        assert!(b.is_empty());
+        // …and ids are assigned independently: the same string gets each
+        // table's own next id.
+        let in_b = b.intern("only-in-b");
+        assert_eq!(in_a.id(), 0);
+        assert_eq!(in_b.id(), 0);
+        assert_eq!(a.resolve(in_a), Some("only-in-a"));
+        assert_eq!(b.resolve(in_b), Some("only-in-b"));
+        // Resolving a foreign handle is a lookup miss, not a crash.
+        let foreign = Sym(7);
+        assert_eq!(a.resolve(foreign), None);
+    }
+
+    #[test]
+    fn global_symbols_display_their_string() {
+        let sym = Sym::new("Sep/5");
+        assert_eq!(sym.as_str(), "Sep/5");
+        assert_eq!(sym.to_string(), "Sep/5");
+        assert_eq!(Sym::new("Sep/5"), sym);
+    }
+
+    #[test]
+    fn known_strings_stay_on_the_read_path() {
+        let table = SymbolInterner::new();
+        table.intern("warm");
+        let writes = table.write_acquisitions();
+        for _ in 0..100 {
+            table.intern("warm");
+            table.resolve(Sym(0));
+            table.lookup("warm");
+        }
+        assert_eq!(table.write_acquisitions(), writes);
+        table.intern("cold");
+        assert_eq!(table.write_acquisitions(), writes + 1);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_ids() {
+        let table = std::sync::Arc::new(SymbolInterner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let table = std::sync::Arc::clone(&table);
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| table.intern(&format!("s{}", (i + t) % 50)).id())
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(table.len(), 50);
+        // Every thread sees the same id for the same string.
+        for i in 0..50 {
+            let sym = table.lookup(&format!("s{i}")).unwrap();
+            assert_eq!(table.resolve(sym), Some(&*format!("s{i}")));
+        }
+    }
+}

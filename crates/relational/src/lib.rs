@@ -26,7 +26,9 @@
 pub mod csv;
 pub mod database;
 pub mod error;
+pub mod fxhash;
 pub mod index;
+pub mod interner;
 pub mod null;
 pub mod relation;
 pub mod schema;
@@ -35,7 +37,9 @@ pub mod value;
 
 pub use database::Database;
 pub use error::{RelationalError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
+pub use interner::{Sym, SymbolInterner};
 pub use null::{NullGenerator, NullId};
 pub use relation::{RelationInstance, StampWindow};
 pub use schema::{Attribute, AttributeType, RelationSchema};
@@ -54,6 +58,8 @@ const _: () = {
     assert_send_sync::<Database>();
     assert_send_sync::<NullGenerator>();
     assert_send_sync::<HashIndex>();
+    assert_send_sync::<Sym>();
+    assert_send_sync::<SymbolInterner>();
 };
 
 #[cfg(test)]
@@ -91,7 +97,7 @@ mod proptests {
         fn equal_values_hash_equal(a in arb_value()) {
             use std::collections::hash_map::DefaultHasher;
             use std::hash::{Hash, Hasher};
-            let b = a.clone();
+            let b = a;
             let mut ha = DefaultHasher::new();
             let mut hb = DefaultHasher::new();
             a.hash(&mut ha);
@@ -139,7 +145,7 @@ mod proptests {
                 idx_rel.insert_unchecked(Tuple::new(row.clone()));
             }
             idx_rel.build_index(0);
-            let bindings = vec![(0usize, probe)];
+            let bindings = vec![(0usize, &probe)];
             let scan: Vec<Tuple> = scan_rel.select(&bindings).into_iter().cloned().collect();
             let indexed: Vec<Tuple> = idx_rel.select(&bindings).into_iter().cloned().collect();
             prop_assert_eq!(scan, indexed);

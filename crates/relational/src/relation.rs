@@ -9,12 +9,13 @@
 //! with the current epoch so they re-enter the delta.
 
 use crate::error::Result;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::index::HashIndex;
 use crate::null::NullId;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// A stamp restriction on a selection: rows whose insert epoch lies in
@@ -69,8 +70,8 @@ pub struct RelationInstance {
     tuples: Vec<Tuple>,
     /// Insert epoch of each tuple, parallel to `tuples` and non-decreasing.
     stamps: Vec<u64>,
-    seen: HashSet<Tuple>,
-    indexes: HashMap<usize, HashIndex>,
+    seen: FxHashSet<Tuple>,
+    indexes: FxHashMap<usize, HashIndex>,
     /// Epoch stamped onto new inserts; advanced by the owning
     /// [`crate::Database`].  Invariant: `epoch >= stamps.last()`.
     epoch: u64,
@@ -83,8 +84,8 @@ impl RelationInstance {
             schema,
             tuples: Vec::new(),
             stamps: Vec::new(),
-            seen: HashSet::new(),
-            indexes: HashMap::new(),
+            seen: FxHashSet::default(),
+            indexes: FxHashMap::default(),
             epoch: 0,
         }
     }
@@ -201,14 +202,15 @@ impl RelationInstance {
     /// Tuples matching all of `bindings` (position → required value).
     ///
     /// Uses an index when one is available for some bound position; falls
-    /// back to a scan otherwise.
-    pub fn select(&self, bindings: &[(usize, Value)]) -> Vec<&Tuple> {
+    /// back to a scan otherwise.  Probe values are borrowed — selection
+    /// never clones or rebuilds a key.
+    pub fn select(&self, bindings: &[(usize, &Value)]) -> Vec<&Tuple> {
         self.select_window(bindings, StampWindow::all())
     }
 
     /// Like [`RelationInstance::select`], restricted to rows whose insert
     /// epoch lies inside `window`.
-    pub fn select_window(&self, bindings: &[(usize, Value)], window: StampWindow) -> Vec<&Tuple> {
+    pub fn select_window(&self, bindings: &[(usize, &Value)], window: StampWindow) -> Vec<&Tuple> {
         let lo = window
             .after
             .map(|e| self.stamps.partition_point(|s| *s <= e))
@@ -223,12 +225,20 @@ impl RelationInstance {
         if bindings.is_empty() {
             return self.tuples[lo..hi].iter().collect();
         }
-        // Prefer an indexed position.
-        if let Some((pos, value)) = bindings
+        // Among the indexed bound positions, probe the one with the
+        // shortest postings list — index lookups are cheap interned-id
+        // hashes, so asking every candidate index for its selectivity
+        // costs less than walking one long postings list.
+        let best = bindings
             .iter()
-            .find(|(pos, _)| self.indexes.contains_key(pos))
-        {
-            let rows = self.indexes[pos].lookup(value);
+            .filter_map(|(pos, value)| {
+                self.indexes
+                    .get(pos)
+                    .map(|index| index.lookup(value))
+                    .map(|rows| (rows.len(), rows))
+            })
+            .min_by_key(|(len, _)| *len);
+        if let Some((_, rows)) = best {
             return rows
                 .iter()
                 .filter(|&&r| r >= lo && r < hi)
@@ -338,10 +348,10 @@ impl RelationInstance {
         }
     }
 
-    fn matches(tuple: &Tuple, bindings: &[(usize, Value)]) -> bool {
+    fn matches(tuple: &Tuple, bindings: &[(usize, &Value)]) -> bool {
         bindings
             .iter()
-            .all(|(pos, value)| tuple.get(*pos) == Some(value))
+            .all(|(pos, value)| tuple.get(*pos) == Some(*value))
     }
 }
 
@@ -398,9 +408,9 @@ mod tests {
     #[test]
     fn select_without_index_scans() {
         let r = sample();
-        let hits = r.select(&[(0, Value::str("Standard"))]);
+        let hits = r.select(&[(0, &Value::str("Standard"))]);
         assert_eq!(hits.len(), 2);
-        let none = r.select(&[(0, Value::str("Oncology"))]);
+        let none = r.select(&[(0, &Value::str("Oncology"))]);
         assert!(none.is_empty());
     }
 
@@ -408,14 +418,14 @@ mod tests {
     fn select_with_index_matches_scan() {
         let mut r = sample();
         let scan: Vec<Tuple> = r
-            .select(&[(0, Value::str("Standard"))])
+            .select(&[(0, &Value::str("Standard"))])
             .into_iter()
             .cloned()
             .collect();
         r.build_index(0);
         assert!(r.has_index(0));
         let indexed: Vec<Tuple> = r
-            .select(&[(0, Value::str("Standard"))])
+            .select(&[(0, &Value::str("Standard"))])
             .into_iter()
             .cloned()
             .collect();
@@ -425,7 +435,7 @@ mod tests {
     #[test]
     fn select_with_multiple_bindings() {
         let r = sample();
-        let hits = r.select(&[(0, Value::str("Standard")), (1, Value::str("W2"))]);
+        let hits = r.select(&[(0, &Value::str("Standard")), (1, &Value::str("W2"))]);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0], &Tuple::from_iter(["Standard", "W2"]));
     }
@@ -454,7 +464,7 @@ mod tests {
         let changed = r.substitute_null(NullId(0), &Value::str("Standard"));
         assert_eq!(changed, 1);
         assert_eq!(r.len(), 1);
-        let hits = r.select(&[(0, Value::str("Standard"))]);
+        let hits = r.select(&[(0, &Value::str("Standard"))]);
         assert_eq!(hits.len(), 1);
     }
 
@@ -465,7 +475,7 @@ mod tests {
         let removed = r.retain(|t| t.get(0) != Some(&Value::str("Intensive")));
         assert_eq!(removed, 1);
         assert_eq!(r.len(), 3);
-        assert!(r.select(&[(1, Value::str("W3"))]).is_empty());
+        assert!(r.select(&[(1, &Value::str("W3"))]).is_empty());
     }
 
     #[test]
@@ -515,7 +525,8 @@ mod tests {
         r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
         r.build_index(0);
 
-        let binding = [(0usize, Value::str("Standard"))];
+        let probe = Value::str("Standard");
+        let binding = [(0usize, &probe)];
         let old = r.select_window(&binding, StampWindow::old_up_to(0));
         assert_eq!(old, vec![&Tuple::from_iter(["Standard", "W1"])]);
         let delta = r.select_window(&binding, StampWindow::delta_after(0));
@@ -552,9 +563,9 @@ mod tests {
         r.build_index(0);
         r.substitute_null(NullId(1), &Value::str("Standard"));
         // The old index key must be gone and the new key present.
-        assert!(r.select(&[(0, Value::null(NullId(1)))]).is_empty());
-        assert_eq!(r.select(&[(0, Value::str("Standard"))]).len(), 1);
-        assert_eq!(r.select(&[(0, Value::str("Intensive"))]).len(), 1);
+        assert!(r.select(&[(0, &Value::null(NullId(1)))]).is_empty());
+        assert_eq!(r.select(&[(0, &Value::str("Standard"))]).len(), 1);
+        assert_eq!(r.select(&[(0, &Value::str("Intensive"))]).len(), 1);
     }
 
     #[test]

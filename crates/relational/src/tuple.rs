@@ -3,20 +3,27 @@
 use crate::null::NullId;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// A tuple of values.
 ///
-/// Tuples are plain vectors of [`Value`]s; the schema they conform to lives in
-/// the relation instance holding them.
+/// The value storage is a shared `Arc<[Value]>`: cloning a tuple — which the
+/// chase does constantly when the same row enters index postings, delta
+/// windows, dedup sets and trigger batches — bumps a reference count instead
+/// of copying the payload.  Tuples are immutable; the "mutating" helpers
+/// ([`Tuple::project`], [`Tuple::substitute_null`]) build new tuples.  The
+/// schema a tuple conforms to lives in the relation instance holding it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
     /// Construct a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Self { values }
+        Self {
+            values: values.into(),
+        }
     }
 
     /// Construct a tuple from anything convertible into values.
@@ -51,9 +58,10 @@ impl Tuple {
         self.values.get(position)
     }
 
-    /// Owned values, consuming the tuple.
+    /// Owned values, consuming the tuple ([`Value`]s are plain scalars, so
+    /// this is a flat copy of the shared storage).
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
     }
 
     /// `true` when no value in the tuple is a labeled null.
@@ -75,7 +83,7 @@ impl Tuple {
         Tuple::new(
             positions
                 .iter()
-                .filter_map(|&p| self.values.get(p).cloned())
+                .filter_map(|&p| self.values.get(p).copied())
                 .collect(),
         )
     }
@@ -87,8 +95,8 @@ impl Tuple {
             self.values
                 .iter()
                 .map(|v| match v {
-                    Value::Null(id) if *id == from => to.clone(),
-                    other => other.clone(),
+                    Value::Null(id) if *id == from => *to,
+                    other => *other,
                 })
                 .collect(),
         )

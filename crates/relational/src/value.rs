@@ -5,10 +5,15 @@
 //! introduced by existential rules during the chase.
 //!
 //! Values are totally ordered and hashable so they can be used as join keys
-//! and index keys.  Doubles are ordered by their IEEE-754 total order (via the
-//! bit representation adjusted for sign), which is sufficient for the
-//! comparison built-ins used by quality predicates.
+//! and index keys.  String constants are interned [`Sym`]s, so equality and
+//! hashing are fixed-width id operations; the total order still compares the
+//! underlying strings lexicographically (resolved through the global
+//! [`crate::SymbolInterner`]), so interning is invisible to ordering-
+//! sensitive consumers.  Doubles are ordered by their IEEE-754 total order
+//! (via the bit representation adjusted for sign), which is sufficient for
+//! the comparison built-ins used by quality predicates.
 
+use crate::interner::Sym;
 use crate::null::NullId;
 use std::cmp::Ordering;
 use std::fmt;
@@ -26,10 +31,14 @@ const MONTHS: [&str; 12] = [
 const MONTH_OFFSETS: [i64; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
 
 /// A domain value or a labeled null.
-#[derive(Debug, Clone)]
+///
+/// All variants are small scalars (string constants are interned
+/// [`Sym`] handles), so cloning a value is a copy and comparing or hashing
+/// one never follows a heap pointer except to order strings.
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
-    /// A string constant.
-    Str(String),
+    /// A string constant, interned in the global symbol table.
+    Str(Sym),
     /// A 64-bit signed integer constant.
     Int(i64),
     /// A double-precision floating-point constant.
@@ -46,9 +55,10 @@ pub enum Value {
 }
 
 impl Value {
-    /// String constant constructor.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    /// String constant constructor; interns the string in the global
+    /// symbol table.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Sym::new(s.as_ref()))
     }
 
     /// Integer constant constructor.
@@ -143,9 +153,17 @@ impl Value {
     }
 
     /// The string content, when the value is a string constant.
-    pub fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
             Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned symbol, when the value is a string constant.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Str(s) => Some(*s),
             _ => None,
         }
     }
@@ -221,8 +239,20 @@ impl Value {
 }
 
 impl PartialEq for Value {
+    /// Equality is a pure scalar comparison: interned strings compare by
+    /// symbol id (equal ids ⇔ equal strings in the shared global table), so
+    /// the join hot path never touches string data.
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        use Value::*;
+        match (self, other) {
+            (Str(a), Str(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Double(a), Double(b)) => Value::double_key(*a) == Value::double_key(*b),
+            (Bool(a), Bool(b)) => a == b,
+            (Time(a), Time(b)) => a == b,
+            (Null(a), Null(b)) => a == b,
+            _ => false,
+        }
     }
 }
 
@@ -235,6 +265,8 @@ impl PartialOrd for Value {
 }
 
 impl Ord for Value {
+    /// The total order is unchanged by interning: string constants order by
+    /// their *resolved* strings (lexicographically), not by symbol id.
     fn cmp(&self, other: &Self) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -242,7 +274,13 @@ impl Ord for Value {
             (Int(a), Int(b)) => a.cmp(b),
             (Double(a), Double(b)) => Value::double_key(*a).cmp(&Value::double_key(*b)),
             (Time(a), Time(b)) => a.cmp(b),
-            (Str(a), Str(b)) => a.cmp(b),
+            (Str(a), Str(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.as_str().cmp(b.as_str())
+                }
+            }
             (Null(a), Null(b)) => a.cmp(b),
             _ => self.rank().cmp(&other.rank()),
         }
@@ -253,7 +291,7 @@ impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.rank().hash(state);
         match self {
-            Value::Str(s) => s.hash(state),
+            Value::Str(s) => s.id().hash(state),
             Value::Int(i) => i.hash(state),
             Value::Double(d) => Value::double_key(*d).hash(state),
             Value::Bool(b) => b.hash(state),
@@ -278,12 +316,18 @@ impl fmt::Display for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::str(&s)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
         Value::Str(s)
     }
 }
@@ -393,6 +437,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Interning must be invisible to the total order: string constants
+    /// order lexicographically regardless of the order their symbols were
+    /// interned in (ids are first-seen order, which here is reversed).
+    #[test]
+    fn interned_strings_keep_the_lexicographic_order() {
+        let words = ["zulu", "yankee", "alpha", "mike", "bravo"];
+        let values: Vec<Value> = words.iter().map(Value::str).collect();
+        let mut sorted_values = values.clone();
+        sorted_values.sort();
+        let mut sorted_words = words;
+        sorted_words.sort_unstable();
+        let resolved: Vec<&str> = sorted_values.iter().filter_map(Value::as_str).collect();
+        assert_eq!(resolved, sorted_words);
+    }
+
+    /// Id equality must coincide with string equality (one global table).
+    #[test]
+    fn interned_equality_is_string_equality() {
+        assert_eq!(Value::str("same"), Value::str(String::from("same")));
+        assert_ne!(Value::str("same"), Value::str("Same"));
+        assert_eq!(Value::str("same").as_sym(), Value::from("same").as_sym());
+        assert_eq!(Value::int(1).as_sym(), None);
     }
 
     #[test]

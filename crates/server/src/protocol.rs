@@ -95,6 +95,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// The text must be one or more ground facts in rule syntax (e.g.
 /// `Measurements(@Sep/5-12:10, "Tom Waits", 38.2).`); rules are rejected —
 /// the program is fixed by the registered context.
+///
+/// String constants are routed through the global
+/// [`ontodq_relational::SymbolInterner`] **here, once per staged batch**:
+/// the tuples handed to the service carry fixed-width interned symbols, so
+/// the whole downstream write path (batch validation, incremental re-chase,
+/// snapshot swap) performs no further interning — and repeated constants
+/// (the common case for protocol traffic) resolve on the interner's shared
+/// read path without ever taking its write lock.
+///
+/// Interning happens at parse time, i.e. *before* schema validation, and
+/// interned strings are never freed — distinct constants from rejected or
+/// discarded batches still occupy the table.  Deployments exposed to
+/// untrusted clients should cap line/batch sizes upstream (the same place
+/// connection quotas live).
 pub fn parse_facts(text: &str) -> Result<Vec<(String, Tuple)>, ServiceError> {
     let normalized = if text.trim_end().ends_with('.') {
         text.to_string()
@@ -119,7 +133,7 @@ pub fn parse_facts(text: &str) -> Result<Vec<(String, Tuple)>, ServiceError> {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Const(v) => v.clone(),
+                    Term::Const(v) => *v,
                     Term::Var(_) => unreachable!("facts are ground"),
                 })
                 .collect::<Vec<_>>();
@@ -409,6 +423,34 @@ mod tests {
         // …and stays staged (visible in !stats) until discarded.
         assert!(out.contains("staged=1 cache_hits"));
         assert!(out.contains("ok discarded=1"));
+    }
+
+    /// `parse_facts` routes every string constant through the global
+    /// interner at parse time, once per batch: re-parsing a batch whose
+    /// constants are already interned performs zero write-lock
+    /// acquisitions (retried because the counter is process-global and
+    /// sibling tests may intern concurrently).
+    #[test]
+    fn reparsing_a_batch_stays_on_the_interner_read_path() {
+        let batch = "Measurements(@Sep/5-12:10, \"Tom Waits\", 38.2).\n\
+                     Measurements(@Sep/6-11:50, \"Tom Waits\", 37.1).";
+        let first = parse_facts(batch).unwrap();
+        assert_eq!(first.len(), 2);
+        let interner = ontodq_relational::SymbolInterner::global();
+        let mut clean = false;
+        for _ in 0..10 {
+            let before = interner.write_acquisitions();
+            let again = parse_facts(batch).unwrap();
+            assert_eq!(first, again);
+            if interner.write_acquisitions() == before {
+                clean = true;
+                break;
+            }
+        }
+        assert!(
+            clean,
+            "re-parsing a known batch took the interner write lock"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Equivalence of the delta-driven semi-naive chase and the naive reference
-//! oracle: identical final instances (modulo labeled-null renaming) and
-//! identical violation sets, on the paper's hospital fixture and on
-//! generated workload instances.
+//! Equivalence of the delta-driven semi-naive chase, the parallel per-rule
+//! chase and the naive reference oracle: identical final instances (modulo
+//! labeled-null renaming) and identical violation sets, on the paper's
+//! hospital fixture and on generated workload instances.
 
 use ontodq_chase::{
     chase, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, EvalStrategy, TerminationReason,
@@ -15,13 +15,26 @@ use ontodq_relational::Database;
 use ontodq_workload::{generate, HospitalScale};
 use proptest::prelude::*;
 
-/// Assert full equivalence of both strategies on one program + instance.
+/// Parallel chase with a pinned 4-worker team: `available_parallelism` can
+/// be 1 on CI containers, and the suite must exercise the genuinely
+/// concurrent path everywhere.
+fn chase_parallel(program: &ontodq_datalog::Program, db: &Database) -> ontodq_chase::ChaseResult {
+    ChaseEngine::new(ChaseConfig::parallel_with_threads(4)).run(program, db)
+}
+
+/// Assert full equivalence of all three strategies on one program +
+/// instance: `naive == semi-naive == parallel` modulo labeled-null renaming.
 fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, label: &str) {
     let naive = chase_naive(program, db);
     let semi = chase(program, db);
+    let parallel = chase_parallel(program, db);
     assert_eq!(
         naive.termination, semi.termination,
         "{label}: termination reasons diverge"
+    );
+    assert_eq!(
+        naive.termination, parallel.termination,
+        "{label}: parallel termination diverges"
     );
     assert!(
         databases_equivalent(&naive.database, &semi.database),
@@ -29,10 +42,21 @@ fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, lab
         canonicalize_database(&naive.database),
         canonicalize_database(&semi.database),
     );
+    assert!(
+        databases_equivalent(&naive.database, &parallel.database),
+        "{label}: parallel instance differs modulo null renaming\nnaive:\n{:#?}\nparallel:\n{:#?}",
+        canonicalize_database(&naive.database),
+        canonicalize_database(&parallel.database),
+    );
     assert_eq!(
         violation_summary(&naive.violations),
         violation_summary(&semi.violations),
         "{label}: violation sets diverge"
+    );
+    assert_eq!(
+        violation_summary(&naive.violations),
+        violation_summary(&parallel.violations),
+        "{label}: parallel violation set diverges"
     );
     assert_eq!(
         naive.stats.tuples_added, semi.stats.tuples_added,
@@ -42,6 +66,26 @@ fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, lab
         naive.stats.nulls_created, semi.stats.nulls_created,
         "{label}: different number of invented nulls"
     );
+    // The parallel engine is deterministic: a second run reproduces the
+    // instance exactly (same tuples, same null ids), not just up to
+    // renaming.
+    let parallel_again = chase_parallel(program, db);
+    assert_eq!(
+        canonicalize_database(&parallel.database),
+        canonicalize_database(&parallel_again.database),
+        "{label}: parallel run is not reproducible"
+    );
+    for relation in parallel.database.relations() {
+        let again = parallel_again
+            .database
+            .relation(relation.name())
+            .expect("reproduced run has the same relations");
+        assert_eq!(
+            relation.tuples(),
+            again.tuples(),
+            "{label}: parallel run is not byte-for-byte deterministic"
+        );
+    }
 }
 
 #[test]
@@ -111,10 +155,15 @@ fn violating_instances_report_the_same_violations() {
         .unwrap();
     let naive = chase_naive(&program, &db);
     let semi = chase(&program, &db);
+    let parallel = chase_parallel(&program, &db);
     assert!(!naive.violations.is_empty());
     assert_eq!(
         violation_summary(&naive.violations),
         violation_summary(&semi.violations)
+    );
+    assert_eq!(
+        violation_summary(&naive.violations),
+        violation_summary(&parallel.violations)
     );
 }
 
@@ -131,7 +180,13 @@ fn oblivious_mode_is_equivalent_too() {
     };
     let naive = run(EvalStrategy::Naive);
     let semi = run(EvalStrategy::SemiNaive);
+    let parallel = ChaseEngine::new(ChaseConfig {
+        mode: ChaseMode::Oblivious,
+        ..ChaseConfig::parallel_with_threads(4)
+    })
+    .run(&compiled.program, &compiled.database);
     assert!(databases_equivalent(&naive.database, &semi.database));
+    assert!(databases_equivalent(&naive.database, &parallel.database));
 }
 
 proptest! {
@@ -154,9 +209,12 @@ proptest! {
         }
         let naive = chase_naive(&program, &db);
         let semi = chase(&program, &db);
+        let parallel = chase_parallel(&program, &db);
         prop_assert_eq!(naive.termination, TerminationReason::Fixpoint);
         prop_assert_eq!(semi.termination, TerminationReason::Fixpoint);
+        prop_assert_eq!(parallel.termination, TerminationReason::Fixpoint);
         prop_assert!(databases_equivalent(&naive.database, &semi.database));
+        prop_assert!(databases_equivalent(&naive.database, &parallel.database));
     }
 
     /// Random scaled hospitals: full pipeline equivalence.
@@ -181,10 +239,16 @@ proptest! {
         let compiled = ontodq_mdm::compile(&workload.ontology);
         let naive = chase_naive(&compiled.program, &compiled.database);
         let semi = chase(&compiled.program, &compiled.database);
+        let parallel = chase_parallel(&compiled.program, &compiled.database);
         prop_assert!(databases_equivalent(&naive.database, &semi.database));
+        prop_assert!(databases_equivalent(&naive.database, &parallel.database));
         prop_assert_eq!(
             violation_summary(&naive.violations),
             violation_summary(&semi.violations)
+        );
+        prop_assert_eq!(
+            violation_summary(&naive.violations),
+            violation_summary(&parallel.violations)
         );
     }
 }

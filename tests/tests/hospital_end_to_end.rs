@@ -100,7 +100,7 @@ fn example_6_discharge_rule_invents_units() {
     // Tom Waits' Sep/9 discharge and Elvis Costello's Oct/5 discharge invent
     // unknown units; Lou Reed's Sep/6 discharge is already explained.
     assert_eq!(invented.len(), 2);
-    let patients: Vec<_> = invented.iter().map(|t| t.get(2).unwrap().clone()).collect();
+    let patients: Vec<_> = invented.iter().map(|t| *t.get(2).unwrap()).collect();
     assert!(patients.contains(&Value::str("Tom Waits")));
     assert!(patients.contains(&Value::str("Elvis Costello")));
 }

@@ -331,3 +331,84 @@ fn streamed_service_state_matches_one_shot_assessment() {
         one_shot.metrics.relations.get("Measurements")
     );
 }
+
+/// Snapshot readers never contend on the interner's write path.
+///
+/// Once a context is registered and its instance chased, every symbol a
+/// reader can touch — instance constants, chased derivations, the prepared
+/// queries' constants — is already in the global symbol table, so query
+/// evaluation runs entirely on the interner's shared read path.  The
+/// [`ontodq_relational::SymbolInterner::write_acquisitions`] counter ticks
+/// once per *new* symbol; a reader phase must not move it.
+///
+/// The counter is process-global and the test harness runs tests in
+/// parallel, so a concurrent test interning a brand-new string could bump
+/// it mid-phase; the distinct-symbol supply of a test run is finite, so we
+/// retry a few times and require at least one clean (zero-delta) phase.
+#[test]
+fn snapshot_readers_never_take_the_interner_write_path() {
+    use ontodq_relational::SymbolInterner;
+
+    let service = Arc::new(QualityService::new());
+    service
+        .register_context(
+            "hospital",
+            scenarios::hospital_context(),
+            hospital::measurements_database(),
+        )
+        .unwrap();
+    let queries = [
+        ("Measurements(t, p, v)", false),
+        ("Measurements(t, p, v), p = \"Tom Waits\"", false),
+        ("Measurements(t, p, v)", true),
+        ("Measurements(t, p, v), p = \"Tom Waits\"", true),
+    ];
+    // Warm every query shape once: parsing a query interns any constant its
+    // text introduces (ours reuse instance constants, but the warm-up makes
+    // the phase below insensitive to that).
+    for (text, quality) in queries {
+        let response = if quality {
+            service.quality_answers("hospital", text)
+        } else {
+            service.plain_answers("hospital", text)
+        };
+        response.unwrap();
+    }
+
+    let interner = SymbolInterner::global();
+    let mut clean_phase = false;
+    for _ in 0..10 {
+        let before = interner.write_acquisitions();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        for (text, quality) in queries {
+                            let response = if quality {
+                                service.quality_answers("hospital", text)
+                            } else {
+                                service.plain_answers("hospital", text)
+                            };
+                            assert!(response.unwrap().answers.len() <= 16);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        if interner.write_acquisitions() == before {
+            clean_phase = true;
+            break;
+        }
+        // Another test interned a new symbol mid-phase; let the suite's
+        // distinct-symbol supply drain and try again.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        clean_phase,
+        "snapshot readers kept interning new symbols — the read path is taking the write lock"
+    );
+}
