@@ -21,10 +21,13 @@
 //! (naive vs semi-naive vs parallel chase timings, rounds, trigger counts,
 //! tuples/sec, plus a regression note against the pre-interning storage
 //! layer), `intern_bench` writes `BENCH_intern.json` (symbol intern/resolve
-//! rates and interned-vs-string join-probe throughput), and
+//! rates and interned-vs-string join-probe throughput),
 //! `service_throughput` writes `BENCH_service.json` (queries/sec at 1/2/4/8
 //! worker threads; incremental vs from-scratch re-chase latency per update
-//! batch) so future changes have a perf trajectory to compare against.
+//! batch), and `recovery_bench` writes `BENCH_persist.json` (restart
+//! strategies — cold start from scratch vs snapshot + WAL-tail replay vs
+//! full-WAL replay — and the WAL-append overhead on the incremental write
+//! path) so future changes have a perf trajectory to compare against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -38,7 +41,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 13] = [
+const EXPERIMENT_IDS: [&str; 14] = [
     "table1",
     "table2",
     "table3_4",
@@ -52,6 +55,7 @@ const EXPERIMENT_IDS: [&str; 13] = [
     "chase_perf",
     "intern_bench",
     "service_throughput",
+    "recovery_bench",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -65,7 +69,8 @@ fn usage(problem: &str) -> ! {
          \n\
          options:\n\
          \x20 --scale N   multiply synthetic workload sizes by N (default 1);\n\
-         \x20             affects scaling, chase_perf and service_throughput\n\
+         \x20             affects scaling, chase_perf, service_throughput\n\
+         \x20             and recovery_bench\n\
          \n\
          experiment ids:\n\
          \x20 {}",
@@ -143,6 +148,9 @@ fn main() {
     }
     if want("service_throughput") {
         service_throughput(scale);
+    }
+    if want("recovery_bench") {
+        recovery_bench(scale);
     }
 }
 
@@ -973,6 +981,267 @@ fn service_throughput(scale: usize) {
         cache.entries,
     );
     let path = "BENCH_service.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Durable-restart strategies of `ontodq-store`: cold start from scratch
+/// (full re-chase) vs snapshot + WAL-tail replay vs full-WAL replay, plus
+/// the WAL-append overhead on the incremental write path — printed as
+/// markdown and written to `BENCH_persist.json`.
+fn recovery_bench(scale: usize) {
+    use ontodq_server::QualityService;
+    use ontodq_store::{Store, StoreConfig};
+    use std::sync::{Arc, Mutex};
+
+    println!("### ontodq-store — restart strategies and WAL overhead\n");
+    let measurements = 200 * scale;
+    let workload = generate(&HospitalScale::with_measurements(measurements));
+    let context = workload.context();
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .expect("scaled instance has measurements")
+        .tuples()
+        .to_vec();
+    let batch_count = 10usize;
+    let batch_size = 10 * scale;
+    let snapshot_at = 8usize; // batches folded in before the checkpoint
+    let batches: Vec<Vec<(String, Tuple)>> = (0..batch_count)
+        .map(|batch_index| {
+            (0..batch_size)
+                .map(|i| {
+                    let source = &base[(batch_index * batch_size + i) % base.len()];
+                    let value = 41.0 + (batch_index * batch_size + i) as f64 / 100.0;
+                    (
+                        "Measurements".to_string(),
+                        Tuple::new(vec![
+                            *source.get(0).unwrap(),
+                            *source.get(1).unwrap(),
+                            Value::double(value),
+                        ]),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let scratch_dir = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "ontodq-recovery-bench-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+
+    // -------- WAL-append overhead on the incremental write path --------
+    // The same batch sequence through an in-memory service and a durable
+    // one; per-batch apply latency (incremental re-chase + snapshot swap,
+    // plus WAL append + fsync on the durable side).
+    let mut mem_total = std::time::Duration::ZERO;
+    {
+        let service = QualityService::new();
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register in-memory context");
+        for batch in &batches {
+            mem_total += service
+                .insert_facts("scaled", batch.clone())
+                .expect("bench batches apply")
+                .elapsed;
+        }
+    }
+    let durable_dir = scratch_dir("overhead");
+    let mut durable_total = std::time::Duration::ZERO;
+    {
+        let store = Store::open(&durable_dir, StoreConfig::default()).expect("open store");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register durable context");
+        for batch in &batches {
+            durable_total += service
+                .insert_facts("scaled", batch.clone())
+                .expect("bench batches apply")
+                .elapsed;
+        }
+    }
+    let mem_mean = mem_total.as_secs_f64() / batch_count as f64;
+    let durable_mean = durable_total.as_secs_f64() / batch_count as f64;
+    let overhead_ratio = durable_mean / mem_mean.max(1e-9);
+    let _ = std::fs::remove_dir_all(&durable_dir);
+
+    let mut table = MarkdownTable::new(["write path", "batches", "mean apply latency"]);
+    table.row([
+        "in-memory (no WAL)".to_string(),
+        batch_count.to_string(),
+        fmt_duration(std::time::Duration::from_secs_f64(mem_mean)),
+    ]);
+    table.row([
+        "durable (WAL append + fsync)".to_string(),
+        batch_count.to_string(),
+        fmt_duration(std::time::Duration::from_secs_f64(durable_mean)),
+    ]);
+    println!("{}", table.render());
+    println!("wal overhead ratio (durable / in-memory): {overhead_ratio:.3}x\n");
+
+    // -------- restart strategies --------
+    // Stage two data dirs: one checkpointed after `snapshot_at` batches
+    // (snapshot + 2-batch tail) and one never checkpointed (full log).
+    let snap_dir = scratch_dir("snap");
+    {
+        let store = Store::open(&snap_dir, StoreConfig::default()).expect("open store");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register");
+        for batch in &batches[..snapshot_at] {
+            service
+                .insert_facts("scaled", batch.clone())
+                .expect("apply");
+        }
+        service.persist_all().expect("checkpoint");
+        for batch in &batches[snapshot_at..] {
+            service
+                .insert_facts("scaled", batch.clone())
+                .expect("apply");
+        }
+    }
+    let wal_dir = scratch_dir("wal");
+    {
+        let store = Store::open(&wal_dir, StoreConfig::default()).expect("open store");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register");
+        for batch in &batches {
+            service
+                .insert_facts("scaled", batch.clone())
+                .expect("apply");
+        }
+    }
+
+    // (a) Cold start: re-chase everything from the accumulated facts.
+    let mut accumulated = workload.instance.clone();
+    for batch in &batches {
+        for (name, tuple) in batch {
+            accumulated.insert(name, tuple.clone()).expect("accumulate");
+        }
+    }
+    let start = Instant::now();
+    let cold_service = QualityService::new();
+    cold_service
+        .register_context("scaled", context.clone(), accumulated)
+        .expect("cold start");
+    let cold = start.elapsed();
+    let cold_answers = cold_service
+        .quality_answers("scaled", "Measurements(t, p, v)")
+        .expect("cold answers")
+        .answers
+        .len();
+
+    // (b) Snapshot + WAL-tail replay.
+    let restart = |dir: &std::path::Path| {
+        let start = Instant::now();
+        let mut store = Store::open(dir, StoreConfig::default()).expect("open store");
+        let mut recovery = store.recover().expect("recover");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        let summary = service
+            .register_recovered(
+                "scaled",
+                context.clone(),
+                workload.instance.clone(),
+                &mut recovery,
+            )
+            .expect("register recovered");
+        (start.elapsed(), service, summary)
+    };
+    let (snap_tail, snap_service, snap_summary) = restart(&snap_dir);
+    assert!(snap_summary.restored_from_snapshot);
+    assert_eq!(snap_summary.replayed_batches, batch_count - snapshot_at);
+
+    // (c) Full-WAL replay (crash before the first checkpoint).
+    let (full_replay, wal_service, wal_summary) = restart(&wal_dir);
+    assert!(!wal_summary.restored_from_snapshot);
+    assert_eq!(wal_summary.replayed_batches, batch_count);
+
+    // All three restarts answer identically.
+    for (label, service) in [("snapshot+tail", &snap_service), ("full-wal", &wal_service)] {
+        let answers = service
+            .quality_answers("scaled", "Measurements(t, p, v)")
+            .expect("recovered answers")
+            .answers
+            .len();
+        assert_eq!(answers, cold_answers, "{label} restart diverged");
+    }
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let speedup = cold.as_secs_f64() / snap_tail.as_secs_f64().max(1e-9);
+    let mut table = MarkdownTable::new(["restart strategy", "time", "vs cold start"]);
+    table.row([
+        "cold start (full re-chase)".to_string(),
+        fmt_duration(cold),
+        "1.00x".to_string(),
+    ]);
+    table.row([
+        format!("snapshot + {}-batch WAL tail", batch_count - snapshot_at),
+        fmt_duration(snap_tail),
+        format!("{speedup:.2}x faster"),
+    ]);
+    table.row([
+        format!("full-WAL replay ({batch_count} batches)"),
+        fmt_duration(full_replay),
+        format!(
+            "{:.2}x",
+            cold.as_secs_f64() / full_replay.as_secs_f64().max(1e-9)
+        ),
+    ]);
+    println!("{}", table.render());
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"recovery_bench\",\n",
+            "  \"workload\": \"scaled_hospital\",\n",
+            "  \"scale\": {},\n",
+            "  \"measurements\": {},\n",
+            "  \"batches\": {},\n",
+            "  \"batch_facts\": {},\n",
+            "  \"snapshot_at_batch\": {},\n",
+            "  \"wal_overhead\": {{\n",
+            "    \"mem_batch_seconds_mean\": {:.6},\n",
+            "    \"durable_batch_seconds_mean\": {:.6},\n",
+            "    \"overhead_ratio\": {:.3}\n",
+            "  }},\n",
+            "  \"restart\": {{\n",
+            "    \"cold_start_seconds\": {:.6},\n",
+            "    \"snapshot_tail_seconds\": {:.6},\n",
+            "    \"full_wal_replay_seconds\": {:.6},\n",
+            "    \"snapshot_tail_speedup_vs_cold\": {:.3}\n",
+            "  }},\n",
+            "  \"recovered_quality_answers\": {},\n",
+            "  \"restarts_agree\": true\n",
+            "}}\n"
+        ),
+        scale,
+        measurements,
+        batch_count,
+        batch_size,
+        snapshot_at,
+        mem_mean,
+        durable_mean,
+        overhead_ratio,
+        cold.as_secs_f64(),
+        snap_tail.as_secs_f64(),
+        full_replay.as_secs_f64(),
+        speedup,
+        cold_answers,
+    );
+    let path = "BENCH_persist.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

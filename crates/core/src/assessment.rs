@@ -249,14 +249,84 @@ impl ResumableAssessment {
         }
     }
 
+    /// Rebuild an assessment from persisted state **without re-chasing**:
+    /// the recovery path of `ontodq-store`.
+    ///
+    /// `instance` is the persisted instance under assessment `D` and `state`
+    /// the persisted [`ChaseState`] (chased contextual instance, per-rule
+    /// epoch watermarks, null counter).  The Datalog± program is recompiled
+    /// from `context` — compilation is deterministic, so the persisted
+    /// watermark vectors line up with the recompiled rule positions.  The
+    /// caller then folds any write-ahead-log tail in through the regular
+    /// [`ResumableAssessment::insert_batch`] path, each batch paying only an
+    /// incremental re-chase.
+    ///
+    /// The last-step statistics start out empty (the step that produced the
+    /// persisted state ran in another process).
+    pub fn restore(
+        context: Context,
+        instance: Database,
+        state: ChaseState,
+        batches_applied: u64,
+    ) -> Self {
+        let (program, _) = compile_context(&context, &instance);
+        Self {
+            context,
+            program,
+            instance,
+            engine: ChaseEngine::new(AssessmentOptions::default().chase),
+            state,
+            last: ChaseSummary {
+                stats: ontodq_chase::ChaseStats::default(),
+                violations: ontodq_chase::Violations::default(),
+                termination: ontodq_chase::TerminationReason::Fixpoint,
+            },
+            batches_applied,
+        }
+    }
+
     /// The context being assessed against.
     pub fn context(&self) -> &Context {
         &self.context
     }
 
+    /// The resumable chase state (chased contextual instance, per-rule epoch
+    /// watermarks, null counter) — what persistence layers serialize, and
+    /// what [`ResumableAssessment::restore`] takes back.
+    pub fn state(&self) -> &ChaseState {
+        &self.state
+    }
+
     /// The combined Datalog± program (ontology + context rules).
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// A stable fingerprint of the compiled rule set — TGDs, EGDs and
+    /// negative constraints, hashed **in positional order** through the
+    /// process-independent [`ontodq_relational::FxHasher`] over their
+    /// rendered text.  Persistence layers store it next to a serialized
+    /// [`ChaseState`]: the state's watermark vectors are positional, so
+    /// they are only meaningful for a program whose rules render
+    /// identically at the same positions.  A mismatch at restore time means
+    /// the context definition changed since the snapshot and the state
+    /// must not be trusted.
+    pub fn program_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = ontodq_relational::FxHasher::default();
+        self.program.tgds.len().hash(&mut hasher);
+        for tgd in &self.program.tgds {
+            tgd.to_string().hash(&mut hasher);
+        }
+        self.program.egds.len().hash(&mut hasher);
+        for egd in &self.program.egds {
+            egd.to_string().hash(&mut hasher);
+        }
+        self.program.constraints.len().hash(&mut hasher);
+        for nc in &self.program.constraints {
+            nc.to_string().hash(&mut hasher);
+        }
+        hasher.finish()
     }
 
     /// The instance under assessment `D`, including every batch applied so
@@ -540,6 +610,59 @@ mod tests {
         assert_eq!(resumable.instance().total_tuples(), instance_before);
         assert_eq!(resumable.contextual().total_tuples(), contextual_before);
         assert_eq!(resumable.batches_applied(), batches_before);
+    }
+
+    /// `restore` must be invisible to the incremental pipeline: an
+    /// assessment rebuilt from another assessment's persisted parts folds
+    /// the next batch in exactly like the original would have.
+    #[test]
+    fn restored_assessment_continues_like_the_original() {
+        let context = hospital_context();
+        let mut live = ResumableAssessment::new(context.clone(), hospital::measurements_database());
+        live.insert_batch([(
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/6-11:05").unwrap(),
+                Value::str("Lou Reed"),
+                Value::double(39.9),
+            ]),
+        )])
+        .unwrap();
+
+        let mut restored = ResumableAssessment::restore(
+            context,
+            live.instance().clone(),
+            live.state().clone(),
+            live.batches_applied(),
+        );
+        assert_eq!(restored.batches_applied(), 1);
+        assert_eq!(
+            restored.contextual().total_tuples(),
+            live.contextual().total_tuples()
+        );
+
+        let next = [(
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/6-12:00").unwrap(),
+                Value::str("Lou Reed"),
+                Value::double(37.2),
+            ]),
+        )];
+        let live_outcome = live.insert_batch(next.clone()).unwrap();
+        let restored_outcome = restored.insert_batch(next).unwrap();
+        assert_eq!(restored_outcome.new_facts, live_outcome.new_facts);
+        assert_eq!(
+            restored_outcome.chase.stats.tuples_added,
+            live_outcome.chase.stats.tuples_added
+        );
+        let (live_quality, live_metrics) = live.extract();
+        let (restored_quality, restored_metrics) = restored.extract();
+        assert_eq!(
+            restored_quality.relation("Measurements").unwrap().tuples(),
+            live_quality.relation("Measurements").unwrap().tuples()
+        );
+        assert_eq!(restored_metrics.relations, live_metrics.relations);
     }
 
     #[test]

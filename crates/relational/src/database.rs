@@ -62,6 +62,22 @@ impl Database {
         epoch
     }
 
+    /// Raise the epoch to at least `epoch` and propagate it to every
+    /// relation.  The reload path of persistence layers: a serialized
+    /// database records its epoch explicitly (it may sit above every row
+    /// stamp after batches that inserted nothing new), and rule watermarks
+    /// reference epochs, so the exact value must survive a round trip.
+    /// Unlike [`Database::advance_epoch`] this never decreases the epoch
+    /// and is a no-op when `epoch` is not ahead.
+    pub fn raise_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            for relation in self.relations.values_mut() {
+                relation.set_epoch(epoch);
+            }
+        }
+    }
+
     /// Register an empty relation with `schema`.
     ///
     /// Registering the same name twice is fine when the schemas agree and an
@@ -383,6 +399,33 @@ mod tests {
             .unwrap()
             .delta_since(before)
             .is_empty());
+    }
+
+    #[test]
+    fn raise_epoch_restores_an_epoch_above_all_stamps() {
+        let mut db = sample();
+        db.advance_epoch();
+        db.advance_epoch(); // epoch 2, no rows stamped past 0
+        let mut reloaded = Database::new();
+        for relation in db.relations() {
+            reloaded.insert_relation(relation.clone());
+        }
+        // Absorbing the relations only recovers max stamp (0), not the
+        // advanced epoch.
+        assert_eq!(reloaded.epoch(), 0);
+        reloaded.raise_epoch(db.epoch());
+        assert_eq!(reloaded.epoch(), 2);
+        // Raising backwards is a no-op.
+        reloaded.raise_epoch(1);
+        assert_eq!(reloaded.epoch(), 2);
+        // New inserts land strictly after the restored epoch boundary.
+        reloaded
+            .insert_values("UnitWard", ["Oncology", "W9"])
+            .unwrap();
+        assert_eq!(
+            reloaded.relation("UnitWard").unwrap().delta_since(1).len(),
+            1
+        );
     }
 
     /// Regression test for the stale-index hazard: substituting a null

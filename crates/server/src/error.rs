@@ -20,6 +20,12 @@ pub enum ServiceError {
     Data(String),
     /// The worker pool was shut down while a job was pending.
     PoolClosed,
+    /// A durable-store operation (WAL append, snapshot save, recovery
+    /// replay) failed.
+    Store(String),
+    /// A durability command (`!save`) was issued but the server has no
+    /// store attached (started without `--data-dir`).
+    NoStore,
 }
 
 impl fmt::Display for ServiceError {
@@ -33,6 +39,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Data(msg) => write!(f, "data error: {msg}"),
             ServiceError::PoolClosed => write!(f, "worker pool is shut down"),
+            ServiceError::Store(msg) => write!(f, "store error: {msg}"),
+            ServiceError::NoStore => {
+                write!(f, "no durable store attached (start with --data-dir DIR)")
+            }
         }
     }
 }

@@ -24,7 +24,15 @@
 //!   ([`serve_session`]: `+fact.`, `?- body.`, `?q- body.`, `!commands`)
 //!   exposes the whole paper pipeline — contexts, chase, certain answers,
 //!   quality versions — as a long-running server (`ontodq-server` binary;
-//!   see `docs/protocol.md`).
+//!   see `docs/protocol.md`);
+//! * optional **durability** through `ontodq-store`
+//!   ([`QualityService::with_store`], `--data-dir`): applied batches are
+//!   appended to a CRC-checked write-ahead log inside the writer's flush
+//!   path, `!save` snapshots every context (instance + chased state +
+//!   per-rule epoch watermarks) and compacts the log, and startup recovery
+//!   ([`QualityService::register_recovered`]) restores snapshot + WAL tail
+//!   through the incremental chase instead of re-chasing from scratch (see
+//!   `docs/persistence.md`).
 //!
 //! Everything is `std`-only: no external crates.
 //!
@@ -80,7 +88,7 @@ pub use cache::{parse_query_text, CacheStats, QueryCache, QueryKind};
 pub use error::ServiceError;
 pub use pool::WorkerPool;
 pub use protocol::{parse_facts, parse_request, serve_session, Request};
-pub use service::{QualityService, QueryResponse, UpdateReport};
+pub use service::{PersistReport, QualityService, QueryResponse, RecoverySummary, UpdateReport};
 pub use snapshot::Snapshot;
 
 #[cfg(test)]

@@ -9,16 +9,19 @@
 //! Options: `--workers N` (query worker threads, default 4), `--empty`
 //! (register the hospital context with an empty instance under assessment),
 //! `--scale N` (additionally register a `scaled` context with an
-//! N-hundred-measurement scaled-hospital workload).
+//! N-hundred-measurement scaled-hospital workload), `--data-dir DIR`
+//! (durable storage: recover snapshots + WAL on startup **before accepting
+//! connections**, append applied batches to the WAL, checkpoint on `!save`).
 
 use ontodq_core::scenarios;
 use ontodq_mdm::fixtures::hospital;
 use ontodq_relational::Database;
 use ontodq_server::{serve_session, QualityService, WorkerPool};
+use ontodq_store::{Recovery, Store, StoreConfig};
 use ontodq_workload::{generate, HospitalScale};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const USAGE: &str = "\
 usage: ontodq-server (--stdin | --listen ADDR) [options]
@@ -27,6 +30,7 @@ usage: ontodq-server (--stdin | --listen ADDR) [options]
   --workers N      query worker threads shared by all sessions (default 4)
   --empty          register the hospital context with an empty instance
   --scale N        also register a 'scaled' context (N hundred measurements)
+  --data-dir DIR   durable storage: WAL + snapshots, recovered on startup
   --help           this text";
 
 struct Options {
@@ -35,6 +39,7 @@ struct Options {
     workers: usize,
     empty: bool,
     scale: Option<usize>,
+    data_dir: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -44,6 +49,7 @@ fn parse_options() -> Result<Options, String> {
         workers: 4,
         empty: false,
         scale: None,
+        data_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +67,9 @@ fn parse_options() -> Result<Options, String> {
                 let n = args.next().ok_or("--scale needs a number")?;
                 options.scale = Some(n.parse().map_err(|_| format!("bad scale '{n}'"))?);
             }
+            "--data-dir" => {
+                options.data_dir = Some(args.next().ok_or("--data-dir needs a directory")?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -74,6 +83,35 @@ fn parse_options() -> Result<Options, String> {
     Ok(options)
 }
 
+/// Register one context, going through recovery when a store is attached.
+fn register(
+    service: &QualityService,
+    recovery: Option<&mut Recovery>,
+    name: &str,
+    context: ontodq_core::Context,
+    instance: Database,
+) {
+    match recovery {
+        Some(recovery) => {
+            let summary = service
+                .register_recovered(name, context, instance, recovery)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot recover context '{name}': {e}");
+                    std::process::exit(1);
+                });
+            if summary.restored_from_snapshot || summary.replayed_batches > 0 {
+                eprintln!(
+                    "recovered context '{name}': snapshot={} wal_tail_batches={} version={}",
+                    summary.restored_from_snapshot, summary.replayed_batches, summary.version,
+                );
+            }
+        }
+        None => service
+            .register_context(name, context, instance)
+            .expect("register context"),
+    }
+}
+
 fn main() {
     let options = match parse_options() {
         Ok(options) => options,
@@ -83,20 +121,65 @@ fn main() {
         }
     };
 
-    let service = Arc::new(QualityService::new());
+    // Open the store and read everything back BEFORE building the service
+    // or accepting any connection: recovery (snapshot load, torn-tail
+    // truncation, WAL replay) must complete before the first request.
+    let mut recovery: Option<Recovery> = None;
+    let store = options.data_dir.as_ref().map(|dir| {
+        let mut store = Store::open(dir, StoreConfig::default()).unwrap_or_else(|e| {
+            eprintln!("error: cannot open data dir {dir}: {e}");
+            std::process::exit(1);
+        });
+        let recovered = store.recover().unwrap_or_else(|e| {
+            eprintln!("error: recovery failed in {dir}: {e}");
+            std::process::exit(1);
+        });
+        if recovered.truncated_tail {
+            eprintln!("recovered {dir}: truncated a torn WAL tail record");
+        }
+        recovery = Some(recovered);
+        Arc::new(Mutex::new(store))
+    });
+
+    let service = Arc::new(match &store {
+        Some(store) => QualityService::with_store(Arc::clone(store)),
+        None => QualityService::new(),
+    });
     let instance = if options.empty {
         Database::new()
     } else {
         hospital::measurements_database()
     };
-    service
-        .register_context("hospital", scenarios::hospital_context(), instance)
-        .expect("register the hospital context");
+    register(
+        &service,
+        recovery.as_mut(),
+        "hospital",
+        scenarios::hospital_context(),
+        instance,
+    );
     if let Some(scale) = options.scale {
         let workload = generate(&HospitalScale::with_measurements(scale * 100));
-        service
-            .register_context("scaled", workload.context(), workload.instance.clone())
-            .expect("register the scaled context");
+        register(
+            &service,
+            recovery.as_mut(),
+            "scaled",
+            workload.context(),
+            workload.instance.clone(),
+        );
+    }
+    if let Some(recovery) = &recovery {
+        let unclaimed: std::collections::BTreeSet<&String> = recovery
+            .snapshots
+            .keys()
+            .chain(recovery.tails.keys())
+            .collect();
+        for name in unclaimed {
+            eprintln!(
+                "warning: durable state for context '{name}' was not claimed by this \
+                 configuration (run with the flags that registered it); \
+                 !save will refuse to compact while it remains"
+            );
+        }
     }
     let pool = Arc::new(WorkerPool::new(options.workers));
 
@@ -119,9 +202,13 @@ fn main() {
         }
     };
     eprintln!(
-        "ontodq-server listening on {address} ({} workers, contexts: {})",
+        "ontodq-server listening on {address} ({} workers, contexts: {}{})",
         pool.size(),
-        service.context_names().join(", ")
+        service.context_names().join(", "),
+        match &options.data_dir {
+            Some(dir) => format!(", data-dir: {dir}"),
+            None => String::new(),
+        },
     );
     for connection in listener.incoming() {
         let stream = match connection {
@@ -156,4 +243,7 @@ fn main() {
             }
         });
     }
+    // Listener loop ended (accept stream exhausted): make sure the active
+    // WAL segment is on disk before the process exits.
+    service.sync_store();
 }

@@ -11,7 +11,7 @@
 //! ?- Measurements(t, p, v), p = "Tom Waits".        plain certain answers
 //! ?q- Measurements(t, p, v).                        quality answers
 //! !use CONTEXT                                      switch context
-//! !contexts    !stats    !help    !quit
+//! !contexts    !stats    !save    !help    !quit
 //! ```
 //!
 //! Staged facts are applied as **one batch** before any query (or on
@@ -45,8 +45,12 @@ pub enum Request {
     UseContext(String),
     /// `!contexts` — list registered contexts.
     Contexts,
-    /// `!stats` — snapshot version, instance sizes, cache counters.
+    /// `!stats` — snapshot version, instance sizes, cache, interner and
+    /// durability counters.
     Stats,
+    /// `!save` — snapshot every context to the durable store and compact
+    /// the write-ahead log.
+    Save,
     /// `!help` — print the command summary.
     Help,
     /// `!quit` — end the session.
@@ -80,6 +84,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ("use", name) if !name.is_empty() => Ok(Request::UseContext(name.to_string())),
             ("contexts", "") => Ok(Request::Contexts),
             ("stats", "") => Ok(Request::Stats),
+            ("save", "") => Ok(Request::Save),
             ("help", "") => Ok(Request::Help),
             ("quit", "") | ("exit", "") => Ok(Request::Quit),
             _ => Err(format!("unknown command '!{rest}' (try !help)")),
@@ -149,17 +154,55 @@ const HELP: &str = "\
 ?- body.              plain certain answers (auto-flushes staged facts)
 ?q- body.             quality answers over the quality versions
 !use NAME             switch context        !contexts  list contexts
-!stats                versions and cache    !help      this text
+!stats                versions, cache, wal  !help      this text
+!save                 snapshot all contexts to the store, compact the wal
 !quit                 end the session";
+
+/// `true` when an io error just means the peer went away — a normal way
+/// for a session to end, not a fault to propagate (and certainly nothing to
+/// poison a session thread over).
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
 
 /// Serve one session: read protocol lines from `reader`, write responses to
 /// `writer`, until EOF or `!quit`.
+///
+/// However the session ends — `!quit`, EOF, or the client vanishing — the
+/// store's active WAL segment is flushed and fsynced before the session
+/// thread winds down, and a disconnect on the write path is swallowed (a
+/// client that hangs up mid-answer ends the session cleanly instead of
+/// surfacing `BrokenPipe` out of the session thread).
 pub fn serve_session<R: BufRead, W: Write>(
     service: &Arc<QualityService>,
     pool: &Arc<WorkerPool>,
     default_context: &str,
     reader: R,
     mut writer: W,
+) -> std::io::Result<()> {
+    let result = session_loop(service, pool, default_context, reader, &mut writer);
+    // Durability before thread teardown, on every exit path.
+    service.sync_store();
+    match result {
+        Err(e) if is_disconnect(&e) => Ok(()),
+        other => other,
+    }
+}
+
+/// The session loop proper; io errors (including disconnects) propagate to
+/// [`serve_session`], which classifies them.
+fn session_loop<R: BufRead, W: Write>(
+    service: &Arc<QualityService>,
+    pool: &Arc<WorkerPool>,
+    default_context: &str,
+    reader: R,
+    writer: &mut W,
 ) -> std::io::Result<()> {
     let mut context = default_context.to_string();
     let mut staged: Vec<(String, Tuple)> = Vec::new();
@@ -205,9 +248,12 @@ pub fn serve_session<R: BufRead, W: Write>(
             Request::Stats => match service.snapshot(&context) {
                 Ok(snapshot) => {
                     let cache = service.cache_stats();
+                    let interner_writes =
+                        ontodq_relational::SymbolInterner::global().write_acquisitions();
+                    let wal = service.wal_stats().unwrap_or_default();
                     writeln!(
                         writer,
-                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={}",
+                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} interner_writes={} wal_segments={} wal_bytes={}",
                         context,
                         snapshot.version,
                         snapshot.total_tuples(),
@@ -215,8 +261,19 @@ pub fn serve_session<R: BufRead, W: Write>(
                         cache.hits,
                         cache.misses,
                         cache.invalidations,
+                        interner_writes,
+                        wal.segments,
+                        wal.bytes,
                     )?;
                 }
+                Err(e) => writeln!(writer, "err: {e}")?,
+            },
+            Request::Save => match service.persist_all() {
+                Ok(report) => writeln!(
+                    writer,
+                    "ok saved contexts={} segments_removed={}",
+                    report.contexts, report.segments_removed,
+                )?,
                 Err(e) => writeln!(writer, "err: {e}")?,
             },
             Request::InsertFact(text) => match parse_facts(&text) {
@@ -289,9 +346,13 @@ pub fn serve_session<R: BufRead, W: Write>(
     Ok(())
 }
 
-/// Apply the staged batch, if any.  On failure the staged facts are kept —
-/// batches are applied atomically (a rejected batch changed nothing), so the
-/// client can drop or fix the offending fact and `!flush` again.
+/// Apply the staged batch, if any.  On a *rejection* (parse/schema error)
+/// the staged facts are kept — batches are applied atomically (a rejected
+/// batch changed nothing), so the client can drop or fix the offending fact
+/// and `!flush` again.  A [`ServiceError::Store`] is different: the batch
+/// **was** applied in memory and only its durability failed, so the staged
+/// facts are cleared (re-flushing them would double-apply) and the error is
+/// surfaced as the status line.
 fn flush(
     service: &Arc<QualityService>,
     context: &str,
@@ -300,9 +361,17 @@ fn flush(
     if staged.is_empty() {
         return Ok(None);
     }
-    let report = service.insert_facts(context, staged.clone())?;
-    staged.clear();
-    Ok(Some(report))
+    match service.insert_facts(context, staged.clone()) {
+        Ok(report) => {
+            staged.clear();
+            Ok(Some(report))
+        }
+        Err(e @ ServiceError::Store(_)) => {
+            staged.clear();
+            Err(e)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +419,7 @@ mod tests {
         );
         assert_eq!(parse_request("!contexts"), Ok(Request::Contexts));
         assert_eq!(parse_request("!stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("!save"), Ok(Request::Save));
         assert_eq!(parse_request("!help"), Ok(Request::Help));
         assert_eq!(parse_request("!quit"), Ok(Request::Quit));
         assert!(parse_request("!nope").is_err());
@@ -451,6 +521,65 @@ mod tests {
             clean,
             "re-parsing a known batch took the interner write lock"
         );
+    }
+
+    /// `!stats` surfaces the interner and durability counters; `!save`
+    /// without a store is an inline error, not a dead session.
+    #[test]
+    fn stats_and_save_report_durability_state() {
+        let out = session_output("!stats\n!save\n!stats\n!quit\n");
+        assert!(out.contains("interner_writes="));
+        assert!(out.contains("wal_segments=0 wal_bytes=0"));
+        assert!(out.contains("err: no durable store attached"));
+        assert!(out.trim_end().ends_with("ok bye"));
+    }
+
+    /// A client that hangs up mid-response must end the session cleanly:
+    /// the write-path disconnect is swallowed, not propagated (and never a
+    /// panic).
+    #[test]
+    fn a_disconnecting_client_ends_the_session_cleanly() {
+        struct Hangup {
+            budget: usize,
+        }
+        impl Write for Hangup {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget < buf.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "client went away",
+                    ));
+                }
+                self.budget -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let service = Arc::new(QualityService::new());
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        let pool = Arc::new(WorkerPool::new(2));
+        // Enough budget for the first status line, then the pipe breaks
+        // mid-answer-stream.
+        let input = "!stats\n?- Measurements(t, p, v).\n!stats\n!quit\n";
+        for budget in [0usize, 8, 64, 200] {
+            let result = serve_session(
+                &service,
+                &pool,
+                "hospital",
+                input.as_bytes(),
+                Hangup { budget },
+            );
+            assert!(result.is_ok(), "budget {budget}: {result:?}");
+        }
     }
 
     #[test]

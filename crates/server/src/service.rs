@@ -6,6 +6,7 @@ use crate::snapshot::Snapshot;
 use ontodq_core::{Context, ContextBuilder, ResumableAssessment};
 use ontodq_qa::AnswerSet;
 use ontodq_relational::{Database, Tuple};
+use ontodq_store::{ContextImage, Recovery, Store, WalStats};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -57,6 +58,27 @@ pub struct QueryResponse {
     pub cached: bool,
 }
 
+/// How one context came back at startup — see
+/// [`QualityService::register_recovered`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverySummary {
+    /// Whether a snapshot was loaded (restart skipped the initial chase).
+    pub restored_from_snapshot: bool,
+    /// WAL-tail batches replayed through the incremental path.
+    pub replayed_batches: usize,
+    /// The snapshot version published after recovery.
+    pub version: u64,
+}
+
+/// What [`QualityService::persist_all`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistReport {
+    /// Contexts snapshotted.
+    pub contexts: usize,
+    /// WAL segment files deleted by the post-snapshot compaction.
+    pub segments_removed: usize,
+}
+
 /// A concurrent, snapshot-isolated quality-assessment service.
 ///
 /// Each registered context keeps its fully-chased instance as an immutable
@@ -75,20 +97,65 @@ pub struct QueryResponse {
 pub struct QualityService {
     contexts: RwLock<BTreeMap<String, Arc<ContextEntry>>>,
     cache: QueryCache,
+    /// The durable store, when the server was started with `--data-dir`.
+    /// Lock order everywhere: context map (read) → writer lock(s) in name
+    /// order → store — `insert_facts` takes one writer then the store,
+    /// `persist_all` takes every writer then the store, so the order is
+    /// consistent and deadlock-free.
+    store: Option<Arc<Mutex<Store>>>,
 }
 
 impl QualityService {
-    /// An empty service.
+    /// An empty, in-memory-only service (no durability).
     pub fn new() -> Self {
         Self {
             contexts: RwLock::new(BTreeMap::new()),
             cache: QueryCache::new(),
+            store: None,
+        }
+    }
+
+    /// An empty service whose applied batches are appended to `store`'s
+    /// write-ahead log and whose contexts can be snapshotted with
+    /// [`QualityService::persist_all`].
+    pub fn with_store(store: Arc<Mutex<Store>>) -> Self {
+        Self {
+            contexts: RwLock::new(BTreeMap::new()),
+            cache: QueryCache::new(),
+            store: Some(store),
+        }
+    }
+
+    /// `true` when a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Durability counters of the attached store (`None` without one).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.store
+            .as_ref()
+            .map(|store| store.lock().unwrap().wal_stats())
+    }
+
+    /// Fsync the store's active WAL segment, best-effort — the
+    /// clean-shutdown path (appends already fsync themselves, so this only
+    /// matters for durability of the final group on exotic filesystems).
+    pub fn sync_store(&self) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.lock().unwrap().sync() {
+                eprintln!("wal sync failed: {e}");
+            }
         }
     }
 
     /// Register a context under `name` with its initial instance under
     /// assessment; runs the initial full chase and publishes snapshot
     /// version 0.
+    ///
+    /// The initial instance is **not** written to the WAL: registration is
+    /// deterministic from the server's configuration, so durability begins
+    /// with the first applied batch (and with the first `!save` snapshot).
     ///
     /// # Errors
     /// [`ServiceError::DuplicateContext`] when the name is taken.
@@ -107,7 +174,97 @@ impl QualityService {
         // Chase outside the map lock: registration of a large context must
         // not stall queries against other contexts.
         let writer = ResumableAssessment::new(context.clone(), instance);
-        let snapshot = Self::build_snapshot(name, 0, &writer, writer.contextual().clone());
+        self.register_writer(name, context, writer)
+    }
+
+    /// Register a context, recovering its durable state from `recovery`
+    /// when present: a snapshot restores the chased instance and per-rule
+    /// watermarks **without re-chasing**, then the WAL tail is replayed
+    /// batch by batch through the incremental path.  Contexts with no
+    /// durable state fall back to a plain registration over
+    /// `initial_instance` (plus a full-WAL replay when only log records
+    /// exist — the crash-before-first-snapshot case).
+    ///
+    /// Replayed batches are **not** re-appended to the WAL (they are
+    /// already in it).
+    pub fn register_recovered(
+        &self,
+        name: &str,
+        context: Context,
+        initial_instance: Database,
+        recovery: &mut Recovery,
+    ) -> Result<RecoverySummary, ServiceError> {
+        if self.contexts.read().unwrap().contains_key(name) {
+            return Err(ServiceError::DuplicateContext(name.to_string()));
+        }
+        let snapshot = recovery.snapshots.remove(name);
+        let tail = recovery.tails.remove(name).unwrap_or_default();
+        let mut summary = RecoverySummary {
+            restored_from_snapshot: snapshot.is_some(),
+            ..RecoverySummary::default()
+        };
+        let mut writer = match snapshot {
+            Some(persisted) => {
+                let expected_fingerprint = persisted.program_fingerprint;
+                let writer = ResumableAssessment::restore(
+                    context.clone(),
+                    persisted.instance,
+                    persisted.state,
+                    persisted.version,
+                );
+                // The persisted watermarks are positional: they are only
+                // meaningful for the rule set they were chased with.  A
+                // changed context definition must fail loudly here — a
+                // rule silently inheriting its predecessor's floor would
+                // skip derivations with no error anywhere.
+                if writer.program_fingerprint() != expected_fingerprint {
+                    return Err(ServiceError::Store(format!(
+                        "snapshot for context '{name}' was taken with a different rule set \
+                         (context definition changed); wipe the data dir or restore the \
+                         original definition"
+                    )));
+                }
+                writer
+            }
+            None => ResumableAssessment::new(context.clone(), initial_instance),
+        };
+        for batch in tail {
+            writer
+                .insert_batch(batch.facts)
+                .map_err(|e| ServiceError::Store(format!("replaying batch {}: {e}", batch.seq)))?;
+            if writer.batches_applied() != batch.seq {
+                return Err(ServiceError::Store(format!(
+                    "WAL sequence gap for context '{name}': replayed batch {} as version {}",
+                    batch.seq,
+                    writer.batches_applied()
+                )));
+            }
+            summary.replayed_batches += 1;
+        }
+        summary.version = writer.batches_applied();
+        self.register_writer(name, context, writer)?;
+        // Claim the name: once every recovered context is claimed, the
+        // store allows `!save` to compact the log again (compaction is
+        // refused while unclaimed durable state lives only in the WAL).
+        if let Some(store) = &self.store {
+            store.lock().unwrap().claim(name);
+        }
+        Ok(summary)
+    }
+
+    /// Publish an already-built writer as a registered context.
+    fn register_writer(
+        &self,
+        name: &str,
+        context: Context,
+        writer: ResumableAssessment,
+    ) -> Result<(), ServiceError> {
+        let snapshot = Self::build_snapshot(
+            name,
+            writer.batches_applied(),
+            &writer,
+            writer.contextual().clone(),
+        );
         let entry = Arc::new(ContextEntry {
             context,
             snapshot: RwLock::new(Arc::new(snapshot)),
@@ -119,6 +276,44 @@ impl QualityService {
         }
         map.insert(name.to_string(), entry);
         Ok(())
+    }
+
+    /// Snapshot **every** registered context to the store, then compact the
+    /// WAL (the snapshots supersede all logged batches).  All writer locks
+    /// are held for the duration, so no batch can slip into the log between
+    /// the last snapshot and the compaction — the pause is the price of the
+    /// `!save` checkpoint, readers keep answering throughout.
+    pub fn persist_all(&self) -> Result<PersistReport, ServiceError> {
+        let store = self.store.as_ref().ok_or(ServiceError::NoStore)?;
+        // Hold the map read lock for the whole checkpoint: a context
+        // registered mid-save could otherwise apply (and log) a batch that
+        // the compaction below would delete.
+        let map = self.contexts.read().unwrap();
+        let guards: Vec<(&String, std::sync::MutexGuard<'_, ResumableAssessment>)> = map
+            .iter()
+            .map(|(name, entry)| (name, entry.writer.lock().unwrap()))
+            .collect();
+        let mut store = store.lock().unwrap();
+        for (name, writer) in &guards {
+            // Borrowed image: no deep clone of the instance or chase state
+            // while every writer is blocked on the checkpoint.
+            store
+                .save_snapshot(&ContextImage {
+                    name,
+                    version: writer.batches_applied(),
+                    program_fingerprint: writer.program_fingerprint(),
+                    instance: writer.instance(),
+                    state: writer.state(),
+                })
+                .map_err(|e| ServiceError::Store(e.to_string()))?;
+        }
+        let segments_removed = store
+            .compact()
+            .map_err(|e| ServiceError::Store(e.to_string()))?;
+        Ok(PersistReport {
+            contexts: guards.len(),
+            segments_removed,
+        })
     }
 
     /// Build and register a context in one step, surfacing
@@ -152,6 +347,17 @@ impl QualityService {
     /// copy, everything else lands in the contextual instance; then an
     /// incremental re-chase brings the instance back to a universal model
     /// and the new snapshot is swapped in atomically.
+    ///
+    /// With a store attached, the **validated** batch is appended to the
+    /// write-ahead log and fsynced before the new snapshot is published —
+    /// under the writer lock, so log order equals application order.  A
+    /// rejected batch is never logged.  If the append itself fails, the
+    /// in-memory application stands but the error is surfaced as
+    /// [`ServiceError::Store`]: the batch (and, until the next successful
+    /// `!save`, every later one) is **not durable** — the store poisons the
+    /// log rather than writing a gapped or torn sequence, and a `!save`
+    /// checkpoint restores durability by superseding the log with fresh
+    /// snapshots.
     pub fn insert_facts(
         &self,
         context: &str,
@@ -160,15 +366,28 @@ impl QualityService {
         let entry = self.entry(context)?;
         let start = Instant::now();
         let mut writer = entry.writer.lock().unwrap();
-        let outcome = writer.insert_batch(facts)?;
+        let outcome = writer.insert_batch(facts.iter().cloned())?;
         let version = writer.batches_applied();
+        let wal_error = self.store.as_ref().and_then(|store| {
+            store
+                .lock()
+                .unwrap()
+                .append_batch(context, version, &facts)
+                .err()
+        });
         let derived = outcome.chase.stats.tuples_added;
         let violations = outcome.chase.violations.len();
         let snapshot = Self::build_snapshot(context, version, &writer, outcome.chase.database);
+        // Swap even when the WAL append failed: the writer state already
+        // advanced, and readers must keep seeing a snapshot consistent with
+        // it — only durability is in doubt, and that is what the error says.
         *entry.snapshot.write().unwrap() = Arc::new(snapshot);
         // Release the writer lock only after the swap so versions are
         // published in order.
         drop(writer);
+        if let Some(e) = wal_error {
+            return Err(ServiceError::Store(e.to_string()));
+        }
         Ok(UpdateReport {
             version,
             new_facts: outcome.new_facts,
@@ -390,6 +609,198 @@ mod tests {
         let stats = service.cache_stats();
         assert!(stats.hits >= 1);
         assert!(stats.invalidations >= 1);
+    }
+
+    fn open_store(tag: &str, wipe: bool) -> (std::path::PathBuf, Arc<Mutex<Store>>) {
+        let dir = std::env::temp_dir().join(format!("ontodq-service-{tag}-{}", std::process::id()));
+        if wipe {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let store = Store::open(&dir, ontodq_store::StoreConfig::default()).unwrap();
+        (dir, Arc::new(Mutex::new(store)))
+    }
+
+    fn lou_reed_fact() -> (String, Tuple) {
+        (
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/6-11:05").unwrap(),
+                Value::str("Lou Reed"),
+                Value::double(39.9),
+            ]),
+        )
+    }
+
+    /// Full-WAL-replay restart: no snapshot was ever saved, so recovery is
+    /// initial chase + replay of every logged batch, and the recovered
+    /// service answers exactly like the one that never restarted.
+    #[test]
+    fn applied_batches_survive_a_restart_via_wal_replay() {
+        let (dir, store) = open_store("walreplay", true);
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        let report = service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap();
+        assert_eq!(report.version, 1);
+        let live = service
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        assert_eq!(service.wal_stats().unwrap().batches_appended, 1);
+        drop(service);
+
+        // "Restart": fresh store handle on the same directory.
+        let (_, store) = open_store("walreplay", false);
+        let mut recovery = store.lock().unwrap().recover().unwrap();
+        let recovered = QualityService::with_store(store);
+        let summary = recovered
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+                &mut recovery,
+            )
+            .unwrap();
+        assert!(!summary.restored_from_snapshot);
+        assert_eq!(summary.replayed_batches, 1);
+        assert_eq!(summary.version, 1);
+        let revived = recovered
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        assert_eq!(revived.version, 1);
+        assert_eq!(revived.answers, live.answers);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Snapshot + tail restart: `persist_all` checkpoints and compacts;
+    /// batches applied after the checkpoint come back from the WAL tail on
+    /// top of the restored snapshot, with no initial chase.
+    #[test]
+    fn persist_all_checkpoints_and_recovers_snapshot_plus_tail() {
+        let (dir, store) = open_store("snaptail", true);
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap();
+        let persisted = service.persist_all().unwrap();
+        assert_eq!(persisted.contexts, 1);
+        assert_eq!(persisted.segments_removed, 1);
+        assert_eq!(service.wal_stats().unwrap().segments, 0);
+        // One more batch after the checkpoint: the WAL tail.
+        service
+            .insert_facts(
+                "hospital",
+                vec![(
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        Value::parse_time("Sep/6-12:00").unwrap(),
+                        Value::str("Lou Reed"),
+                        Value::double(37.0),
+                    ]),
+                )],
+            )
+            .unwrap();
+        let live = service
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        drop(service);
+
+        let (_, store) = open_store("snaptail", false);
+        let mut recovery = store.lock().unwrap().recover().unwrap();
+        let recovered = QualityService::with_store(store);
+        let summary = recovered
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                Database::new(), // must not be needed: the snapshot carries D
+                &mut recovery,
+            )
+            .unwrap();
+        assert!(summary.restored_from_snapshot);
+        assert_eq!(summary.replayed_batches, 1);
+        assert_eq!(summary.version, 2);
+        let revived = recovered
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        assert_eq!(revived.version, live.version);
+        assert_eq!(revived.answers, live.answers);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A snapshot's watermarks are positional in the rule set; restoring
+    /// under a *different* context definition must be refused loudly, not
+    /// silently misapply old floors to new rules.
+    #[test]
+    fn a_changed_context_definition_is_rejected_at_restore() {
+        let (dir, store) = open_store("fingerprint", true);
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        service.persist_all().unwrap();
+        drop(service);
+
+        let (_, store) = open_store("fingerprint", false);
+        let mut recovery = store.lock().unwrap().recover().unwrap();
+        let recovered = QualityService::with_store(store);
+        let changed = ontodq_workload::generate(&ontodq_workload::HospitalScale::small());
+        let err = recovered
+            .register_recovered(
+                "hospital",
+                changed.context(),
+                Database::new(),
+                &mut recovery,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::Store(msg) if msg.contains("different rule set")),
+            "got {err}"
+        );
+        // The unchanged definition still restores fine.
+        let mut recovery = {
+            let (_, store) = open_store("fingerprint", false);
+            let recovery = store.lock().unwrap().recover().unwrap();
+            drop(store);
+            recovery
+        };
+        let service = QualityService::new();
+        let summary = service
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                Database::new(),
+                &mut recovery,
+            )
+            .unwrap();
+        assert!(summary.restored_from_snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisting_without_a_store_is_rejected() {
+        let service = hospital_service();
+        assert!(!service.has_store());
+        assert!(service.wal_stats().is_none());
+        assert!(matches!(service.persist_all(), Err(ServiceError::NoStore)));
+        // sync_store on a store-less service is a no-op, not a panic.
+        service.sync_store();
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Crash-recovery integration tests for the durable store.
+//!
+//! The property under test (the acceptance criterion of the persistence
+//! subsystem): for **any** crash point — modeled by truncating the
+//! write-ahead log at an arbitrary byte offset — recovery must produce a
+//! service whose instance equals, modulo labeled-null renaming, a chase of
+//! exactly the fully-committed batches: never a phantom (partially written)
+//! batch, never a lost committed one.  The comparison reuses the
+//! null-renaming-invariant comparator of the chase-equivalence suite
+//! ([`ontodq_integration_tests::databases_equivalent`]), and the workloads
+//! reuse the `ontodq-workload` generators.
+
+use ontodq_core::assess;
+use ontodq_integration_tests::databases_equivalent;
+use ontodq_relational::{Database, Tuple, Value};
+use ontodq_server::QualityService;
+use ontodq_store::{Store, StoreConfig};
+use ontodq_workload::{generate, HospitalScale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ontodq-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_scale() -> HospitalScale {
+    HospitalScale {
+        units: 2,
+        wards_per_unit: 2,
+        patients: 4,
+        days: 3,
+        measurements: 16,
+        seed: 11,
+    }
+}
+
+/// Random update batches shaped like real traffic: new readings at known
+/// (time, patient) pairs, so they navigate the Time dimension.
+fn random_batches(
+    base: &[Tuple],
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<(String, Tuple)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            (0..batch_size)
+                .map(|_| {
+                    let source = &base[rng.gen_range(0..base.len())];
+                    let value = 36.0 + rng.gen_range(0..80) as f64 / 10.0;
+                    (
+                        "Measurements".to_string(),
+                        Tuple::new(vec![
+                            *source.get(0).unwrap(),
+                            *source.get(1).unwrap(),
+                            Value::double(value),
+                        ]),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn open_service(dir: &Path) -> (Arc<Mutex<Store>>, QualityService, ontodq_store::Recovery) {
+    let mut store = Store::open(dir, StoreConfig::default()).unwrap();
+    let recovery = store.recover().unwrap();
+    let store = Arc::new(Mutex::new(store));
+    let service = QualityService::with_store(Arc::clone(&store));
+    (store, service, recovery)
+}
+
+/// The single WAL segment file of `dir` (these tests stay under the
+/// rotation threshold on purpose, so the torn tail lives in one file).
+fn wal_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.join("wal"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    assert_eq!(segments.len(), 1, "expected one segment in {segments:?}");
+    segments.pop().unwrap()
+}
+
+/// Write N random batches through the durable service, then truncate the
+/// log at a sweep of arbitrary byte offsets.  Each truncation must recover
+/// to a state equivalent (modulo null renaming) to chasing exactly the
+/// committed prefix — both against an incremental reference and, for the
+/// ground quality versions, against a genuinely from-scratch assessment.
+#[test]
+fn torn_wal_recovers_exactly_the_committed_prefix() {
+    let workload = generate(&small_scale());
+    let context = workload.context();
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .unwrap()
+        .tuples()
+        .to_vec();
+    let batches = random_batches(&base, 4, 3, 42);
+
+    let dir = temp_dir("torn");
+    {
+        let (_store, service, _) = open_service(&dir);
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .unwrap();
+        for batch in &batches {
+            service.insert_facts("scaled", batch.clone()).unwrap();
+        }
+    }
+    let segment = wal_segment(&dir);
+    let full = std::fs::read(&segment).unwrap();
+
+    // Reference services that applied exactly the first `c` batches,
+    // incrementally, with no store involved.
+    let references: Vec<QualityService> = (0..=batches.len())
+        .map(|committed| {
+            let service = QualityService::new();
+            service
+                .register_context("scaled", context.clone(), workload.instance.clone())
+                .unwrap();
+            for batch in &batches[..committed] {
+                service.insert_facts("scaled", batch.clone()).unwrap();
+            }
+            service
+        })
+        .collect();
+
+    // An arbitrary sweep of cut points, including the exact end (no tear)
+    // and a cut inside the very first record group.
+    let mut cuts: Vec<usize> = (0..full.len()).step_by(full.len() / 11).collect();
+    cuts.push(full.len());
+    cuts.push(9);
+    let mut seen_partial = false;
+    for cut in cuts {
+        std::fs::write(&segment, &full[..cut]).unwrap();
+        let (_store, service, mut recovery) = open_service(&dir);
+        let summary = service
+            .register_recovered(
+                "scaled",
+                context.clone(),
+                workload.instance.clone(),
+                &mut recovery,
+            )
+            .unwrap();
+        let committed = summary.replayed_batches;
+        assert!(committed <= batches.len(), "phantom batch at cut {cut}");
+        seen_partial |= committed > 0 && committed < batches.len();
+
+        let recovered = service.snapshot("scaled").unwrap();
+        let reference = references[committed].snapshot("scaled").unwrap();
+        assert_eq!(recovered.version, reference.version, "cut {cut}");
+        assert!(
+            databases_equivalent(&recovered.database, &reference.database),
+            "cut {cut} (committed {committed}): recovered instance differs from \
+             a chase of the committed prefix"
+        );
+
+        // Quality versions are certain (ground) data: they must equal a
+        // genuinely from-scratch assessment of the accumulated facts.
+        let mut accumulated = workload.instance.clone();
+        for batch in &batches[..committed] {
+            for (name, tuple) in batch {
+                accumulated.insert(name, tuple.clone()).unwrap();
+            }
+        }
+        let scratch = assess(&context, &accumulated);
+        assert!(
+            databases_equivalent(&recovered.quality, &scratch.quality_database),
+            "cut {cut}: recovered quality version differs from from-scratch"
+        );
+    }
+    assert!(
+        seen_partial,
+        "the sweep never hit a strict prefix; widen the cut set"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshot + WAL-tail restart on the scaled workload: a checkpoint
+/// (`persist_all`) followed by more batches and a torn final record must
+/// recover the snapshot, replay the intact tail batch, and drop the torn
+/// one — equivalently to chasing the committed facts.
+#[test]
+fn snapshot_plus_torn_tail_recovers_on_the_scaled_workload() {
+    let workload = generate(&small_scale());
+    let context = workload.context();
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .unwrap()
+        .tuples()
+        .to_vec();
+    let batches = random_batches(&base, 4, 3, 7);
+
+    let dir = temp_dir("snaptail");
+    {
+        let (_store, service, _) = open_service(&dir);
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .unwrap();
+        for batch in &batches[..2] {
+            service.insert_facts("scaled", batch.clone()).unwrap();
+        }
+        let report = service.persist_all().unwrap();
+        assert_eq!(report.contexts, 1);
+        for batch in &batches[2..] {
+            service.insert_facts("scaled", batch.clone()).unwrap();
+        }
+    }
+    // Tear the last record: drop the final 5 bytes of the post-checkpoint
+    // segment, killing batch 4 but leaving batch 3 intact.
+    let segment = wal_segment(&dir);
+    let full = std::fs::read(&segment).unwrap();
+    std::fs::write(&segment, &full[..full.len() - 5]).unwrap();
+
+    let (_store, service, mut recovery) = open_service(&dir);
+    assert!(recovery.snapshots.contains_key("scaled"));
+    let summary = service
+        .register_recovered(
+            "scaled",
+            context.clone(),
+            Database::new(), // ignored: the snapshot carries the instance
+            &mut recovery,
+        )
+        .unwrap();
+    assert!(summary.restored_from_snapshot);
+    assert_eq!(summary.replayed_batches, 1);
+    assert_eq!(summary.version, 3);
+
+    let reference = QualityService::new();
+    reference
+        .register_context("scaled", context.clone(), workload.instance.clone())
+        .unwrap();
+    for batch in &batches[..3] {
+        reference.insert_facts("scaled", batch.clone()).unwrap();
+    }
+    let recovered = service.snapshot("scaled").unwrap();
+    let expected = reference.snapshot("scaled").unwrap();
+    assert!(databases_equivalent(
+        &recovered.database,
+        &expected.database
+    ));
+    assert!(databases_equivalent(&recovered.quality, &expected.quality));
+    assert_eq!(recovered.metrics.relations, expected.metrics.relations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hospital fixture end to end through the line-protocol layer's
+/// service API: restart with snapshot + tail answers the paper's queries
+/// identically, and a second recovery (nothing new in the log) is stable.
+#[test]
+fn hospital_restart_preserves_quality_answers() {
+    use ontodq_core::scenarios;
+    use ontodq_mdm::fixtures::hospital;
+
+    let dir = temp_dir("hospital");
+    let query = "Measurements(t, p, v), p = \"Tom Waits\"";
+    let live_answers;
+    {
+        let (_store, service, _) = open_service(&dir);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        service.persist_all().unwrap();
+        service
+            .insert_facts(
+                "hospital",
+                vec![(
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        Value::parse_time("Sep/5-12:15").unwrap(),
+                        Value::str("Tom Waits"),
+                        Value::double(38.3),
+                    ]),
+                )],
+            )
+            .unwrap();
+        live_answers = service.quality_answers("hospital", query).unwrap();
+    }
+    for round in 0..2 {
+        let (_store, service, mut recovery) = open_service(&dir);
+        let summary = service
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                Database::new(),
+                &mut recovery,
+            )
+            .unwrap();
+        assert!(summary.restored_from_snapshot, "round {round}");
+        assert_eq!(summary.replayed_batches, 1, "round {round}");
+        let revived = service.quality_answers("hospital", query).unwrap();
+        assert_eq!(revived.version, live_answers.version);
+        assert_eq!(revived.answers, live_answers.answers, "round {round}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
