@@ -14,7 +14,7 @@ use std::time::Duration;
 /// containing `tuples` facts at the bottom level and at the middle level.
 fn navigation_ontology(fanout: usize, tuples: usize) -> MdOntology {
     let params = DimensionParams::new("Geo", 3, fanout);
-    let dimension = generate_linear_dimension(&params);
+    let dimension = generate_linear_dimension(&params).expect("bench dimensions fit in u64");
     let bottom = params.category(0);
     let middle = params.category(1);
 
@@ -48,14 +48,14 @@ fn navigation_ontology(fanout: usize, tuples: usize) -> MdOntology {
             CategoricalAttribute::non_categorical("Payload"),
         ],
     ));
-    let bottom_members = params.members_at(0);
-    let middle_members = params.members_at(1);
+    let bottom_members = params.members_at(0).expect("bench dimensions fit in u64");
+    let middle_members = params.members_at(1).expect("bench dimensions fit in u64");
     for i in 0..tuples {
         ontology
             .add_tuple(
                 "BottomFacts",
                 vec![
-                    params.member(0, i % bottom_members),
+                    params.member(0, i as u64 % bottom_members),
                     ontodq_relational::Value::str(format!("p{i}")),
                 ],
             )
@@ -64,7 +64,7 @@ fn navigation_ontology(fanout: usize, tuples: usize) -> MdOntology {
             .add_tuple(
                 "MiddleFacts",
                 vec![
-                    params.member(1, i % middle_members),
+                    params.member(1, i as u64 % middle_members),
                     ontodq_relational::Value::str(format!("p{i}")),
                 ],
             )

@@ -11,11 +11,13 @@
 //!
 //! Available experiment ids: `table1`, `table2`, `table3_4`, `table5`,
 //! `example5`, `example7`, `fig1`, `fig2`, `classes`, `scaling`,
-//! `chase_perf`, `intern_bench`, `service_throughput`.
+//! `chase_perf`, `intern_bench`, `service_throughput`, `recovery_bench`,
+//! `query_perf`.
 //!
 //! `--scale N` multiplies the synthetic workload sizes of the scaling
-//! experiments (`scaling`, `chase_perf`, `service_throughput`); unknown ids
-//! or flags print usage and exit non-zero.
+//! experiments (`scaling`, `chase_perf`, `service_throughput`,
+//! `recovery_bench`, `query_perf`); unknown ids or flags print usage and
+//! exit non-zero.
 //!
 //! `chase_perf` additionally writes a machine-readable `BENCH_chase.json`
 //! (naive vs semi-naive vs parallel chase timings, rounds, trigger counts,
@@ -24,10 +26,13 @@
 //! rates and interned-vs-string join-probe throughput),
 //! `service_throughput` writes `BENCH_service.json` (queries/sec at 1/2/4/8
 //! worker threads; incremental vs from-scratch re-chase latency per update
-//! batch), and `recovery_bench` writes `BENCH_persist.json` (restart
+//! batch), `recovery_bench` writes `BENCH_persist.json` (restart
 //! strategies — cold start from scratch vs snapshot + WAL-tail replay vs
 //! full-WAL replay — and the WAL-append overhead on the incremental write
-//! path) so future changes have a perf trajectory to compare against.
+//! path), and `query_perf` writes `BENCH_query.json` (demand-driven
+//! magic-set chase vs full materialization, per query-selectivity class
+//! across scales) so future changes have a perf trajectory to compare
+//! against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -41,7 +46,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 14] = [
+const EXPERIMENT_IDS: [&str; 15] = [
     "table1",
     "table2",
     "table3_4",
@@ -56,6 +61,7 @@ const EXPERIMENT_IDS: [&str; 14] = [
     "intern_bench",
     "service_throughput",
     "recovery_bench",
+    "query_perf",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -69,8 +75,8 @@ fn usage(problem: &str) -> ! {
          \n\
          options:\n\
          \x20 --scale N   multiply synthetic workload sizes by N (default 1);\n\
-         \x20             affects scaling, chase_perf, service_throughput\n\
-         \x20             and recovery_bench\n\
+         \x20             affects scaling, chase_perf, service_throughput,\n\
+         \x20             recovery_bench and query_perf\n\
          \n\
          experiment ids:\n\
          \x20 {}",
@@ -151,6 +157,9 @@ fn main() {
     }
     if want("recovery_bench") {
         recovery_bench(scale);
+    }
+    if want("query_perf") {
+        query_perf(scale);
     }
 }
 
@@ -870,7 +879,10 @@ fn service_throughput(scale: usize) {
             .collect();
         let mut answered = 0usize;
         for receiver in receivers {
-            answered += receiver.recv().expect("worker delivers");
+            answered += receiver
+                .recv()
+                .expect("worker delivers")
+                .expect("bench jobs do not panic");
         }
         let elapsed = start.elapsed();
         let qps = total_queries as f64 / elapsed.as_secs_f64().max(1e-9);
@@ -1242,6 +1254,153 @@ fn recovery_bench(scale: usize) {
         cold_answers,
     );
     let path = "BENCH_persist.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Demand-driven (magic-set restricted chase) vs full-materialization query
+/// latency across the selectivity spectrum of `ontodq-workload`'s query
+/// generator — printed as markdown and written to `BENCH_query.json`.
+///
+/// Both paths start from the same compiled-but-unchased contextual instance
+/// (what a server holds right after registration parsing, before any
+/// materialization): "full" chases the whole program then evaluates, the
+/// paper's materialize-then-query baseline; "demand" magic-transforms the
+/// quality-rewritten query and chases only the relevant fragment.  Answers
+/// are asserted equal on every query.
+fn query_perf(scale: usize) {
+    use ontodq_core::{compile_context, rewrite_to_quality};
+    use ontodq_workload::{generate_queries, Selectivity};
+
+    println!("### Demand-driven (magic-set) vs full-materialization query answering\n");
+    let mut table = MarkdownTable::new([
+        "measurements",
+        "query",
+        "class",
+        "answers",
+        "full (chase+eval)",
+        "demand (magic+chase+eval)",
+        "speedup",
+        "demanded tuples",
+        "full tuples",
+    ]);
+
+    /// Best-of-`runs` wall-clock of `f`, with the last result returned.
+    fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (std::time::Duration, T) {
+        let mut best = std::time::Duration::MAX;
+        let mut last = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = f();
+            best = best.min(start.elapsed());
+            last = Some(out);
+        }
+        (best, last.expect("runs >= 1"))
+    }
+
+    let mut scale_entries: Vec<String> = Vec::new();
+    let mut selective_speedup_at_largest = 0.0f64;
+    let sizes = [100usize, 200, 400, 800];
+    for (size_index, &measurements) in sizes.iter().enumerate() {
+        let hospital_scale = HospitalScale::with_measurements(measurements * scale);
+        let workload = generate(&hospital_scale);
+        let context = workload.context();
+        let (program, database) = compile_context(&context, &workload.instance);
+        let queries = generate_queries(&hospital_scale, 2, 7);
+
+        let mut query_entries: Vec<String> = Vec::new();
+        let mut best_selective_speedup = 0.0f64;
+        for spec in &queries {
+            let query =
+                ontodq_server::parse_query_text(&spec.text).expect("generated queries parse");
+            let rewritten = rewrite_to_quality(&context, &query);
+
+            let (full_time, full_answers) = time_best(3, || {
+                let chased = ontodq_chase::chase(&program, &database);
+                let tuples = ontodq_chase::evaluate_project(
+                    &chased.database,
+                    &rewritten.body,
+                    &rewritten.answer_variables,
+                );
+                let answers: ontodq_qa::AnswerSet =
+                    ontodq_qa::AnswerSet::from_tuples(tuples).certain();
+                (answers, chased.stats.tuples_added)
+            });
+            let (demand_time, demand_answers) = time_best(3, || {
+                let demand = ontodq_qa::answer_on_demand(&program, &database, &rewritten);
+                (demand.answers, demand.chase.stats.tuples_added)
+            });
+            assert_eq!(
+                full_answers.0, demand_answers.0,
+                "demand vs full diverge on {} at {} measurements",
+                spec.text, measurements
+            );
+
+            let speedup = full_time.as_secs_f64() / demand_time.as_secs_f64().max(1e-9);
+            if spec.class != Selectivity::Broad {
+                best_selective_speedup = best_selective_speedup.max(speedup);
+            }
+            table.row([
+                (measurements * scale).to_string(),
+                spec.label.clone(),
+                spec.class.to_string(),
+                full_answers.0.len().to_string(),
+                fmt_duration(full_time),
+                fmt_duration(demand_time),
+                format!("{speedup:.1}x"),
+                demand_answers.1.to_string(),
+                full_answers.1.to_string(),
+            ]);
+            query_entries.push(format!(
+                concat!(
+                    "      {{ \"label\": \"{}\", \"class\": \"{}\", \"answers\": {}, ",
+                    "\"full_seconds\": {:.6}, \"demand_seconds\": {:.6}, \"speedup\": {:.2}, ",
+                    "\"demand_tuples_added\": {}, \"full_tuples_added\": {} }}"
+                ),
+                spec.label,
+                spec.class,
+                full_answers.0.len(),
+                full_time.as_secs_f64(),
+                demand_time.as_secs_f64(),
+                speedup,
+                demand_answers.1,
+                full_answers.1,
+            ));
+        }
+        if size_index == sizes.len() - 1 {
+            selective_speedup_at_largest = best_selective_speedup;
+        }
+        scale_entries.push(format!(
+            "    {{\n      \"measurements\": {},\n      \"queries\": [\n{}\n      ]\n    }}",
+            measurements * scale,
+            query_entries.join(",\n"),
+        ));
+    }
+    println!("{}", table.render());
+    println!(
+        "selective speedup at largest scale (best point/narrow query): {selective_speedup_at_largest:.1}x\n"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"query_perf_demand_vs_materialize\",\n",
+            "  \"workload\": \"scaled_hospital + querygen selectivity sweep\",\n",
+            "  \"scale\": {},\n",
+            "  \"selective_speedup_at_largest_scale\": {:.2},\n",
+            "  \"note\": \"both paths start from the compiled, unchased contextual instance; ",
+            "full = whole-program chase + evaluate, demand = magic-set transform + ",
+            "relevance/binding-restricted chase + evaluate; answers asserted equal\",\n",
+            "  \"scales\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        selective_speedup_at_largest,
+        scale_entries.join(",\n"),
+    );
+    let path = "BENCH_query.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -49,7 +49,8 @@
 use crate::eval::{ensure_indexes, evaluate, evaluate_delta, has_extension};
 use crate::provenance::{ChaseStats, ChaseStep, Provenance};
 use crate::violation::{EgdViolation, NcViolation, Violations};
-use ontodq_datalog::{Program, Tgd, Variable};
+use ontodq_datalog::analysis::{magic_transform, DemandProgram};
+use ontodq_datalog::{Conjunction, Program, Tgd, Variable};
 use ontodq_relational::{Database, NullGenerator, Tuple, Value};
 use std::collections::HashSet;
 
@@ -1069,10 +1070,64 @@ impl ChaseEngine {
     }
 }
 
+impl ChaseEngine {
+    /// **Demand-driven chase**: specialize `program` to `query` with the
+    /// magic-set transformation
+    /// ([`ontodq_datalog::analysis::magic_transform`]) and chase only the
+    /// fragment the query can observe.
+    ///
+    /// The input instance is pruned to the relevant relations, the magic
+    /// seed facts are inserted so they form the first delta, and the
+    /// specialized program runs through the engine's regular (delta-driven
+    /// semi-naive, or parallel) machinery.  Negative constraints are not
+    /// checked — demand-driven evaluation answers queries, the full
+    /// assessment path audits consistency.
+    ///
+    /// Certain answers to `query` over the result equal those over a full
+    /// chase of `program` (modulo labeled-null renaming); the resulting
+    /// instance itself contains only the demanded portion.
+    pub fn chase_for_query(
+        &self,
+        program: &Program,
+        database: &Database,
+        query: &Conjunction,
+    ) -> ChaseResult {
+        let demand = magic_transform(program, query);
+        self.chase_demand(database, &demand)
+    }
+
+    /// Run an already-computed [`DemandProgram`] (the reusable half of
+    /// [`ChaseEngine::chase_for_query`], for callers that answer the same
+    /// query shape against many instances).
+    pub fn chase_demand(&self, database: &Database, demand: &DemandProgram) -> ChaseResult {
+        // Prune: the demand chase only ever reads the relevant relations.
+        let names: Vec<&str> = demand.relevant.iter().map(String::as_str).collect();
+        let mut db = database.restrict_to(&names);
+        // Seed the magic relations; the engine's first evaluation of every
+        // rule is a full join (floors start at `None`), so the seeds are
+        // discovered exactly like a first delta.
+        for (predicate, tuple) in &demand.seeds {
+            db.relation_or_create(predicate, tuple.arity())
+                .insert_unchecked(tuple.clone());
+        }
+        let engine = ChaseEngine::new(ChaseConfig {
+            check_constraints: false,
+            ..self.config.clone()
+        });
+        engine.run(&demand.program, &db)
+    }
+}
+
 /// Convenience function: run the restricted semi-naive chase with default
 /// configuration.
 pub fn chase(program: &Program, database: &Database) -> ChaseResult {
     ChaseEngine::with_defaults().run(program, database)
+}
+
+/// Convenience function: demand-driven chase of `program` restricted to
+/// `query` — see [`ChaseEngine::chase_for_query`].
+pub fn chase_on_demand(program: &Program, database: &Database, query: &Conjunction) -> ChaseResult {
+    ChaseEngine::with_defaults().chase_for_query(program, database, query)
 }
 
 /// Convenience function: run the restricted chase with the naive reference
@@ -1712,5 +1767,192 @@ mod tests {
         };
         let bare = ChaseEngine::new(config).run(&program, &hospital_db());
         assert!(!bare.database.relation("PatientWard").unwrap().has_index(0));
+    }
+
+    // ------------------------------------------------------------------
+    // Demand-driven (magic-set) chase.
+    // ------------------------------------------------------------------
+
+    /// The certain answers to `query` over `db`, as sorted ground tuples.
+    fn certain(db: &Database, query: &ontodq_datalog::Conjunction) -> Vec<Tuple> {
+        let vars = query.variables();
+        let mut out: Vec<Tuple> = crate::eval::evaluate_project(db, query, &vars)
+            .into_iter()
+            .filter(|t| t.is_ground())
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn query_body(text: &str) -> ontodq_datalog::Conjunction {
+        match ontodq_datalog::parse_rule(&format!("! :- {text}")).unwrap() {
+            ontodq_datalog::Rule::Constraint(nc) => nc.body,
+            other => panic!("expected a body, got {other}"),
+        }
+    }
+
+    #[test]
+    fn demand_chase_answers_equal_full_chase_answers() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let db = hospital_db();
+        let full = chase(&program, &db);
+        for text in [
+            "PatientUnit(u, d, p), p = \"Tom Waits\".",
+            "PatientUnit(Standard, d, p).",
+            "Shifts(W2, d, n, s).",
+            "PatientUnit(u, d, p).",
+        ] {
+            let query = query_body(text);
+            let demanded = chase_on_demand(&program, &db, &query);
+            assert_eq!(
+                certain(&demanded.database, &query),
+                certain(&full.database, &query),
+                "demand answers diverge for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn demand_chase_does_less_work_for_selective_queries() {
+        let program =
+            parse_program("PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n")
+                .unwrap();
+        let db = hospital_db();
+        let full = chase(&program, &db);
+        let query = query_body("PatientUnit(u, d, p), p = \"Lou Reed\".");
+        let demanded = chase_on_demand(&program, &db, &query);
+        // Only Lou Reed's two ward rows roll up; the full chase derives six.
+        assert_eq!(demanded.stats.tuples_added, 2);
+        assert_eq!(full.stats.tuples_added, 6);
+        assert!(
+            demanded.database.relation("PatientUnit").unwrap().len()
+                < full.database.relation("PatientUnit").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn demand_chase_prunes_irrelevant_relations_and_rules() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let db = hospital_db();
+        let query = query_body("PatientUnit(u, d, p), p = \"Tom Waits\".");
+        let demanded = chase_on_demand(&program, &db, &query);
+        // The Shifts rule (and its null invention) never runs, and the
+        // WorkingSchedules relation is not even copied.
+        assert_eq!(demanded.stats.nulls_created, 0);
+        assert!(!demanded.database.has_relation("WorkingSchedules"));
+        assert!(!demanded.database.has_relation("Shifts"));
+    }
+
+    #[test]
+    fn demand_chase_agrees_under_recursion() {
+        let program = parse_program(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- T(x, y), E(y, z).\n",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("x", "y")] {
+            db.insert_values("E", [a, b]).unwrap();
+        }
+        let full = chase(&program, &db);
+        let query = query_body("T(s, y), s = \"a\".");
+        let demanded = chase_on_demand(&program, &db, &query);
+        assert_eq!(
+            certain(&demanded.database, &query),
+            certain(&full.database, &query)
+        );
+        // The x→y component is never explored.
+        assert!(demanded.stats.tuples_added < full.stats.tuples_added);
+    }
+
+    #[test]
+    fn demand_chase_preserves_egd_unifications() {
+        // Mark's W2 shift is a null unified to "morning" through an EGD whose
+        // trigger involves a *non-demanded* tuple (the W1 shift): the
+        // transformation must keep the Shifts derivation unrestricted.
+        let program = parse_program(
+            "Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n\
+             s = s2 :- Shifts(w, d, n, s), Shifts(w2, d, n, s2).\n",
+        )
+        .unwrap();
+        let mut db = hospital_db();
+        db.insert_values("Shifts", ["W1", "Sep/9", "Mark", "morning"])
+            .unwrap();
+        let full = chase(&program, &db);
+        let query = query_body("Shifts(W2, d, n, s), n = \"Mark\".");
+        let demanded = chase_on_demand(&program, &db, &query);
+        let expected = certain(&full.database, &query);
+        assert!(!expected.is_empty());
+        assert_eq!(certain(&demanded.database, &query), expected);
+    }
+
+    #[test]
+    fn demand_chase_works_with_every_strategy() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap();
+        let db = hospital_db();
+        let full = chase(&program, &db);
+        let query = query_body("PatientUnit(u, d, p), p = \"Tom Waits\".");
+        let expected = certain(&full.database, &query);
+        for config in strategies() {
+            let demanded = ChaseEngine::new(config).chase_for_query(&program, &db, &query);
+            assert_eq!(certain(&demanded.database, &query), expected);
+        }
+    }
+
+    /// Regression: a TGD whose body reads another intensional predicate
+    /// under negation must see that predicate's *full* extension — pruning
+    /// its rules (no positive edge reaches them) made the demand chase
+    /// return extra, unsound answers.
+    #[test]
+    fn demand_chase_respects_negated_intensional_body_atoms() {
+        use ontodq_datalog::{Atom, Tgd};
+        let mut program = parse_program(
+            "Flagged(p) :- Errors(p).\n\
+             M2(p) :- M(p).\n",
+        )
+        .unwrap();
+        program.tgds.push(Tgd {
+            label: None,
+            body: ontodq_datalog::Conjunction::positive(vec![Atom::with_vars("M2", &["p"])])
+                .and_not(Atom::with_vars("Flagged", &["p"])),
+            head: vec![Atom::with_vars("Good", &["p"])],
+        });
+        let mut db = Database::new();
+        db.insert_values("M", ["alice"]).unwrap();
+        db.insert_values("M", ["bob"]).unwrap();
+        db.insert_values("Errors", ["bob"]).unwrap();
+        let query = query_body("Good(p).");
+        let full = chase(&program, &db);
+        let demanded = chase_on_demand(&program, &db, &query);
+        let expected = certain(&full.database, &query);
+        assert_eq!(expected.len(), 1, "only alice is good");
+        assert_eq!(certain(&demanded.database, &query), expected);
+    }
+
+    #[test]
+    fn demand_chase_never_checks_constraints() {
+        let program = parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             ! :- PatientUnit(u, d, p), not Unit(u).\n",
+        )
+        .unwrap();
+        let query = query_body("PatientUnit(u, d, p).");
+        let demanded = chase_on_demand(&program, &hospital_db(), &query);
+        // The full chase would flag every generated unit; the demand path
+        // answers the query without auditing.
+        assert!(demanded.violations.is_empty());
+        assert_eq!(demanded.termination, TerminationReason::Fixpoint);
     }
 }

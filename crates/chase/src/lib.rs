@@ -27,8 +27,8 @@ pub mod provenance;
 pub mod violation;
 
 pub use chase::{
-    chase, chase_incremental, chase_naive, chase_parallel, ChaseConfig, ChaseEngine, ChaseMode,
-    ChaseResult, ChaseState, EvalStrategy, TerminationReason,
+    chase, chase_incremental, chase_naive, chase_on_demand, chase_parallel, ChaseConfig,
+    ChaseEngine, ChaseMode, ChaseResult, ChaseState, EvalStrategy, TerminationReason,
 };
 pub use eval::{
     ensure_indexes, evaluate, evaluate_delta, evaluate_limited, evaluate_project, has_extension,

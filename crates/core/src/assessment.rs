@@ -87,7 +87,11 @@ pub fn assess_with(
 /// context under the contextual names, merge external sources, and append
 /// the context's own rules — yielding the Datalog± program and the
 /// pre-chase contextual instance.
-fn compile_context(context: &Context, instance: &Database) -> (Program, Database) {
+///
+/// Exposed so demand-driven callers (and benchmarks) can obtain the
+/// program/instance pair once and then answer many queries without paying
+/// the full chase — see [`crate::clean_query::quality_answers_on_demand`].
+pub fn compile_context(context: &Context, instance: &Database) -> (Program, Database) {
     // 1. Compile the multidimensional ontology.
     let compiled = compile(&context.ontology);
     let mut database = compiled.database.clone();
@@ -200,6 +204,10 @@ pub struct ResumableAssessment {
     context: Context,
     program: Program,
     instance: Database,
+    /// The pre-chase contextual instance (compiled ontology data, contextual
+    /// copies, external sources, plus every applied batch fact): the
+    /// extensional base the demand-driven query path chases from.
+    base: Database,
     engine: ChaseEngine,
     state: ChaseState,
     last: ChaseSummary,
@@ -242,6 +250,7 @@ impl ResumableAssessment {
             context,
             program,
             instance,
+            base: database,
             engine,
             state,
             last,
@@ -269,11 +278,24 @@ impl ResumableAssessment {
         state: ChaseState,
         batches_applied: u64,
     ) -> Self {
-        let (program, _) = compile_context(&context, &instance);
+        let (program, mut base) = compile_context(&context, &instance);
+        // Recover the extensional base for the demand-driven path: the
+        // persisted instance carries the mapped relations, and the chased
+        // state's *extensional* relations (never rule heads, so the chase
+        // added nothing to them) carry any categorical/external facts that
+        // were streamed in before the snapshot.
+        for predicate in program.edb_predicates() {
+            if let Ok(relation) = state.database().relation(&predicate) {
+                for tuple in relation.iter() {
+                    let _ = base.insert(&predicate, tuple.clone());
+                }
+            }
+        }
         Self {
             context,
             program,
             instance,
+            base,
             engine: ChaseEngine::new(AssessmentOptions::default().chase),
             state,
             last: ChaseSummary {
@@ -338,6 +360,26 @@ impl ResumableAssessment {
     /// The chased contextual instance (live working copy).
     pub fn contextual(&self) -> &Database {
         self.state.database()
+    }
+
+    /// The pre-chase extensional base (compiled ontology data, contextual
+    /// copies, external sources, applied batches) — what the demand-driven
+    /// query path chases from.
+    pub fn base_database(&self) -> &Database {
+        &self.base
+    }
+
+    /// **Demand-driven quality answers** to `query`: the query is rewritten
+    /// so assessed relations read their quality versions, the combined
+    /// program is specialized to the query's bound constants (magic-set
+    /// transformation), and only the relevant fragment of the extensional
+    /// base is chased — routing entirely around the materialized instance.
+    ///
+    /// The answers equal [`crate::clean_query::quality_answers`] over the
+    /// full assessment (certain answers, modulo nothing: both are ground).
+    pub fn answer_on_demand(&self, query: &ontodq_qa::ConjunctiveQuery) -> ontodq_qa::AnswerSet {
+        let rewritten = crate::clean_query::rewrite_to_quality(&self.context, query);
+        ontodq_qa::certain_answers_on_demand(&self.program, &self.base, &rewritten)
     }
 
     /// Chase statistics of the most recent step (initial chase or last
@@ -406,7 +448,12 @@ impl ResumableAssessment {
         // Contextual side first: it validates the full staged batch and
         // applies atomically; only then is the D side (already validated
         // above) applied.
-        let new_facts = self.state.insert_batch(staged)?;
+        let new_facts = self.state.insert_batch(staged.iter().cloned())?;
+        // The batch also joins the extensional base of the demand-driven
+        // query path (the staged side already carries contextual names).
+        for (predicate, tuple) in &staged {
+            let _ = self.base.insert(predicate, tuple.clone());
+        }
         for (predicate, tuple) in originals {
             self.instance
                 .insert(&predicate, tuple)
@@ -663,6 +710,74 @@ mod tests {
             live_quality.relation("Measurements").unwrap().tuples()
         );
         assert_eq!(restored_metrics.relations, live_metrics.relations);
+    }
+
+    #[test]
+    fn answer_on_demand_tracks_applied_batches() {
+        use ontodq_qa::ConjunctiveQuery;
+        let context = hospital_context();
+        let mut resumable =
+            ResumableAssessment::new(context.clone(), hospital::measurements_database());
+        let q = ConjunctiveQuery::parse("Q(t, p, v) :- Measurements(t, p, v), p = \"Lou Reed\".")
+            .unwrap();
+        let before = resumable.answer_on_demand(&q);
+        assert_eq!(
+            before,
+            crate::clean_query::quality_answers(
+                &context,
+                &assess(&context, resumable.instance()),
+                &q
+            )
+        );
+
+        // A new quality reading for Lou Reed joins the demand-driven answers
+        // without any full re-materialization.
+        resumable
+            .insert_batch([(
+                "Measurements".to_string(),
+                Tuple::new(vec![
+                    Value::parse_time("Sep/6-11:05").unwrap(),
+                    Value::str("Lou Reed"),
+                    Value::double(39.9),
+                ]),
+            )])
+            .unwrap();
+        let after = resumable.answer_on_demand(&q);
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(
+            after,
+            crate::clean_query::quality_answers(
+                &context,
+                &assess(&context, resumable.instance()),
+                &q
+            )
+        );
+        // The extensional base carries the batch under the contextual name.
+        assert!(resumable.base_database().has_relation("Measurements_c"));
+    }
+
+    #[test]
+    fn restored_assessment_answers_on_demand_identically() {
+        use ontodq_qa::ConjunctiveQuery;
+        let context = hospital_context();
+        let mut live = ResumableAssessment::new(context.clone(), hospital::measurements_database());
+        live.insert_batch([(
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/6-11:05").unwrap(),
+                Value::str("Lou Reed"),
+                Value::double(39.9),
+            ]),
+        )])
+        .unwrap();
+        let restored = ResumableAssessment::restore(
+            context,
+            live.instance().clone(),
+            live.state().clone(),
+            live.batches_applied(),
+        );
+        let q = ConjunctiveQuery::parse("Q(t, p, v) :- Measurements(t, p, v).").unwrap();
+        assert_eq!(restored.answer_on_demand(&q), live.answer_on_demand(&q));
     }
 
     #[test]

@@ -61,6 +61,27 @@ pub fn plain_answers(instance: &Database, query: &ConjunctiveQuery) -> AnswerSet
     AnswerSet::from_tuples(tuples).certain()
 }
 
+/// **Demand-driven** quality answers, without a precomputed assessment: the
+/// context is compiled over `instance`, the query is rewritten to the
+/// quality versions, and only the fragment of the contextual ontology the
+/// query can observe is chased (the magic-set transformation of
+/// [`ontodq_datalog::analysis::magic_transform`], driven through
+/// [`ontodq_chase::ChaseEngine::chase_for_query`]).
+///
+/// The answers equal [`quality_answers`] over a full [`crate::assess`] run;
+/// the work done is proportional to the demanded portion — for a selective
+/// query (the doctor asking about one patient), a small fraction of the
+/// full materialization.
+pub fn quality_answers_on_demand(
+    context: &Context,
+    instance: &Database,
+    query: &ConjunctiveQuery,
+) -> AnswerSet {
+    let (program, database) = crate::assessment::compile_context(context, instance);
+    let rewritten = rewrite_to_quality(context, query);
+    ontodq_qa::certain_answers_on_demand(&program, &database, &rewritten)
+}
+
 /// One-shot helper: assess and answer in a single call.
 pub fn assess_and_answer(
     context: &Context,
@@ -141,6 +162,32 @@ mod tests {
         for t in expected {
             assert!(answers.contains(&t));
         }
+    }
+
+    #[test]
+    fn demand_driven_answers_equal_full_assessment_answers() {
+        let context = hospital_context();
+        let instance = hospital::measurements_database();
+        let assessment = assess(&context, &instance);
+        for text in [
+            "Q(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".",
+            "Q(t, p, v) :- Measurements(t, p, v), p = \"Lou Reed\".",
+            "Q(t, p, v) :- Measurements(t, p, v).",
+            "Q(t, v) :- Measurements(t, p, v), PatientUnit(Standard, d, p).",
+        ] {
+            let q = ConjunctiveQuery::parse(text).unwrap();
+            assert_eq!(
+                quality_answers_on_demand(&context, &instance, &q),
+                quality_answers(&context, &assessment, &q),
+                "demand vs full diverge on {text}"
+            );
+        }
+        // The doctor's query of Example 7, demand-driven.
+        let q = doctors_query();
+        assert_eq!(
+            quality_answers_on_demand(&context, &instance, &q),
+            quality_answers(&context, &assessment, &q)
+        );
     }
 
     #[test]

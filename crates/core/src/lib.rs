@@ -41,9 +41,13 @@ pub mod report;
 pub mod scenarios;
 
 pub use assessment::{
-    assess, assess_with, AssessmentOptions, AssessmentResult, BatchOutcome, ResumableAssessment,
+    assess, assess_with, compile_context, AssessmentOptions, AssessmentResult, BatchOutcome,
+    ResumableAssessment,
 };
-pub use clean_query::{assess_and_answer, plain_answers, quality_answers, rewrite_to_quality};
+pub use clean_query::{
+    assess_and_answer, plain_answers, quality_answers, quality_answers_on_demand,
+    rewrite_to_quality,
+};
 pub use context::{
     Context, ContextBuilder, ContextError, QualityPredicate, QualityVersionSpec, SchemaMapping,
 };

@@ -5,9 +5,13 @@
 //!   sticky, weakly sticky and weakly acyclic TGD sets, and a combined
 //!   [`classify::ClassReport`];
 //! * [`separability`] — the sufficient condition for EGDs to be separable
-//!   from the TGDs, as used by the paper for dimensional constraints.
+//!   from the TGDs, as used by the paper for dimensional constraints;
+//! * [`magic`] — the magic-set (demand) transformation specializing a
+//!   program to one query's bound constants, for goal-directed chase
+//!   evaluation.
 
 pub mod classify;
+pub mod magic;
 pub mod marking;
 pub mod separability;
 
@@ -15,5 +19,6 @@ pub use classify::{
     classify, classify_tgds, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
     is_weakly_guarded, is_weakly_sticky, ClassReport, DatalogClass,
 };
+pub use magic::{magic_transform, BoundSet, DemandProgram, DemandStats};
 pub use marking::Marking;
 pub use separability::{check_egds, check_program, EgdSeparability, SeparabilityReport};

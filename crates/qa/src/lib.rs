@@ -13,20 +13,25 @@
 //!   answering Boolean conjunctive queries directly over the extensional
 //!   database and open queries by enumerating candidate substitutions,
 //! * [`mod@rewrite`] — first-order (union-of-CQ) rewriting for upward-navigation
-//!   ontologies, evaluated directly on the extensional database.
+//!   ontologies, evaluated directly on the extensional database,
+//! * [`demand`] — demand-driven (magic-set) answering: the program is
+//!   specialized to the query's bound constants and only the relevant
+//!   fragment is chased.
 //!
-//! All three agree on certain answers for the ontologies the paper considers;
-//! the integration tests and the benchmark harness exercise exactly that
-//! agreement (and measure where each strategy pays off).
+//! All strategies agree on certain answers for the ontologies the paper
+//! considers; the integration tests and the benchmark harness exercise
+//! exactly that agreement (and measure where each strategy pays off).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod materialize;
 pub mod query;
 pub mod resolution;
 pub mod rewrite;
 
+pub use demand::{answer_on_demand, certain_answers_on_demand, DemandAnswer};
 pub use materialize::{certain_answers, MaterializedEngine};
 pub use query::{AnswerSet, ConjunctiveQuery};
 pub use resolution::{DeterministicWsqAns, ResolutionConfig};

@@ -31,6 +31,10 @@ pub enum QueryKind {
     /// Certain answers after rewriting assessed relations to their quality
     /// versions (`?q-`) — the paper's quality query answering.
     Quality,
+    /// Quality answers computed **demand-driven** (`?d-`): same rewrite as
+    /// [`QueryKind::Quality`], evaluated by magic-set-restricted chase over
+    /// the pre-chase base instead of the materialized snapshot.
+    Demand,
 }
 
 /// Point-in-time cache counters.
@@ -45,22 +49,26 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Number of prepared `(context, kind, query)` entries resident.
     pub entries: u64,
-    /// Times the cache hit its size bound and was reset.
+    /// Times the cache hit its size bound and ran a second-chance eviction
+    /// sweep (cold entries dropped, hot entries retained).
     pub evictions: u64,
 }
 
-/// Upper bound on resident prepared entries.  Query texts arrive from
-/// untrusted connections; without a bound a client cycling unique strings
-/// would grow server memory without limit.  When the bound is reached the
-/// cache is reset wholesale (counted in [`CacheStats::evictions`]) — crude,
-/// but a full reset costs one re-parse per *live* query shape, and a
-/// workload with more than this many distinct shapes gets little from
-/// memoization anyway.
+/// Default upper bound on resident prepared entries.  Query texts arrive
+/// from untrusted connections; without a bound a client cycling unique
+/// strings would grow server memory without limit.
 const MAX_ENTRIES: usize = 8_192;
 
 struct Entry {
     query: Arc<ConjunctiveQuery>,
     answers: Option<(u64, Arc<AnswerSet>)>,
+    /// Second-chance bit: set on genuine *reuse* only (a prepared-layer
+    /// lookup hit or an answer-layer hit), cleared by a bound-triggered
+    /// sweep.  Admission, answer-miss probes and answer stores do not set
+    /// it — the server's query path runs all three for every fresh query,
+    /// so counting them would make one-shot shapes indistinguishable from a
+    /// genuinely hot working set.
+    hot: bool,
 }
 
 type Key = (String, QueryKind, String);
@@ -69,6 +77,7 @@ type Key = (String, QueryKind, String);
 /// cache — see the module docs.
 pub struct QueryCache {
     entries: Mutex<HashMap<Key, Entry>>,
+    max_entries: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -76,10 +85,22 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// An empty cache.
+    /// An empty cache with the default size bound.
     pub fn new() -> Self {
+        Self::with_max_entries(MAX_ENTRIES)
+    }
+
+    /// An empty cache bounded at `max_entries` resident prepared entries
+    /// (at least 2).  When the bound is hit, a **second-chance sweep** runs:
+    /// entries referenced since the previous sweep survive (their hot bit is
+    /// cleared), cold entries are evicted, and if everything was hot an
+    /// arbitrary half is retained — so a client cycling unique query strings
+    /// can never wipe the hot working set the way a wholesale reset would
+    /// (counted in [`CacheStats::evictions`]).
+    pub fn with_max_entries(max_entries: usize) -> Self {
         Self {
             entries: Mutex::new(HashMap::new()),
+            max_entries: max_entries.max(2),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -97,7 +118,8 @@ impl QueryCache {
         text: &str,
     ) -> Result<Arc<ConjunctiveQuery>, ServiceError> {
         let key: Key = (context_name.to_string(), kind, text.to_string());
-        if let Some(entry) = self.entries.lock().unwrap().get(&key) {
+        if let Some(entry) = self.entries.lock().unwrap().get_mut(&key) {
+            entry.hot = true;
             return Ok(entry.query.clone());
         }
         // Parse outside the lock; a racing thread may do the same work, but
@@ -105,16 +127,28 @@ impl QueryCache {
         let parsed = parse_query_text(text)?;
         let query = Arc::new(match kind {
             QueryKind::Plain => parsed,
-            QueryKind::Quality => rewrite_to_quality(context, &parsed),
+            QueryKind::Quality | QueryKind::Demand => rewrite_to_quality(context, &parsed),
         });
         let mut map = self.entries.lock().unwrap();
-        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
-            map.clear();
+        if map.len() >= self.max_entries && !map.contains_key(&key) {
+            // Second chance: keep what was referenced since the last sweep.
+            map.retain(|_, entry| std::mem::take(&mut entry.hot));
+            if map.len() >= self.max_entries {
+                // Everything was hot — fall back to retaining an arbitrary
+                // half rather than refusing to admit new shapes.
+                let target = self.max_entries / 2;
+                let mut kept = 0usize;
+                map.retain(|_, _| {
+                    kept += 1;
+                    kept <= target
+                });
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let entry = map.entry(key).or_insert(Entry {
             query: query.clone(),
             answers: None,
+            hot: false,
         });
         Ok(entry.query.clone())
     }
@@ -130,16 +164,25 @@ impl QueryCache {
         version: u64,
     ) -> Option<Arc<AnswerSet>> {
         let key: Key = (context_name.to_string(), kind, text.to_string());
-        let map = self.entries.lock().unwrap();
-        match map.get(&key).and_then(|e| e.answers.as_ref()) {
-            Some((v, answers)) if *v == version => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(answers.clone())
-            }
-            Some(_) => {
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let mut map = self.entries.lock().unwrap();
+        match map.get_mut(&key) {
+            Some(entry) => match entry.answers.as_ref() {
+                Some((v, answers)) if *v == version => {
+                    entry.hot = true;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(answers.clone())
+                }
+                Some(_) => {
+                    // Stale answers for a reused shape: the *prepared* layer
+                    // was still useful, and `prepared` marked that reuse.
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -257,5 +300,167 @@ mod tests {
             parse_query_text("   "),
             Err(ServiceError::Parse(_))
         ));
+    }
+
+    fn tiny_cache(max: usize) -> (QueryCache, ontodq_core::Context) {
+        (
+            QueryCache::with_max_entries(max),
+            ontodq_core::scenarios::hospital_context(),
+        )
+    }
+
+    fn query_text(i: usize) -> String {
+        format!("Measurements(t, p, v), p = \"Patient_{i}\"")
+    }
+
+    /// Driving the cache past its bound must keep the hot working set: the
+    /// old wholesale `clear()` silently discarded every hot entry (and its
+    /// memoized answers) whenever a client cycled unique query strings.
+    #[test]
+    fn overflow_keeps_hot_entries_and_counts_evictions() {
+        let (cache, context) = tiny_cache(4);
+        for i in 0..4 {
+            cache
+                .prepared("h", &context, QueryKind::Quality, &query_text(i))
+                .unwrap();
+        }
+        // Touch 0 and 1 (hot), and memoize answers for 0.
+        cache
+            .prepared("h", &context, QueryKind::Quality, &query_text(0))
+            .unwrap();
+        cache
+            .prepared("h", &context, QueryKind::Quality, &query_text(1))
+            .unwrap();
+        let answers = Arc::new(AnswerSet::new());
+        cache.store_answers("h", QueryKind::Quality, &query_text(0), 7, answers);
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.stats().evictions, 0);
+
+        // A fifth shape triggers the sweep: cold 2 and 3 go, hot 0 and 1
+        // survive with their memoized answers intact.
+        cache
+            .prepared("h", &context, QueryKind::Quality, &query_text(4))
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3); // 0, 1, and the new 4
+        assert!(cache
+            .cached_answers("h", QueryKind::Quality, &query_text(0), 7)
+            .is_some());
+    }
+
+    /// When every resident entry is hot the sweep falls back to retaining
+    /// half, so new shapes are still admitted.
+    #[test]
+    fn overflow_with_all_hot_entries_retains_half() {
+        let (cache, context) = tiny_cache(4);
+        for i in 0..4 {
+            cache
+                .prepared("h", &context, QueryKind::Quality, &query_text(i))
+                .unwrap();
+            // Touch again: all hot.
+            cache
+                .prepared("h", &context, QueryKind::Quality, &query_text(i))
+                .unwrap();
+        }
+        cache
+            .prepared("h", &context, QueryKind::Quality, &query_text(9))
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3); // half of 4 retained + the newcomer
+    }
+
+    /// A client cycling unique shapes evicts repeatedly but never starves
+    /// the cache or panics — and a genuinely hot entry survives every sweep.
+    #[test]
+    fn sustained_unique_shape_cycling_preserves_the_hot_entry() {
+        let (cache, context) = tiny_cache(4);
+        let hot = query_text(1000);
+        cache
+            .prepared("h", &context, QueryKind::Quality, &hot)
+            .unwrap();
+        for i in 0..64 {
+            // Keep the hot entry hot, then push a fresh shape.
+            cache
+                .prepared("h", &context, QueryKind::Quality, &hot)
+                .unwrap();
+            cache
+                .prepared("h", &context, QueryKind::Quality, &query_text(i))
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.entries <= 4);
+        // The hot entry was never evicted: preparing it again is a map hit,
+        // not a re-parse (observable through the entry count staying flat).
+        let before = cache.stats().entries;
+        cache
+            .prepared("h", &context, QueryKind::Quality, &hot)
+            .unwrap();
+        assert_eq!(cache.stats().entries, before);
+    }
+
+    /// Regression: the server's query path runs prepared → cached_answers →
+    /// store_answers for *every* query, including one-shot shapes.  Those
+    /// probes must not count as "hot", or cycling unique strings would mark
+    /// every entry hot and the sweep's fallback would evict half the real
+    /// working set.
+    #[test]
+    fn one_shot_query_flow_does_not_defeat_the_second_chance_sweep() {
+        let (cache, context) = tiny_cache(4);
+        // A genuinely hot shape keeps being queried through the full flow
+        // while one-shot shapes stream through the same flow around it.
+        let hot = query_text(1000);
+        let full_flow = |text: &str| {
+            cache
+                .prepared("h", &context, QueryKind::Quality, text)
+                .unwrap();
+            if cache
+                .cached_answers("h", QueryKind::Quality, text, 0)
+                .is_none()
+            {
+                cache.store_answers("h", QueryKind::Quality, text, 0, Arc::new(AnswerSet::new()));
+            }
+        };
+        for i in 0..16 {
+            full_flow(&hot);
+            full_flow(&query_text(i));
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        // The hot shape survived every sweep: re-preparing it does not grow
+        // the entry count (a map hit, not a re-admission).
+        let before = cache.stats().entries;
+        cache
+            .prepared("h", &context, QueryKind::Quality, &hot)
+            .unwrap();
+        assert_eq!(cache.stats().entries, before);
+        // And its memoized answers survived with it.
+        assert!(cache
+            .cached_answers("h", QueryKind::Quality, &hot, 0)
+            .is_some());
+    }
+
+    #[test]
+    fn demand_kind_is_cached_separately_from_quality() {
+        let (cache, context) = tiny_cache(16);
+        let text = query_text(0);
+        let quality = cache
+            .prepared("h", &context, QueryKind::Quality, &text)
+            .unwrap();
+        let demand = cache
+            .prepared("h", &context, QueryKind::Demand, &text)
+            .unwrap();
+        // Same rewrite, distinct cache slots (answers are memoized per kind).
+        assert_eq!(quality.body, demand.body);
+        assert_eq!(cache.stats().entries, 2);
+        cache.store_answers("h", QueryKind::Demand, &text, 3, Arc::new(AnswerSet::new()));
+        assert!(cache
+            .cached_answers("h", QueryKind::Demand, &text, 3)
+            .is_some());
+        assert!(cache
+            .cached_answers("h", QueryKind::Quality, &text, 3)
+            .is_none());
     }
 }

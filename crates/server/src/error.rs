@@ -20,6 +20,10 @@ pub enum ServiceError {
     Data(String),
     /// The worker pool was shut down while a job was pending.
     PoolClosed,
+    /// A submitted job panicked.  The worker survived (panics are caught at
+    /// the job boundary) and the panic payload is reported to the submitter
+    /// instead of poisoning anything.
+    JobPanicked(String),
     /// A durable-store operation (WAL append, snapshot save, recovery
     /// replay) failed.
     Store(String),
@@ -39,6 +43,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Data(msg) => write!(f, "data error: {msg}"),
             ServiceError::PoolClosed => write!(f, "worker pool is shut down"),
+            ServiceError::JobPanicked(msg) => write!(f, "query job panicked: {msg}"),
             ServiceError::Store(msg) => write!(f, "store error: {msg}"),
             ServiceError::NoStore => {
                 write!(f, "no durable store attached (start with --data-dir DIR)")

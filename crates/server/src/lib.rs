@@ -21,10 +21,11 @@
 //!   evaluation, so parallelism is a deployment knob independent of the
 //!   number of connections;
 //! * a thread-per-connection TCP / stdin **line protocol**
-//!   ([`serve_session`]: `+fact.`, `?- body.`, `?q- body.`, `!commands`)
-//!   exposes the whole paper pipeline — contexts, chase, certain answers,
-//!   quality versions — as a long-running server (`ontodq-server` binary;
-//!   see `docs/protocol.md`);
+//!   ([`serve_session`]: `+fact.`, `?- body.`, `?q- body.`, `?d- body.`,
+//!   `!commands`) exposes the whole paper pipeline — contexts, chase,
+//!   certain answers, quality versions, demand-driven magic-set answering —
+//!   as a long-running server (`ontodq-server` binary; see
+//!   `docs/protocol.md`);
 //! * optional **durability** through `ontodq-store`
 //!   ([`QualityService::with_store`], `--data-dir`): applied batches are
 //!   appended to a CRC-checked write-ahead log inside the writer's flush

@@ -5,7 +5,15 @@
 //! query parallelism is a single deployment knob (`--workers`) independent
 //! of the number of connections, and all workers share one prepared-query
 //! cache through the service.
+//!
+//! Panic containment: a job that panics is caught **at the job boundary**
+//! (both in the worker loop and inside [`WorkerPool::submit`]'s wrapper), so
+//! a poisoned query can never take a worker — let alone the whole pool —
+//! down with it.  The submitter receives the panic payload as a
+//! [`ServiceError::JobPanicked`] instead of a hang or a misleading
+//! "pool shut down".
 
+use crate::error::ServiceError;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -16,6 +24,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// Render a caught panic payload as a message (the `&str`/`String` payloads
+/// `panic!` produces; anything else becomes a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl WorkerPool {
@@ -45,9 +65,7 @@ impl WorkerPool {
                         };
                         // A panicking job must not take the worker down with
                         // it: once every worker has died, all later submits
-                        // would block forever.  The job's result sender is
-                        // dropped by the unwind, so the submitter sees a
-                        // RecvError instead of a hang.
+                        // would error out.
                         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     })
                     .expect("spawn worker thread")
@@ -65,30 +83,46 @@ impl WorkerPool {
     }
 
     /// Enqueue a fire-and-forget job.
-    pub fn execute<F>(&self, job: F)
+    ///
+    /// # Errors
+    /// [`ServiceError::PoolClosed`] when the queue is gone (the pool is
+    /// being dropped) — reported, never panicked, so a session thread racing
+    /// a shutdown degrades gracefully.
+    pub fn execute<F>(&self, job: F) -> Result<(), ServiceError>
     where
         F: FnOnce() + Send + 'static,
     {
-        self.sender
-            .as_ref()
-            .expect("pool is live until dropped")
+        let sender = self.sender.as_ref().ok_or(ServiceError::PoolClosed)?;
+        sender
             .send(Box::new(job))
-            .expect("workers outlive the sender");
+            .map_err(|_| ServiceError::PoolClosed)
     }
 
-    /// Enqueue `job` and return a receiver for its result; `recv()` on it
+    /// Enqueue `job` and return a receiver for its outcome; `recv()` on it
     /// blocks until a worker has run the job.
-    pub fn submit<F, T>(&self, job: F) -> mpsc::Receiver<T>
+    ///
+    /// The outcome is `Ok(T)` on success, `Err(ServiceError::JobPanicked)`
+    /// when the job panicked (the worker survives), or
+    /// `Err(ServiceError::PoolClosed)` when the job could not be enqueued at
+    /// all.  The receiver always yields exactly one value — a submitter can
+    /// never hang on a panicked job.
+    pub fn submit<F, T>(&self, job: F) -> mpsc::Receiver<Result<T, ServiceError>>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
         let (tx, rx) = mpsc::channel();
-        self.execute(move || {
+        let job_tx = tx.clone();
+        let enqueued = self.execute(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                .map_err(|payload| ServiceError::JobPanicked(panic_message(payload.as_ref())));
             // The caller may have hung up; that only means nobody wants the
             // result.
-            let _ = tx.send(job());
+            let _ = job_tx.send(outcome);
         });
+        if let Err(e) = enqueued {
+            let _ = tx.send(Err(e));
+        }
         rx
     }
 }
@@ -113,7 +147,7 @@ mod tests {
         let pool = WorkerPool::new(4);
         assert_eq!(pool.size(), 4);
         let rx = pool.submit(|| 21 * 2);
-        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(rx.recv().unwrap().unwrap(), 42);
     }
 
     #[test]
@@ -131,7 +165,7 @@ mod tests {
             .collect();
         let mut sum = 0usize;
         for rx in receivers {
-            sum += rx.recv().unwrap();
+            sum += rx.recv().unwrap().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         assert_eq!(sum, (0..64).sum());
@@ -141,27 +175,76 @@ mod tests {
     fn zero_requested_workers_still_yields_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.size(), 1);
-        assert_eq!(pool.submit(|| 1).recv().unwrap(), 1);
+        assert_eq!(pool.submit(|| 1).recv().unwrap().unwrap(), 1);
     }
 
     #[test]
     fn drop_joins_workers_cleanly() {
         let pool = WorkerPool::new(2);
         let rx = pool.submit(|| "done");
-        assert_eq!(rx.recv().unwrap(), "done");
+        assert_eq!(rx.recv().unwrap().unwrap(), "done");
         drop(pool); // must not hang
     }
 
+    /// The regression this module's panic containment pins down: a
+    /// panicking job must surface as a [`ServiceError::JobPanicked`] to its
+    /// submitter — not kill the worker, not hang the caller, not poison the
+    /// pool for later jobs.
     #[test]
-    fn panicking_jobs_do_not_kill_workers() {
+    fn panicking_jobs_report_the_panic_and_keep_the_worker_alive() {
         let pool = WorkerPool::new(1);
         // The single worker survives more panics than there are workers…
-        for _ in 0..3 {
-            let rx = pool.submit(|| panic!("job blew up"));
-            // …and the submitter observes a RecvError, not a hang.
-            assert!(rx.recv().is_err());
+        for round in 0..3 {
+            let rx = pool.submit(move || -> usize { panic!("job {round} blew up") });
+            // …and the submitter observes the payload, not a hang.
+            match rx.recv().unwrap() {
+                Err(ServiceError::JobPanicked(msg)) => {
+                    assert!(msg.contains("blew up"), "unexpected payload: {msg}")
+                }
+                other => panic!("expected JobPanicked, got {other:?}"),
+            }
         }
         // The pool still serves jobs afterwards.
-        assert_eq!(pool.submit(|| 7).recv().unwrap(), 7);
+        assert_eq!(pool.submit(|| 7).recv().unwrap().unwrap(), 7);
+    }
+
+    /// Panics carrying non-`&str` payloads (e.g. `panic_any`) are reported
+    /// with a placeholder message, never re-thrown at the submitter.
+    #[test]
+    fn non_string_panic_payloads_are_contained_too() {
+        let pool = WorkerPool::new(1);
+        let rx = pool.submit(|| -> usize { std::panic::panic_any(42usize) });
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(ServiceError::JobPanicked(msg)) if msg.contains("non-string")
+        ));
+        assert_eq!(pool.submit(|| 1).recv().unwrap().unwrap(), 1);
+    }
+
+    /// Interleaved good and panicking jobs across several workers: every
+    /// good job completes, every bad one reports.
+    #[test]
+    fn mixed_workloads_are_fully_accounted_for() {
+        let pool = WorkerPool::new(4);
+        let receivers: Vec<_> = (0..32)
+            .map(|i| {
+                pool.submit(move || {
+                    if i % 3 == 0 {
+                        panic!("planned failure {i}");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let (mut ok, mut panicked) = (0, 0);
+        for rx in receivers {
+            match rx.recv().unwrap() {
+                Ok(_) => ok += 1,
+                Err(ServiceError::JobPanicked(_)) => panicked += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(ok, 21);
+        assert_eq!(panicked, 11);
     }
 }

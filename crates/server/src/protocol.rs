@@ -10,6 +10,7 @@
 //! !flush                                            apply staged facts (re-chase)
 //! ?- Measurements(t, p, v), p = "Tom Waits".        plain certain answers
 //! ?q- Measurements(t, p, v).                        quality answers
+//! ?d- Measurements(t, p, v), p = "Tom Waits".       quality answers, demand-driven
 //! !use CONTEXT                                      switch context
 //! !contexts    !stats    !save    !help    !quit
 //! ```
@@ -37,6 +38,10 @@ pub enum Request {
     PlainQuery(String),
     /// `?q- body.` — quality answers.
     QualityQuery(String),
+    /// `?d- body.` — quality answers computed demand-driven (magic-set
+    /// restricted chase over the pre-chase base, routing around the
+    /// materialized snapshot).
+    DemandQuery(String),
     /// `!flush` — apply the staged batch now.
     Flush,
     /// `!discard` — drop the staged batch without applying it.
@@ -67,6 +72,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     if let Some(rest) = line.strip_prefix("?q-") {
         return Ok(Request::QualityQuery(rest.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("?d-") {
+        return Ok(Request::DemandQuery(rest.trim().to_string()));
     }
     if let Some(rest) = line.strip_prefix("?-") {
         return Ok(Request::PlainQuery(rest.trim().to_string()));
@@ -129,22 +137,28 @@ pub fn parse_facts(text: &str) -> Result<Vec<(String, Tuple)>, ServiceError> {
     if program.facts.is_empty() {
         return Err(ServiceError::Parse("no fact found".to_string()));
     }
-    Ok(program
-        .facts
-        .iter()
-        .map(|fact| {
-            let atom = fact.atom();
-            let values = atom
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => *v,
-                    Term::Var(_) => unreachable!("facts are ground"),
-                })
-                .collect::<Vec<_>>();
-            (atom.predicate.clone(), Tuple::new(values))
-        })
-        .collect())
+    let mut facts = Vec::with_capacity(program.facts.len());
+    for fact in &program.facts {
+        let atom = fact.atom();
+        let mut values = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            match term {
+                Term::Const(v) => values.push(*v),
+                // The parser upholds "facts are ground" today, but this line
+                // is fed by untrusted clients: a variable slipping through a
+                // future parser change must be a protocol error, never a
+                // panic that takes the session (or a pool worker) down.
+                Term::Var(v) => {
+                    return Err(ServiceError::Parse(format!(
+                        "fact {atom} is not ground: '{v}' is a variable \
+                         (constants are capitalized or quoted)"
+                    )))
+                }
+            }
+        }
+        facts.push((atom.predicate.clone(), Tuple::new(values)));
+    }
+    Ok(facts)
 }
 
 const HELP: &str = "\
@@ -153,6 +167,7 @@ const HELP: &str = "\
 !discard              drop staged facts without applying them
 ?- body.              plain certain answers (auto-flushes staged facts)
 ?q- body.             quality answers over the quality versions
+?d- body.             quality answers, demand-driven (magic-set chase)
 !use NAME             switch context        !contexts  list contexts
 !stats                versions, cache, wal  !help      this text
 !save                 snapshot all contexts to the store, compact the wal
@@ -253,7 +268,7 @@ fn session_loop<R: BufRead, W: Write>(
                     let wal = service.wal_stats().unwrap_or_default();
                     writeln!(
                         writer,
-                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} interner_writes={} wal_segments={} wal_bytes={}",
+                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={}",
                         context,
                         snapshot.version,
                         snapshot.total_tuples(),
@@ -261,6 +276,8 @@ fn session_loop<R: BufRead, W: Write>(
                         cache.hits,
                         cache.misses,
                         cache.invalidations,
+                        cache.entries,
+                        cache.evictions,
                         interner_writes,
                         wal.segments,
                         wal.bytes,
@@ -303,10 +320,13 @@ fn session_loop<R: BufRead, W: Write>(
                     Err(e) => writeln!(writer, "err: {e}")?,
                 };
             }
-            ref request @ (Request::PlainQuery(ref text) | Request::QualityQuery(ref text)) => {
+            ref request @ (Request::PlainQuery(ref text)
+            | Request::QualityQuery(ref text)
+            | Request::DemandQuery(ref text)) => {
                 let text = text.clone();
                 let kind = match request {
                     Request::QualityQuery(_) => QueryKind::Quality,
+                    Request::DemandQuery(_) => QueryKind::Demand,
                     _ => QueryKind::Plain,
                 };
                 // Writes are visible to the writer's own subsequent reads:
@@ -322,9 +342,18 @@ fn session_loop<R: BufRead, W: Write>(
                 let receiver = pool.submit(move || match kind {
                     QueryKind::Plain => service.plain_answers(&job_context, &text),
                     QueryKind::Quality => service.quality_answers(&job_context, &text),
+                    QueryKind::Demand => service.demand_answers(&job_context, &text),
                 });
-                match receiver.recv() {
-                    Ok(Ok(response)) => {
+                // Three layers: the channel (closed only if the pool died
+                // mid-shutdown), the job outcome (panics surface as
+                // `JobPanicked`), and the service result proper.
+                let outcome = receiver
+                    .recv()
+                    .map_err(|_| ServiceError::PoolClosed)
+                    .and_then(|job| job)
+                    .and_then(|response| response);
+                match outcome {
+                    Ok(response) => {
                         for tuple in response.answers.iter() {
                             writeln!(writer, "{tuple}")?;
                         }
@@ -336,8 +365,7 @@ fn session_loop<R: BufRead, W: Write>(
                             response.cached,
                         )?;
                     }
-                    Ok(Err(e)) => writeln!(writer, "err: {e}")?,
-                    Err(_) => writeln!(writer, "err: {}", ServiceError::PoolClosed)?,
+                    Err(e) => writeln!(writer, "err: {e}")?,
                 }
             }
         }
@@ -411,6 +439,10 @@ mod tests {
             parse_request("?q- R(x)."),
             Ok(Request::QualityQuery("R(x).".to_string()))
         );
+        assert_eq!(
+            parse_request("?d- R(x)."),
+            Ok(Request::DemandQuery("R(x).".to_string()))
+        );
         assert_eq!(parse_request("!flush"), Ok(Request::Flush));
         assert_eq!(parse_request("!discard"), Ok(Request::Discard));
         assert_eq!(
@@ -455,6 +487,71 @@ mod tests {
         assert!(out.contains("ok answers=3 version=1"));
         assert!(out.contains("ok context=hospital version=1"));
         assert!(out.trim_end().ends_with("ok bye"));
+    }
+
+    /// `?d-` answers must equal `?q-` answers line for line — the
+    /// demand-driven path is a different evaluation strategy, not different
+    /// semantics — and both must see the session's own staged writes.
+    #[test]
+    fn demand_queries_equal_quality_queries_end_to_end() {
+        let out = session_output(
+            "?q- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             ?d- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             +Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).\n\
+             ?d- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             ?q- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             ?d- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             !quit\n",
+        );
+        // Tom's two quality rows, by both paths, against version 0.
+        assert_eq!(out.matches("ok answers=2 version=0").count(), 2);
+        // The staged fact is applied before the demand query runs; Lou then
+        // has three quality rows by both paths (the repeated demand query a
+        // third time, from the cache).
+        assert_eq!(out.matches("ok answers=3 version=1").count(), 3);
+        assert!(out.contains("cached=true"));
+    }
+
+    /// Regression: a non-ground fact from an untrusted client must be a
+    /// protocol error, never a panic — neither in `parse_facts` nor
+    /// anywhere downstream.  (The `unreachable!("facts are ground")` this
+    /// replaces would have taken the whole session thread down.)
+    #[test]
+    fn non_ground_facts_are_rejected_not_panicked() {
+        for text in [
+            "Measurements(x, p, v).",
+            "Measurements(@Sep/5-12:10, p, 38.2).",
+            "Measurements(_t, \"Tom Waits\", 38.2).",
+        ] {
+            let err = parse_facts(text).unwrap_err();
+            assert!(
+                matches!(err, ServiceError::Parse(_)),
+                "{text}: expected a parse error, got {err:?}"
+            );
+        }
+        // The session stays alive and reports the error inline.
+        let out = session_output(
+            "+Measurements(x, p, v).\n\
+             ?q- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             !quit\n",
+        );
+        assert!(out.contains("err:"));
+        assert!(out.contains("ok answers=2 version=0"));
+        assert!(out.trim_end().ends_with("ok bye"));
+    }
+
+    /// `!stats` surfaces the cache's entry and eviction counters, so a
+    /// cache that thrashes (or one that stops admitting) is observable from
+    /// the protocol.
+    #[test]
+    fn stats_surface_cache_entries_and_evictions() {
+        let out = session_output(
+            "?q- Measurements(t, p, v).\n\
+             !stats\n\
+             !quit\n",
+        );
+        assert!(out.contains("cache_entries=1"));
+        assert!(out.contains("cache_evictions=0"));
     }
 
     #[test]

@@ -17,6 +17,9 @@ struct ContextEntry {
     /// The context definition (immutable after registration; used for
     /// quality rewriting).
     context: Context,
+    /// The compiled Datalog± program (immutable after registration; shared
+    /// into every snapshot for the demand-driven path).
+    program: Arc<ontodq_datalog::Program>,
     /// The current snapshot.  Readers hold this lock only long enough to
     /// clone the `Arc`; the writer only to swap it.  All query evaluation
     /// happens on the immutable snapshot outside any lock.
@@ -259,14 +262,17 @@ impl QualityService {
         context: Context,
         writer: ResumableAssessment,
     ) -> Result<(), ServiceError> {
+        let program = Arc::new(writer.program().clone());
         let snapshot = Self::build_snapshot(
             name,
             writer.batches_applied(),
             &writer,
+            Arc::clone(&program),
             writer.contextual().clone(),
         );
         let entry = Arc::new(ContextEntry {
             context,
+            program,
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(writer),
         });
@@ -377,7 +383,13 @@ impl QualityService {
         });
         let derived = outcome.chase.stats.tuples_added;
         let violations = outcome.chase.violations.len();
-        let snapshot = Self::build_snapshot(context, version, &writer, outcome.chase.database);
+        let snapshot = Self::build_snapshot(
+            context,
+            version,
+            &writer,
+            Arc::clone(&entry.program),
+            outcome.chase.database,
+        );
         // Swap even when the WAL append failed: the writer state already
         // advanced, and readers must keep seeing a snapshot consistent with
         // it — only durability is in doubt, and that is what the error says.
@@ -415,6 +427,18 @@ impl QualityService {
         self.query(context, QueryKind::Quality, text)
     }
 
+    /// **Demand-driven** quality answers (`?d-`): the query is rewritten to
+    /// the quality versions like [`QualityService::quality_answers`], but
+    /// instead of reading the snapshot's materialized instance the program
+    /// is magic-set-specialized to the query's bound constants and only the
+    /// relevant fragment of the pre-chase base is chased
+    /// ([`Snapshot::demand_answers`]).  The answers are identical; the work
+    /// profile is proportional to the demanded portion, and results are
+    /// cached per snapshot version exactly like `?q-`.
+    pub fn demand_answers(&self, context: &str, text: &str) -> Result<QueryResponse, ServiceError> {
+        self.query(context, QueryKind::Demand, text)
+    }
+
     /// Shared query path: prepare (cached), consult the answer memo for the
     /// snapshot's version, evaluate on miss.
     fn query(
@@ -436,7 +460,10 @@ impl QualityService {
                 cached: true,
             });
         }
-        let answers = Arc::new(snapshot.answers(&prepared));
+        let answers = Arc::new(match kind {
+            QueryKind::Plain | QueryKind::Quality => snapshot.answers(&prepared),
+            QueryKind::Demand => snapshot.demand_answers(&prepared),
+        });
         self.cache
             .store_answers(context, kind, text, snapshot.version, answers.clone());
         Ok(QueryResponse {
@@ -464,11 +491,22 @@ impl QualityService {
     /// instance (`chased` — the clone the re-chase step already produced, so
     /// no further whole-database copy is paid), merged with the original
     /// relations of the instance under assessment, plus freshly extracted
-    /// quality versions and metrics.
+    /// quality versions and metrics — and the pre-chase extensional base +
+    /// program the demand-driven `?d-` path reads instead of any of the
+    /// above.
+    ///
+    /// The base is the writer's pre-chase extensional instance merged with
+    /// the **original-name** relations, so `?d-` sees exactly the relations
+    /// `?q-` can reference (a mapped relation without a quality version
+    /// keeps its original name through the rewrite).  The merge-and-clone
+    /// is one more pointer-copy pass over the extensional data, the same
+    /// order of work as the materialized-instance merge above; `program` is
+    /// shared per context (`Arc`), never re-cloned per batch.
     fn build_snapshot(
         name: &str,
         version: u64,
         writer: &ResumableAssessment,
+        program: Arc<ontodq_datalog::Program>,
         mut database: Database,
     ) -> Snapshot {
         let epoch = database.epoch();
@@ -476,10 +514,15 @@ impl QualityService {
             .merge(writer.instance())
             .expect("original relations merge into the snapshot");
         let (quality, metrics) = writer.extract();
+        let mut base = writer.base_database().clone();
+        base.merge(writer.instance())
+            .expect("original relations merge into the demand base");
         Snapshot {
             context: name.to_string(),
             version,
             database,
+            base,
+            program,
             quality,
             metrics,
             violations: writer.last_violations().len(),
@@ -801,6 +844,40 @@ mod tests {
         assert!(matches!(service.persist_all(), Err(ServiceError::NoStore)));
         // sync_store on a store-less service is a no-op, not a panic.
         service.sync_store();
+    }
+
+    /// Regression: a mapped relation *without* a quality version keeps its
+    /// original name through the quality rewrite, and `?q-` reads it from
+    /// the merged original relations — `?d-` must see it too (the demand
+    /// base merges the instance), or the two verbs silently diverge.
+    #[test]
+    fn demand_answers_cover_mapped_relations_without_quality_versions() {
+        let service = QualityService::new();
+        let mut instance = Database::new();
+        instance.insert_values("Notes", ["n1", "first"]).unwrap();
+        instance.insert_values("Notes", ["n2", "second"]).unwrap();
+        let context = Context::builder("notes-only")
+            .copy_relation("Notes")
+            .build()
+            .unwrap();
+        service
+            .register_context("notes", context, instance)
+            .unwrap();
+        let quality = service.quality_answers("notes", "Notes(id, text)").unwrap();
+        let demand = service.demand_answers("notes", "Notes(id, text)").unwrap();
+        assert_eq!(quality.answers.len(), 2);
+        assert_eq!(quality.answers, demand.answers);
+        // Batches keep the two paths aligned.
+        service
+            .insert_facts(
+                "notes",
+                vec![("Notes".to_string(), Tuple::from_iter(["n3", "third"]))],
+            )
+            .unwrap();
+        let quality = service.quality_answers("notes", "Notes(id, text)").unwrap();
+        let demand = service.demand_answers("notes", "Notes(id, text)").unwrap();
+        assert_eq!(quality.answers.len(), 3);
+        assert_eq!(quality.answers, demand.answers);
     }
 
     #[test]

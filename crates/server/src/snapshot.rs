@@ -1,9 +1,11 @@
 //! Immutable point-in-time views of an assessed context.
 
-use ontodq_chase::evaluate_project;
+use ontodq_chase::{evaluate_project, ChaseEngine};
 use ontodq_core::QualityMetrics;
+use ontodq_datalog::Program;
 use ontodq_qa::{AnswerSet, ConjunctiveQuery};
 use ontodq_relational::Database;
+use std::sync::Arc;
 
 /// An immutable, fully-chased view of one registered context.
 ///
@@ -25,6 +27,14 @@ pub struct Snapshot {
     /// instance under assessment, so queries may mix original, contextual
     /// and quality predicates.
     pub database: Database,
+    /// The **pre-chase** extensional base (compiled ontology data,
+    /// contextual copies, external sources, applied batches): what the
+    /// demand-driven `?d-` path chases from, routing around the
+    /// materialized instance entirely.
+    pub base: Database,
+    /// The combined Datalog± program (ontology + context rules) the
+    /// demand-driven path specializes per query.
+    pub program: Arc<Program>,
     /// The quality versions under the original relation names/schemas
     /// (the paper's `D^q`).
     pub quality: Database,
@@ -42,6 +52,21 @@ impl Snapshot {
     /// answers are dropped).  Entirely lock-free: the snapshot is immutable.
     pub fn answers(&self, query: &ConjunctiveQuery) -> AnswerSet {
         let tuples = evaluate_project(&self.database, &query.body, &query.answer_variables);
+        AnswerSet::from_tuples(tuples).certain()
+    }
+
+    /// The certain answers to `query` computed **demand-driven**: the
+    /// program is specialized to the query's bound constants (magic-set
+    /// transformation) and only the relevant fragment of the pre-chase
+    /// [`Snapshot::base`] is chased — the materialized instance is never
+    /// read.  Answers equal [`Snapshot::answers`] for the same (already
+    /// quality-rewritten) query; the point is the work profile, which is
+    /// proportional to the demanded portion.  Lock-free like every other
+    /// snapshot read.
+    pub fn demand_answers(&self, query: &ConjunctiveQuery) -> AnswerSet {
+        let chased =
+            ChaseEngine::with_defaults().chase_for_query(&self.program, &self.base, &query.body);
+        let tuples = evaluate_project(&chased.database, &query.body, &query.answer_variables);
         AnswerSet::from_tuples(tuples).certain()
     }
 

@@ -10,7 +10,10 @@
 //! * [`scaled_hospital`] — a size-parameterized version of the hospital
 //!   scenario (dimensions, categorical data, a `Measurements` instance under
 //!   assessment, and the Example 7 quality context), used by the
-//!   data-complexity and end-to-end assessment benchmarks.
+//!   data-complexity and end-to-end assessment benchmarks,
+//! * [`querygen`] — selectivity-sweeping query workloads over the scaled
+//!   hospital (point lookups like the doctor's query vs. broad scans), for
+//!   the demand-driven vs. full-materialization comparison.
 //!
 //! All generators take explicit seeds so benchmark workloads are
 //! reproducible.
@@ -19,7 +22,9 @@
 #![warn(missing_docs)]
 
 pub mod dimgen;
+pub mod querygen;
 pub mod scaled_hospital;
 
-pub use dimgen::{generate_linear_dimension, DimensionParams};
+pub use dimgen::{generate_linear_dimension, DimGenError, DimensionParams};
+pub use querygen::{doctors_style_query, generate_queries, QuerySpec, Selectivity};
 pub use scaled_hospital::{generate, HospitalScale, ScaledHospital};
