@@ -29,10 +29,13 @@
 //! batch), `recovery_bench` writes `BENCH_persist.json` (restart
 //! strategies — cold start from scratch vs snapshot + WAL-tail replay vs
 //! full-WAL replay — and the WAL-append overhead on the incremental write
-//! path), and `query_perf` writes `BENCH_query.json` (demand-driven
+//! path), `query_perf` writes `BENCH_query.json` (demand-driven
 //! magic-set chase vs full materialization, per query-selectivity class
-//! across scales) so future changes have a perf trajectory to compare
-//! against.
+//! across scales), and `join_bench` writes `BENCH_join.json`
+//! (materializing vs id-returning probe cost over the columnar arena,
+//! hash vs worst-case-optimal join kernels on the Zipf-skewed triangle
+//! workload, and per-trigger counter costs) so future changes have a perf
+//! trajectory to compare against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -46,7 +49,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 15] = [
+const EXPERIMENT_IDS: [&str; 16] = [
     "table1",
     "table2",
     "table3_4",
@@ -62,6 +65,7 @@ const EXPERIMENT_IDS: [&str; 15] = [
     "service_throughput",
     "recovery_bench",
     "query_perf",
+    "join_bench",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -161,6 +165,9 @@ fn main() {
     if want("query_perf") {
         query_perf(scale);
     }
+    if want("join_bench") {
+        join_bench(scale);
+    }
 }
 
 fn print_relation_table(title: &str, header: &[&str], tuples: &[Tuple]) {
@@ -222,12 +229,12 @@ fn table3_4() {
     print_relation_table(
         "Table III — WorkingSchedules",
         &["Unit", "Day", "Nurse", "Type"],
-        data.relation("WorkingSchedules").unwrap().tuples(),
+        &data.relation("WorkingSchedules").unwrap().tuples(),
     );
     print_relation_table(
         "Table IV — Shifts (extensional)",
         &["Ward", "Day", "Nurse", "Shift"],
-        data.relation("Shifts").unwrap().tuples(),
+        &data.relation("Shifts").unwrap().tuples(),
     );
     let compiled = compiled_hospital();
     let chased = ontodq_chase::chase(&compiled.program, &compiled.database);
@@ -237,7 +244,6 @@ fn table3_4() {
         .unwrap()
         .iter()
         .filter(|t| !t.is_ground())
-        .cloned()
         .collect();
     print_relation_table(
         "Shifts tuples generated by downward navigation (rule (8); ⊥ = unknown shift)",
@@ -257,7 +263,8 @@ fn table5() {
             .data()
             .relation("DischargePatients")
             .unwrap()
-            .tuples(),
+            .tuples()
+            .as_slice(),
     );
     let compiled = compiled_hospital_with_discharge();
     let chased = ontodq_chase::chase(&compiled.program, &compiled.database);
@@ -267,7 +274,6 @@ fn table5() {
         .unwrap()
         .iter()
         .filter(|t| t.get(0).map(Value::is_null).unwrap_or(false))
-        .cloned()
         .collect();
     print_relation_table(
         "PatientUnit tuples generated by rule (9)/(10) (⊥ = unknown unit)",
@@ -520,6 +526,20 @@ fn chase_perf(scale: usize) {
         (3_468, 73_536.7),
     ];
 
+    /// Semi-naive tuples/sec measured at the tip of PR 5, before the
+    /// vectorized join engine and the staged batch firing path (per-trigger
+    /// `Assignment` clones, `ground_atom` tuple materialization, separate
+    /// head-satisfaction probe and insert), at the `--scale 1` points.
+    /// The staged engine must stay at least 3x above the largest point.
+    const PRE_STAGED_SEMINAIVE: [(usize, f64); 6] = [
+        (828, 199_743.9),
+        (1_218, 224_297.1),
+        (1_968, 237_772.0),
+        (3_468, 175_779.9),
+        (6_468, 248_775.9),
+        (12_468, 254_008.0),
+    ];
+
     println!("### Chase engine — naive vs delta-driven semi-naive vs parallel\n");
     let mut table = MarkdownTable::new([
         "edb tuples",
@@ -639,22 +659,34 @@ fn chase_perf(scale: usize) {
     let (last_edb, last_tps) = seminaive_curve.last().copied().unwrap_or((0, 0.0));
     let (pre_first_edb, pre_first_tps) = PRE_INTERNING_SEMINAIVE[0];
     let (pre_last_edb, pre_last_tps) = PRE_INTERNING_SEMINAIVE[PRE_INTERNING_SEMINAIVE.len() - 1];
+    let (staged_base_edb, staged_base_tps) = PRE_STAGED_SEMINAIVE[PRE_STAGED_SEMINAIVE.len() - 1];
     let regression_note = format!(
         "pre-interning (PR 2, Vec<Value::Str(String)> tuples, SipHash joins) semi-naive \
          throughput FELL from {:.0} tuples/s at {} EDB tuples to {:.0} at {}; \
-         post-interning (Sym(u32) values, Arc<[Value]> tuples, FxHash joins) it runs at \
-         {:.0} tuples/s at {} EDB tuples and {:.0} at {} — the curve must stay \
-         monotone-or-flat (largest-scale >= smallest-scale)",
+         post-interning (Sym(u32) values, Arc<[Value]> tuples, FxHash joins) it reached \
+         {:.0} tuples/s at {} EDB tuples (PR 5); the columnar join engine with the \
+         staged batch firing path (row-id probes, binder-stack bindings, fused \
+         satisfaction-check+insert) runs at {:.0} tuples/s at {} EDB tuples and {:.0} \
+         at {} — the curve must stay monotone-or-flat (largest-scale >= smallest-scale) \
+         and the largest point at least 3x the PR-5 baseline",
         pre_first_tps,
         pre_first_edb,
         pre_last_tps,
         pre_last_edb,
+        staged_base_tps,
+        staged_base_edb,
         first_tps,
         first_edb,
         last_tps,
         last_edb,
     );
     let pre_baseline: Vec<String> = PRE_INTERNING_SEMINAIVE
+        .iter()
+        .map(|(edb, tps)| {
+            format!("    {{ \"edb_tuples\": {edb}, \"tuples_per_second\": {tps:.1} }}")
+        })
+        .collect();
+    let staged_baseline: Vec<String> = PRE_STAGED_SEMINAIVE
         .iter()
         .map(|(edb, tps)| {
             format!("    {{ \"edb_tuples\": {edb}, \"tuples_per_second\": {tps:.1} }}")
@@ -670,12 +702,14 @@ fn chase_perf(scale: usize) {
             "  \"threads\": {},\n",
             "  \"regression_note\": \"{}\",\n",
             "  \"pre_interning_seminaive_baseline\": [\n{}\n  ],\n",
+            "  \"pre_staged_seminaive_baseline\": [\n{}\n  ],\n",
             "  \"scales\": [\n{}\n  ]\n",
             "}}\n"
         ),
         threads,
         regression_note,
         pre_baseline.join(",\n"),
+        staged_baseline.join(",\n"),
         entries.join(",\n")
     );
     let path = "BENCH_chase.json";
@@ -1401,6 +1435,240 @@ fn query_perf(scale: usize) {
         scale_entries.join(",\n"),
     );
     let path = "BENCH_query.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Microbenchmark of the columnar join engine, written to `BENCH_join.json`:
+///
+/// 1. **Probe cost** — the materializing `select` (the row-oriented API
+///    edge: one `Tuple` allocation per matched row) vs the id-returning
+///    `select_ids_into` (the join-internal path: row ids into a reused
+///    buffer) over the skewed workload's hot-key relation.
+/// 2. **Join kernels** — the forced hash path vs the forced
+///    worst-case-optimal path (and the `Auto` planner) chasing the cyclic
+///    triangle program over Zipf-skewed and uniform edges, with the
+///    process-wide join counters diffed around each run and reported per
+///    fired trigger (probes, galloping steps, WCO seeks, and tuple
+///    materializations — the allocation proxy, since the workspace forbids
+///    the `unsafe` a counting global allocator needs).
+fn join_bench(scale: usize) {
+    use ontodq_chase::{ChaseConfig, ChaseEngine, JoinEngine};
+    use ontodq_relational::{counters, RelationInstance, RelationSchema, StampWindow};
+    use ontodq_workload::{generate_skewed, SkewedScale};
+
+    fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (std::time::Duration, T) {
+        let mut best = std::time::Duration::MAX;
+        let mut last = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = f();
+            best = best.min(start.elapsed());
+            last = Some(out);
+        }
+        (best, last.expect("runs >= 1"))
+    }
+
+    println!("### Join engine — probe cost and kernel comparison\n");
+
+    // --- 1. Row-materializing vs id-returning probes. -------------------
+    let probe_workload = generate_skewed(&SkewedScale::with_edges(4_000 * scale));
+    let source = probe_workload
+        .database
+        .relation("R")
+        .expect("the skewed workload always has R");
+    let mut relation = RelationInstance::new(RelationSchema::untyped("R", 2));
+    for tuple in source.iter() {
+        relation.insert(tuple).unwrap();
+    }
+    relation.build_index(0);
+    let keys: Vec<_> = relation
+        .column(0)
+        .expect("binary relation")
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let rounds = 64usize;
+
+    let before_rows = counters::snapshot();
+    let (row_time, row_matched) = time_best(3, || {
+        let mut matched = 0usize;
+        for _ in 0..rounds {
+            for key in &keys {
+                matched += relation.select(&[(0, key)]).len();
+            }
+        }
+        matched
+    });
+    let row_materialized = counters::snapshot().since(&before_rows).materializations;
+
+    let mut ids = Vec::new();
+    let before_ids = counters::snapshot();
+    let (id_time, id_matched) = time_best(3, || {
+        let mut matched = 0usize;
+        for _ in 0..rounds {
+            for key in &keys {
+                ids.clear();
+                relation.select_ids_into(&[(0, *key)], StampWindow::all(), &mut ids);
+                matched += ids.len();
+            }
+        }
+        matched
+    });
+    let id_materialized = counters::snapshot().since(&before_ids).materializations;
+    assert_eq!(row_matched, id_matched, "probe paths disagree on matches");
+
+    let probes = rounds * keys.len();
+    let probe_speedup = row_time.as_secs_f64() / id_time.as_secs_f64().max(1e-9);
+    let mut probe_table = MarkdownTable::new([
+        "probe path",
+        "probes",
+        "matched rows",
+        "time",
+        "ns/probe",
+        "tuples materialized",
+    ]);
+    for (label, time, materialized) in [
+        ("select (materializing)", row_time, row_materialized),
+        ("select_ids_into (id-returning)", id_time, id_materialized),
+    ] {
+        probe_table.row([
+            label.to_string(),
+            probes.to_string(),
+            row_matched.to_string(),
+            fmt_duration(time),
+            format!("{:.0}", time.as_secs_f64() * 1e9 / probes as f64),
+            materialized.to_string(),
+        ]);
+    }
+    println!("{}", probe_table.render());
+    println!("note: id-returning probes are {probe_speedup:.2}x faster and allocation-free\n");
+
+    // --- 2. Hash vs worst-case-optimal kernels on the triangle chase. ---
+    let mut kernel_table = MarkdownTable::new([
+        "edges/rel",
+        "skew",
+        "kernel",
+        "triangles",
+        "time",
+        "probes/trigger",
+        "gallops/trigger",
+        "wco seeks/trigger",
+        "materializations/trigger",
+    ]);
+    let mut kernel_entries: Vec<String> = Vec::new();
+    let mut skewed_speedup = 0.0f64;
+    for (skew_label, base) in [
+        ("zipf-1.1", SkewedScale::with_edges(600 * scale)),
+        ("uniform", SkewedScale::with_edges(600 * scale).uniform()),
+    ] {
+        let workload = generate_skewed(&base);
+        let mut per_kernel: Vec<(String, f64)> = Vec::new();
+        for (kernel_label, engine) in [
+            ("hash", JoinEngine::Hash),
+            ("leapfrog", JoinEngine::Leapfrog),
+            ("auto", JoinEngine::Auto),
+        ] {
+            let run = || {
+                ChaseEngine::new(ChaseConfig::with_join(engine))
+                    .run(&workload.program, &workload.database)
+            };
+            let (time, result) = time_best(3, run);
+            let before = counters::snapshot();
+            let counted = run();
+            let delta = counters::snapshot().since(&before);
+            let triggers = counted.stats.triggers_fired.max(1) as f64;
+            let triangles = result
+                .database
+                .relation("Tri")
+                .map(|r| r.len())
+                .unwrap_or(0);
+            per_kernel.push((kernel_label.to_string(), time.as_secs_f64()));
+            kernel_table.row([
+                base.edges.to_string(),
+                skew_label.to_string(),
+                kernel_label.to_string(),
+                triangles.to_string(),
+                fmt_duration(time),
+                format!("{:.2}", delta.probes as f64 / triggers),
+                format!("{:.2}", delta.gallop_seeks as f64 / triggers),
+                format!("{:.2}", delta.wco_seeks as f64 / triggers),
+                format!("{:.2}", delta.materializations as f64 / triggers),
+            ]);
+            kernel_entries.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"edges_per_relation\": {},\n",
+                    "      \"skew\": \"{}\",\n",
+                    "      \"kernel\": \"{}\",\n",
+                    "      \"triangles\": {},\n",
+                    "      \"seconds\": {:.6},\n",
+                    "      \"triggers_fired\": {},\n",
+                    "      \"probes_per_trigger\": {:.3},\n",
+                    "      \"gallop_seeks_per_trigger\": {:.3},\n",
+                    "      \"wco_seeks_per_trigger\": {:.3},\n",
+                    "      \"materializations_per_trigger\": {:.3}\n",
+                    "    }}"
+                ),
+                base.edges,
+                skew_label,
+                kernel_label,
+                triangles,
+                time.as_secs_f64(),
+                counted.stats.triggers_fired,
+                delta.probes as f64 / triggers,
+                delta.gallop_seeks as f64 / triggers,
+                delta.wco_seeks as f64 / triggers,
+                delta.materializations as f64 / triggers,
+            ));
+        }
+        if skew_label.starts_with("zipf") {
+            let hash = per_kernel.iter().find(|(k, _)| k == "hash").unwrap().1;
+            let wco = per_kernel.iter().find(|(k, _)| k == "leapfrog").unwrap().1;
+            skewed_speedup = hash / wco.max(1e-9);
+        }
+    }
+    println!("{}", kernel_table.render());
+    println!("note: on the skewed triangle the worst-case-optimal kernel is {skewed_speedup:.2}x the hash kernel\n");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"join_bench\",\n",
+            "  \"workload\": \"skewed triangle (R,S,T + Tri/Wedge program)\",\n",
+            "  \"scale\": {},\n",
+            "  \"probe\": {{\n",
+            "    \"probes\": {},\n",
+            "    \"matched_rows\": {},\n",
+            "    \"select_seconds\": {:.6},\n",
+            "    \"select_ids_into_seconds\": {:.6},\n",
+            "    \"select_tuples_materialized\": {},\n",
+            "    \"select_ids_into_tuples_materialized\": {},\n",
+            "    \"id_path_speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"skewed_wco_over_hash_speedup\": {:.3},\n",
+            "  \"note\": \"materializations count Arc<[Value]> tuple builds, the observable ",
+            "allocation proxy (no unsafe, so no counting global allocator); kernel runs are ",
+            "whole chases of the cyclic triangle program, counters diffed per fired trigger\",\n",
+            "  \"kernels\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        probes,
+        row_matched,
+        row_time.as_secs_f64(),
+        id_time.as_secs_f64(),
+        row_materialized,
+        id_materialized,
+        probe_speedup,
+        skewed_speedup,
+        kernel_entries.join(",\n"),
+    );
+    let path = "BENCH_join.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -46,11 +46,13 @@
 //! scratch — the machinery behind `ontodq-server`'s incrementally maintained
 //! snapshots.
 
-use crate::eval::{ensure_indexes, evaluate, evaluate_delta, has_extension};
+use crate::eval::{
+    ensure_indexes, evaluate_delta_with, evaluate_with, for_each_trigger, has_extension, JoinEngine,
+};
 use crate::provenance::{ChaseStats, ChaseStep, Provenance};
 use crate::violation::{EgdViolation, NcViolation, Violations};
 use ontodq_datalog::analysis::{magic_transform, DemandProgram};
-use ontodq_datalog::{Conjunction, Program, Tgd, Variable};
+use ontodq_datalog::{Assignment, Conjunction, Program, Term, Tgd, Variable};
 use ontodq_relational::{Database, NullGenerator, Tuple, Value};
 use std::collections::HashSet;
 
@@ -123,6 +125,12 @@ pub struct ChaseConfig {
     /// strategies.  The effective team size is additionally capped by the
     /// number of TGDs (one delta-join per rule per round).
     pub threads: usize,
+    /// Join kernel for rule-body evaluation.  [`JoinEngine::Auto`] (the
+    /// default) picks the worst-case-optimal path per rule when its body
+    /// has ≥ 3 atoms sharing variables and the hash path otherwise; the
+    /// explicit variants force one kernel for A/B comparisons and the
+    /// equivalence suites.
+    pub join: JoinEngine,
 }
 
 impl Default for ChaseConfig {
@@ -137,6 +145,7 @@ impl Default for ChaseConfig {
             record_provenance: false,
             build_indexes: true,
             threads: 0,
+            join: JoinEngine::Auto,
         }
     }
 }
@@ -173,6 +182,16 @@ impl ChaseConfig {
         Self {
             strategy: EvalStrategy::Parallel,
             threads,
+            ..Default::default()
+        }
+    }
+
+    /// The default configuration with a forced join kernel (semi-naive
+    /// strategy, [`JoinEngine::Hash`] or [`JoinEngine::Leapfrog`] for every
+    /// rule body regardless of shape).
+    pub fn with_join(join: JoinEngine) -> Self {
+        Self {
+            join,
             ..Default::default()
         }
     }
@@ -419,6 +438,48 @@ impl ChaseState {
     }
 }
 
+/// One rule's discovered triggers for a round, in evaluation order.
+///
+/// Full TGDs under the restricted chase take the **staged** form: their
+/// heads are grounded straight off the join's binder stack into a flat
+/// value buffer (`sum(head arities)` values per trigger), ready for the
+/// arena's slice-insert path — no per-trigger `Assignment`, `Tuple` or
+/// `Vec` is ever built.  Everything else (existential heads, the oblivious
+/// chase's dedup) still needs the assignments themselves.
+enum TriggerBatch {
+    Staged(Vec<Value>),
+    Assignments(Vec<Assignment>),
+}
+
+/// Ground the head of a **full** TGD for every (delta-)trigger of its
+/// body, appending the head rows to a flat value buffer in trigger order.
+///
+/// Bindings are read in place from the join's binder stack
+/// ([`crate::eval::for_each_trigger`]); a full TGD's head variables are all
+/// frontier variables, so every term resolves without inventing nulls.
+fn stage_full_tgd_triggers(
+    db: &Database,
+    tgd: &Tgd,
+    floor: Option<u64>,
+    join: JoinEngine,
+) -> Vec<Value> {
+    let mut staged = Vec::new();
+    for_each_trigger(db, &tgd.body, floor, join, &mut |binder| {
+        for atom in &tgd.head {
+            for term in &atom.terms {
+                staged.push(match term {
+                    Term::Const(v) => *v,
+                    Term::Var(v) => binder
+                        .get(v)
+                        .expect("full TGD head variables are bound by the body"),
+                });
+            }
+        }
+        false
+    });
+    staged
+}
+
 /// Mutable chase-run state shared between the strategies.
 struct RunState {
     nulls: NullGenerator,
@@ -484,7 +545,7 @@ impl ChaseEngine {
         // Negative constraints on the final instance.
         if self.config.check_constraints {
             for (index, nc) in program.constraints.iter().enumerate() {
-                for witness in evaluate(&db, &nc.body) {
+                for witness in evaluate_with(&db, &nc.body, self.config.join) {
                     state.stats.nc_violations += 1;
                     state.violations.nc.push(NcViolation {
                         constraint_index: index,
@@ -556,7 +617,7 @@ impl ChaseEngine {
 
         if self.config.check_constraints {
             for (index, nc) in program.constraints.iter().enumerate() {
-                for witness in evaluate(&state.database, &nc.body) {
+                for witness in evaluate_with(&state.database, &nc.body, self.config.join) {
                     run.stats.nc_violations += 1;
                     run.violations.nc.push(NcViolation {
                         constraint_index: index,
@@ -599,7 +660,7 @@ impl ChaseEngine {
 
             // TGD application over the full instance.
             for (tgd_index, tgd) in program.tgds.iter().enumerate() {
-                let triggers = evaluate(db, &tgd.body);
+                let triggers = evaluate_with(db, &tgd.body, self.config.join);
                 for assignment in triggers {
                     if state.stats.tuples_added >= self.config.max_new_tuples {
                         termination = TerminationReason::TupleLimit;
@@ -633,7 +694,7 @@ impl ChaseEngine {
         loop {
             let mut changed = false;
             for (egd_index, egd) in program.egds.iter().enumerate() {
-                let assignments = evaluate(db, &egd.body);
+                let assignments = evaluate_with(db, &egd.body, self.config.join);
                 for assignment in assignments {
                     if self.enforce_equality(egd_index, program, &assignment, db, state) {
                         changed = true;
@@ -740,20 +801,34 @@ impl ChaseEngine {
                 // evaluation; the rule's own inserts land strictly after it
                 // (epoch advanced below), so they form the next delta.
                 let watermark = db.epoch();
-                let triggers = match tgd_floor[tgd_index] {
-                    None => evaluate(db, &tgd.body),
-                    Some(floor) => evaluate_delta(db, &tgd.body, floor),
-                };
-                db.advance_epoch();
-                for assignment in triggers {
-                    if state.stats.tuples_added >= self.config.max_new_tuples {
+                let floor = tgd_floor[tgd_index];
+                if self.batchable(tgd) {
+                    let staged = stage_full_tgd_triggers(db, tgd, floor, self.config.join);
+                    db.advance_epoch();
+                    let (batch_changed, limited) =
+                        self.apply_staged_triggers(tgd_index, tgd, &staged, db, state, round);
+                    changed |= batch_changed;
+                    if limited {
                         // Leave the floor untouched: the unfired remainder
                         // of this rule's triggers must be re-discoverable
                         // if the run is resumed from its [`ChaseState`].
                         termination = TerminationReason::TupleLimit;
                         break 'rounds;
                     }
-                    changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                } else {
+                    let triggers = match floor {
+                        None => evaluate_with(db, &tgd.body, self.config.join),
+                        Some(floor) => evaluate_delta_with(db, &tgd.body, floor, self.config.join),
+                    };
+                    db.advance_epoch();
+                    for assignment in triggers {
+                        if state.stats.tuples_added >= self.config.max_new_tuples {
+                            // Leave the floor untouched, as above.
+                            termination = TerminationReason::TupleLimit;
+                            break 'rounds;
+                        }
+                        changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                    }
                 }
                 // Only after every discovered trigger has been processed is
                 // the delta up to `watermark` really consumed.
@@ -841,14 +916,23 @@ impl ChaseEngine {
             // round's joins; the merged inserts land strictly after it.
             let watermark = db.epoch();
             let floors: Vec<Option<u64>> = tgd_floor.to_vec();
+            let join = self.config.join;
             let snapshot: &Database = db;
-            let batches =
-                crate::par::parallel_map(threads, &program.tgds, |index, tgd| {
-                    match floors[index] {
-                        None => evaluate(snapshot, &tgd.body),
-                        Some(floor) => evaluate_delta(snapshot, &tgd.body, floor),
-                    }
-                });
+            let batches = crate::par::parallel_map(threads, &program.tgds, |index, tgd| {
+                if self.batchable(tgd) {
+                    TriggerBatch::Staged(stage_full_tgd_triggers(
+                        snapshot,
+                        tgd,
+                        floors[index],
+                        join,
+                    ))
+                } else {
+                    TriggerBatch::Assignments(match floors[index] {
+                        None => evaluate_with(snapshot, &tgd.body, join),
+                        Some(floor) => evaluate_delta_with(snapshot, &tgd.body, floor, join),
+                    })
+                }
+            });
             db.advance_epoch();
 
             // Deterministic merge: rule order, then each batch in its
@@ -857,14 +941,28 @@ impl ChaseEngine {
             // not mark the dropped triggers of this (or any later) rule as
             // consumed, or a subsequent [`ChaseState`] resume would
             // silently lose them.
-            for (tgd_index, triggers) in batches.into_iter().enumerate() {
+            for (tgd_index, batch) in batches.into_iter().enumerate() {
                 let tgd = &program.tgds[tgd_index];
-                for assignment in triggers {
-                    if state.stats.tuples_added >= self.config.max_new_tuples {
-                        termination = TerminationReason::TupleLimit;
-                        break 'rounds;
+                match batch {
+                    TriggerBatch::Staged(staged) => {
+                        let (batch_changed, limited) =
+                            self.apply_staged_triggers(tgd_index, tgd, &staged, db, state, round);
+                        changed |= batch_changed;
+                        if limited {
+                            termination = TerminationReason::TupleLimit;
+                            break 'rounds;
+                        }
                     }
-                    changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                    TriggerBatch::Assignments(triggers) => {
+                        for assignment in triggers {
+                            if state.stats.tuples_added >= self.config.max_new_tuples {
+                                termination = TerminationReason::TupleLimit;
+                                break 'rounds;
+                            }
+                            changed |=
+                                self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                        }
+                    }
                 }
                 tgd_floor[tgd_index] = Some(watermark);
             }
@@ -905,8 +1003,8 @@ impl ChaseEngine {
             for (egd_index, egd) in program.egds.iter().enumerate() {
                 let watermark = db.epoch();
                 let assignments = match egd_floor[egd_index] {
-                    None => evaluate(db, &egd.body),
-                    Some(floor) => evaluate_delta(db, &egd.body, floor),
+                    None => evaluate_with(db, &egd.body, self.config.join),
+                    Some(floor) => evaluate_delta_with(db, &egd.body, floor, self.config.join),
                 };
                 let mut applied = false;
                 for assignment in assignments {
@@ -937,6 +1035,113 @@ impl ChaseEngine {
     // ------------------------------------------------------------------
     // Shared trigger/equality machinery.
     // ------------------------------------------------------------------
+
+    /// Can `tgd`'s triggers take the staged batch path
+    /// ([`stage_full_tgd_triggers`] + [`ChaseEngine::apply_staged_triggers`])?
+    ///
+    /// Only full TGDs under the restricted chase: they invent no nulls, and
+    /// their "head already satisfied" check degenerates to "every head row
+    /// is already present", which the insert itself answers.  The oblivious
+    /// chase needs the full body assignment for its fired-trigger dedup,
+    /// and existential heads need fresh nulls per trigger — both keep the
+    /// [`ChaseEngine::fire_trigger`] path.
+    fn batchable(&self, tgd: &Tgd) -> bool {
+        self.config.mode == ChaseMode::Restricted && tgd.is_full()
+    }
+
+    /// Apply one rule's staged trigger batch: one `chunks_exact` slice per
+    /// trigger, inserted through the arena's slice path
+    /// ([`ontodq_relational::RelationInstance::insert_slice_unchecked`]).
+    ///
+    /// For a full TGD under the restricted chase, a trigger is *satisfied*
+    /// exactly when every one of its head rows is already present — i.e.
+    /// when the inserts all report duplicates — so the satisfaction probe
+    /// and the insert fuse into a single hash lookup per head atom, and the
+    /// per-trigger statistics come out identical to the
+    /// [`ChaseEngine::fire_trigger`] path.  Returns
+    /// `(changed, hit_tuple_limit)`; on a tuple-limit hit the remaining
+    /// triggers are dropped unconsumed, exactly like the assignment path
+    /// (the caller leaves the rule's floor untouched so a resume
+    /// rediscovers them).
+    fn apply_staged_triggers(
+        &self,
+        tgd_index: usize,
+        tgd: &Tgd,
+        staged: &[Value],
+        db: &mut Database,
+        state: &mut RunState,
+        round: usize,
+    ) -> (bool, bool) {
+        let chunk: usize = tgd.head.iter().map(|a| a.arity()).sum();
+        if chunk == 0 {
+            return (false, false);
+        }
+        let mut changed = false;
+        if let [atom] = &tgd.head[..] {
+            // Single-head rules (the common case): resolve the relation
+            // once per batch instead of once per trigger.
+            let max_new_tuples = self.config.max_new_tuples;
+            let relation = db.relation_or_create(&atom.predicate, atom.arity());
+            for row in staged.chunks_exact(chunk) {
+                if state.stats.tuples_added >= max_new_tuples {
+                    return (changed, true);
+                }
+                if relation.insert_slice_unchecked(row) {
+                    state.stats.tuples_added += 1;
+                    state.stats.triggers_fired += 1;
+                    changed = true;
+                    if state.provenance.recorded {
+                        state.provenance.record(ChaseStep {
+                            rule_index: tgd_index,
+                            rule_label: tgd.label.clone(),
+                            produced: vec![(atom.predicate.clone(), Tuple::new(row.to_vec()))],
+                            round,
+                        });
+                    }
+                } else {
+                    state.stats.triggers_satisfied += 1;
+                }
+            }
+            return (changed, false);
+        }
+        for row in staged.chunks_exact(chunk) {
+            if state.stats.tuples_added >= self.config.max_new_tuples {
+                return (changed, true);
+            }
+            let mut offset = 0;
+            let mut any_added = false;
+            let mut produced = Vec::new();
+            for atom in &tgd.head {
+                let slice = &row[offset..offset + atom.arity()];
+                offset += atom.arity();
+                if db
+                    .relation_or_create(&atom.predicate, atom.arity())
+                    .insert_slice_unchecked(slice)
+                {
+                    state.stats.tuples_added += 1;
+                    any_added = true;
+                    if state.provenance.recorded {
+                        produced.push((atom.predicate.clone(), Tuple::new(slice.to_vec())));
+                    }
+                }
+            }
+            if any_added {
+                state.stats.triggers_fired += 1;
+                changed = true;
+                if !produced.is_empty() {
+                    state.provenance.record(ChaseStep {
+                        rule_index: tgd_index,
+                        rule_label: tgd.label.clone(),
+                        produced,
+                        round,
+                    });
+                }
+            } else {
+                state.stats.triggers_satisfied += 1;
+            }
+        }
+        (changed, false)
+    }
 
     /// Process one TGD trigger: dedup (oblivious) or satisfaction-check
     /// (restricted), then fire — inventing fresh nulls for existential
@@ -1484,20 +1689,10 @@ mod tests {
         let semi = chase(&program, &db);
         assert_eq!(naive.termination, TerminationReason::Fixpoint);
         assert_eq!(semi.termination, TerminationReason::Fixpoint);
-        let nt: std::collections::BTreeSet<_> = naive
-            .database
-            .relation("T")
-            .unwrap()
-            .iter()
-            .cloned()
-            .collect();
-        let st: std::collections::BTreeSet<_> = semi
-            .database
-            .relation("T")
-            .unwrap()
-            .iter()
-            .cloned()
-            .collect();
+        let nt: std::collections::BTreeSet<_> =
+            naive.database.relation("T").unwrap().iter().collect();
+        let st: std::collections::BTreeSet<_> =
+            semi.database.relation("T").unwrap().iter().collect();
         assert_eq!(nt, st);
         // The semi-naive run considers strictly fewer (or equally many)
         // satisfied triggers than full re-evaluation every round.
@@ -1584,20 +1779,10 @@ mod tests {
         let mut full_db = db.clone();
         full_db.insert_values("E", ["n20", "n21"]).unwrap();
         let scratch = chase(&program, &full_db);
-        let st: std::collections::BTreeSet<_> = scratch
-            .database
-            .relation("T")
-            .unwrap()
-            .iter()
-            .cloned()
-            .collect();
-        let it: std::collections::BTreeSet<_> = incremental
-            .database
-            .relation("T")
-            .unwrap()
-            .iter()
-            .cloned()
-            .collect();
+        let st: std::collections::BTreeSet<_> =
+            scratch.database.relation("T").unwrap().iter().collect();
+        let it: std::collections::BTreeSet<_> =
+            incremental.database.relation("T").unwrap().iter().collect();
         assert_eq!(st, it);
         // The incremental step only derived the new paths (those ending in
         // n21), a strict subset of the full re-derivation.

@@ -19,14 +19,85 @@
 //!   restricted to the old rows, positions after `i` unrestricted — so each
 //!   new trigger is discovered exactly once, through its first delta atom.
 //!
-//! Both modes share the same index-assisted nested-loop join with a greedy
-//! "most-bound atom first" ordering; [`ensure_indexes`] lets callers build
-//! the hash indexes a conjunction's join positions benefit from (the chase
-//! engine does this for every rule body, and the indexes are then maintained
-//! incrementally by `ontodq-relational` as the chase inserts).
+//! # Join engines
+//!
+//! Both modes run over the columnar arena of `ontodq-relational` and never
+//! materialize tuples: atoms are resolved to their relations once per join,
+//! probes return **row ids** into reusable buffers
+//! ([`RelationInstance::select_ids_into`]), matched values are read straight
+//! out of the columns, and variable bindings live on a mark/rewind
+//! `Binder` stack — an [`Assignment`] is only built at the leaves.  Two
+//! join kernels share that substrate, selected per conjunction by
+//! [`JoinEngine`]:
+//!
+//! * the **hash path**: an index-assisted nested-loop join with a greedy
+//!   "most-bound atom first" ordering — optimal for the short, selective
+//!   bodies that dominate chase rule sets;
+//! * the **worst-case-optimal path** (see [`crate::wco`]): a
+//!   leapfrog-style variable-at-a-time join picked by [`plan_uses_wco`]
+//!   when a body has ≥ 3 atoms sharing variables, the regime (triangles,
+//!   skewed multi-way joins) where any atom-at-a-time plan can blow up on
+//!   intermediate results.
+//!
+//! [`ensure_indexes`] lets callers build the hash indexes a conjunction's
+//! join positions benefit from (the chase engine does this for every rule
+//! body, and the indexes are then maintained incrementally by
+//! `ontodq-relational` as the chase inserts).
+//!
+//! [`RelationInstance::select_ids_into`]: ontodq_relational::RelationInstance::select_ids_into
 
-use ontodq_datalog::{Assignment, Atom, Conjunction, Term};
-use ontodq_relational::{Database, StampWindow, Value};
+use ontodq_datalog::{Assignment, Atom, Comparison, Conjunction, Term, Variable};
+use ontodq_relational::{Database, RelationInstance, StampWindow, Value};
+
+/// Which join kernel evaluates a conjunction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JoinEngine {
+    /// Choose per conjunction: the worst-case-optimal path when the body
+    /// has ≥ 3 atoms sharing variables ([`plan_uses_wco`]), the hash path
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Always the index-assisted nested-loop (binary hash) join.
+    Hash,
+    /// Always the worst-case-optimal (leapfrog-style) join; conjunctions
+    /// with fewer than two atoms fall back to the hash path, which is
+    /// identical there.
+    Leapfrog,
+}
+
+/// Does `engine` evaluate `conjunction` on the worst-case-optimal path?
+///
+/// The `Auto` heuristic: at least three positive atoms each sharing a
+/// variable with some other atom.  Binary join plans on such bodies can
+/// produce intermediate results asymptotically larger than the output
+/// (the triangle query is the canonical case); bodies below the threshold
+/// are small enough that the hash path's per-atom index probes win.
+pub fn plan_uses_wco(conjunction: &Conjunction, engine: JoinEngine) -> bool {
+    match engine {
+        JoinEngine::Hash => false,
+        JoinEngine::Leapfrog => conjunction.atoms.len() >= 2,
+        JoinEngine::Auto => {
+            if conjunction.atoms.len() < 3 {
+                return false;
+            }
+            let var_sets: Vec<Vec<Variable>> =
+                conjunction.atoms.iter().map(|a| a.variables()).collect();
+            let sharing = var_sets
+                .iter()
+                .enumerate()
+                .filter(|(i, vars)| {
+                    vars.iter().any(|v| {
+                        var_sets
+                            .iter()
+                            .enumerate()
+                            .any(|(j, other)| j != *i && other.contains(v))
+                    })
+                })
+                .count();
+            sharing >= 3
+        }
+    }
+}
 
 /// An atom together with the stamp window its tuples must come from.
 #[derive(Debug, Clone, Copy)]
@@ -44,22 +115,115 @@ impl<'a> PlannedAtom<'a> {
     }
 }
 
+/// An atom resolved against the database: the relation looked up **once**
+/// per join (not once per recursion step), with the arity checked up front.
+pub(crate) struct ResolvedAtom<'a> {
+    pub(crate) atom: &'a Atom,
+    pub(crate) relation: &'a RelationInstance,
+    pub(crate) window: StampWindow,
+}
+
+/// Resolve all planned atoms, or `None` when some atom's relation is
+/// missing or of the wrong arity — its extension is empty, so the whole
+/// conjunction has no satisfying assignments.
+fn resolve<'a>(db: &'a Database, planned: &[PlannedAtom<'a>]) -> Option<Vec<ResolvedAtom<'a>>> {
+    let mut out = Vec::with_capacity(planned.len());
+    for p in planned {
+        let relation = db.relation(&p.atom.predicate).ok()?;
+        if relation.schema().arity() != p.atom.arity() {
+            return None;
+        }
+        out.push(ResolvedAtom {
+            atom: p.atom,
+            relation,
+            window: p.window,
+        });
+    }
+    Some(out)
+}
+
+/// A mark/rewind stack of variable bindings — the join's working state.
+///
+/// Entries are unsorted (push order); rule bodies bind a handful of
+/// variables, so lookup is a short scan and backtracking is a truncate.
+/// Unlike [`Assignment`] (which the old engine cloned once per candidate
+/// row), the binder is mutated in place along the whole join — assignments
+/// are materialized only at the leaves via [`Binder::to_assignment`].
+#[derive(Debug, Default)]
+pub(crate) struct Binder {
+    entries: Vec<(Variable, Value)>,
+}
+
+impl Binder {
+    pub(crate) fn from_assignment(seed: &Assignment) -> Self {
+        Self {
+            entries: seed.iter().map(|(v, val)| (*v, *val)).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, var: &Variable) -> Option<Value> {
+        self.entries
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, val)| *val)
+    }
+
+    #[inline]
+    pub(crate) fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub(crate) fn truncate(&mut self, mark: usize) {
+        self.entries.truncate(mark);
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, var: Variable, value: Value) {
+        self.entries.push((var, value));
+    }
+
+    pub(crate) fn to_assignment(&self) -> Assignment {
+        let mut a = Assignment::new();
+        for (var, value) in &self.entries {
+            a.bind(*var, *value);
+        }
+        a
+    }
+}
+
+/// Per-depth scratch buffers of the hash join, reused across every row and
+/// every probe at that depth — the recursion allocates nothing per row.
+#[derive(Debug, Default)]
+struct Level {
+    /// Candidate row ids of the current probe.
+    ids: Vec<u32>,
+    /// Positions bound by constants or already-bound variables.
+    bound: Vec<(usize, Value)>,
+    /// Positions holding variables unbound at depth entry, in term order
+    /// (a repeated variable appears once per position; the second
+    /// occurrence finds the first's binding on the stack and becomes an
+    /// equality check).
+    actions: Vec<(usize, Variable)>,
+}
+
 /// Evaluate a conjunction against a database, returning every satisfying
 /// assignment (restricted to the conjunction's variables).
 pub fn evaluate(db: &Database, conjunction: &Conjunction) -> Vec<Assignment> {
+    evaluate_with(db, conjunction, JoinEngine::Auto)
+}
+
+/// [`evaluate`] with an explicit join-engine choice.
+pub fn evaluate_with(
+    db: &Database,
+    conjunction: &Conjunction,
+    engine: JoinEngine,
+) -> Vec<Assignment> {
     let mut results = Vec::new();
-    let mut order: Vec<PlannedAtom> = conjunction
-        .atoms
-        .iter()
-        .map(PlannedAtom::unrestricted)
-        .collect();
-    // Greedy static ordering: atoms with more constants first (they are the
-    // most selective with no bindings yet).
-    order.sort_by_key(|p| std::cmp::Reverse(p.atom.constants().len()));
-    join(db, &order, 0, Assignment::new(), &mut |assignment| {
-        if satisfies_filters(db, conjunction, assignment) {
-            results.push(assignment.clone());
-        }
+    for_each_trigger(db, conjunction, None, engine, &mut |binder| {
+        results.push(binder.to_assignment());
+        false
     });
     results
 }
@@ -75,7 +239,49 @@ pub fn evaluate(db: &Database, conjunction: &Conjunction) -> Vec<Assignment> {
 /// comparisons are checked against the full instance, exactly as in
 /// [`evaluate`].
 pub fn evaluate_delta(db: &Database, conjunction: &Conjunction, floor: u64) -> Vec<Assignment> {
+    evaluate_delta_with(db, conjunction, floor, JoinEngine::Auto)
+}
+
+/// [`evaluate_delta`] with an explicit join-engine choice.
+pub fn evaluate_delta_with(
+    db: &Database,
+    conjunction: &Conjunction,
+    floor: u64,
+    engine: JoinEngine,
+) -> Vec<Assignment> {
     let mut results = Vec::new();
+    for_each_trigger(db, conjunction, Some(floor), engine, &mut |binder| {
+        results.push(binder.to_assignment());
+        false
+    });
+    results
+}
+
+/// Run the full (`floor: None`) or semi-naive delta (`floor: Some`)
+/// evaluation of a conjunction, calling `emit` with the binder holding each
+/// satisfying assignment instead of materializing [`Assignment`]s.
+///
+/// This is the chase's hot entry point: the binder's entries are the
+/// complete bindings of the conjunction's variables, readable in place, so
+/// a caller that only needs a few values per trigger (grounding a full
+/// TGD's head, say) allocates nothing per row.  `emit` returns `true` to
+/// abort the search.
+pub(crate) fn for_each_trigger(
+    db: &Database,
+    conjunction: &Conjunction,
+    floor: Option<u64>,
+    engine: JoinEngine,
+    emit: &mut dyn FnMut(&mut Binder) -> bool,
+) {
+    let Some(floor) = floor else {
+        let planned: Vec<PlannedAtom> = conjunction
+            .atoms
+            .iter()
+            .map(PlannedAtom::unrestricted)
+            .collect();
+        run_join(db, conjunction, planned, engine, emit);
+        return;
+    };
     let n = conjunction.atoms.len();
     for seed in 0..n {
         let mut order: Vec<PlannedAtom> = Vec::with_capacity(n);
@@ -97,13 +303,71 @@ pub fn evaluate_delta(db: &Database, conjunction: &Conjunction, floor: u64) -> V
         // the rest keep the greedy most-constants-first ordering.
         rest.sort_by_key(|p| std::cmp::Reverse(p.atom.constants().len()));
         order.extend(rest);
-        join(db, &order, 0, Assignment::new(), &mut |assignment| {
-            if satisfies_filters(db, conjunction, assignment) {
-                results.push(assignment.clone());
-            }
-        });
+        run_join(db, conjunction, order, engine, emit);
     }
-    results
+}
+
+/// Dispatch a planned conjunction to the chosen join kernel, filtering each
+/// complete assignment through the negated atoms and comparisons before
+/// handing it to `emit` (which returns `true` to abort the search).
+fn run_join(
+    db: &Database,
+    conjunction: &Conjunction,
+    mut planned: Vec<PlannedAtom>,
+    engine: JoinEngine,
+    emit: &mut dyn FnMut(&mut Binder) -> bool,
+) {
+    let use_wco = plan_uses_wco(conjunction, engine);
+    if !use_wco {
+        // Greedy static ordering for the nested-loop path: atoms with more
+        // constants first (most selective with no bindings yet).  Delta
+        // rotations pre-order with the delta atom leading; their first atom
+        // is pinned by construction (`sort` above already handled the
+        // rest), so only re-sort when every window is unrestricted.
+        if planned.iter().all(|p| p.window.is_all()) {
+            planned.sort_by_key(|p| std::cmp::Reverse(p.atom.constants().len()));
+        }
+    }
+    let resolved = match resolve(db, &planned) {
+        Some(r) => r,
+        None => return,
+    };
+    let mut binder = Binder::default();
+    // The filter path allocates nothing per row: comparisons are evaluated
+    // straight off the binder stack, and each negated atom is resolved once
+    // per join and probed through the nested-loop kernel with a persistent
+    // scratch level (the probe rewinds the binder, so the shared stack is
+    // safe).  A negated atom that fails to resolve has an empty extension —
+    // its negation holds vacuously.
+    let negated: Vec<Option<Vec<ResolvedAtom>>> = conjunction
+        .negated
+        .iter()
+        .map(|atom| resolve(db, &[PlannedAtom::unrestricted(atom)]))
+        .collect();
+    let mut negated_scratch: Vec<Level> = (0..negated.len()).map(|_| Level::default()).collect();
+    let mut leaf = |binder: &mut Binder| -> bool {
+        for cmp in &conjunction.comparisons {
+            if !binder_satisfies_comparison(binder, cmp) {
+                return false;
+            }
+        }
+        for (atoms, scratch) in negated.iter().zip(negated_scratch.iter_mut()) {
+            if let Some(atoms) = atoms {
+                if hash_join(atoms, 0, binder, std::slice::from_mut(scratch), &mut |_| {
+                    true
+                }) {
+                    return false;
+                }
+            }
+        }
+        emit(binder)
+    };
+    if use_wco {
+        crate::wco::wco_join(&resolved, &mut binder, &mut leaf);
+    } else {
+        let mut scratch: Vec<Level> = (0..resolved.len()).map(|_| Level::default()).collect();
+        hash_join(&resolved, 0, &mut binder, &mut scratch, &mut leaf);
+    }
 }
 
 /// Does the conjunction have at least one satisfying assignment?
@@ -112,21 +376,20 @@ pub fn is_satisfiable(db: &Database, conjunction: &Conjunction) -> bool {
 }
 
 /// Like [`evaluate`], but stops after `limit` assignments have been found.
+/// Always the hash path: early-exit workloads want the first answer fast,
+/// not a worst-case-optimal enumeration of all of them.
 pub fn evaluate_limited(db: &Database, conjunction: &Conjunction, limit: usize) -> Vec<Assignment> {
     let mut results = Vec::new();
     if limit == 0 {
         return results;
     }
-    let mut order: Vec<PlannedAtom> = conjunction
+    let planned: Vec<PlannedAtom> = conjunction
         .atoms
         .iter()
         .map(PlannedAtom::unrestricted)
         .collect();
-    order.sort_by_key(|p| std::cmp::Reverse(p.atom.constants().len()));
-    join_limited(db, &order, 0, Assignment::new(), limit, &mut |assignment| {
-        if satisfies_filters(db, conjunction, assignment) {
-            results.push(assignment.clone());
-        }
+    run_join(db, conjunction, planned, JoinEngine::Hash, &mut |binder| {
+        results.push(binder.to_assignment());
         results.len() >= limit
     });
     results
@@ -141,102 +404,116 @@ pub fn extend_over_atoms(
     assignment: Assignment,
     found: &mut dyn FnMut(&Assignment),
 ) {
-    let order: Vec<PlannedAtom> = atoms.iter().map(|a| PlannedAtom::unrestricted(a)).collect();
-    join(db, &order, 0, assignment, found);
-}
-
-/// Is there any extension of `assignment` satisfying all of `atoms`?
-pub fn has_extension(db: &Database, atoms: &[&Atom], assignment: &Assignment) -> bool {
-    let order: Vec<PlannedAtom> = atoms.iter().map(|a| PlannedAtom::unrestricted(a)).collect();
-    let mut hit = false;
-    join_limited(db, &order, 0, assignment.clone(), 1, &mut |_| {
-        hit = true;
-        true
-    });
-    hit
-}
-
-fn join(
-    db: &Database,
-    atoms: &[PlannedAtom],
-    depth: usize,
-    assignment: Assignment,
-    found: &mut dyn FnMut(&Assignment),
-) {
-    join_limited(db, atoms, depth, assignment, usize::MAX, &mut |a| {
-        found(a);
+    let planned: Vec<PlannedAtom> = atoms.iter().map(|a| PlannedAtom::unrestricted(a)).collect();
+    let resolved = match resolve(db, &planned) {
+        Some(r) => r,
+        None => return,
+    };
+    let mut binder = Binder::from_assignment(&assignment);
+    let mut scratch: Vec<Level> = (0..resolved.len()).map(|_| Level::default()).collect();
+    hash_join(&resolved, 0, &mut binder, &mut scratch, &mut |binder| {
+        found(&binder.to_assignment());
         false
     });
 }
 
-/// Core join loop.  `stop` returns `true` to abort the search early.
-fn join_limited(
-    db: &Database,
-    atoms: &[PlannedAtom],
-    depth: usize,
-    assignment: Assignment,
-    limit: usize,
-    stop: &mut dyn FnMut(&Assignment) -> bool,
-) -> bool {
-    if limit == 0 {
-        return true;
-    }
-    if depth == atoms.len() {
-        return stop(&assignment);
-    }
-    let planned = &atoms[depth];
-    let atom = planned.atom;
-    let relation = match db.relation(&atom.predicate) {
-        Ok(r) => r,
-        // Unknown predicates have empty extensions.
-        Err(_) => return false,
+/// Is there any extension of `assignment` satisfying all of `atoms`?
+pub fn has_extension(db: &Database, atoms: &[&Atom], assignment: &Assignment) -> bool {
+    let planned: Vec<PlannedAtom> = atoms.iter().map(|a| PlannedAtom::unrestricted(a)).collect();
+    let resolved = match resolve(db, &planned) {
+        Some(r) => r,
+        None => return false,
     };
-    if relation.schema().arity() != atom.arity() {
-        return false;
-    }
-    // Bind as many positions as possible from constants and the current
-    // assignment, then let the relation use an index if it has one.  Probe
-    // values are borrowed straight from the atom and the assignment — no
-    // key is rebuilt per probe.
-    let mut bindings: Vec<(usize, &Value)> = Vec::new();
-    for (i, term) in atom.terms.iter().enumerate() {
-        match term {
-            Term::Const(v) => bindings.push((i, v)),
-            Term::Var(v) => {
-                if let Some(value) = assignment.get(v) {
-                    bindings.push((i, value));
-                }
-            }
-        }
-    }
-    for tuple in relation.select_window(&bindings, planned.window) {
-        if let Some(extended) = assignment.match_atom(atom, tuple) {
-            if join_limited(db, atoms, depth + 1, extended, limit, stop) {
-                return true;
-            }
-        }
-    }
-    false
+    let mut binder = Binder::from_assignment(assignment);
+    let mut scratch: Vec<Level> = (0..resolved.len()).map(|_| Level::default()).collect();
+    hash_join(&resolved, 0, &mut binder, &mut scratch, &mut |_| true)
 }
 
-/// Check the negated atoms and comparisons of a conjunction under a complete
-/// assignment of its positive part.
-fn satisfies_filters(db: &Database, conjunction: &Conjunction, assignment: &Assignment) -> bool {
-    for cmp in &conjunction.comparisons {
-        if !assignment.satisfies_comparison(cmp) {
-            return false;
+/// The nested-loop kernel: at each depth, probe the current atom's relation
+/// for candidate row ids under the bindings accumulated so far, then walk
+/// the candidates binding the atom's free variables from the columns.
+///
+/// `stop` runs at the leaves and returns `true` to abort the whole search
+/// (used by limits and existence checks).  Returns whether the search was
+/// aborted.  The binder is always rewound to its entry state on return.
+fn hash_join(
+    atoms: &[ResolvedAtom],
+    depth: usize,
+    binder: &mut Binder,
+    scratch: &mut [Level],
+    stop: &mut dyn FnMut(&mut Binder) -> bool,
+) -> bool {
+    if depth == atoms.len() {
+        return stop(binder);
+    }
+    let ra = &atoms[depth];
+    // Take this depth's scratch out so the recursion can borrow the rest.
+    let mut level = std::mem::take(&mut scratch[depth]);
+    level.ids.clear();
+    level.bound.clear();
+    level.actions.clear();
+    for (i, term) in ra.atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => level.bound.push((i, *v)),
+            Term::Var(v) => match binder.get(v) {
+                Some(value) => level.bound.push((i, value)),
+                None => level.actions.push((i, *v)),
+            },
         }
     }
-    for negated in &conjunction.negated {
-        // The negated atom may still contain unbound variables; negation is
-        // "no extension of the assignment makes it true" (safe negation when
-        // the variables are bound by the positive part, negation-as-failure
-        // with existential reading otherwise).
-        if has_extension(db, &[negated], assignment) {
-            return false;
+    ra.relation
+        .select_ids_into(&level.bound, ra.window, &mut level.ids);
+    let mut aborted = false;
+    'rows: for &row in &level.ids {
+        let mark = binder.mark();
+        for &(pos, var) in &level.actions {
+            let value = ra
+                .relation
+                .value_at(row, pos)
+                .copied()
+                .expect("arity checked");
+            match binder.get(&var) {
+                // A repeated variable: its first occurrence in this very
+                // row bound it; later occurrences must agree.
+                Some(bound) => {
+                    if bound != value {
+                        binder.truncate(mark);
+                        continue 'rows;
+                    }
+                }
+                None => binder.push(var, value),
+            }
+        }
+        let hit = hash_join(atoms, depth + 1, binder, scratch, stop);
+        binder.truncate(mark);
+        if hit {
+            aborted = true;
+            break;
         }
     }
-    true
+    scratch[depth] = level;
+    aborted
+}
+
+/// The value a term takes under the binder's current bindings.
+#[inline]
+fn binder_term_value(binder: &Binder, term: &Term) -> Option<Value> {
+    match term {
+        Term::Const(v) => Some(*v),
+        Term::Var(v) => binder.get(v),
+    }
+}
+
+/// [`Assignment::satisfies_comparison`] evaluated on the binder stack —
+/// unbound operands fail the comparison, matching the assignment semantics.
+fn binder_satisfies_comparison(binder: &Binder, cmp: &Comparison) -> bool {
+    match (
+        binder_term_value(binder, &cmp.left),
+        binder_term_value(binder, &cmp.right),
+    ) {
+        (Some(left), Some(right)) => cmp.op.eval(&left, &right).unwrap_or(false),
+        _ => false,
+    }
 }
 
 /// Evaluate a conjunction and project each satisfying assignment onto
@@ -264,7 +541,11 @@ pub fn evaluate_project(
 pub fn index_positions(conjunction: &Conjunction) -> Vec<(String, usize)> {
     use std::collections::HashMap;
     let mut occurrences: HashMap<&str, usize> = HashMap::new();
-    for atom in &conjunction.atoms {
+    // Negated atoms join too: each is probed once per satisfying assignment
+    // of the positive part, with the shared variables bound — without an
+    // index that existence probe degenerates to a relation scan per row.
+    let all_atoms = || conjunction.atoms.iter().chain(conjunction.negated.iter());
+    for atom in all_atoms() {
         for term in &atom.terms {
             if let Term::Var(v) = term {
                 *occurrences.entry(v.name()).or_default() += 1;
@@ -272,7 +553,7 @@ pub fn index_positions(conjunction: &Conjunction) -> Vec<(String, usize)> {
         }
     }
     let mut out = Vec::new();
-    for atom in &conjunction.atoms {
+    for atom in all_atoms() {
         for (position, term) in atom.terms.iter().enumerate() {
             let worth_indexing = match term {
                 Term::Const(_) => true,
@@ -294,6 +575,8 @@ pub fn index_positions(conjunction: &Conjunction) -> Vec<(String, usize)> {
 /// incrementally by `ontodq-relational` on every subsequent insert, so the
 /// chase pays the build cost once and keeps the lookup speed for the whole
 /// run — and so does any query evaluated on the chased instance afterwards.
+/// Both join kernels exploit them: the hash path for its probes, the
+/// worst-case-optimal path for postings-list intersections.
 pub fn ensure_indexes(db: &mut Database, conjunction: &Conjunction) {
     for (predicate, position) in index_positions(conjunction) {
         if let Ok(relation) = db.relation_mut(&predicate) {
@@ -487,6 +770,128 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Join-engine selection and hash/leapfrog agreement.
+    // ------------------------------------------------------------------
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        // A small triangle pattern with one dead end.
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "d")] {
+            db.insert_values("R", [a, b]).unwrap();
+        }
+        for (a, b) in [("b", "c"), ("c", "a"), ("d", "b")] {
+            db.insert_values("S", [a, b]).unwrap();
+        }
+        for (a, b) in [("c", "a"), ("b", "a")] {
+            db.insert_values("T", [a, b]).unwrap();
+        }
+        db
+    }
+
+    fn triangle_body() -> Conjunction {
+        Conjunction::positive(vec![
+            Atom::with_vars("R", &["x", "y"]),
+            Atom::with_vars("S", &["y", "z"]),
+            Atom::with_vars("T", &["z", "x"]),
+        ])
+    }
+
+    #[test]
+    fn planner_picks_wco_for_shared_triple_joins_only() {
+        assert!(plan_uses_wco(&triangle_body(), JoinEngine::Auto));
+        assert!(!plan_uses_wco(&triangle_body(), JoinEngine::Hash));
+        assert!(plan_uses_wco(&triangle_body(), JoinEngine::Leapfrog));
+        // Two atoms: below the Auto threshold.
+        let two = Conjunction::positive(vec![
+            Atom::with_vars("R", &["x", "y"]),
+            Atom::with_vars("S", &["y", "z"]),
+        ]);
+        assert!(!plan_uses_wco(&two, JoinEngine::Auto));
+        assert!(plan_uses_wco(&two, JoinEngine::Leapfrog));
+        // Three atoms but a cartesian product (no shared variables): hash.
+        let cartesian = Conjunction::positive(vec![
+            Atom::with_vars("R", &["a", "b"]),
+            Atom::with_vars("S", &["c", "d"]),
+            Atom::with_vars("T", &["e", "f"]),
+        ]);
+        assert!(!plan_uses_wco(&cartesian, JoinEngine::Auto));
+    }
+
+    fn as_set(results: &[Assignment]) -> std::collections::BTreeSet<String> {
+        results.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn hash_and_leapfrog_agree_on_triangles() {
+        let db = triangle_db();
+        let conj = triangle_body();
+        let hash = evaluate_with(&db, &conj, JoinEngine::Hash);
+        let wco = evaluate_with(&db, &conj, JoinEngine::Leapfrog);
+        assert_eq!(as_set(&hash), as_set(&wco));
+        // The triangle a→b→c→a must be found by both.
+        assert!(!hash.is_empty());
+        // Auto picks WCO here and must agree too.
+        let auto = evaluate(&db, &conj);
+        assert_eq!(as_set(&hash), as_set(&auto));
+    }
+
+    #[test]
+    fn hash_and_leapfrog_agree_with_indexes_constants_and_filters() {
+        let mut db = triangle_db();
+        ensure_indexes(&mut db, &triangle_body());
+        let conj = Conjunction::positive(vec![
+            Atom::with_vars("R", &["x", "y"]),
+            Atom::with_vars("S", &["y", "z"]),
+            Atom::new("T", vec![Term::var("z"), Term::constant("a")]),
+        ])
+        .and_compare(Comparison::new(
+            Term::var("x"),
+            CompareOp::Eq,
+            Term::constant("a"),
+        ));
+        let hash = evaluate_with(&db, &conj, JoinEngine::Hash);
+        let wco = evaluate_with(&db, &conj, JoinEngine::Leapfrog);
+        assert_eq!(as_set(&hash), as_set(&wco));
+    }
+
+    #[test]
+    fn leapfrog_handles_repeated_variables_and_dead_ends() {
+        let mut db = Database::new();
+        db.insert_values("E", ["a", "a"]).unwrap();
+        db.insert_values("E", ["a", "b"]).unwrap();
+        db.insert_values("F", ["a"]).unwrap();
+        let conj = Conjunction::positive(vec![
+            Atom::with_vars("E", &["x", "x"]),
+            Atom::with_vars("F", &["x"]),
+        ]);
+        let hash = evaluate_with(&db, &conj, JoinEngine::Hash);
+        let wco = evaluate_with(&db, &conj, JoinEngine::Leapfrog);
+        assert_eq!(as_set(&hash), as_set(&wco));
+        assert_eq!(wco.len(), 1);
+    }
+
+    #[test]
+    fn delta_rotations_agree_across_engines() {
+        let mut db = triangle_db();
+        let watermark = db.epoch();
+        db.advance_epoch();
+        db.insert_values("R", ["c", "b"]).unwrap();
+        db.insert_values("T", ["a", "c"]).unwrap();
+        let conj = triangle_body();
+        let hash = evaluate_delta_with(&db, &conj, watermark, JoinEngine::Hash);
+        let wco = evaluate_delta_with(&db, &conj, watermark, JoinEngine::Leapfrog);
+        assert_eq!(as_set(&hash), as_set(&wco));
+        // And the delta is exactly the full-evaluation difference.
+        let full_now = as_set(&evaluate_with(&db, &conj, JoinEngine::Hash));
+        let mut db_old = triangle_db();
+        ensure_indexes(&mut db_old, &conj);
+        let full_old = as_set(&evaluate_with(&db_old, &conj, JoinEngine::Hash));
+        let expected: std::collections::BTreeSet<String> =
+            full_now.difference(&full_old).cloned().collect();
+        assert_eq!(as_set(&hash), expected);
+    }
+
+    // ------------------------------------------------------------------
     // Semi-naive delta evaluation.
     // ------------------------------------------------------------------
 
@@ -513,7 +918,7 @@ mod tests {
         db2.advance_epoch(); // existing rows stamped 1 > floor 0
         for rel in db.relations() {
             for t in rel.iter() {
-                db2.insert(rel.name(), t.clone()).unwrap();
+                db2.insert(rel.name(), t).unwrap();
             }
         }
         let delta: std::collections::BTreeSet<String> = evaluate_delta(&db2, &rule7_body(), 0)

@@ -25,14 +25,16 @@ pub mod eval;
 pub mod par;
 pub mod provenance;
 pub mod violation;
+pub mod wco;
 
 pub use chase::{
     chase, chase_incremental, chase_naive, chase_on_demand, chase_parallel, ChaseConfig,
     ChaseEngine, ChaseMode, ChaseResult, ChaseState, EvalStrategy, TerminationReason,
 };
 pub use eval::{
-    ensure_indexes, evaluate, evaluate_delta, evaluate_limited, evaluate_project, has_extension,
-    index_positions, is_satisfiable,
+    ensure_indexes, evaluate, evaluate_delta, evaluate_delta_with, evaluate_limited,
+    evaluate_project, evaluate_with, has_extension, index_positions, is_satisfiable, plan_uses_wco,
+    JoinEngine,
 };
 pub use par::parallel_map;
 pub use provenance::{ChaseStats, ChaseStep, Provenance};
@@ -89,7 +91,7 @@ mod proptests {
             if let Ok(original) = db.relation("E") {
                 let chased = result.database.relation("E").unwrap();
                 for tuple in original.iter() {
-                    prop_assert!(chased.contains(tuple));
+                    prop_assert!(chased.contains(&tuple));
                 }
             }
         }

@@ -201,7 +201,7 @@ impl<'a> DeterministicWsqAns<'a> {
                     .collect();
                 for tuple in relation.select(&bindings) {
                     let mut candidate = unifier.clone();
-                    if unify_with_tuple(&mut candidate, &goal, tuple) {
+                    if unify_with_tuple(&mut candidate, &goal, &tuple) {
                         if let Some(result) =
                             self.resolve(rest, candidate, comparisons, depth, rename_counter, nulls)
                         {

@@ -149,7 +149,7 @@ mod tests {
         let reloaded = load_csv(&schema(), &dumped).unwrap();
         assert_eq!(reloaded.len(), rel.len());
         for t in rel.iter() {
-            assert!(reloaded.contains(t));
+            assert!(reloaded.contains(&t));
         }
     }
 

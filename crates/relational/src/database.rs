@@ -183,6 +183,16 @@ impl Database {
         self.relations.len()
     }
 
+    /// Approximate heap footprint of the columnar arenas across all
+    /// relations (value columns + stamp columns + index postings), in
+    /// bytes.  Surfaced by the server's `!stats`.
+    pub fn arena_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(RelationInstance::arena_bytes)
+            .sum()
+    }
+
     /// All constants appearing anywhere in the database (the *active
     /// domain*), in sorted order.  Open conjunctive query answering draws
     /// candidate substitutions from this set.
@@ -223,7 +233,7 @@ impl Database {
             }
             let target = self.relation_mut(relation.name())?;
             for tuple in relation.iter() {
-                if target.insert(tuple.clone())? {
+                if target.insert(tuple)? {
                     added += 1;
                 }
             }
@@ -457,7 +467,7 @@ mod tests {
         // …and the new key must be reachable through it, agreeing with a
         // scan.
         let indexed = shifts.select(&[(1, &Value::str("morning"))]);
-        let scanned: Vec<&Tuple> = shifts
+        let scanned: Vec<Tuple> = shifts
             .iter()
             .filter(|t| t.get(1) == Some(&Value::str("morning")))
             .collect();

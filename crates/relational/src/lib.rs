@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod csv;
 pub mod database;
 pub mod error;
@@ -35,10 +36,11 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use counters::JoinCounters;
 pub use database::Database;
 pub use error::{RelationalError, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use index::HashIndex;
+pub use index::{clamp_sorted, contains_sorted, intersect_sorted, HashIndex};
 pub use interner::{Sym, SymbolInterner};
 pub use null::{NullGenerator, NullId};
 pub use relation::{RelationInstance, StampWindow};
@@ -146,8 +148,8 @@ mod proptests {
             }
             idx_rel.build_index(0);
             let bindings = vec![(0usize, &probe)];
-            let scan: Vec<Tuple> = scan_rel.select(&bindings).into_iter().cloned().collect();
-            let indexed: Vec<Tuple> = idx_rel.select(&bindings).into_iter().cloned().collect();
+            let scan: Vec<Tuple> = scan_rel.select(&bindings);
+            let indexed: Vec<Tuple> = idx_rel.select(&bindings);
             prop_assert_eq!(scan, indexed);
         }
 

@@ -1,22 +1,41 @@
-//! Relation instances: sets of tuples conforming to a schema, with optional
-//! per-attribute hash indexes and per-tuple epoch stamps.
+//! Relation instances: duplicate-free sets of rows over a **columnar
+//! arena**, with optional per-attribute hash indexes and per-row epoch
+//! stamps.
 //!
-//! Epoch stamps are the substrate of the semi-naive (delta-driven) chase in
+//! # Columnar layout
+//!
+//! A [`RelationInstance`] stores one dense `Vec<Value>` per attribute
+//! (`Value`s are `Copy` scalars — interned symbols, integers, labeled
+//! nulls), a parallel stamp column, and a hash table mapping row content to
+//! row ids for set-semantics dedup.  **Row ids (`u32`) are the currency of
+//! joins**: the allocation-free [`RelationInstance::select_ids_into`]
+//! answers probes with ids, values are read straight out of the columns
+//! with [`RelationInstance::value_at`], and a [`crate::Tuple`]
+//! (`Arc<[Value]>`) is only materialized at API edges — parsing, the wire
+//! protocol, snapshots — via [`RelationInstance::row_tuple`].
+//!
+//! # Epoch stamps
+//!
+//! Stamps are the substrate of the semi-naive (delta-driven) chase in
 //! `ontodq-chase`: every insert records the relation's current epoch, and
 //! [`RelationInstance::delta_since`] / [`StampWindow`]-restricted selection
 //! expose exactly the rows added (or rewritten by null substitution) after a
-//! given epoch.  Stamps are kept sorted: rewritten tuples are re-appended
-//! with the current epoch so they re-enter the delta.
+//! given epoch.  Stamps are kept sorted — rewritten rows are re-appended
+//! with the current epoch so they re-enter the delta — which makes a stamp
+//! window a **contiguous row-id range**: window restriction of an id set is
+//! two binary searches, never a filter pass.
 
+use crate::counters;
 use crate::error::Result;
-use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::index::HashIndex;
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::index::{clamp_sorted, HashIndex};
 use crate::null::NullId;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A stamp restriction on a selection: rows whose insert epoch lies in
 /// `(after, up_to]` (either bound may be absent).
@@ -62,15 +81,29 @@ impl StampWindow {
     }
 }
 
+/// Hash of one row's values, used to key the dedup table.
+fn hash_row<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut hasher = FxHasher::default();
+    for v in values {
+        v.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
 /// An instance of a relation: a duplicate-free, insertion-ordered set of
-/// tuples over a [`RelationSchema`].
+/// rows over a [`RelationSchema`], stored columnarly (see the module docs).
 #[derive(Debug, Clone)]
 pub struct RelationInstance {
     schema: RelationSchema,
-    tuples: Vec<Tuple>,
-    /// Insert epoch of each tuple, parallel to `tuples` and non-decreasing.
+    /// One dense value vector per attribute; all the same length.
+    columns: Vec<Vec<Value>>,
+    /// Number of rows (kept separately so zero-arity relations work).
+    rows: u32,
+    /// Insert epoch of each row, parallel to the columns and non-decreasing.
     stamps: Vec<u64>,
-    seen: FxHashSet<Tuple>,
+    /// Row-content hash → candidate row ids (set-semantics dedup without
+    /// storing materialized tuples).
+    seen: FxHashMap<u64, Vec<u32>>,
     indexes: FxHashMap<usize, HashIndex>,
     /// Epoch stamped onto new inserts; advanced by the owning
     /// [`crate::Database`].  Invariant: `epoch >= stamps.last()`.
@@ -80,11 +113,13 @@ pub struct RelationInstance {
 impl RelationInstance {
     /// An empty instance over `schema`.
     pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity();
         Self {
             schema,
-            tuples: Vec::new(),
+            columns: vec![Vec::new(); arity],
+            rows: 0,
             stamps: Vec::new(),
-            seen: FxHashSet::default(),
+            seen: FxHashMap::default(),
             indexes: FxHashMap::default(),
             epoch: 0,
         }
@@ -100,24 +135,54 @@ impl RelationInstance {
         self.schema.name()
     }
 
-    /// Number of tuples.
+    /// Number of rows.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows as usize
     }
 
-    /// `true` when the instance holds no tuples.
+    /// `true` when the instance holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// Iterate over the tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Iterate over the rows in insertion order, materializing each as a
+    /// [`Tuple`].  An API-edge convenience — join code works on row ids and
+    /// columns instead.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.rows).map(move |r| self.row_tuple(r))
     }
 
-    /// The tuples as a slice, in insertion order.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// All rows materialized as tuples, in insertion order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.iter().collect()
+    }
+
+    /// Materialize row `row` as a [`Tuple`].
+    ///
+    /// # Panics
+    /// When `row >= len()`.
+    pub fn row_tuple(&self, row: u32) -> Tuple {
+        debug_assert!(row < self.rows);
+        counters::record_materializations(1);
+        Tuple::new(
+            self.columns
+                .iter()
+                .map(|c| c[row as usize])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The value at (`row`, `position`), read straight from the column.
+    /// `None` when the position is out of range.
+    #[inline]
+    pub fn value_at(&self, row: u32, position: usize) -> Option<&Value> {
+        self.columns.get(position).map(|c| &c[row as usize])
+    }
+
+    /// The dense value vector of `position` (one entry per row), if in
+    /// range.
+    pub fn column(&self, position: usize) -> Option<&[Value]> {
+        self.columns.get(position).map(Vec::as_slice)
     }
 
     /// The epoch new inserts are stamped with.
@@ -130,13 +195,26 @@ impl RelationInstance {
         self.stamps.last().copied()
     }
 
-    /// The insert epochs of all rows, parallel to [`RelationInstance::tuples`]
-    /// and non-decreasing.  Persistence layers serialize these alongside the
-    /// tuples so a reloaded instance keeps its delta structure (a chase
+    /// The insert epochs of all rows, parallel to the columns and
+    /// non-decreasing.  Persistence layers serialize these alongside the
+    /// rows so a reloaded instance keeps its delta structure (a chase
     /// resumed from stored watermarks sees exactly the rows it would have
     /// seen in the original process).
     pub fn stamps(&self) -> &[u64] {
         &self.stamps
+    }
+
+    /// Approximate heap footprint of the arena in bytes: the value columns,
+    /// the stamp column, and the index postings.
+    pub fn arena_bytes(&self) -> usize {
+        let values: usize = self
+            .columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<Value>())
+            .sum();
+        let stamps = self.stamps.capacity() * std::mem::size_of::<u64>();
+        let postings: usize = self.indexes.values().map(HashIndex::postings_bytes).sum();
+        values + stamps + postings
     }
 
     /// Insert `tuple` stamped with `stamp` instead of the current epoch —
@@ -158,19 +236,58 @@ impl RelationInstance {
         self.epoch = epoch.max(self.last_stamp().unwrap_or(0));
     }
 
+    /// The first row id stamped strictly after `epoch` (possibly `len()`).
+    pub fn first_row_after(&self, epoch: u64) -> u32 {
+        self.stamps.partition_point(|s| *s <= epoch) as u32
+    }
+
+    /// The contiguous row-id range selected by `window` — stamps are
+    /// non-decreasing, so a stamp window is always an id range.
+    pub fn window_range(&self, window: StampWindow) -> std::ops::Range<u32> {
+        let lo = window.after.map(|e| self.first_row_after(e)).unwrap_or(0);
+        let hi = window
+            .up_to
+            .map(|e| self.first_row_after(e))
+            .unwrap_or(self.rows);
+        lo..hi.max(lo)
+    }
+
     /// The rows inserted (or rewritten by null substitution) strictly after
-    /// `epoch`, in insertion order.
-    pub fn delta_since(&self, epoch: u64) -> &[Tuple] {
-        let start = self.stamps.partition_point(|s| *s <= epoch);
-        &self.tuples[start..]
+    /// `epoch`, materialized in insertion order.
+    pub fn delta_since(&self, epoch: u64) -> Vec<Tuple> {
+        (self.first_row_after(epoch)..self.rows)
+            .map(|r| self.row_tuple(r))
+            .collect()
     }
 
     /// Does the instance contain `tuple`?
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.seen.contains(tuple)
+        if tuple.arity() != self.columns.len() {
+            return false;
+        }
+        self.find_row(tuple.values()).is_some()
     }
 
-    /// Insert `tuple`, validating it against the schema.
+    /// The row id holding exactly `values`, if present.  `values` must have
+    /// the relation's arity.
+    fn find_row(&self, values: &[Value]) -> Option<u32> {
+        let hash = hash_row(values.iter());
+        let candidates = self.seen.get(&hash)?;
+        candidates
+            .iter()
+            .copied()
+            .find(|&row| self.row_equals(row, values))
+    }
+
+    #[inline]
+    fn row_equals(&self, row: u32, values: &[Value]) -> bool {
+        self.columns
+            .iter()
+            .zip(values)
+            .all(|(c, v)| c[row as usize] == *v)
+    }
+
+    /// Insert a tuple, validating it against the schema.
     ///
     /// Returns `Ok(true)` when the tuple was new, `Ok(false)` when it was
     /// already present (set semantics).
@@ -180,19 +297,44 @@ impl RelationInstance {
     }
 
     /// Insert without schema validation; used by the Datalog± layer whose
-    /// predicates are untyped.  The tuple is stamped with the current epoch
-    /// and live hash indexes are extended in place.
+    /// predicates are untyped.  The row is stamped with the current epoch,
+    /// scattered into the columns, and live hash indexes are extended in
+    /// place.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
-        if self.seen.contains(&tuple) {
-            return false;
+        self.insert_row(tuple.values())
+    }
+
+    /// [`RelationInstance::insert_unchecked`] without the `Tuple` wrapper:
+    /// append `values` (which must have the relation's arity) as a new row
+    /// unless an equal row already exists.  The chase's batch firing path
+    /// stages grounded head rows as flat value slices and inserts them
+    /// through here, materializing a `Tuple` only when a provenance record
+    /// needs one.
+    pub fn insert_slice_unchecked(&mut self, values: &[Value]) -> bool {
+        self.insert_row(values)
+    }
+
+    /// Append `values` as a new row unless an equal row exists.
+    fn insert_row(&mut self, values: &[Value]) -> bool {
+        debug_assert_eq!(values.len(), self.columns.len());
+        let hash = hash_row(values.iter());
+        if let Some(candidates) = self.seen.get(&hash) {
+            if candidates.iter().any(|&row| self.row_equals(row, values)) {
+                return false;
+            }
         }
-        let row = self.tuples.len();
+        let row = self.rows;
         for index in self.indexes.values_mut() {
-            index.insert(row, &tuple);
+            if let Some(value) = values.get(index.position()) {
+                index.insert(row, value);
+            }
         }
-        self.seen.insert(tuple.clone());
-        self.tuples.push(tuple);
+        for (column, value) in self.columns.iter_mut().zip(values) {
+            column.push(*value);
+        }
         self.stamps.push(self.epoch);
+        self.seen.entry(hash).or_default().push(row);
+        self.rows += 1;
         true
     }
 
@@ -212,8 +354,10 @@ impl RelationInstance {
 
     /// Build (or rebuild) a hash index on `position`.
     pub fn build_index(&mut self, position: usize) {
-        self.indexes
-            .insert(position, HashIndex::build(position, &self.tuples));
+        if let Some(column) = self.columns.get(position) {
+            self.indexes
+                .insert(position, HashIndex::build(position, column));
+        }
     }
 
     /// `true` if an index exists on `position`.
@@ -221,66 +365,121 @@ impl RelationInstance {
         self.indexes.contains_key(&position)
     }
 
-    /// Tuples matching all of `bindings` (position → required value).
-    ///
-    /// Uses an index when one is available for some bound position; falls
-    /// back to a scan otherwise.  Probe values are borrowed — selection
-    /// never clones or rebuilds a key.
-    pub fn select(&self, bindings: &[(usize, &Value)]) -> Vec<&Tuple> {
+    /// The index on `position`, if one was built.
+    pub fn index(&self, position: usize) -> Option<&HashIndex> {
+        self.indexes.get(&position)
+    }
+
+    /// Rows matching all of `bindings` (position → required value),
+    /// materialized as tuples.  An API-edge convenience over
+    /// [`RelationInstance::select_ids_into`].
+    pub fn select(&self, bindings: &[(usize, &Value)]) -> Vec<Tuple> {
         self.select_window(bindings, StampWindow::all())
     }
 
     /// Like [`RelationInstance::select`], restricted to rows whose insert
     /// epoch lies inside `window`.
-    pub fn select_window(&self, bindings: &[(usize, &Value)], window: StampWindow) -> Vec<&Tuple> {
-        let lo = window
-            .after
-            .map(|e| self.stamps.partition_point(|s| *s <= e))
-            .unwrap_or(0);
-        let hi = window
-            .up_to
-            .map(|e| self.stamps.partition_point(|s| *s <= e))
-            .unwrap_or(self.tuples.len());
-        if lo >= hi {
-            return Vec::new();
-        }
-        if bindings.is_empty() {
-            return self.tuples[lo..hi].iter().collect();
-        }
-        // Among the indexed bound positions, probe the one with the
-        // shortest postings list — index lookups are cheap interned-id
-        // hashes, so asking every candidate index for its selectivity
-        // costs less than walking one long postings list.
-        let best = bindings
-            .iter()
-            .filter_map(|(pos, value)| {
-                self.indexes
-                    .get(pos)
-                    .map(|index| index.lookup(value))
-                    .map(|rows| (rows.len(), rows))
-            })
-            .min_by_key(|(len, _)| *len);
-        if let Some((_, rows)) = best {
-            return rows
-                .iter()
-                .filter(|&&r| r >= lo && r < hi)
-                .map(|&r| &self.tuples[r])
-                .filter(|t| Self::matches(t, bindings))
-                .collect();
-        }
-        self.tuples[lo..hi]
-            .iter()
-            .filter(|t| Self::matches(t, bindings))
-            .collect()
+    pub fn select_window(&self, bindings: &[(usize, &Value)], window: StampWindow) -> Vec<Tuple> {
+        let owned: Vec<(usize, Value)> = bindings.iter().map(|(p, v)| (*p, **v)).collect();
+        let mut ids = Vec::new();
+        self.select_ids_into(&owned, window, &mut ids);
+        ids.into_iter().map(|r| self.row_tuple(r)).collect()
     }
 
-    /// Project every tuple onto `positions` (duplicates removed, insertion
+    /// **Allocation-free probe**: append to `out` the ids (ascending) of
+    /// rows inside `window` matching all of `bindings`.
+    ///
+    /// Among the indexed bound positions, the two shortest postings lists
+    /// are combined with a galloping intersection (further indexed
+    /// positions, being already id sets, are cheaper to verify per-row);
+    /// remaining bound positions are checked against the columns.  A probe
+    /// never materializes a tuple and only ever writes into `out`, which
+    /// callers reuse across probes.  Bindings carry values by copy
+    /// (`Value` is a two-word scalar) so callers can probe from their own
+    /// mutable binding state without borrow gymnastics.
+    pub fn select_ids_into(
+        &self,
+        bindings: &[(usize, Value)],
+        window: StampWindow,
+        out: &mut Vec<u32>,
+    ) {
+        counters::record_probe();
+        let range = self.window_range(window);
+        if range.is_empty() {
+            return;
+        }
+        if bindings.is_empty() {
+            out.extend(range);
+            return;
+        }
+        // Gather the postings of every indexed bound position, shortest
+        // first.
+        let mut postings: Vec<&[u32]> = Vec::with_capacity(bindings.len());
+        for (pos, value) in bindings {
+            if let Some(index) = self.indexes.get(pos) {
+                postings.push(clamp_sorted(index.lookup(value), range.start, range.end));
+            }
+        }
+        postings.sort_by_key(|p| p.len());
+        let unindexed: Vec<&(usize, Value)> = bindings
+            .iter()
+            .filter(|(pos, _)| !self.indexes.contains_key(pos))
+            .collect();
+        let matches_rest = |row: u32| -> bool {
+            unindexed
+                .iter()
+                .all(|(pos, value)| self.columns[*pos][row as usize] == *value)
+        };
+        match postings.len() {
+            0 => {
+                // No index available: scan the window.
+                let scan = |row: u32| -> bool {
+                    bindings
+                        .iter()
+                        .all(|(pos, value)| self.columns[*pos][row as usize] == *value)
+                };
+                out.extend(range.filter(|&r| scan(r)));
+            }
+            1 => {
+                out.extend(postings[0].iter().copied().filter(|&r| matches_rest(r)));
+            }
+            _ => {
+                // Galloping intersection of the two shortest lists; any
+                // further indexed positions are verified per survivor (their
+                // postings are at least as long, so a column compare beats
+                // another merge).
+                let before = out.len();
+                crate::index::intersect_sorted(postings[0], postings[1], out);
+                let verify: Vec<&[u32]> = postings[2..].to_vec();
+                if !verify.is_empty() || !unindexed.is_empty() {
+                    let mut write = before;
+                    for i in before..out.len() {
+                        let row = out[i];
+                        let ok = verify.iter().all(|p| crate::index::contains_sorted(p, row))
+                            && matches_rest(row);
+                        if ok {
+                            out[write] = row;
+                            write += 1;
+                        }
+                    }
+                    out.truncate(write);
+                }
+            }
+        }
+    }
+
+    /// Project every row onto `positions` (duplicates removed, insertion
     /// order preserved).
     pub fn project(&self, positions: &[usize]) -> Vec<Tuple> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for t in &self.tuples {
-            let p = t.project(positions);
+        for row in 0..self.rows {
+            let p = Tuple::new(
+                positions
+                    .iter()
+                    .filter_map(|&pos| self.value_at(row, pos).copied())
+                    .collect(),
+            );
             if seen.insert(p.clone()) {
                 out.push(p);
             }
@@ -289,77 +488,107 @@ impl RelationInstance {
     }
 
     /// Replace every occurrence of the labeled null `from` with `to`, in
-    /// every tuple.  Duplicate tuples created by the substitution collapse.
-    /// Returns the number of tuples that changed.
+    /// every row.  Duplicate rows created by the substitution collapse.
+    /// Returns the number of rows that changed.
     ///
-    /// Rewritten tuples are re-appended with the *current* epoch, so they
+    /// Rewritten rows are re-appended with the *current* epoch, so they
     /// show up in [`RelationInstance::delta_since`] — an EGD unification
     /// re-enables exactly the rule triggers that touch the rewritten rows,
     /// and the semi-naive chase discovers them through the delta.  Hash
     /// indexes are rebuilt iff at least one row changed (row ids shift when
     /// rows are re-appended); untouched relations keep their indexes as-is.
     pub fn substitute_null(&mut self, from: NullId, to: &Value) -> usize {
-        let references_null = |t: &Tuple| t.values().iter().any(|v| v.as_null() == Some(from));
-        if !self.tuples.iter().any(references_null) {
+        let target = Value::Null(from);
+        if !self.columns.iter().any(|c| c.contains(&target)) {
             return 0;
         }
-        let old_tuples = std::mem::take(&mut self.tuples);
+        let arity = self.columns.len();
+        let old_columns = std::mem::replace(&mut self.columns, vec![Vec::new(); arity]);
         let old_stamps = std::mem::take(&mut self.stamps);
+        let old_rows = self.rows;
+        self.rows = 0;
         self.seen.clear();
-        let mut rewritten: Vec<Tuple> = Vec::new();
+        let mut rewritten: Vec<Value> = Vec::new(); // flat, `arity` values per row
+        let mut row_buf: Vec<Value> = Vec::with_capacity(arity);
         let mut changed = 0;
-        for (tuple, stamp) in old_tuples.into_iter().zip(old_stamps) {
-            let replaced = tuple.substitute_null(from, to);
-            if replaced == tuple {
-                if self.seen.insert(replaced.clone()) {
-                    self.tuples.push(replaced);
-                    self.stamps.push(stamp);
-                }
-            } else {
+        for row in 0..old_rows as usize {
+            row_buf.clear();
+            row_buf.extend(old_columns.iter().map(|c| c[row]));
+            if row_buf.contains(&target) {
                 changed += 1;
-                rewritten.push(replaced);
+                rewritten.extend(row_buf.iter().map(|v| if *v == target { *to } else { *v }));
+            } else {
+                self.insert_at_stamp(&row_buf, old_stamps[row]);
             }
         }
-        for replaced in rewritten {
-            if self.seen.insert(replaced.clone()) {
-                self.tuples.push(replaced);
-                self.stamps.push(self.epoch);
-            }
+        let current = self.epoch.max(old_stamps.last().copied().unwrap_or(0));
+        self.epoch = current;
+        for row_values in rewritten.chunks(arity) {
+            self.insert_at_stamp(row_values, current);
         }
         self.rebuild_indexes();
         changed
     }
 
-    /// Remove tuples for which `keep` returns `false`; returns how many
-    /// were removed.  Indexes are rebuilt; stamps of surviving rows are
-    /// preserved.
-    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
-        let before = self.tuples.len();
-        let old_tuples = std::mem::take(&mut self.tuples);
-        let old_stamps = std::mem::take(&mut self.stamps);
-        for (tuple, stamp) in old_tuples.into_iter().zip(old_stamps) {
-            if keep(&tuple) {
-                self.tuples.push(tuple);
-                self.stamps.push(stamp);
+    /// Append `values` stamped `stamp` unless already present (dedup), not
+    /// touching live indexes — used only by the rebuild paths, which
+    /// rebuild indexes wholesale afterwards.
+    fn insert_at_stamp(&mut self, values: &[Value], stamp: u64) -> bool {
+        let hash = hash_row(values.iter());
+        if let Some(candidates) = self.seen.get(&hash) {
+            if candidates.iter().any(|&row| self.row_equals(row, values)) {
+                return false;
             }
         }
-        self.seen = self.tuples.iter().cloned().collect();
+        let row = self.rows;
+        for (column, value) in self.columns.iter_mut().zip(values) {
+            column.push(*value);
+        }
+        self.stamps.push(stamp);
+        self.seen.entry(hash).or_default().push(row);
+        self.rows += 1;
+        true
+    }
+
+    /// Remove rows for which `keep` returns `false`; returns how many were
+    /// removed.  Indexes are rebuilt; stamps of surviving rows are
+    /// preserved.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let arity = self.columns.len();
+        let old_columns = std::mem::replace(&mut self.columns, vec![Vec::new(); arity]);
+        let old_stamps = std::mem::take(&mut self.stamps);
+        let old_rows = self.rows;
+        self.rows = 0;
+        self.seen.clear();
+        let mut removed = 0;
+        for row in 0..old_rows as usize {
+            let values: Vec<Value> = old_columns.iter().map(|c| c[row]).collect();
+            if keep(&Tuple::new(values.clone())) {
+                self.insert_at_stamp(&values, old_stamps[row]);
+            } else {
+                removed += 1;
+            }
+        }
         self.rebuild_indexes();
-        before - self.tuples.len()
+        removed
     }
 
     /// All labeled nulls occurring anywhere in the instance.
     pub fn nulls(&self) -> HashSet<NullId> {
-        self.tuples.iter().flat_map(|t| t.nulls()).collect()
+        self.columns
+            .iter()
+            .flatten()
+            .filter_map(Value::as_null)
+            .collect()
     }
 
     /// All constant values occurring anywhere in the instance.
     pub fn constants(&self) -> HashSet<Value> {
-        self.tuples
+        self.columns
             .iter()
-            .flat_map(|t| t.values().iter())
+            .flatten()
             .filter(|v| v.is_constant())
-            .cloned()
+            .copied()
             .collect()
     }
 
@@ -369,18 +598,12 @@ impl RelationInstance {
             self.build_index(pos);
         }
     }
-
-    fn matches(tuple: &Tuple, bindings: &[(usize, &Value)]) -> bool {
-        bindings
-            .iter()
-            .all(|(pos, value)| tuple.get(*pos) == Some(*value))
-    }
 }
 
 impl fmt::Display for RelationInstance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.tuples {
+        for t in self.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -428,6 +651,20 @@ mod tests {
     }
 
     #[test]
+    fn columns_hold_the_rows_columnarly() {
+        let r = sample();
+        let units = r.column(0).unwrap();
+        assert_eq!(units.len(), 4);
+        assert_eq!(units[0], Value::str("Standard"));
+        assert_eq!(units[2], Value::str("Intensive"));
+        assert_eq!(r.value_at(3, 1), Some(&Value::str("W4")));
+        assert_eq!(r.value_at(3, 9), None);
+        assert!(r.column(2).is_none());
+        assert_eq!(r.row_tuple(1), Tuple::from_iter(["Standard", "W2"]));
+        assert!(r.arena_bytes() > 0);
+    }
+
+    #[test]
     fn select_without_index_scans() {
         let r = sample();
         let hits = r.select(&[(0, &Value::str("Standard"))]);
@@ -439,18 +676,10 @@ mod tests {
     #[test]
     fn select_with_index_matches_scan() {
         let mut r = sample();
-        let scan: Vec<Tuple> = r
-            .select(&[(0, &Value::str("Standard"))])
-            .into_iter()
-            .cloned()
-            .collect();
+        let scan: Vec<Tuple> = r.select(&[(0, &Value::str("Standard"))]);
         r.build_index(0);
         assert!(r.has_index(0));
-        let indexed: Vec<Tuple> = r
-            .select(&[(0, &Value::str("Standard"))])
-            .into_iter()
-            .cloned()
-            .collect();
+        let indexed: Vec<Tuple> = r.select(&[(0, &Value::str("Standard"))]);
         assert_eq!(scan, indexed);
     }
 
@@ -459,7 +688,41 @@ mod tests {
         let r = sample();
         let hits = r.select(&[(0, &Value::str("Standard")), (1, &Value::str("W2"))]);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0], &Tuple::from_iter(["Standard", "W2"]));
+        assert_eq!(hits[0], Tuple::from_iter(["Standard", "W2"]));
+    }
+
+    #[test]
+    fn select_with_two_indexes_gallops() {
+        // A distinct payload column keeps every row alive through dedup so
+        // the intersection actually has work to do.
+        let mut r = RelationInstance::new(RelationSchema::untyped("R", 3));
+        for i in 0..200i64 {
+            r.insert(Tuple::new(vec![
+                Value::int(i % 2),
+                Value::int(i % 3),
+                Value::int(i),
+            ]))
+            .unwrap();
+        }
+        let scan = r.select(&[(0, &Value::int(0)), (1, &Value::int(0))]);
+        r.build_index(0);
+        r.build_index(1);
+        let indexed = r.select(&[(0, &Value::int(0)), (1, &Value::int(0))]);
+        assert_eq!(scan, indexed);
+        assert_eq!(indexed.len(), 200 / 6 + 1); // i ≡ 0 (mod 6)
+    }
+
+    #[test]
+    fn select_ids_are_ascending_and_reusable() {
+        let mut r = sample();
+        r.build_index(0);
+        let mut ids = vec![99u32; 4]; // pre-polluted scratch
+        ids.clear();
+        r.select_ids_into(&[(0, Value::str("Standard"))], StampWindow::all(), &mut ids);
+        assert_eq!(ids, vec![0, 1]);
+        ids.clear();
+        r.select_ids_into(&[], StampWindow::all(), &mut ids);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -519,6 +782,19 @@ mod tests {
         assert!(rendered.contains("(Standard, W1)"));
     }
 
+    #[test]
+    fn zero_arity_relations_hold_at_most_one_row() {
+        let mut r = RelationInstance::new(RelationSchema::untyped("Seed", 0));
+        assert!(r.insert(Tuple::new(vec![])).unwrap());
+        assert!(!r.insert(Tuple::new(vec![])).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::new(vec![])));
+        let mut ids = Vec::new();
+        r.select_ids_into(&[], StampWindow::all(), &mut ids);
+        assert_eq!(ids, vec![0]);
+        assert_eq!(r.tuples(), vec![Tuple::new(vec![])]);
+    }
+
     // ------------------------------------------------------------------
     // Epoch stamping and delta tracking.
     // ------------------------------------------------------------------
@@ -533,10 +809,26 @@ mod tests {
         r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
 
         assert_eq!(r.delta_since(0).len(), 2);
-        assert_eq!(r.delta_since(1), &[Tuple::from_iter(["Intensive", "W3"])]);
+        assert_eq!(
+            r.delta_since(1),
+            vec![Tuple::from_iter(["Intensive", "W3"])]
+        );
         assert!(r.delta_since(2).is_empty());
         // Nothing can be stamped after the maximum epoch.
-        assert_eq!(r.delta_since(u64::MAX), &[] as &[Tuple]);
+        assert!(r.delta_since(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn window_range_is_contiguous_ids() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.set_epoch(1);
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        assert_eq!(r.window_range(StampWindow::all()), 0..3);
+        assert_eq!(r.window_range(StampWindow::old_up_to(0)), 0..1);
+        assert_eq!(r.window_range(StampWindow::delta_after(0)), 1..3);
+        assert_eq!(r.window_range(StampWindow::delta_after(5)), 3..3);
     }
 
     #[test]
@@ -550,9 +842,9 @@ mod tests {
         let probe = Value::str("Standard");
         let binding = [(0usize, &probe)];
         let old = r.select_window(&binding, StampWindow::old_up_to(0));
-        assert_eq!(old, vec![&Tuple::from_iter(["Standard", "W1"])]);
+        assert_eq!(old, vec![Tuple::from_iter(["Standard", "W1"])]);
         let delta = r.select_window(&binding, StampWindow::delta_after(0));
-        assert_eq!(delta, vec![&Tuple::from_iter(["Standard", "W2"])]);
+        assert_eq!(delta, vec![Tuple::from_iter(["Standard", "W2"])]);
         let all = r.select_window(&binding, StampWindow::all());
         assert_eq!(all.len(), 2);
     }
@@ -568,11 +860,11 @@ mod tests {
         assert_eq!(changed, 1);
         // The rewritten row is in the delta after epoch 0; the untouched row
         // is not.
-        assert_eq!(r.delta_since(0), &[Tuple::from_iter(["Standard", "W1"])]);
+        assert_eq!(r.delta_since(0), vec![Tuple::from_iter(["Standard", "W1"])]);
         // Stamps stay sorted, so window selection still works.
         assert_eq!(
             r.select_window(&[], StampWindow::old_up_to(0)),
-            vec![&Tuple::from_iter(["Intensive", "W3"])]
+            vec![Tuple::from_iter(["Intensive", "W3"])]
         );
     }
 
@@ -609,11 +901,7 @@ mod tests {
             .unwrap();
 
         let mut reloaded = RelationInstance::new(original.schema().clone());
-        for (tuple, stamp) in original
-            .iter()
-            .cloned()
-            .zip(original.stamps().iter().copied())
-        {
+        for (tuple, stamp) in original.iter().zip(original.stamps().iter().copied()) {
             assert!(reloaded.insert_stamped(tuple, stamp).unwrap());
         }
         assert_eq!(reloaded.tuples(), original.tuples());

@@ -266,9 +266,14 @@ fn session_loop<R: BufRead, W: Write>(
                     let interner_writes =
                         ontodq_relational::SymbolInterner::global().write_acquisitions();
                     let wal = service.wal_stats().unwrap_or_default();
+                    // Process-wide join-kernel counters (monotone totals
+                    // across every chase and query this process ran) and
+                    // the snapshot's columnar-arena footprint.
+                    let joins = ontodq_relational::counters::snapshot();
+                    let arena_bytes = snapshot.database.arena_bytes();
                     writeln!(
                         writer,
-                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={}",
+                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={}",
                         context,
                         snapshot.version,
                         snapshot.total_tuples(),
@@ -281,6 +286,11 @@ fn session_loop<R: BufRead, W: Write>(
                         interner_writes,
                         wal.segments,
                         wal.bytes,
+                        joins.probes,
+                        joins.gallop_seeks,
+                        joins.wco_seeks,
+                        joins.materializations,
+                        arena_bytes,
                     )?;
                 }
                 Err(e) => writeln!(writer, "err: {e}")?,
@@ -620,13 +630,19 @@ mod tests {
         );
     }
 
-    /// `!stats` surfaces the interner and durability counters; `!save`
-    /// without a store is an inline error, not a dead session.
+    /// `!stats` surfaces the interner, durability and join-engine counters
+    /// plus the arena footprint; `!save` without a store is an inline
+    /// error, not a dead session.
     #[test]
     fn stats_and_save_report_durability_state() {
         let out = session_output("!stats\n!save\n!stats\n!quit\n");
         assert!(out.contains("interner_writes="));
         assert!(out.contains("wal_segments=0 wal_bytes=0"));
+        assert!(out.contains("probes="));
+        assert!(out.contains("gallops="));
+        assert!(out.contains("wco_seeks="));
+        assert!(out.contains("materializations="));
+        assert!(out.contains("arena_bytes="));
         assert!(out.contains("err: no durable store attached"));
         assert!(out.trim_end().ends_with("ok bye"));
     }

@@ -373,7 +373,7 @@ pub(crate) fn encode_database(buf: &mut Vec<u8>, dict: &mut DictWriter, db: &Dat
         put_u32(buf, relation.len() as u32);
         for (tuple, stamp) in relation.iter().zip(relation.stamps()) {
             put_u64(buf, *stamp);
-            encode_tuple(buf, dict, tuple);
+            encode_tuple(buf, dict, &tuple);
         }
     }
 }

@@ -13,7 +13,10 @@
 //!   data-complexity and end-to-end assessment benchmarks,
 //! * [`querygen`] — selectivity-sweeping query workloads over the scaled
 //!   hospital (point lookups like the doctor's query vs. broad scans), for
-//!   the demand-driven vs. full-materialization comparison.
+//!   the demand-driven vs. full-materialization comparison,
+//! * [`skewed`] — Zipf-skewed cyclic triangle workloads, the adversarial
+//!   case for atom-at-a-time join plans and the benchmark target of the
+//!   worst-case-optimal join path.
 //!
 //! All generators take explicit seeds so benchmark workloads are
 //! reproducible.
@@ -24,7 +27,9 @@
 pub mod dimgen;
 pub mod querygen;
 pub mod scaled_hospital;
+pub mod skewed;
 
 pub use dimgen::{generate_linear_dimension, DimGenError, DimensionParams};
 pub use querygen::{doctors_style_query, generate_queries, QuerySpec, Selectivity};
 pub use scaled_hospital::{generate, HospitalScale, ScaledHospital};
+pub use skewed::{generate_skewed, skewed_program, SkewedScale, SkewedWorkload};

@@ -23,6 +23,34 @@ pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
+/// Strategies over `Option<T>`, mirroring real proptest's `option` module.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionOf<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(inner)` or `None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+        OptionOf { inner }
+    }
+}
+
 /// Everything a `use proptest::prelude::*;` in a test module expects.
 pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
@@ -118,7 +146,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// `prop_assert_eq!(left, right)`.
+/// `prop_assert_eq!(left, right)` / `prop_assert_eq!(left, right, "why", args...)`.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr) => {{
@@ -129,6 +157,18 @@ macro_rules! prop_assert_eq {
                 "assertion failed: {} == {} (left: {:?}, right: {:?})",
                 stringify!($left),
                 stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
                 l,
                 r
             )));

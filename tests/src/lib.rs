@@ -47,8 +47,8 @@ pub fn canonicalize_database(db: &Database) -> Vec<String> {
         // Sort tuples by a shape key that treats every null as equal, so the
         // traversal (and hence the canonical numbering) does not depend on
         // the engine's null-allocation order.
-        let mut tuples: Vec<&Tuple> = relation.iter().collect();
-        tuples.sort_by_key(|t| null_blind_key(t));
+        let mut tuples: Vec<Tuple> = relation.iter().collect();
+        tuples.sort_by_key(null_blind_key);
         for tuple in tuples {
             let mut rendered = format!("{}(", relation.name());
             for (i, value) in tuple.values().iter().enumerate() {

@@ -1,10 +1,13 @@
 //! Equivalence of the delta-driven semi-naive chase, the parallel per-rule
-//! chase and the naive reference oracle: identical final instances (modulo
-//! labeled-null renaming) and identical violation sets, on the paper's
-//! hospital fixture and on generated workload instances.
+//! chase, the forced worst-case-optimal (leapfrog) join kernel and the
+//! naive reference oracle: identical final instances (modulo labeled-null
+//! renaming) and identical violation sets, on the paper's hospital
+//! fixture, on generated workload instances and on Zipf-skewed cyclic
+//! triangle workloads.
 
 use ontodq_chase::{
-    chase, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, EvalStrategy, TerminationReason,
+    chase, chase_naive, ChaseConfig, ChaseEngine, ChaseMode, EvalStrategy, JoinEngine,
+    TerminationReason,
 };
 use ontodq_datalog::parse_program;
 use ontodq_integration_tests::{
@@ -12,7 +15,7 @@ use ontodq_integration_tests::{
     databases_equivalent, violation_summary,
 };
 use ontodq_relational::Database;
-use ontodq_workload::{generate, HospitalScale};
+use ontodq_workload::{generate, generate_skewed, HospitalScale, SkewedScale};
 use proptest::prelude::*;
 
 /// Parallel chase with a pinned 4-worker team: `available_parallelism` can
@@ -22,12 +25,21 @@ fn chase_parallel(program: &ontodq_datalog::Program, db: &Database) -> ontodq_ch
     ChaseEngine::new(ChaseConfig::parallel_with_threads(4)).run(program, db)
 }
 
-/// Assert full equivalence of all three strategies on one program +
-/// instance: `naive == semi-naive == parallel` modulo labeled-null renaming.
+/// Semi-naive chase with the worst-case-optimal join kernel forced for
+/// every rule body (the `Auto` planner only picks it for cyclic shapes, so
+/// the forced variant is what exercises the kernel on every fixture).
+fn chase_leapfrog(program: &ontodq_datalog::Program, db: &Database) -> ontodq_chase::ChaseResult {
+    ChaseEngine::new(ChaseConfig::with_join(JoinEngine::Leapfrog)).run(program, db)
+}
+
+/// Assert full equivalence of all four strategies on one program +
+/// instance: `naive == semi-naive == parallel == leapfrog` modulo
+/// labeled-null renaming.
 fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, label: &str) {
     let naive = chase_naive(program, db);
     let semi = chase(program, db);
     let parallel = chase_parallel(program, db);
+    let leapfrog = chase_leapfrog(program, db);
     assert_eq!(
         naive.termination, semi.termination,
         "{label}: termination reasons diverge"
@@ -35,6 +47,10 @@ fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, lab
     assert_eq!(
         naive.termination, parallel.termination,
         "{label}: parallel termination diverges"
+    );
+    assert_eq!(
+        naive.termination, leapfrog.termination,
+        "{label}: leapfrog termination diverges"
     );
     assert!(
         databases_equivalent(&naive.database, &semi.database),
@@ -48,6 +64,12 @@ fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, lab
         canonicalize_database(&naive.database),
         canonicalize_database(&parallel.database),
     );
+    assert!(
+        databases_equivalent(&naive.database, &leapfrog.database),
+        "{label}: leapfrog instance differs modulo null renaming\nnaive:\n{:#?}\nleapfrog:\n{:#?}",
+        canonicalize_database(&naive.database),
+        canonicalize_database(&leapfrog.database),
+    );
     assert_eq!(
         violation_summary(&naive.violations),
         violation_summary(&semi.violations),
@@ -57,6 +79,15 @@ fn assert_strategies_agree(program: &ontodq_datalog::Program, db: &Database, lab
         violation_summary(&naive.violations),
         violation_summary(&parallel.violations),
         "{label}: parallel violation set diverges"
+    );
+    assert_eq!(
+        violation_summary(&naive.violations),
+        violation_summary(&leapfrog.violations),
+        "{label}: leapfrog violation set diverges"
+    );
+    assert_eq!(
+        naive.stats.tuples_added, leapfrog.stats.tuples_added,
+        "{label}: leapfrog generated a different number of tuples"
     );
     assert_eq!(
         naive.stats.tuples_added, semi.stats.tuples_added,
@@ -114,6 +145,38 @@ fn generated_workload_instances_are_equivalent() {
             &format!("workload(measurements={})", scale.measurements),
         );
     }
+}
+
+#[test]
+fn skewed_triangle_workloads_are_equivalent() {
+    for (label, scale) in [
+        ("skewed", SkewedScale::small()),
+        ("uniform", SkewedScale::small().uniform()),
+        ("skewed-large", SkewedScale::with_edges(400)),
+    ] {
+        let workload = generate_skewed(&scale);
+        assert_strategies_agree(
+            &workload.program,
+            &workload.database,
+            &format!("triangle({label})"),
+        );
+    }
+}
+
+/// On the cyclic triangle body the `Auto` planner already picks the
+/// worst-case-optimal path; forcing either kernel must not change the
+/// result.
+#[test]
+fn auto_and_forced_kernels_agree_on_triangles() {
+    let workload = generate_skewed(&SkewedScale::small());
+    let auto = chase(&workload.program, &workload.database);
+    let hash = ChaseEngine::new(ChaseConfig::with_join(JoinEngine::Hash))
+        .run(&workload.program, &workload.database);
+    let leapfrog = chase_leapfrog(&workload.program, &workload.database);
+    assert!(databases_equivalent(&auto.database, &hash.database));
+    assert!(databases_equivalent(&auto.database, &leapfrog.database));
+    assert_eq!(auto.stats.tuples_added, hash.stats.tuples_added);
+    assert_eq!(auto.stats.tuples_added, leapfrog.stats.tuples_added);
 }
 
 #[test]
@@ -210,11 +273,13 @@ proptest! {
         let naive = chase_naive(&program, &db);
         let semi = chase(&program, &db);
         let parallel = chase_parallel(&program, &db);
+        let leapfrog = chase_leapfrog(&program, &db);
         prop_assert_eq!(naive.termination, TerminationReason::Fixpoint);
         prop_assert_eq!(semi.termination, TerminationReason::Fixpoint);
         prop_assert_eq!(parallel.termination, TerminationReason::Fixpoint);
         prop_assert!(databases_equivalent(&naive.database, &semi.database));
         prop_assert!(databases_equivalent(&naive.database, &parallel.database));
+        prop_assert!(databases_equivalent(&naive.database, &leapfrog.database));
     }
 
     /// Random scaled hospitals: full pipeline equivalence.
@@ -240,8 +305,10 @@ proptest! {
         let naive = chase_naive(&compiled.program, &compiled.database);
         let semi = chase(&compiled.program, &compiled.database);
         let parallel = chase_parallel(&compiled.program, &compiled.database);
+        let leapfrog = chase_leapfrog(&compiled.program, &compiled.database);
         prop_assert!(databases_equivalent(&naive.database, &semi.database));
         prop_assert!(databases_equivalent(&naive.database, &parallel.database));
+        prop_assert!(databases_equivalent(&naive.database, &leapfrog.database));
         prop_assert_eq!(
             violation_summary(&naive.violations),
             violation_summary(&semi.violations)
@@ -250,5 +317,35 @@ proptest! {
             violation_summary(&naive.violations),
             violation_summary(&parallel.violations)
         );
+        prop_assert_eq!(
+            violation_summary(&naive.violations),
+            violation_summary(&leapfrog.violations)
+        );
+    }
+
+    /// Random skewed triangle workloads: all four strategies agree on the
+    /// cyclic body that triggers the worst-case-optimal planner.
+    #[test]
+    fn random_skewed_triangles_agree(
+        nodes in 4usize..32,
+        edges in 8usize..120,
+        tenths in 0u64..15,
+        seed in 0u64..500,
+    ) {
+        let scale = SkewedScale {
+            nodes,
+            edges,
+            exponent: tenths as f64 / 10.0,
+            seed,
+        };
+        let workload = generate_skewed(&scale);
+        let naive = chase_naive(&workload.program, &workload.database);
+        let semi = chase(&workload.program, &workload.database);
+        let parallel = chase_parallel(&workload.program, &workload.database);
+        let leapfrog = chase_leapfrog(&workload.program, &workload.database);
+        prop_assert_eq!(naive.termination, TerminationReason::Fixpoint);
+        prop_assert!(databases_equivalent(&naive.database, &semi.database));
+        prop_assert!(databases_equivalent(&naive.database, &parallel.database));
+        prop_assert!(databases_equivalent(&naive.database, &leapfrog.database));
     }
 }

@@ -269,7 +269,7 @@ fn incremental_rechase_equals_full_rechase_on_hospital_fixture() {
             .map(|r| {
                 (
                     r.name().to_string(),
-                    r.iter().filter(|t| t.is_ground()).cloned().collect(),
+                    r.iter().filter(|t| t.is_ground()).collect(),
                 )
             })
             .collect()
