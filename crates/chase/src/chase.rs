@@ -1044,9 +1044,14 @@ impl ChaseEngine {
     /// is already present", which the insert itself answers.  The oblivious
     /// chase needs the full body assignment for its fired-trigger dedup,
     /// and existential heads need fresh nulls per trigger — both keep the
-    /// [`ChaseEngine::fire_trigger`] path.
+    /// [`ChaseEngine::fire_trigger`] path.  So do rules whose heads are all
+    /// zero-arity atoms (`P() :- Q(x).`): the flat buffer encodes a trigger
+    /// as `sum(head arities)` values, which at 0 cannot represent "some
+    /// triggers fired" at all.
     fn batchable(&self, tgd: &Tgd) -> bool {
-        self.config.mode == ChaseMode::Restricted && tgd.is_full()
+        self.config.mode == ChaseMode::Restricted
+            && tgd.is_full()
+            && tgd.head.iter().map(|a| a.arity()).sum::<usize>() > 0
     }
 
     /// Apply one rule's staged trigger batch: one `chunks_exact` slice per
@@ -1073,6 +1078,9 @@ impl ChaseEngine {
         round: usize,
     ) -> (bool, bool) {
         let chunk: usize = tgd.head.iter().map(|a| a.arity()).sum();
+        // `batchable` keeps zero-arity-head rules off this path (a 0-sized
+        // chunk cannot encode trigger counts); guard anyway so a future
+        // caller cannot hit `chunks_exact(0)`'s panic.
         if chunk == 0 {
             return (false, false);
         }

@@ -412,6 +412,12 @@ impl RelationInstance {
             out.extend(range);
             return;
         }
+        // A binding position beyond the arity matches nothing (rather than
+        // panicking on the column access below) — `select` is a public API
+        // and the row-oriented predecessor was total over bad positions.
+        if bindings.iter().any(|(pos, _)| *pos >= self.columns.len()) {
+            return;
+        }
         // Gather the postings of every indexed bound position, shortest
         // first.
         let mut postings: Vec<&[u32]> = Vec::with_capacity(bindings.len());
@@ -729,6 +735,27 @@ mod tests {
     fn select_empty_bindings_returns_all() {
         let r = sample();
         assert_eq!(r.select(&[]).len(), 4);
+    }
+
+    #[test]
+    fn select_out_of_range_position_matches_nothing() {
+        // A binding position beyond the arity must return no rows (the
+        // row-oriented predecessor's behavior), not panic on the column
+        // access — on both the scan path and the indexed path.
+        let mut r = sample();
+        assert!(r.select(&[(7, &Value::str("Standard"))]).is_empty());
+        assert!(r
+            .select(&[(0, &Value::str("Standard")), (7, &Value::str("W1"))])
+            .is_empty());
+        r.build_index(0);
+        let mut ids = vec![99u32];
+        ids.clear();
+        r.select_ids_into(
+            &[(0, Value::str("Standard")), (7, Value::str("W1"))],
+            StampWindow::all(),
+            &mut ids,
+        );
+        assert!(ids.is_empty());
     }
 
     #[test]

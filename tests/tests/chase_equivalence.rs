@@ -179,6 +179,27 @@ fn auto_and_forced_kernels_agree_on_triangles() {
     assert_eq!(auto.stats.tuples_added, leapfrog.stats.tuples_added);
 }
 
+/// Regression: a full TGD whose head atoms are all zero-arity
+/// (`Flagged() :- Thermometer(w, t, n).`) must fire on every strategy.
+/// The staged batch path encodes a trigger as `sum(head arities)` flat
+/// values, which at arity 0 cannot carry a trigger count at all, so such
+/// rules have to stay on the per-trigger path — at one point the
+/// semi-naive and parallel strategies silently dropped them.
+#[test]
+fn zero_arity_heads_fire_on_every_strategy() {
+    let program = parse_program("Flagged() :- Thermometer(w, t, n).\n").unwrap();
+    let mut db = Database::new();
+    db.insert_values("Thermometer", ["W1", "B1", "Helen"])
+        .unwrap();
+    assert_strategies_agree(&program, &db, "zero-arity-head");
+    let semi = chase(&program, &db);
+    let flagged = semi
+        .database
+        .relation("Flagged")
+        .expect("semi-naive chase derives Flagged()");
+    assert_eq!(flagged.len(), 1);
+}
+
 #[test]
 fn egd_unification_chains_are_equivalent() {
     let compiled = compiled_hospital();
