@@ -31,11 +31,13 @@
 //! full-WAL replay — and the WAL-append overhead on the incremental write
 //! path), `query_perf` writes `BENCH_query.json` (demand-driven
 //! magic-set chase vs full materialization, per query-selectivity class
-//! across scales), and `join_bench` writes `BENCH_join.json`
+//! across scales), `join_bench` writes `BENCH_join.json`
 //! (materializing vs id-returning probe cost over the columnar arena,
 //! hash vs worst-case-optimal join kernels on the Zipf-skewed triangle
-//! workload, and per-trigger counter costs) so future changes have a perf
-//! trajectory to compare against.
+//! workload, and per-trigger counter costs), and `retract_bench` writes
+//! `BENCH_retract.json` (delete-and-rederive retraction vs from-scratch
+//! re-chase of the surviving EDB, across scales) so future changes have a
+//! perf trajectory to compare against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -49,7 +51,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 16] = [
+const EXPERIMENT_IDS: [&str; 17] = [
     "table1",
     "table2",
     "table3_4",
@@ -66,6 +68,7 @@ const EXPERIMENT_IDS: [&str; 16] = [
     "recovery_bench",
     "query_perf",
     "join_bench",
+    "retract_bench",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -167,6 +170,9 @@ fn main() {
     }
     if want("join_bench") {
         join_bench(scale);
+    }
+    if want("retract_bench") {
+        retract_bench(scale);
     }
 }
 
@@ -1669,6 +1675,142 @@ fn join_bench(scale: usize) {
         kernel_entries.join(",\n"),
     );
     let path = "BENCH_join.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Delete-and-rederive retraction vs from-scratch re-chase of the surviving
+/// EDB, across scaled-hospital sizes — printed as markdown and written to
+/// `BENCH_retract.json`.
+///
+/// For each scale, ~5% of the `Measurements` instance is retracted as one
+/// batch.  The DRed column times [`ontodq_core::ResumableAssessment::retract_batch`]
+/// on a fully-chased assessment; the from-scratch column times building a
+/// fresh assessment (full chase) over the surviving instance — what the
+/// server would pay for every correction without the retraction subsystem.
+/// Both paths must agree on the resulting quality versions.
+fn retract_bench(scale: usize) {
+    use ontodq_core::ResumableAssessment;
+
+    println!("### Retraction — delete-and-rederive vs from-scratch re-chase\n");
+    let mut table = MarkdownTable::new([
+        "measurements",
+        "edb tuples",
+        "retracted",
+        "cascaded",
+        "rederived",
+        "dred",
+        "from-scratch",
+        "speedup",
+    ]);
+
+    let mut entries: Vec<String> = Vec::new();
+    for &measurements in &[100usize, 200, 400, 800] {
+        let workload = generate(&HospitalScale::with_measurements(measurements * scale));
+        let context = workload.context();
+        let live = workload.instance.relation("Measurements").unwrap().len();
+        let victims: Vec<(String, Tuple)> = workload
+            .instance
+            .relation("Measurements")
+            .unwrap()
+            .iter()
+            .take((live / 20).max(1))
+            .map(|tuple| ("Measurements".to_string(), tuple))
+            .collect();
+        let mut surviving = workload.instance.clone();
+        for (relation, tuple) in &victims {
+            surviving.delete(relation, tuple);
+        }
+
+        // DRed: the retraction step alone, on a fully-chased assessment
+        // (rebuilt per run — retraction mutates the writer).
+        let mut dred_time = std::time::Duration::MAX;
+        let mut stats = None;
+        let mut dred_quality = None;
+        for _ in 0..3 {
+            let mut writer = ResumableAssessment::new(context.clone(), workload.instance.clone());
+            let start = Instant::now();
+            let result = writer.retract_batch(victims.iter().cloned());
+            dred_time = dred_time.min(start.elapsed());
+            stats = Some(result.stats);
+            dred_quality = Some(writer.extract().0);
+        }
+        let stats = stats.expect("runs >= 1");
+
+        // From-scratch: a full chase of the surviving instance.
+        let mut scratch_time = std::time::Duration::MAX;
+        let mut scratch_quality = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let writer = ResumableAssessment::new(context.clone(), surviving.clone());
+            scratch_time = scratch_time.min(start.elapsed());
+            scratch_quality = Some(writer.extract().0);
+        }
+
+        // Both paths must land on the same quality versions.
+        let dred_quality = dred_quality.expect("runs >= 1");
+        let scratch_quality = scratch_quality.expect("runs >= 1");
+        assert_eq!(
+            dred_quality.total_tuples(),
+            scratch_quality.total_tuples(),
+            "DRed and from-scratch disagree on the quality versions"
+        );
+
+        let edb = workload.instance.total_tuples();
+        let speedup = scratch_time.as_secs_f64() / dred_time.as_secs_f64().max(1e-9);
+        table.row([
+            (measurements * scale).to_string(),
+            edb.to_string(),
+            stats.retracted.to_string(),
+            stats.cascaded.to_string(),
+            stats.rederived.to_string(),
+            fmt_duration(dred_time),
+            fmt_duration(scratch_time),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"measurements\": {},\n",
+                "      \"edb_tuples\": {},\n",
+                "      \"requested\": {},\n",
+                "      \"retracted\": {},\n",
+                "      \"cascaded\": {},\n",
+                "      \"rederived\": {},\n",
+                "      \"dred_seconds\": {:.6},\n",
+                "      \"scratch_seconds\": {:.6},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            measurements * scale,
+            edb,
+            stats.requested,
+            stats.retracted,
+            stats.cascaded,
+            stats.rederived,
+            dred_time.as_secs_f64(),
+            scratch_time.as_secs_f64(),
+            speedup,
+        ));
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"retract_dred_vs_scratch\",\n",
+            "  \"workload\": \"scaled_hospital\",\n",
+            "  \"note\": \"dred_seconds times ResumableAssessment::retract_batch (cascade + \
+             tombstone + rederive) on a chased assessment; scratch_seconds times a full \
+             fresh chase of the surviving EDB; DRed must be faster at every scale\",\n",
+            "  \"scales\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        entries.join(",\n")
+    );
+    let path = "BENCH_retract.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

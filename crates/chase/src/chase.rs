@@ -47,14 +47,16 @@
 //! snapshots.
 
 use crate::eval::{
-    ensure_indexes, evaluate_delta_with, evaluate_with, for_each_trigger, has_extension, JoinEngine,
+    ensure_indexes, evaluate_delta_with, evaluate_with, extend_over_atoms, for_each_trigger,
+    has_extension, JoinEngine,
 };
-use crate::provenance::{ChaseStats, ChaseStep, Provenance};
+use crate::provenance::{ChaseStats, ChaseStep, Provenance, SupportGraph, TriggerRecord};
 use crate::violation::{EgdViolation, NcViolation, Violations};
 use ontodq_datalog::analysis::{magic_transform, DemandProgram};
-use ontodq_datalog::{Assignment, Conjunction, Program, Term, Tgd, Variable};
+use ontodq_datalog::{Assignment, Atom, Conjunction, Program, Term, Tgd, Variable};
 use ontodq_relational::{Database, NullGenerator, Tuple, Value};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt;
 
 /// Which chase variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +133,15 @@ pub struct ChaseConfig {
     /// explicit variants force one kernel for A/B comparisons and the
     /// equivalence suites.
     pub join: JoinEngine,
+    /// Record the dependency graph ([`SupportGraph`]) while chasing: one
+    /// [`TriggerRecord`] per fired trigger, linking grounded body facts to
+    /// derived head facts.  Tracking needs the body assignment of every
+    /// trigger, so full rules come off the staged batch-firing path — use
+    /// only when the graph is actually wanted (DRed diagnostics, provenance
+    /// queries).  Support counts are exact under delta-driven discovery
+    /// (each trigger is recorded once); the naive strategy re-discovers
+    /// triggers every round and over-counts accordingly.
+    pub track_support: bool,
 }
 
 impl Default for ChaseConfig {
@@ -146,6 +157,7 @@ impl Default for ChaseConfig {
             build_indexes: true,
             threads: 0,
             join: JoinEngine::Auto,
+            track_support: false,
         }
     }
 }
@@ -231,6 +243,63 @@ impl ChaseResult {
     pub fn is_consistent_model(&self) -> bool {
         self.termination == TerminationReason::Fixpoint && self.violations.is_empty()
     }
+}
+
+/// Statistics of one [`ChaseEngine::retract`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetractStats {
+    /// Facts the caller asked to delete.
+    pub requested: usize,
+    /// Requested facts that were actually present and got tombstoned.
+    pub retracted: usize,
+    /// Additional facts tombstoned by the over-approximated consequence
+    /// cascade (the DRed delete phase).
+    pub cascaded: usize,
+    /// Tuples re-inserted by the re-derivation chase (survivors with
+    /// alternative supports, plus their downstream consequences).
+    pub rederived: usize,
+}
+
+impl fmt::Display for RetractStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested={}, retracted={}, cascaded={}, rederived={}",
+            self.requested, self.retracted, self.cascaded, self.rederived
+        )
+    }
+}
+
+/// The outcome of a [`ChaseEngine::retract`] batch: the deletion statistics
+/// plus the [`ChaseResult`] of the re-derivation chase (whose database is
+/// the maintained instance).
+#[derive(Debug, Clone)]
+pub struct RetractResult {
+    /// Deletion statistics.
+    pub stats: RetractStats,
+    /// The re-derivation chase's result (statistics, violations, and a
+    /// snapshot of the maintained instance).
+    pub chase: ChaseResult,
+}
+
+/// Do any of `program`'s EGDs read one of `relations` in their body?
+///
+/// DRed cannot unwind the null-to-constant unifications an EGD may have
+/// burned into the instance — a substitution justified by a deleted fact is
+/// not recoverable from tombstones alone.  Callers maintaining an instance
+/// under EGDs check this before [`ChaseEngine::retract`] and fall back to a
+/// full re-chase of the surviving base when it returns `true`.
+pub fn egds_read_relations<'a, I>(program: &Program, relations: I) -> bool
+where
+    I: IntoIterator<Item = &'a str> + Clone,
+{
+    program.egds.iter().any(|egd| {
+        egd.body
+            .atoms
+            .iter()
+            .chain(egd.body.negated.iter())
+            .any(|atom| relations.clone().into_iter().any(|r| r == atom.predicate))
+    })
 }
 
 /// Persistent chase state for **incremental re-chasing**.
@@ -513,6 +582,19 @@ impl ChaseEngine {
         &self.config
     }
 
+    /// A fresh provenance log honoring the engine's recording flags.
+    fn fresh_provenance(&self) -> Provenance {
+        let mut provenance = if self.config.record_provenance {
+            Provenance::recording()
+        } else {
+            Provenance::disabled()
+        };
+        if self.config.track_support {
+            provenance.support = SupportGraph::tracking();
+        }
+        provenance
+    }
+
     /// Run the chase of `program` over `database` (which is not modified; the
     /// result carries the chased copy).
     pub fn run(&self, program: &Program, database: &Database) -> ChaseResult {
@@ -528,11 +610,7 @@ impl ChaseEngine {
             nulls: NullGenerator::starting_at(db.max_null_id().map(|n| n + 1).unwrap_or(0)),
             stats: ChaseStats::default(),
             violations: Violations::default(),
-            provenance: if self.config.record_provenance {
-                Provenance::recording()
-            } else {
-                Provenance::disabled()
-            },
+            provenance: self.fresh_provenance(),
             fired: HashSet::new(),
         };
 
@@ -588,11 +666,7 @@ impl ChaseEngine {
             nulls: NullGenerator::starting_at(state.next_null),
             stats: ChaseStats::default(),
             violations: Violations::default(),
-            provenance: if self.config.record_provenance {
-                Provenance::recording()
-            } else {
-                Provenance::disabled()
-            },
+            provenance: self.fresh_provenance(),
             fired: HashSet::new(),
         };
 
@@ -1050,6 +1124,7 @@ impl ChaseEngine {
     /// triggers fired" at all.
     fn batchable(&self, tgd: &Tgd) -> bool {
         self.config.mode == ChaseMode::Restricted
+            && !self.config.track_support
             && tgd.is_full()
             && tgd.head.iter().map(|a| a.arity()).sum::<usize>() > 0
     }
@@ -1179,22 +1254,12 @@ impl ChaseEngine {
             }
             ChaseMode::Restricted => {
                 // Skip the trigger when the head is already satisfied by
-                // some extension of the assignment.
-                if tgd.is_full() {
-                    // No existential variables: the only extension is the
-                    // trigger itself, so satisfaction is a set-membership
-                    // probe per head atom — O(1) instead of a join.
-                    let satisfied = tgd.head.iter().all(|atom| {
-                        assignment
-                            .ground_atom(atom)
-                            .map(|tuple| db.contains(&atom.predicate, &tuple))
-                            .unwrap_or(false)
-                    });
-                    if satisfied {
-                        state.stats.triggers_satisfied += 1;
-                        return false;
-                    }
-                } else {
+                // some extension of the assignment.  Full TGDs fall through
+                // instead: their only extension is the trigger itself, so
+                // the inserts below double as the satisfaction check
+                // (all-duplicates == satisfied), and a duplicate insert
+                // bumps the existing row's support count.
+                if !tgd.is_full() {
                     let head_atoms: Vec<_> = tgd.head.iter().collect();
                     if has_extension(db, &head_atoms, assignment) {
                         state.stats.triggers_satisfied += 1;
@@ -1211,11 +1276,16 @@ impl ChaseEngine {
             extended.bind(var, fresh);
         }
         let mut produced = Vec::new();
+        let mut derived = Vec::new();
+        let track = state.provenance.support.is_enabled();
         let mut changed = false;
         for head_atom in &tgd.head {
             let tuple = extended
                 .ground_atom(head_atom)
                 .expect("head variables are bound by the trigger and fresh nulls");
+            if track {
+                derived.push((head_atom.predicate.clone(), tuple.clone()));
+            }
             let added = db
                 .relation_or_create(&head_atom.predicate, head_atom.arity())
                 .insert_unchecked(tuple.clone());
@@ -1224,6 +1294,30 @@ impl ChaseEngine {
                 changed = true;
                 produced.push((head_atom.predicate.clone(), tuple));
             }
+        }
+        if track {
+            // Record even a satisfied trigger: it is an alternative
+            // derivation of its (already-present) head facts.
+            let body = tgd
+                .body
+                .atoms
+                .iter()
+                .filter_map(|atom| {
+                    assignment
+                        .ground_atom(atom)
+                        .map(|tuple| (atom.predicate.clone(), tuple))
+                })
+                .collect();
+            state.provenance.support.record(TriggerRecord {
+                rule_index: tgd_index,
+                body,
+                derived,
+                round,
+            });
+        }
+        if self.config.mode == ChaseMode::Restricted && tgd.is_full() && !changed {
+            state.stats.triggers_satisfied += 1;
+            return false;
         }
         state.stats.triggers_fired += 1;
         if !produced.is_empty() {
@@ -1284,6 +1378,218 @@ impl ChaseEngine {
 }
 
 impl ChaseEngine {
+    /// **Delete-and-rederive (DRed)** retraction of extensional facts from a
+    /// maintained [`ChaseState`].
+    ///
+    /// The three phases, in order:
+    ///
+    /// 1. **Over-approximate.**  Compute the transitive consequence closure
+    ///    of `requested` *against the still-visible instance* — triggers are
+    ///    enumerated before anything is tombstoned, so simultaneous
+    ///    deletions cannot hide each other's triggers.  When `graph` carries
+    ///    a recorded [`SupportGraph`], the closure walks its edges; otherwise
+    ///    it is re-derived by evaluation: each condemned fact is unified into
+    ///    every matching rule-body atom, the rest of the body is joined out,
+    ///    and the grounded heads (or, for existential heads, every row
+    ///    matching the frontier-ground positions) are condemned in turn.
+    ///    Facts in `protected` — the surviving extensional base — are never
+    ///    condemned (explicitly requested facts bypass protection).
+    /// 2. **Delete.**  Tombstone every condemned fact
+    ///    ([`Database::delete`]); live row ids and the sorted-stamp window
+    ///    structure are untouched, so unaffected rules' watermarks stay
+    ///    exact.
+    /// 3. **Re-derive.**  Reset the watermarks of exactly the rules whose
+    ///    heads write a touched relation and run a normal
+    ///    [`ChaseEngine::resume`]: their full re-evaluation re-fires every
+    ///    surviving trigger — dedup skips tuples that were never deleted,
+    ///    while a tuple with an alternative support is re-inserted as a
+    ///    fresh row at the current epoch and propagates through the other
+    ///    rules' deltas like any new fact.
+    ///
+    /// The resulting instance satisfies retract-then-rederive ==
+    /// fresh-chase-of-the-surviving-EDB (modulo labeled-null renaming).
+    /// **EGD caveat**: historical null unifications cannot be unwound, so
+    /// callers must check [`egds_read_relations`] over the touched
+    /// relations first and fall back to a full re-chase when it fires.
+    pub fn retract(
+        &self,
+        program: &Program,
+        state: &mut ChaseState,
+        protected: &Database,
+        requested: &[(String, Tuple)],
+        graph: Option<&SupportGraph>,
+    ) -> RetractResult {
+        state.sync_with(program);
+        // Seeds: the requested facts actually present (deduplicated,
+        // discovery order preserved).
+        let mut seeds: Vec<(String, Tuple)> = Vec::new();
+        let mut seen: HashSet<(String, Tuple)> = HashSet::new();
+        for (predicate, tuple) in requested {
+            if state.database.contains(predicate, tuple) {
+                let fact = (predicate.clone(), tuple.clone());
+                if seen.insert(fact.clone()) {
+                    seeds.push(fact);
+                }
+            }
+        }
+        // Phase 1: over-approximated consequence closure, computed while
+        // every fact is still visible.
+        let condemned = match graph {
+            Some(g) if g.is_enabled() => g.cascade(&seeds, &|relation, tuple| {
+                protected.contains(relation, tuple)
+            }),
+            _ => self.cascade_consequences(program, &state.database, protected, &seeds),
+        };
+        // Phase 2: tombstone the closure.
+        let seed_set: HashSet<&(String, Tuple)> = seeds.iter().collect();
+        let mut stats = RetractStats {
+            requested: requested.len(),
+            ..Default::default()
+        };
+        let mut touched: BTreeSet<&str> = BTreeSet::new();
+        for fact in &condemned {
+            if state.database.delete(&fact.0, &fact.1) {
+                if seed_set.contains(fact) {
+                    stats.retracted += 1;
+                } else {
+                    stats.cascaded += 1;
+                }
+                touched.insert(&fact.0);
+            }
+        }
+        // Phase 3: re-open exactly the rules that can write a touched
+        // relation, then resume — the restricted chase's dedup makes the
+        // re-evaluation a no-op on everything that survived.  Rules whose
+        // *negated* body atoms read a touched relation are re-opened too: a
+        // deletion can enable their triggers (negation is non-monotone),
+        // and a delta-restricted evaluation would never see them.
+        for (index, tgd) in program.tgds.iter().enumerate() {
+            let writes_touched = tgd
+                .head
+                .iter()
+                .any(|atom| touched.contains(atom.predicate.as_str()));
+            let negation_reads_touched = tgd
+                .body
+                .negated
+                .iter()
+                .any(|atom| touched.contains(atom.predicate.as_str()));
+            if writes_touched || negation_reads_touched {
+                state.tgd_floor[index] = None;
+            }
+        }
+        let chase = self.resume(program, state);
+        stats.rederived = chase.stats.tuples_added;
+        RetractResult { stats, chase }
+    }
+
+    /// The evaluation-driven DRed delete-phase closure (the fallback when no
+    /// recorded [`SupportGraph`] is at hand): worklist over condemned facts,
+    /// each unified into every matching body atom of every rule, the rest of
+    /// the body joined against the (still fully visible) instance.
+    fn cascade_consequences(
+        &self,
+        program: &Program,
+        db: &Database,
+        protected: &Database,
+        seeds: &[(String, Tuple)],
+    ) -> Vec<(String, Tuple)> {
+        let mut condemned: Vec<(String, Tuple)> = Vec::new();
+        let mut seen: HashSet<(String, Tuple)> = HashSet::new();
+        let mut queue: VecDeque<(String, Tuple)> = VecDeque::new();
+        for seed in seeds {
+            if seen.insert(seed.clone()) {
+                condemned.push(seed.clone());
+                queue.push_back(seed.clone());
+            }
+        }
+        let empty = Assignment::new();
+        let mut candidates: Vec<(String, Tuple)> = Vec::new();
+        while let Some((predicate, tuple)) = queue.pop_front() {
+            candidates.clear();
+            for tgd in &program.tgds {
+                for (position, atom) in tgd.body.atoms.iter().enumerate() {
+                    if atom.predicate != predicate {
+                        continue;
+                    }
+                    let Some(partial) = empty.match_atom(atom, &tuple) else {
+                        continue;
+                    };
+                    let rest: Vec<&Atom> = tgd
+                        .body
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != position)
+                        .map(|(_, a)| a)
+                        .collect();
+                    extend_over_atoms(db, &rest, partial, &mut |assignment| {
+                        // `extend_over_atoms` handles positive atoms only;
+                        // comparisons and negated atoms are checked here.
+                        if !tgd
+                            .body
+                            .comparisons
+                            .iter()
+                            .all(|cmp| assignment.satisfies_comparison(cmp))
+                        {
+                            return;
+                        }
+                        if tgd
+                            .body
+                            .negated
+                            .iter()
+                            .any(|negated| has_extension(db, &[negated], assignment))
+                        {
+                            return;
+                        }
+                        for head in &tgd.head {
+                            match assignment.ground_atom(head) {
+                                Some(grounded) => {
+                                    if db.contains(&head.predicate, &grounded) {
+                                        candidates.push((head.predicate.clone(), grounded));
+                                    }
+                                }
+                                None => {
+                                    // Existential positions stay unbound:
+                                    // every present row matching the
+                                    // frontier-ground positions is an
+                                    // over-approximated consequence.
+                                    let bindings: Vec<(usize, Value)> = head
+                                        .terms
+                                        .iter()
+                                        .enumerate()
+                                        .filter_map(|(pos, term)| {
+                                            match assignment.apply_term(term) {
+                                                Term::Const(value) => Some((pos, value)),
+                                                Term::Var(_) => None,
+                                            }
+                                        })
+                                        .collect();
+                                    if let Ok(relation) = db.relation(&head.predicate) {
+                                        let refs: Vec<(usize, &Value)> =
+                                            bindings.iter().map(|(p, v)| (*p, v)).collect();
+                                        for grounded in relation.select(&refs) {
+                                            candidates.push((head.predicate.clone(), grounded));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+            for fact in candidates.drain(..) {
+                if protected.contains(&fact.0, &fact.1) {
+                    continue;
+                }
+                if seen.insert(fact.clone()) {
+                    condemned.push(fact.clone());
+                    queue.push_back(fact);
+                }
+            }
+        }
+        condemned
+    }
+
     /// **Demand-driven chase**: specialize `program` to `query` with the
     /// magic-set transformation
     /// ([`ontodq_datalog::analysis::magic_transform`]) and chase only the
@@ -2132,6 +2438,257 @@ mod tests {
         let expected = certain(&full.database, &query);
         assert_eq!(expected.len(), 1, "only alice is good");
         assert_eq!(certain(&demanded.database, &query), expected);
+    }
+
+    // ------------------------------------------------------------------
+    // Delete-and-rederive (DRed) retraction.
+    // ------------------------------------------------------------------
+
+    fn closure_program() -> Program {
+        parse_program(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- T(x, y), E(y, z).\n",
+        )
+        .unwrap()
+    }
+
+    fn edge_facts(edges: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        for (a, b) in edges {
+            db.insert_values("E", [*a, *b]).unwrap();
+        }
+        db
+    }
+
+    fn relation_tuples(db: &Database, name: &str) -> HashSet<Tuple> {
+        db.relation(name)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn retract_cascades_and_rederives_alternative_supports() {
+        let program = closure_program();
+        // a→b→c plus the direct edge a→c: T(a,c) has two supports.
+        let db = edge_facts(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let engine = ChaseEngine::with_defaults();
+        let mut state = ChaseState::new(&program, &db);
+        engine.resume(&program, &mut state);
+        assert_eq!(state.database().relation("T").unwrap().len(), 3);
+
+        let protected = edge_facts(&[("b", "c"), ("a", "c")]);
+        let result = engine.retract(
+            &program,
+            &mut state,
+            &protected,
+            &[("E".to_string(), Tuple::from_iter(["a", "b"]))],
+            None,
+        );
+        assert_eq!(result.stats.requested, 1);
+        assert_eq!(result.stats.retracted, 1);
+        // The over-approximation condemns T(a,b) and T(a,c); T(a,c) comes
+        // back from its surviving direct-edge support.
+        assert!(result.stats.cascaded >= 2);
+        assert!(result.stats.rederived >= 1);
+        let t = relation_tuples(state.database(), "T");
+        assert!(!t.contains(&Tuple::from_iter(["a", "b"])));
+        assert!(t.contains(&Tuple::from_iter(["a", "c"])));
+        assert!(t.contains(&Tuple::from_iter(["b", "c"])));
+        // Equivalence with a fresh chase of the surviving EDB.
+        let fresh = chase(&program, &protected);
+        assert_eq!(t, relation_tuples(&fresh.database, "T"));
+        assert_eq!(
+            relation_tuples(state.database(), "E"),
+            relation_tuples(&fresh.database, "E"),
+        );
+    }
+
+    #[test]
+    fn retract_of_simultaneous_deletions_is_computed_before_tombstoning() {
+        // A 2-cycle: deleting both edges at once must condemn everything,
+        // even though each deletion hides the other's triggers.
+        let program = closure_program();
+        let db = edge_facts(&[("a", "b"), ("b", "a")]);
+        let engine = ChaseEngine::with_defaults();
+        let mut state = ChaseState::new(&program, &db);
+        engine.resume(&program, &mut state);
+        let protected = Database::new();
+        let result = engine.retract(
+            &program,
+            &mut state,
+            &protected,
+            &[
+                ("E".to_string(), Tuple::from_iter(["a", "b"])),
+                ("E".to_string(), Tuple::from_iter(["b", "a"])),
+            ],
+            None,
+        );
+        assert_eq!(result.stats.retracted, 2);
+        assert_eq!(result.stats.rederived, 0);
+        assert!(state.database().relation("E").unwrap().is_empty());
+        assert!(state.database().relation("T").unwrap().is_empty());
+    }
+
+    #[test]
+    fn retract_missing_fact_is_a_noop() {
+        let program = closure_program();
+        let db = edge_facts(&[("a", "b")]);
+        let engine = ChaseEngine::with_defaults();
+        let mut state = ChaseState::new(&program, &db);
+        engine.resume(&program, &mut state);
+        let result = engine.retract(
+            &program,
+            &mut state,
+            &db,
+            &[("E".to_string(), Tuple::from_iter(["x", "y"]))],
+            None,
+        );
+        assert_eq!(result.stats.requested, 1);
+        assert_eq!(result.stats.retracted, 0);
+        assert_eq!(result.stats.cascaded, 0);
+        assert_eq!(state.database().relation("T").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retract_condemns_existential_consequences_by_frontier_positions() {
+        // Shifts(w, d, n, z) invents a null per (schedule, ward) pair; the
+        // null position is existential, so the cascade must find the
+        // consequence rows through their frontier-ground positions.
+        let program =
+            parse_program("Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n")
+                .unwrap();
+        let db = hospital_db();
+        let engine = ChaseEngine::with_defaults();
+        let mut state = ChaseState::new(&program, &db);
+        engine.resume(&program, &mut state);
+        assert_eq!(state.database().relation("Shifts").unwrap().len(), 8);
+
+        // Delete Cathy's Intensive schedule: exactly her W3 shift must go.
+        let mut protected = db.clone();
+        let cathy = Tuple::from_iter(["Intensive", "Sep/5", "Cathy", "cert"]);
+        protected
+            .relation_mut("WorkingSchedules")
+            .unwrap()
+            .delete(&cathy);
+        let result = engine.retract(
+            &program,
+            &mut state,
+            &protected,
+            &[("WorkingSchedules".to_string(), cathy)],
+            None,
+        );
+        assert_eq!(result.stats.retracted, 1);
+        assert_eq!(result.stats.cascaded, 1);
+        let shifts = state.database().relation("Shifts").unwrap();
+        assert_eq!(shifts.len(), 7);
+        assert!(!shifts
+            .iter()
+            .any(|t| t.get(2) == Some(&Value::str("Cathy"))));
+        // Fresh-chase equivalence modulo null renaming: compare the
+        // null-free projections.
+        let fresh = chase(&program, &protected);
+        let project = |db: &Database| -> HashSet<Tuple> {
+            db.relation("Shifts")
+                .map(|r| {
+                    r.iter()
+                        .map(|t| Tuple::new(t.values()[..3].to_vec()))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        assert_eq!(project(state.database()), project(&fresh.database));
+    }
+
+    #[test]
+    fn retract_with_support_graph_matches_evaluation_driven_cascade() {
+        let program = closure_program();
+        let db = edge_facts(&[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]);
+        let engine = ChaseEngine::new(ChaseConfig {
+            track_support: true,
+            ..Default::default()
+        });
+        let protected = edge_facts(&[("b", "c"), ("a", "c"), ("c", "d")]);
+        let requested = [("E".to_string(), Tuple::from_iter(["a", "b"]))];
+
+        // Graph-driven path.
+        let mut graph_state = ChaseState::new(&program, &db);
+        let initial = engine.resume(&program, &mut graph_state);
+        let graph = &initial.provenance.support;
+        assert!(graph.is_enabled());
+        assert!(!graph.is_empty());
+        // T(a,c) is derived both from the direct edge and through b.
+        assert_eq!(graph.support_count("T", &Tuple::from_iter(["a", "c"])), 2);
+        let via_graph = engine.retract(
+            &program,
+            &mut graph_state,
+            &protected,
+            &requested,
+            Some(graph),
+        );
+        assert_eq!(via_graph.stats.retracted, 1);
+
+        // Evaluation-driven path.
+        let mut eval_state = ChaseState::new(&program, &db);
+        engine.resume(&program, &mut eval_state);
+        engine.retract(&program, &mut eval_state, &protected, &requested, None);
+
+        assert_eq!(
+            relation_tuples(graph_state.database(), "T"),
+            relation_tuples(eval_state.database(), "T"),
+        );
+        // Both equal the fresh chase of the surviving EDB.
+        let fresh = chase(&program, &protected);
+        assert_eq!(
+            relation_tuples(graph_state.database(), "T"),
+            relation_tuples(&fresh.database, "T"),
+        );
+    }
+
+    #[test]
+    fn retract_keeps_incremental_inserts_working_afterwards() {
+        // Interleave: insert, chase, retract, insert again — the watermarks
+        // must stay exact through the whole sequence.
+        let program = closure_program();
+        let engine = ChaseEngine::with_defaults();
+        let mut state = ChaseState::new(&program, &edge_facts(&[("a", "b")]));
+        engine.resume(&program, &mut state);
+        state
+            .insert_batch([("E".to_string(), Tuple::from_iter(["b", "c"]))])
+            .unwrap();
+        engine.resume(&program, &mut state);
+        assert_eq!(state.database().relation("T").unwrap().len(), 3);
+
+        let protected = edge_facts(&[("b", "c")]);
+        engine.retract(
+            &program,
+            &mut state,
+            &protected,
+            &[("E".to_string(), Tuple::from_iter(["a", "b"]))],
+            None,
+        );
+        assert_eq!(state.database().relation("T").unwrap().len(), 1);
+
+        state
+            .insert_batch([("E".to_string(), Tuple::from_iter(["c", "d"]))])
+            .unwrap();
+        engine.resume(&program, &mut state);
+        let expected = chase(&program, &edge_facts(&[("b", "c"), ("c", "d")]));
+        assert_eq!(
+            relation_tuples(state.database(), "T"),
+            relation_tuples(&expected.database, "T"),
+        );
+    }
+
+    #[test]
+    fn egds_read_relations_flags_only_body_predicates() {
+        let program = parse_program(
+            "T(x, y) :- E(x, y).\n\
+             y = z :- Pref(x, y), Pref(x, z).\n",
+        )
+        .unwrap();
+        assert!(egds_read_relations(&program, ["Pref"]));
+        assert!(!egds_read_relations(&program, ["E", "T"]));
+        assert!(!egds_read_relations(&program, []));
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub mod violation;
 pub mod wco;
 
 pub use chase::{
-    chase, chase_incremental, chase_naive, chase_on_demand, chase_parallel, ChaseConfig,
-    ChaseEngine, ChaseMode, ChaseResult, ChaseState, EvalStrategy, TerminationReason,
+    chase, chase_incremental, chase_naive, chase_on_demand, chase_parallel, egds_read_relations,
+    ChaseConfig, ChaseEngine, ChaseMode, ChaseResult, ChaseState, EvalStrategy, RetractResult,
+    RetractStats, TerminationReason,
 };
 pub use eval::{
     ensure_indexes, evaluate, evaluate_delta, evaluate_delta_with, evaluate_limited,
@@ -37,7 +38,7 @@ pub use eval::{
     JoinEngine,
 };
 pub use par::parallel_map;
-pub use provenance::{ChaseStats, ChaseStep, Provenance};
+pub use provenance::{ChaseStats, ChaseStep, Provenance, SupportGraph, TriggerRecord};
 pub use violation::{EgdViolation, NcViolation, Violations};
 
 #[cfg(test)]

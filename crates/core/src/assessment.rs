@@ -9,7 +9,10 @@
 
 use crate::context::Context;
 use crate::metrics::{QualityMetrics, RelationQuality};
-use ontodq_chase::{ChaseConfig, ChaseEngine, ChaseResult, ChaseState};
+use ontodq_chase::{
+    egds_read_relations, ChaseConfig, ChaseEngine, ChaseResult, ChaseState, RetractResult,
+    RetractStats,
+};
 use ontodq_datalog::Program;
 use ontodq_mdm::compile;
 use ontodq_relational::{Database, RelationSchema, Tuple};
@@ -465,6 +468,161 @@ impl ResumableAssessment {
         Ok(BatchOutcome { new_facts, chase })
     }
 
+    /// Retract a batch of extensional facts and incrementally withdraw their
+    /// consequences (delete-and-rederive).
+    ///
+    /// Facts are named as update batches are: a mapped original relation is
+    /// deleted from the instance under assessment *and* from its contextual
+    /// copy; other predicates are deleted from the contextual instance
+    /// directly.  Facts that are not present are counted in
+    /// [`RetractStats::requested`] but otherwise ignored.
+    ///
+    /// When some EGD reads a touched relation the incremental path is
+    /// unsound (null unifications cannot be unwound), so the chase state is
+    /// rebuilt from the surviving extensional base instead; the result's
+    /// `cascaded` count is 0 in that case because nothing was individually
+    /// condemned.
+    pub fn retract_batch<I>(&mut self, facts: I) -> RetractResult
+    where
+        I: IntoIterator<Item = (String, Tuple)>,
+    {
+        let mut seeds = Vec::new();
+        let mut removed = 0usize;
+        let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (predicate, tuple) in facts {
+            if let Some(contextual) = self.context.contextual_name_of(&predicate) {
+                let contextual = contextual.to_string();
+                if let Ok(relation) = self.instance.relation_mut(&predicate) {
+                    relation.delete(&tuple);
+                }
+                if self.base.delete(&contextual, &tuple) {
+                    removed += 1;
+                }
+                touched.insert(contextual.clone());
+                seeds.push((contextual, tuple));
+            } else {
+                if self.base.delete(&predicate, &tuple) {
+                    removed += 1;
+                }
+                touched.insert(predicate.clone());
+                seeds.push((predicate, tuple));
+            }
+        }
+        let result = if egds_read_relations(&self.program, touched.iter().map(|s| s.as_str())) {
+            // EGD fallback: rebuild from the surviving extensional base.
+            let requested = seeds.len();
+            let mut state = ChaseState::new(&self.program, &self.base);
+            let chase = self.engine.resume(&self.program, &mut state);
+            self.state = state;
+            RetractResult {
+                stats: RetractStats {
+                    requested,
+                    retracted: removed,
+                    cascaded: 0,
+                    rederived: chase.stats.tuples_added,
+                },
+                chase,
+            }
+        } else {
+            self.engine
+                .retract(&self.program, &mut self.state, &self.base, &seeds, None)
+        };
+        self.last = ChaseSummary::of(&result.chase);
+        self.batches_applied += 1;
+        result
+    }
+
+    /// Expand the retraction rules of a parsed `program` — ground `-P(ā).`
+    /// retractions and conditional `-P(x̄) :- body.` deletes — into the
+    /// concrete facts they condemn **right now**, named under the original
+    /// (user-facing) predicates so the list can be fed to
+    /// [`ResumableAssessment::retract_batch`].
+    ///
+    /// Conditional-delete bodies are evaluated against the chased contextual
+    /// instance (mapped predicates are rewritten to their contextual names);
+    /// head variables not bound by the body act as wildcards over the
+    /// extensional rows of the head relation.
+    pub fn expand_retractions(&self, program: &Program) -> Vec<(String, Tuple)> {
+        use ontodq_chase::eval::{extend_over_atoms, has_extension};
+        use ontodq_datalog::{Assignment, Atom, Term};
+        let mut out = Vec::new();
+        let mut seen: std::collections::HashSet<(String, Tuple)> = std::collections::HashSet::new();
+        for retraction in &program.retractions {
+            let atom = retraction.atom();
+            let values: Vec<_> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => *v,
+                    Term::Var(_) => unreachable!("retractions are ground"),
+                })
+                .collect();
+            let fact = (atom.predicate.clone(), Tuple::new(values));
+            if seen.insert(fact.clone()) {
+                out.push(fact);
+            }
+        }
+        for delete in &program.deletions {
+            let rewrite = |atom: &Atom| -> Atom {
+                match self.context.contextual_name_of(&atom.predicate) {
+                    Some(contextual) => Atom::new(contextual, atom.terms.clone()),
+                    None => atom.clone(),
+                }
+            };
+            let body_atoms: Vec<Atom> = delete.body.atoms.iter().map(rewrite).collect();
+            let negated: Vec<Atom> = delete.body.negated.iter().map(rewrite).collect();
+            let refs: Vec<&Atom> = body_atoms.iter().collect();
+            let db = self.state.database();
+            // Wildcard candidates come from the user-visible extensional
+            // rows of the head relation.
+            let head = &delete.head;
+            let candidates: Vec<Tuple> =
+                if self.context.contextual_name_of(&head.predicate).is_some() {
+                    self.instance
+                        .relation(&head.predicate)
+                        .map(|r| r.iter().collect())
+                        .unwrap_or_default()
+                } else {
+                    self.base
+                        .relation(&head.predicate)
+                        .map(|r| r.iter().collect())
+                        .unwrap_or_default()
+                };
+            extend_over_atoms(db, &refs, Assignment::new(), &mut |assignment| {
+                if !delete
+                    .body
+                    .comparisons
+                    .iter()
+                    .all(|c| assignment.satisfies_comparison(c))
+                {
+                    return;
+                }
+                if negated
+                    .iter()
+                    .any(|atom| has_extension(db, &[atom], assignment))
+                {
+                    return;
+                }
+                for tuple in &candidates {
+                    let matches = head.terms.len() == tuple.arity()
+                        && head.terms.iter().zip(tuple.values()).all(|(term, value)| {
+                            match assignment.apply_term(term) {
+                                Term::Const(v) => v == *value,
+                                Term::Var(_) => true,
+                            }
+                        });
+                    if matches {
+                        let fact = (head.predicate.clone(), tuple.clone());
+                        if seen.insert(fact.clone()) {
+                            out.push(fact);
+                        }
+                    }
+                }
+            });
+        }
+        out
+    }
+
     /// Extract the current quality versions and metrics (steps 6–7 of the
     /// pipeline) from the live chased instance.
     pub fn extract(&self) -> (Database, QualityMetrics) {
@@ -637,6 +795,85 @@ mod tests {
             snap.metrics.relations.get("Measurements"),
             scratch.metrics.relations.get("Measurements")
         );
+    }
+
+    #[test]
+    fn retract_batch_matches_from_scratch_assessment() {
+        let context = hospital_context();
+        let full = hospital::measurements_database();
+        let all: Vec<Tuple> = full.relation("Measurements").unwrap().tuples().to_vec();
+        let victim = all[0].clone();
+
+        let mut resumable = ResumableAssessment::new(context.clone(), full.clone());
+        let result = resumable.retract_batch([("Measurements".to_string(), victim.clone())]);
+        assert_eq!(result.stats.requested, 1);
+        assert_eq!(result.stats.retracted, 1);
+        assert!(!resumable.instance().contains("Measurements", &victim));
+
+        let mut survivors = full.clone();
+        survivors.delete("Measurements", &victim);
+        let scratch = assess(&context, &survivors);
+        let mut incremental = resumable.assessment().quality_tuples("Measurements");
+        let mut from_scratch = scratch.quality_tuples("Measurements");
+        incremental.sort();
+        from_scratch.sort();
+        assert_eq!(incremental, from_scratch);
+    }
+
+    #[test]
+    fn retract_batch_of_missing_fact_changes_nothing() {
+        let context = hospital_context();
+        let mut resumable = ResumableAssessment::new(context, hospital::measurements_database());
+        let before = resumable.contextual().total_tuples();
+        let result = resumable.retract_batch([(
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/9-09:00").unwrap(),
+                Value::str("Nobody"),
+                Value::double(36.6),
+            ]),
+        )]);
+        assert_eq!(result.stats.requested, 1);
+        assert_eq!(result.stats.retracted, 0);
+        assert_eq!(result.stats.cascaded, 0);
+        assert_eq!(resumable.contextual().total_tuples(), before);
+    }
+
+    #[test]
+    fn expand_retractions_grounds_conditional_deletes() {
+        let context = hospital_context();
+        let full = hospital::measurements_database();
+        let tom_waits: Vec<Tuple> = full
+            .relation("Measurements")
+            .unwrap()
+            .iter()
+            .filter(|t| t.get(1) == Some(&Value::str("Tom Waits")))
+            .collect();
+        assert!(!tom_waits.is_empty());
+
+        let mut resumable = ResumableAssessment::new(context.clone(), full.clone());
+        let deletion = ontodq_datalog::parse_program(
+            "-Measurements(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".\n",
+        )
+        .unwrap();
+        let expanded = resumable.expand_retractions(&deletion);
+        assert_eq!(expanded.len(), tom_waits.len());
+        assert!(expanded.iter().all(|(name, t)| {
+            name == "Measurements" && t.get(1) == Some(&Value::str("Tom Waits"))
+        }));
+
+        let result = resumable.retract_batch(expanded);
+        assert_eq!(result.stats.retracted, tom_waits.len());
+        let mut survivors = full.clone();
+        for t in &tom_waits {
+            survivors.delete("Measurements", t);
+        }
+        let scratch = assess(&context, &survivors);
+        let mut incremental = resumable.assessment().quality_tuples("Measurements");
+        let mut from_scratch = scratch.quality_tuples("Measurements");
+        incremental.sort();
+        from_scratch.sort();
+        assert_eq!(incremental, from_scratch);
     }
 
     #[test]

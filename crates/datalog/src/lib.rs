@@ -39,7 +39,7 @@ pub mod term;
 pub use atom::{Atom, CompareOp, Comparison, Conjunction};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use program::{Position, Program};
-pub use rule::{tgd, Egd, Fact, NegativeConstraint, Rule, Tgd};
+pub use rule::{tgd, ConditionalDelete, Egd, Fact, NegativeConstraint, Retraction, Rule, Tgd};
 pub use substitution::{Assignment, Unifier};
 pub use term::{Term, Variable};
 

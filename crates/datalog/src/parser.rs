@@ -34,7 +34,7 @@
 
 use crate::atom::{Atom, CompareOp, Comparison, Conjunction};
 use crate::program::Program;
-use crate::rule::{Egd, Fact, NegativeConstraint, Rule, Tgd};
+use crate::rule::{ConditionalDelete, Egd, Fact, NegativeConstraint, Retraction, Rule, Tgd};
 use crate::term::Term;
 use ontodq_relational::Value;
 use std::fmt;
@@ -86,6 +86,7 @@ enum Token {
     Implies, // :-
     Period,
     Bang,
+    Minus, // '-' not followed by a digit: starts a retraction / delete rule
     Not,
     Op(CompareOp),
 }
@@ -181,6 +182,14 @@ fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                 }
                 tokens.push(Token::Time(s));
+            }
+            '-' if !chars
+                .get(i + 1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                tokens.push(Token::Minus);
+                i += 1;
             }
             c if c.is_ascii_digit() || c == '-' => {
                 let mut s = String::new();
@@ -389,6 +398,34 @@ impl Parser {
             self.expect(&Token::Implies)?;
             let body = self.body()?;
             return Ok(Rule::Constraint(NegativeConstraint::new(body)));
+        }
+        // `-P(ā).` — ground retraction; `-P(x̄) :- body.` — conditional
+        // delete.
+        if self.peek() == Some(&Token::Minus) {
+            self.next();
+            let atom = match self.next() {
+                Some(Token::Ident(name)) => self.atom_with_name(name)?,
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected an atom after '-', found {other:?}"
+                    )))
+                }
+            };
+            return match self.next() {
+                Some(Token::Period) => Retraction::new(atom).map(Rule::Retract).ok_or_else(|| {
+                    ParseError::new(
+                        "a bare retraction must be ground (use '-P(x) :- body.' to \
+                             delete by condition)",
+                    )
+                }),
+                Some(Token::Implies) => {
+                    let body = self.body()?;
+                    Ok(Rule::Delete(ConditionalDelete::new(body, atom)))
+                }
+                other => Err(ParseError::new(format!(
+                    "expected '.' or ':-' after retraction head, found {other:?}"
+                ))),
+            };
         }
         // Otherwise the rule starts with a term or an atom.
         let first = self
@@ -636,12 +673,95 @@ mod tests {
     }
 
     #[test]
+    fn parse_ground_retraction() {
+        let rule = parse_rule("-WorkingSchedules(Intensive, \"Sep/5\", Cathy, \"cert\").").unwrap();
+        match rule {
+            Rule::Retract(r) => {
+                assert_eq!(r.atom().predicate, "WorkingSchedules");
+                assert_eq!(r.atom().arity(), 4);
+                assert!(r.atom().is_ground());
+            }
+            other => panic!("expected retraction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_conditional_delete_with_wildcard_head() {
+        let rule = parse_rule("-Edge(x, y) :- Banned(x).").unwrap();
+        match rule {
+            Rule::Delete(d) => {
+                assert_eq!(d.head.predicate, "Edge");
+                assert_eq!(d.body.atoms.len(), 1);
+                assert_eq!(
+                    d.wildcard_variables(),
+                    std::iter::once(Variable::new("y")).collect()
+                );
+            }
+            other => panic!("expected conditional delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_conditional_delete_with_negation_and_comparison() {
+        let rule =
+            parse_rule("-Shifts(w, d, n, z) :- Shifts(w, d, n, z), not Unit(w), d = \"Sep/5\".")
+                .unwrap();
+        match rule {
+            Rule::Delete(d) => {
+                assert_eq!(d.body.negated.len(), 1);
+                assert_eq!(d.body.comparisons.len(), 1);
+                assert!(d.wildcard_variables().is_empty());
+            }
+            other => panic!("expected conditional delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retraction_does_not_shadow_negative_numbers() {
+        // '-' directly before a digit still lexes as a negative literal.
+        let rule = parse_rule("R(x) :- S(x, -7).").unwrap();
+        match rule {
+            Rule::Tgd(t) => {
+                assert_eq!(t.body.atoms[0].terms[1], Term::constant(Value::int(-7)));
+            }
+            other => panic!("expected TGD, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retraction_parse_errors() {
+        // Non-ground bare retraction.
+        assert!(parse_rule("-R(x).").is_err());
+        // '-' must be followed by an atom.
+        assert!(parse_rule("- :- R(x).").is_err());
+        // Missing terminator.
+        assert!(parse_rule("-R(A)").is_err());
+    }
+
+    #[test]
+    fn parse_program_with_retractions() {
+        let program = parse_program(
+            "T(x, y) :- E(x, y).\n\
+             -E(A, B).\n\
+             -E(x, y) :- Banned(x).\n",
+        )
+        .unwrap();
+        assert_eq!(program.tgds.len(), 1);
+        assert_eq!(program.retractions.len(), 1);
+        assert_eq!(program.deletions.len(), 1);
+        assert!(program.validate().is_empty());
+        assert_eq!(program.rule_count(), 3);
+    }
+
+    #[test]
     fn print_then_parse_round_trips() {
         let texts = [
             "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).",
             "! :- PatientUnit(u, d, p), not Unit(u).",
             "t = t2 :- Thermometer(w, t, n), Thermometer(w2, t2, n2), UnitWard(u, w), UnitWard(u, w2).",
             "UnitWard(Standard, W1).",
+            "-UnitWard(Standard, W1).",
+            "-Edge(x, y) :- Banned(x), not Whitelisted(x).",
         ];
         for text in texts {
             let rule = parse_rule(text).unwrap();

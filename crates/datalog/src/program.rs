@@ -2,7 +2,7 @@
 //! facts over a common schema.
 
 use crate::atom::Atom;
-use crate::rule::{Egd, Fact, NegativeConstraint, Rule, Tgd};
+use crate::rule::{ConditionalDelete, Egd, Fact, NegativeConstraint, Retraction, Rule, Tgd};
 use crate::term::Term;
 use ontodq_relational::{Database, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
@@ -48,6 +48,10 @@ pub struct Program {
     pub constraints: Vec<NegativeConstraint>,
     /// Ground facts (extensional data expressed as rules).
     pub facts: Vec<Fact>,
+    /// Ground retractions (`-P(ā).` — deletion workload, not ontology).
+    pub retractions: Vec<Retraction>,
+    /// Conditional deletes (`-P(x̄) :- body.`).
+    pub deletions: Vec<ConditionalDelete>,
 }
 
 impl Program {
@@ -63,6 +67,8 @@ impl Program {
             Rule::Egd(r) => self.egds.push(r),
             Rule::Constraint(r) => self.constraints.push(r),
             Rule::Fact(r) => self.facts.push(r),
+            Rule::Retract(r) => self.retractions.push(r),
+            Rule::Delete(r) => self.deletions.push(r),
         }
     }
 
@@ -92,16 +98,24 @@ impl Program {
 
     /// Total number of rules of all kinds.
     pub fn rule_count(&self) -> usize {
-        self.tgds.len() + self.egds.len() + self.constraints.len() + self.facts.len()
+        self.tgds.len()
+            + self.egds.len()
+            + self.constraints.len()
+            + self.facts.len()
+            + self.retractions.len()
+            + self.deletions.len()
     }
 
-    /// All rules, in kind order (TGDs, EGDs, constraints, facts).
+    /// All rules, in kind order (TGDs, EGDs, constraints, facts,
+    /// retractions, conditional deletes).
     pub fn rules(&self) -> Vec<Rule> {
         let mut out: Vec<Rule> = Vec::with_capacity(self.rule_count());
         out.extend(self.tgds.iter().cloned().map(Rule::Tgd));
         out.extend(self.egds.iter().cloned().map(Rule::Egd));
         out.extend(self.constraints.iter().cloned().map(Rule::Constraint));
         out.extend(self.facts.iter().cloned().map(Rule::Fact));
+        out.extend(self.retractions.iter().cloned().map(Rule::Retract));
+        out.extend(self.deletions.iter().cloned().map(Rule::Delete));
         out
     }
 
@@ -129,6 +143,14 @@ impl Program {
         }
         for fact in &self.facts {
             record(fact.atom());
+        }
+        for retraction in &self.retractions {
+            record(retraction.atom());
+        }
+        for delete in &self.deletions {
+            record(&delete.head);
+            delete.body.atoms.iter().for_each(&mut record);
+            delete.body.negated.iter().for_each(&mut record);
         }
         out
     }
@@ -188,6 +210,14 @@ impl Program {
         for fact in &self.facts {
             record(fact.atom());
         }
+        for retraction in &self.retractions {
+            record(retraction.atom());
+        }
+        for delete in &self.deletions {
+            record(&delete.head);
+            delete.body.atoms.iter().for_each(&mut record);
+            delete.body.negated.iter().for_each(&mut record);
+        }
         for (pred, seen) in &arities {
             if seen.len() > 1 {
                 problems.push(format!(
@@ -212,6 +242,15 @@ impl Program {
             if !egd.is_well_formed() {
                 problems.push(format!(
                     "EGD #{i} equates variables that do not both occur in its body"
+                ));
+            }
+        }
+        // Conditional-delete shape: the body must be evaluable (at least one
+        // positive atom); wildcard head variables are fine.
+        for (i, delete) in self.deletions.iter().enumerate() {
+            if delete.body.atoms.is_empty() {
+                problems.push(format!(
+                    "conditional delete #{i} has no positive body atoms"
                 ));
             }
         }
@@ -248,6 +287,8 @@ impl Program {
         self.egds.extend(other.egds);
         self.constraints.extend(other.constraints);
         self.facts.extend(other.facts);
+        self.retractions.extend(other.retractions);
+        self.deletions.extend(other.deletions);
     }
 }
 

@@ -227,6 +227,77 @@ impl fmt::Display for Fact {
     }
 }
 
+/// A ground retraction `-P(c1, …, cn).` — a request to delete the fact and
+/// incrementally withdraw its consequences (delete-and-rederive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retraction(pub Atom);
+
+impl Retraction {
+    /// Construct a retraction; the atom must be ground.
+    pub fn new(atom: Atom) -> Option<Self> {
+        atom.is_ground().then_some(Retraction(atom))
+    }
+
+    /// The underlying atom.
+    pub fn atom(&self) -> &Atom {
+        &self.0
+    }
+}
+
+impl fmt::Display for Retraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-{}.", self.0)
+    }
+}
+
+/// A conditional delete `-Edge(x, y) :- Banned(x).` — every instantiation of
+/// the head reachable through a body match is retracted.  Head variables not
+/// bound by the body act as wildcards: the example deletes *all* edges out of
+/// a banned node, whatever their target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConditionalDelete {
+    /// Optional rule label.
+    pub label: Option<String>,
+    /// The single head atom naming what to delete.
+    pub head: Atom,
+    /// The body conjunction; may contain negated atoms and comparisons.
+    pub body: Conjunction,
+}
+
+impl ConditionalDelete {
+    /// Construct a conditional delete.
+    pub fn new(body: Conjunction, head: Atom) -> Self {
+        Self {
+            label: None,
+            head,
+            body,
+        }
+    }
+
+    /// Attach a label (builder style).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Head variables not bound by any positive body atom (the wildcard
+    /// positions).
+    pub fn wildcard_variables(&self) -> BTreeSet<Variable> {
+        let body_vars: BTreeSet<Variable> = self.body.variables().into_iter().collect();
+        self.head
+            .variables()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .collect()
+    }
+}
+
+impl fmt::Display for ConditionalDelete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-{} :- {}.", self.head, self.body)
+    }
+}
+
 /// Any Datalog± rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rule {
@@ -238,6 +309,10 @@ pub enum Rule {
     Constraint(NegativeConstraint),
     /// A ground fact.
     Fact(Fact),
+    /// A ground retraction (`-P(ā).`).
+    Retract(Retraction),
+    /// A conditional delete (`-P(x̄) :- body.`).
+    Delete(ConditionalDelete),
 }
 
 impl fmt::Display for Rule {
@@ -247,6 +322,8 @@ impl fmt::Display for Rule {
             Rule::Egd(r) => write!(f, "{r}"),
             Rule::Constraint(r) => write!(f, "{r}"),
             Rule::Fact(r) => write!(f, "{r}"),
+            Rule::Retract(r) => write!(f, "{r}"),
+            Rule::Delete(r) => write!(f, "{r}"),
         }
     }
 }
@@ -414,6 +491,27 @@ mod tests {
         assert!(r.to_string().contains(":-"));
         let f = Rule::Fact(Fact::new(Atom::new("Unit", vec![Term::constant("Standard")])).unwrap());
         assert_eq!(f.to_string(), "Unit(Standard).");
+    }
+
+    #[test]
+    fn retraction_requires_ground_atom() {
+        assert!(Retraction::new(Atom::with_vars("Unit", &["u"])).is_none());
+        let r = Retraction::new(Atom::new("Unit", vec![Term::constant("Standard")])).unwrap();
+        assert_eq!(r.to_string(), "-Unit(Standard).");
+        assert_eq!(r.atom().predicate, "Unit");
+    }
+
+    #[test]
+    fn conditional_delete_wildcards_are_unbound_head_variables() {
+        let del = ConditionalDelete::new(
+            Conjunction::positive(vec![Atom::with_vars("Banned", &["x"])]),
+            Atom::with_vars("Edge", &["x", "y"]),
+        );
+        assert_eq!(
+            del.wildcard_variables(),
+            std::iter::once(Variable::new("y")).collect()
+        );
+        assert_eq!(del.to_string(), "-Edge(x, y) :- Banned(x).");
     }
 
     #[test]

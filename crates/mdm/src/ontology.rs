@@ -107,6 +107,16 @@ impl MdOntology {
                     "facts are not dimensional rules: {f}"
                 )))
             }
+            Rule::Retract(r) => {
+                return Err(MdError::Relational(format!(
+                    "retractions are not dimensional rules: {r}"
+                )))
+            }
+            Rule::Delete(d) => {
+                return Err(MdError::Relational(format!(
+                    "conditional deletes are not dimensional rules: {d}"
+                )))
+            }
         }
         Ok(self)
     }

@@ -173,9 +173,45 @@ impl Database {
         self.relations.keys().map(String::as_str).collect()
     }
 
-    /// Total number of tuples across all relations.
+    /// Total number of **live** tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(RelationInstance::len).sum()
+    }
+
+    /// Total number of physical arena slots across all relations (live rows
+    /// plus tombstones).
+    pub fn total_rows(&self) -> usize {
+        self.relations
+            .values()
+            .map(RelationInstance::total_rows)
+            .sum()
+    }
+
+    /// Total number of tombstoned rows across all relations.
+    pub fn dead_rows(&self) -> usize {
+        self.relations
+            .values()
+            .map(RelationInstance::dead_rows)
+            .sum()
+    }
+
+    /// Tombstone the row holding exactly `tuple` in relation `name`.
+    /// Returns whether a live row was deleted; unknown relations hold
+    /// nothing, so deleting from one is `false`, not an error.
+    pub fn delete(&mut self, name: &str, tuple: &Tuple) -> bool {
+        self.relations
+            .get_mut(name)
+            .map(|r| r.delete(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Compact every relation's arena, dropping tombstoned slots.  Returns
+    /// the total number of slots reclaimed.
+    pub fn compact(&mut self) -> usize {
+        self.relations
+            .values_mut()
+            .map(RelationInstance::compact)
+            .sum()
     }
 
     /// Number of relations.
@@ -190,6 +226,15 @@ impl Database {
         self.relations
             .values()
             .map(RelationInstance::arena_bytes)
+            .sum()
+    }
+
+    /// Approximate bytes held by tombstoned rows across all relations — the
+    /// space a [`Database::compact`] would reclaim.
+    pub fn reclaimable_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(RelationInstance::reclaimable_bytes)
             .sum()
     }
 
@@ -436,6 +481,23 @@ mod tests {
             reloaded.relation("UnitWard").unwrap().delta_since(1).len(),
             1
         );
+    }
+
+    #[test]
+    fn delete_tombstones_and_compact_reclaims() {
+        let mut db = sample();
+        assert!(db.delete("UnitWard", &Tuple::from_iter(["Standard", "W1"])));
+        assert!(!db.delete("UnitWard", &Tuple::from_iter(["Standard", "W1"])));
+        assert!(!db.delete("Nope", &Tuple::from_iter(["x"])));
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.total_rows(), 4);
+        assert_eq!(db.dead_rows(), 1);
+        assert!(db.reclaimable_bytes() > 0);
+        assert_eq!(db.compact(), 1);
+        assert_eq!(db.total_rows(), 3);
+        assert_eq!(db.dead_rows(), 0);
+        assert_eq!(db.reclaimable_bytes(), 0);
+        assert!(!db.contains("UnitWard", &Tuple::from_iter(["Standard", "W1"])));
     }
 
     /// Regression test for the stale-index hazard: substituting a null

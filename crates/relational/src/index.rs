@@ -64,6 +64,25 @@ impl HashIndex {
         self.entries.get(value).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Remove row `row` from the postings list of `value` — the tombstone
+    /// path of the arena: a deleted row must stop answering probes without
+    /// a full index rebuild.  Postings are sorted, so removal is a binary
+    /// search plus one shift; emptied postings lists are dropped entirely.
+    /// Returns whether the row was present.
+    pub fn remove(&mut self, row: u32, value: &Value) -> bool {
+        let Some(ids) = self.entries.get_mut(value) else {
+            return false;
+        };
+        let Ok(at) = ids.binary_search(&row) else {
+            return false;
+        };
+        ids.remove(at);
+        if ids.is_empty() {
+            self.entries.remove(value);
+        }
+        true
+    }
+
     /// Number of distinct keys in the index.
     pub fn distinct_keys(&self) -> usize {
         self.entries.len()
@@ -185,6 +204,21 @@ mod tests {
             let ids = index.lookup(&Value::int(key));
             assert!(ids.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn remove_deletes_one_posting_and_drops_empty_lists() {
+        let mut index = HashIndex::build(1, &column());
+        assert!(index.remove(0, &Value::str("Standard")));
+        assert_eq!(index.lookup(&Value::str("Standard")), &[1]);
+        // Removing the same row again is a no-op.
+        assert!(!index.remove(0, &Value::str("Standard")));
+        // Unknown key: no-op.
+        assert!(!index.remove(0, &Value::str("Oncology")));
+        // Last posting of a key removes the key itself.
+        assert!(index.remove(2, &Value::str("Intensive")));
+        assert!(index.lookup(&Value::str("Intensive")).is_empty());
+        assert_eq!(index.distinct_keys(), 2);
     }
 
     #[test]

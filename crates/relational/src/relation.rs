@@ -24,6 +24,25 @@
 //! with the current epoch so they re-enter the delta — which makes a stamp
 //! window a **contiguous row-id range**: window restriction of an id set is
 //! two binary searches, never a filter pass.
+//!
+//! # Tombstones
+//!
+//! Retraction ([`RelationInstance::delete`]) does not move rows: the row is
+//! marked dead in a liveness bitmap, its entry is removed from the dedup
+//! table and from every hash-index postings list, and its arena slot stays
+//! behind as a **tombstone**.  Indexed probes never see dead rows (their
+//! postings are gone); scan paths filter through the bitmap.  Row ids of
+//! live rows — and with them the sorted-stamp window structure — are
+//! untouched, so the semi-naive delta machinery keeps working across
+//! deletions, and a re-inserted tuple gets a *fresh* row id stamped at the
+//! current epoch (it re-enters the delta like any new fact).  Dead slots
+//! are reclaimed wholesale by [`RelationInstance::compact`].
+//!
+//! Each row also carries a **support count**: the number of times an insert
+//! of exactly that row was attempted (1 on first insert, +1 per duplicate).
+//! The chase layer reads these as "how many derivations produced this
+//! tuple" — the per-tuple support totals of delete-and-rederive — and the
+//! persistence layer snapshots them alongside the liveness bitmap.
 
 use crate::counters;
 use crate::error::Result;
@@ -102,9 +121,21 @@ pub struct RelationInstance {
     /// Insert epoch of each row, parallel to the columns and non-decreasing.
     stamps: Vec<u64>,
     /// Row-content hash → candidate row ids (set-semantics dedup without
-    /// storing materialized tuples).
+    /// storing materialized tuples).  Holds **live** rows only: deletion
+    /// removes the entry, so a tombstoned tuple can be re-inserted.
     seen: FxHashMap<u64, Vec<u32>>,
     indexes: FxHashMap<usize, HashIndex>,
+    /// Liveness bitmap, parallel to the columns: `false` marks a tombstoned
+    /// row.  Empty is shorthand for "all rows live" until the first delete.
+    live: Vec<bool>,
+    /// Number of `false` entries in `live` (dead rows awaiting compaction).
+    dead: u32,
+    /// Per-row support counts: how many inserts (first + duplicates) have
+    /// produced this row.  The chase's delete-and-rederive reads these as
+    /// per-derived-tuple support totals; persisted with the rows.  Empty is
+    /// shorthand for "all 1" until the first duplicate (or explicit set), so
+    /// the append hot path touches neither vector.
+    supports: Vec<u32>,
     /// Epoch stamped onto new inserts; advanced by the owning
     /// [`crate::Database`].  Invariant: `epoch >= stamps.last()`.
     epoch: u64,
@@ -121,6 +152,9 @@ impl RelationInstance {
             stamps: Vec::new(),
             seen: FxHashMap::default(),
             indexes: FxHashMap::default(),
+            live: Vec::new(),
+            dead: 0,
+            supports: Vec::new(),
             epoch: 0,
         }
     }
@@ -135,24 +169,75 @@ impl RelationInstance {
         self.schema.name()
     }
 
-    /// Number of rows.
+    /// Number of **live** rows (tombstoned rows are excluded).
     pub fn len(&self) -> usize {
+        (self.rows - self.dead) as usize
+    }
+
+    /// `true` when the instance holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of physical arena slots, live rows plus tombstones.  Row ids
+    /// range over `0..total_rows()`.
+    pub fn total_rows(&self) -> usize {
         self.rows as usize
     }
 
-    /// `true` when the instance holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows == 0
+    /// Number of tombstoned rows awaiting [`RelationInstance::compact`].
+    pub fn dead_rows(&self) -> usize {
+        self.dead as usize
     }
 
-    /// Iterate over the rows in insertion order, materializing each as a
-    /// [`Tuple`].  An API-edge convenience — join code works on row ids and
-    /// columns instead.
+    /// Is row `row` live (not tombstoned)?  Out-of-range rows are not live.
+    #[inline]
+    pub fn is_live(&self, row: u32) -> bool {
+        row < self.rows && self.live.get(row as usize).copied().unwrap_or(true)
+    }
+
+    /// The support count of row `row`: how many inserts (first + duplicate)
+    /// produced it.  Out-of-range and tombstoned rows have support 0.
+    pub fn support_of(&self, row: u32) -> u32 {
+        if !self.is_live(row) {
+            return 0;
+        }
+        self.supports.get(row as usize).copied().unwrap_or(1)
+    }
+
+    /// Overwrite the support count of row `row` — the persistence reload
+    /// path, which must reproduce the counts a snapshot recorded.
+    pub fn set_support(&mut self, row: u32, support: u32) {
+        if row >= self.rows {
+            return;
+        }
+        if self.supports.is_empty() {
+            if support == 1 {
+                return; // already the implicit value
+            }
+            self.supports = vec![1; self.rows as usize];
+        }
+        self.supports[row as usize] = support;
+    }
+
+    /// Materialize the liveness bitmap so it can be indexed per row (the
+    /// empty-means-all-live shorthand is expanded on the first tombstone).
+    fn ensure_live_bitmap(&mut self) {
+        if self.live.is_empty() {
+            self.live = vec![true; self.rows as usize];
+        }
+    }
+
+    /// Iterate over the **live** rows in insertion order, materializing each
+    /// as a [`Tuple`].  An API-edge convenience — join code works on row ids
+    /// and columns instead.
     pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
-        (0..self.rows).map(move |r| self.row_tuple(r))
+        (0..self.rows)
+            .filter(move |&r| self.is_live(r))
+            .map(move |r| self.row_tuple(r))
     }
 
-    /// All rows materialized as tuples, in insertion order.
+    /// All live rows materialized as tuples, in insertion order.
     pub fn tuples(&self) -> Vec<Tuple> {
         self.iter().collect()
     }
@@ -205,7 +290,8 @@ impl RelationInstance {
     }
 
     /// Approximate heap footprint of the arena in bytes: the value columns,
-    /// the stamp column, and the index postings.
+    /// the stamp column, the liveness/support sidecars, and the index
+    /// postings.
     pub fn arena_bytes(&self) -> usize {
         let values: usize = self
             .columns
@@ -213,8 +299,29 @@ impl RelationInstance {
             .map(|c| c.capacity() * std::mem::size_of::<Value>())
             .sum();
         let stamps = self.stamps.capacity() * std::mem::size_of::<u64>();
+        let live = self.live.capacity() * std::mem::size_of::<bool>();
+        let supports = self.supports.capacity() * std::mem::size_of::<u32>();
         let postings: usize = self.indexes.values().map(HashIndex::postings_bytes).sum();
-        values + stamps + postings
+        values + stamps + live + supports + postings
+    }
+
+    /// Approximate bytes held by tombstoned rows — the arena space a
+    /// [`RelationInstance::compact`] would reclaim.  Dead rows keep their
+    /// column, stamp and sidecar slots but no index postings (those are
+    /// removed at delete time).
+    pub fn reclaimable_bytes(&self) -> usize {
+        if self.dead == 0 {
+            return 0;
+        }
+        let per_row = self.columns.len() * std::mem::size_of::<Value>()
+            + std::mem::size_of::<u64>()
+            + std::mem::size_of::<bool>()
+            + if self.supports.is_empty() {
+                0
+            } else {
+                std::mem::size_of::<u32>()
+            };
+        self.dead as usize * per_row
     }
 
     /// Insert `tuple` stamped with `stamp` instead of the current epoch —
@@ -252,10 +359,11 @@ impl RelationInstance {
         lo..hi.max(lo)
     }
 
-    /// The rows inserted (or rewritten by null substitution) strictly after
-    /// `epoch`, materialized in insertion order.
+    /// The live rows inserted (or rewritten by null substitution) strictly
+    /// after `epoch`, materialized in insertion order.
     pub fn delta_since(&self, epoch: u64) -> Vec<Tuple> {
         (self.first_row_after(epoch)..self.rows)
+            .filter(|&r| self.is_live(r))
             .map(|r| self.row_tuple(r))
             .collect()
     }
@@ -314,12 +422,19 @@ impl RelationInstance {
         self.insert_row(values)
     }
 
-    /// Append `values` as a new row unless an equal row exists.
+    /// Append `values` as a new row unless an equal row exists.  A
+    /// duplicate bumps the existing row's support count instead (another
+    /// derivation of the same tuple).
     fn insert_row(&mut self, values: &[Value]) -> bool {
         debug_assert_eq!(values.len(), self.columns.len());
         let hash = hash_row(values.iter());
         if let Some(candidates) = self.seen.get(&hash) {
-            if candidates.iter().any(|&row| self.row_equals(row, values)) {
+            if let Some(existing) = candidates
+                .iter()
+                .copied()
+                .find(|&row| self.row_equals(row, values))
+            {
+                self.bump_support(existing);
                 return false;
             }
         }
@@ -335,7 +450,24 @@ impl RelationInstance {
         self.stamps.push(self.epoch);
         self.seen.entry(hash).or_default().push(row);
         self.rows += 1;
+        // The sidecars stay in their empty (implicit) forms until first
+        // needed; once materialized they must track every append.
+        if !self.live.is_empty() {
+            self.live.push(true);
+        }
+        if !self.supports.is_empty() {
+            self.supports.push(1);
+        }
         true
+    }
+
+    /// Record one more derivation of row `row` (saturating).
+    fn bump_support(&mut self, row: u32) {
+        if self.supports.is_empty() {
+            self.supports = vec![1; self.rows as usize];
+        }
+        let slot = &mut self.supports[row as usize];
+        *slot = slot.saturating_add(1);
     }
 
     /// Insert many tuples; returns the number actually added.
@@ -352,12 +484,101 @@ impl RelationInstance {
         Ok(added)
     }
 
-    /// Build (or rebuild) a hash index on `position`.
-    pub fn build_index(&mut self, position: usize) {
-        if let Some(column) = self.columns.get(position) {
-            self.indexes
-                .insert(position, HashIndex::build(position, column));
+    /// Tombstone the row holding exactly `tuple`, if live: the row is
+    /// marked dead, removed from the dedup table and from every hash-index
+    /// postings list, and its arena slot stays behind until
+    /// [`RelationInstance::compact`].  Returns whether a row was deleted.
+    ///
+    /// Surviving row ids (and the sorted stamp structure) are untouched, so
+    /// resumable-chase watermarks stay exact across deletions; re-inserting
+    /// the same tuple later creates a fresh row at the current epoch.
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        if tuple.arity() != self.columns.len() {
+            return false;
         }
+        match self.find_row(tuple.values()) {
+            Some(row) => self.delete_row(row),
+            None => false,
+        }
+    }
+
+    /// Tombstone row `row` (see [`RelationInstance::delete`]).  Returns
+    /// `false` when the row is out of range or already dead.
+    pub fn delete_row(&mut self, row: u32) -> bool {
+        if !self.is_live(row) {
+            return false;
+        }
+        self.ensure_live_bitmap();
+        self.live[row as usize] = false;
+        self.dead += 1;
+        if !self.supports.is_empty() {
+            self.supports[row as usize] = 0;
+        }
+        // Drop the dedup entry so the tuple can come back as a fresh row.
+        let values: Vec<Value> = self.columns.iter().map(|c| c[row as usize]).collect();
+        let hash = hash_row(values.iter());
+        if let Some(candidates) = self.seen.get_mut(&hash) {
+            candidates.retain(|&r| r != row);
+            if candidates.is_empty() {
+                self.seen.remove(&hash);
+            }
+        }
+        // Remove the row from every live index's postings.
+        for index in self.indexes.values_mut() {
+            if let Some(value) = values.get(index.position()) {
+                index.remove(row, value);
+            }
+        }
+        true
+    }
+
+    /// Rebuild the arena without its tombstones: dead slots are dropped,
+    /// surviving rows keep their stamps and support counts (ids shift down),
+    /// and indexes are rebuilt.  Returns the number of slots reclaimed.
+    pub fn compact(&mut self) -> usize {
+        if self.dead == 0 {
+            return 0;
+        }
+        let arity = self.columns.len();
+        let old_columns = std::mem::replace(&mut self.columns, vec![Vec::new(); arity]);
+        let old_stamps = std::mem::take(&mut self.stamps);
+        let old_live = std::mem::take(&mut self.live);
+        let old_supports = std::mem::take(&mut self.supports);
+        let old_rows = self.rows;
+        self.rows = 0;
+        self.dead = 0;
+        self.seen.clear();
+        let mut row_buf: Vec<Value> = Vec::with_capacity(arity);
+        let mut reclaimed = 0;
+        for row in 0..old_rows as usize {
+            if !old_live.get(row).copied().unwrap_or(true) {
+                reclaimed += 1;
+                continue;
+            }
+            row_buf.clear();
+            row_buf.extend(old_columns.iter().map(|c| c[row]));
+            let support = old_supports.get(row).copied().unwrap_or(1);
+            self.insert_at_stamp(&row_buf, old_stamps[row], support);
+        }
+        self.rebuild_indexes();
+        reclaimed
+    }
+
+    /// Build (or rebuild) a hash index on `position`.  Tombstoned rows are
+    /// skipped: an index built after a deletion must answer probes exactly
+    /// like one maintained through [`RelationInstance::delete_row`].
+    pub fn build_index(&mut self, position: usize) {
+        let Some(column) = self.columns.get(position) else {
+            return;
+        };
+        let mut index = HashIndex::new(position);
+        for (row, value) in column.iter().enumerate() {
+            let row = row as u32;
+            if row < self.rows && self.live.get(row as usize).copied().unwrap_or(true) {
+                index.insert(row, value);
+            }
+        }
+        self.indexes.insert(position, index);
     }
 
     /// `true` if an index exists on `position`.
@@ -409,7 +630,11 @@ impl RelationInstance {
             return;
         }
         if bindings.is_empty() {
-            out.extend(range);
+            if self.dead == 0 {
+                out.extend(range);
+            } else {
+                out.extend(range.filter(|&r| self.is_live(r)));
+            }
             return;
         }
         // A binding position beyond the arity matches nothing (rather than
@@ -438,11 +663,12 @@ impl RelationInstance {
         };
         match postings.len() {
             0 => {
-                // No index available: scan the window.
+                // No index available: scan the window (skipping tombstones).
                 let scan = |row: u32| -> bool {
-                    bindings
-                        .iter()
-                        .all(|(pos, value)| self.columns[*pos][row as usize] == *value)
+                    self.is_live(row)
+                        && bindings
+                            .iter()
+                            .all(|(pos, value)| self.columns[*pos][row as usize] == *value)
                 };
                 out.extend(range.filter(|&r| scan(r)));
             }
@@ -479,7 +705,7 @@ impl RelationInstance {
     pub fn project(&self, positions: &[usize]) -> Vec<Tuple> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for row in 0..self.rows {
+        for row in (0..self.rows).filter(|&r| self.is_live(r)) {
             let p = Tuple::new(
                 positions
                     .iter()
@@ -511,38 +737,63 @@ impl RelationInstance {
         let arity = self.columns.len();
         let old_columns = std::mem::replace(&mut self.columns, vec![Vec::new(); arity]);
         let old_stamps = std::mem::take(&mut self.stamps);
+        let old_live = std::mem::take(&mut self.live);
+        let old_supports = std::mem::take(&mut self.supports);
         let old_rows = self.rows;
         self.rows = 0;
+        self.dead = 0;
         self.seen.clear();
-        let mut rewritten: Vec<Value> = Vec::new(); // flat, `arity` values per row
+        // Flat `arity` values per rewritten row, plus its support count.
+        let mut rewritten: Vec<Value> = Vec::new();
+        let mut rewritten_supports: Vec<u32> = Vec::new();
         let mut row_buf: Vec<Value> = Vec::with_capacity(arity);
         let mut changed = 0;
         for row in 0..old_rows as usize {
+            // Tombstoned rows are dropped outright — the rebuild is a
+            // natural compaction point.
+            if !old_live.get(row).copied().unwrap_or(true) {
+                continue;
+            }
             row_buf.clear();
             row_buf.extend(old_columns.iter().map(|c| c[row]));
+            let support = old_supports.get(row).copied().unwrap_or(1);
             if row_buf.contains(&target) {
                 changed += 1;
                 rewritten.extend(row_buf.iter().map(|v| if *v == target { *to } else { *v }));
+                rewritten_supports.push(support);
             } else {
-                self.insert_at_stamp(&row_buf, old_stamps[row]);
+                self.insert_at_stamp(&row_buf, old_stamps[row], support);
             }
         }
         let current = self.epoch.max(old_stamps.last().copied().unwrap_or(0));
         self.epoch = current;
-        for row_values in rewritten.chunks(arity) {
-            self.insert_at_stamp(row_values, current);
+        for (row_values, support) in rewritten.chunks(arity).zip(rewritten_supports) {
+            self.insert_at_stamp(row_values, current, support);
         }
         self.rebuild_indexes();
         changed
     }
 
-    /// Append `values` stamped `stamp` unless already present (dedup), not
+    /// Append `values` stamped `stamp` with support `support` unless
+    /// already present (dedup; a duplicate merges support counts), not
     /// touching live indexes — used only by the rebuild paths, which
-    /// rebuild indexes wholesale afterwards.
-    fn insert_at_stamp(&mut self, values: &[Value], stamp: u64) -> bool {
+    /// rebuild indexes wholesale afterwards.  Rebuilds emit live rows only,
+    /// so the liveness bitmap collapses back to its implicit all-live form.
+    fn insert_at_stamp(&mut self, values: &[Value], stamp: u64, support: u32) -> bool {
         let hash = hash_row(values.iter());
         if let Some(candidates) = self.seen.get(&hash) {
-            if candidates.iter().any(|&row| self.row_equals(row, values)) {
+            if let Some(existing) = candidates
+                .iter()
+                .copied()
+                .find(|&row| self.row_equals(row, values))
+            {
+                if support > 1 || !self.supports.is_empty() {
+                    if self.supports.is_empty() {
+                        self.supports = vec![1; self.rows as usize];
+                    }
+                    let slot = &mut self.supports[existing as usize];
+                    *slot = slot.saturating_add(support);
+                }
                 return false;
             }
         }
@@ -553,6 +804,12 @@ impl RelationInstance {
         self.stamps.push(stamp);
         self.seen.entry(hash).or_default().push(row);
         self.rows += 1;
+        if !self.supports.is_empty() || support != 1 {
+            if self.supports.is_empty() {
+                self.supports = vec![1; row as usize];
+            }
+            self.supports.push(support);
+        }
         true
     }
 
@@ -563,14 +820,21 @@ impl RelationInstance {
         let arity = self.columns.len();
         let old_columns = std::mem::replace(&mut self.columns, vec![Vec::new(); arity]);
         let old_stamps = std::mem::take(&mut self.stamps);
+        let old_live = std::mem::take(&mut self.live);
+        let old_supports = std::mem::take(&mut self.supports);
         let old_rows = self.rows;
         self.rows = 0;
+        self.dead = 0;
         self.seen.clear();
         let mut removed = 0;
         for row in 0..old_rows as usize {
+            if !old_live.get(row).copied().unwrap_or(true) {
+                continue; // tombstones are dropped silently, not "removed"
+            }
             let values: Vec<Value> = old_columns.iter().map(|c| c[row]).collect();
             if keep(&Tuple::new(values.clone())) {
-                self.insert_at_stamp(&values, old_stamps[row]);
+                let support = old_supports.get(row).copied().unwrap_or(1);
+                self.insert_at_stamp(&values, old_stamps[row], support);
             } else {
                 removed += 1;
             }
@@ -579,23 +843,32 @@ impl RelationInstance {
         removed
     }
 
-    /// All labeled nulls occurring anywhere in the instance.
+    /// All labeled nulls occurring in any **live** row.
     pub fn nulls(&self) -> HashSet<NullId> {
-        self.columns
-            .iter()
-            .flatten()
-            .filter_map(Value::as_null)
-            .collect()
+        let mut out = HashSet::new();
+        for column in &self.columns {
+            for (row, value) in column.iter().enumerate() {
+                if let Some(n) = value.as_null() {
+                    if self.is_live(row as u32) {
+                        out.insert(n);
+                    }
+                }
+            }
+        }
+        out
     }
 
-    /// All constant values occurring anywhere in the instance.
+    /// All constant values occurring in any **live** row.
     pub fn constants(&self) -> HashSet<Value> {
-        self.columns
-            .iter()
-            .flatten()
-            .filter(|v| v.is_constant())
-            .copied()
-            .collect()
+        let mut out = HashSet::new();
+        for column in &self.columns {
+            for (row, value) in column.iter().enumerate() {
+                if value.is_constant() && self.is_live(row as u32) {
+                    out.insert(*value);
+                }
+            }
+        }
+        out
     }
 
     fn rebuild_indexes(&mut self) {
@@ -943,6 +1216,158 @@ mod tests {
             .insert_stamped(Tuple::from_iter(["B", "W2"]), 2)
             .unwrap();
         assert_eq!(clamped.stamps(), &[5, 5]);
+    }
+
+    // ------------------------------------------------------------------
+    // Tombstones and support counts.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn delete_tombstones_and_reinsert_gets_fresh_row() {
+        let mut r = sample();
+        r.set_epoch(3);
+        assert!(r.delete(&Tuple::from_iter(["Standard", "W1"])));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_rows(), 4);
+        assert_eq!(r.dead_rows(), 1);
+        assert!(!r.contains(&Tuple::from_iter(["Standard", "W1"])));
+        assert!(!r.is_live(0));
+        // Deleting again is a no-op.
+        assert!(!r.delete(&Tuple::from_iter(["Standard", "W1"])));
+        // Re-insert: fresh row at the current epoch, re-entering the delta.
+        assert!(r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap());
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_rows(), 5);
+        assert_eq!(r.delta_since(2), vec![Tuple::from_iter(["Standard", "W1"])]);
+    }
+
+    #[test]
+    fn delete_removes_index_postings_and_scan_agrees() {
+        let mut r = sample();
+        r.build_index(0);
+        r.delete(&Tuple::from_iter(["Standard", "W1"]));
+        let indexed = r.select(&[(0, &Value::str("Standard"))]);
+        assert_eq!(indexed, vec![Tuple::from_iter(["Standard", "W2"])]);
+        // Unindexed path (scan) must agree.
+        let scanned = r.select(&[(1, &Value::str("W1"))]);
+        assert!(scanned.is_empty());
+        // Empty-bindings select skips the tombstone too.
+        assert_eq!(r.select(&[]).len(), 3);
+        assert_eq!(r.iter().count(), 3);
+    }
+
+    /// Regression: an index built *after* a deletion must not resurrect
+    /// the dead row — `HashIndex::build` over the raw column used to leak
+    /// tombstoned rows into join probes (the chase builds join indexes
+    /// lazily, so a fresh chase over a database with tombstones derived
+    /// consequences of deleted facts).
+    #[test]
+    fn index_built_after_delete_skips_tombstoned_rows() {
+        let mut r = sample();
+        r.delete(&Tuple::from_iter(["Standard", "W1"]));
+        r.build_index(0);
+        let indexed = r.select(&[(0, &Value::str("Standard"))]);
+        assert_eq!(indexed, vec![Tuple::from_iter(["Standard", "W2"])]);
+        assert_eq!(r.index(0).unwrap().lookup(&Value::str("Standard")).len(), 1);
+    }
+
+    #[test]
+    fn support_counts_track_duplicate_inserts_and_deletes() {
+        let mut r = sample();
+        assert_eq!(r.support_of(0), 1);
+        // A duplicate insert bumps the existing row's support.
+        assert!(!r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap());
+        assert_eq!(r.support_of(0), 2);
+        assert_eq!(r.support_of(1), 1);
+        r.delete_row(0);
+        assert_eq!(r.support_of(0), 0);
+        // Out of range → 0.
+        assert_eq!(r.support_of(99), 0);
+        r.set_support(1, 7);
+        assert_eq!(r.support_of(1), 7);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_slots_preserving_stamps_and_supports() {
+        let mut r = sample();
+        r.set_epoch(2);
+        r.insert(Tuple::from_iter(["Oncology", "W5"])).unwrap();
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap(); // support bump
+        r.build_index(0);
+        r.delete(&Tuple::from_iter(["Standard", "W1"]));
+        r.delete(&Tuple::from_iter(["Terminal", "W4"]));
+        assert!(r.reclaimable_bytes() > 0);
+        let reclaimed = r.compact();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_rows(), 3);
+        assert_eq!(r.dead_rows(), 0);
+        assert_eq!(r.reclaimable_bytes(), 0);
+        // Stamps of survivors preserved (still sorted).
+        assert_eq!(r.stamps(), &[0, 0, 2]);
+        // Support of the duplicated row survives the rebuild.
+        let idx = r
+            .tuples()
+            .iter()
+            .position(|t| *t == Tuple::from_iter(["Standard", "W2"]))
+            .unwrap();
+        assert_eq!(r.support_of(idx as u32), 2);
+        // Index rebuilt consistently.
+        assert_eq!(r.select(&[(0, &Value::str("Standard"))]).len(), 1);
+        assert!(r.select(&[(0, &Value::str("Terminal"))]).is_empty());
+    }
+
+    #[test]
+    fn substitute_null_drops_tombstones_during_rebuild() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(3)), Value::str("W1")]))
+            .unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        r.insert(Tuple::from_iter(["Terminal", "W4"])).unwrap();
+        r.delete(&Tuple::from_iter(["Terminal", "W4"]));
+        let changed = r.substitute_null(NullId(3), &Value::str("Standard"));
+        assert_eq!(changed, 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_rows(), 2); // tombstone gone
+        assert_eq!(r.dead_rows(), 0);
+        assert!(!r.contains(&Tuple::from_iter(["Terminal", "W4"])));
+    }
+
+    #[test]
+    fn retain_skips_tombstones() {
+        let mut r = sample();
+        r.delete(&Tuple::from_iter(["Standard", "W1"]));
+        let removed = r.retain(|t| t.get(0) != Some(&Value::str("Intensive")));
+        assert_eq!(removed, 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_rows(), 2);
+        assert!(!r.contains(&Tuple::from_iter(["Standard", "W1"])));
+    }
+
+    #[test]
+    fn nulls_and_constants_skip_dead_rows() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::new(vec![Value::null(NullId(5)), Value::str("W9")]))
+            .unwrap();
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.delete(&Tuple::new(vec![Value::null(NullId(5)), Value::str("W9")]));
+        assert!(r.nulls().is_empty());
+        assert!(!r.constants().contains(&Value::str("W9")));
+        assert!(r.constants().contains(&Value::str("W1")));
+    }
+
+    #[test]
+    fn delta_since_skips_dead_rows() {
+        let mut r = RelationInstance::new(ward_schema());
+        r.insert(Tuple::from_iter(["Standard", "W1"])).unwrap();
+        r.set_epoch(1);
+        r.insert(Tuple::from_iter(["Standard", "W2"])).unwrap();
+        r.insert(Tuple::from_iter(["Intensive", "W3"])).unwrap();
+        r.delete(&Tuple::from_iter(["Standard", "W2"]));
+        assert_eq!(
+            r.delta_since(0),
+            vec![Tuple::from_iter(["Intensive", "W3"])]
+        );
     }
 
     #[test]

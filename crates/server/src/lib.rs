@@ -88,8 +88,11 @@ pub mod snapshot;
 pub use cache::{parse_query_text, CacheStats, QueryCache, QueryKind};
 pub use error::ServiceError;
 pub use pool::WorkerPool;
-pub use protocol::{parse_facts, parse_request, serve_session, Request};
-pub use service::{PersistReport, QualityService, QueryResponse, RecoverySummary, UpdateReport};
+pub use protocol::{parse_facts, parse_request, parse_retractions, serve_session, Request};
+pub use service::{
+    PersistReport, QualityService, QueryResponse, RecoverySummary, RetractReport,
+    RetractionCounters, UpdateReport,
+};
 pub use snapshot::Snapshot;
 
 #[cfg(test)]

@@ -7,6 +7,9 @@
 //!
 //! ```text
 //! +Measurements(@Sep/5-12:10, "Tom Waits", 38.2).   stage a fact
+//! -Measurements(@Sep/5-12:10, "Tom Waits", 38.2).   stage a retraction
+//! -Measurements(t, p, v) :- Measurements(t, p, v), p = "Tom Waits".
+//!                                                   stage a conditional delete
 //! !flush                                            apply staged facts (re-chase)
 //! ?- Measurements(t, p, v), p = "Tom Waits".        plain certain answers
 //! ?q- Measurements(t, p, v).                        quality answers
@@ -17,8 +20,10 @@
 //!
 //! Staged facts are applied as **one batch** before any query (or on
 //! `!flush`), so a client streaming many `+fact.` lines pays one incremental
-//! re-chase, not one per fact.  Query evaluation is dispatched to the shared
-//! [`WorkerPool`]; the session thread only parses, stages and prints.
+//! re-chase, not one per fact.  Staged retractions are applied as one
+//! delete-and-rederive batch *after* the staged inserts of the same flush.
+//! Query evaluation is dispatched to the shared [`WorkerPool`]; the session
+//! thread only parses, stages and prints.
 
 use crate::cache::QueryKind;
 use crate::error::ServiceError;
@@ -34,6 +39,9 @@ use std::sync::Arc;
 pub enum Request {
     /// `+Pred(c1, …, cn).` — stage a ground fact.
     InsertFact(String),
+    /// `-Pred(c1, …, cn).` or `-Pred(x̄) :- body.` — stage a ground
+    /// retraction or a conditional delete.
+    RetractFact(String),
     /// `?- body.` — plain certain answers.
     PlainQuery(String),
     /// `?q- body.` — quality answers.
@@ -82,6 +90,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     if let Some(rest) = line.strip_prefix('+') {
         return Ok(Request::InsertFact(rest.trim().to_string()));
     }
+    if let Some(rest) = line.strip_prefix('-') {
+        return Ok(Request::RetractFact(rest.trim().to_string()));
+    }
     if let Some(rest) = line.strip_prefix('!') {
         let mut parts = rest.trim().splitn(2, char::is_whitespace);
         let command = parts.next().unwrap_or_default();
@@ -99,7 +110,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         };
     }
     Err(format!(
-        "unrecognized line '{line}' (facts start with '+', queries with '?-' or '?q-', commands with '!')"
+        "unrecognized line '{line}' (facts start with '+', retractions with '-', \
+         queries with '?-' or '?q-', commands with '!')"
     ))
 }
 
@@ -161,10 +173,43 @@ pub fn parse_facts(text: &str) -> Result<Vec<(String, Tuple)>, ServiceError> {
     Ok(facts)
 }
 
+/// Parse the text after `-` into a program holding only retraction rules:
+/// ground retractions (`-P(c̄).`) and conditional deletes
+/// (`-P(x̄) :- body.`).
+///
+/// The leading `-` the request parser stripped is restored before parsing,
+/// so the text goes through the ordinary rule grammar; anything that is not
+/// a retraction-kind rule is rejected (the context's rule set is fixed).
+/// Expansion of conditional deletes against the live instance happens at
+/// flush time, under the writer lock — staging is purely syntactic.
+pub fn parse_retractions(text: &str) -> Result<ontodq_datalog::Program, ServiceError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ServiceError::Parse("no retraction found".to_string()));
+    }
+    let normalized = if trimmed.ends_with('.') {
+        format!("-{trimmed}")
+    } else {
+        format!("-{trimmed}.")
+    };
+    let program = parse_program(&normalized).map_err(|e| ServiceError::Parse(e.to_string()))?;
+    if program.rule_count() != program.retractions.len() + program.deletions.len() {
+        return Err(ServiceError::Parse(
+            "only retractions may follow '-'; rules are fixed by the context".to_string(),
+        ));
+    }
+    if program.rule_count() == 0 {
+        return Err(ServiceError::Parse("no retraction found".to_string()));
+    }
+    Ok(program)
+}
+
 const HELP: &str = "\
 +Fact(c1, ..., cn).   stage a ground fact for the current context
-!flush                apply staged facts as one batch (incremental re-chase)
-!discard              drop staged facts without applying them
+-Fact(c1, ..., cn).   stage a retraction (delete-and-rederive on flush)
+-Head(...) :- body.   stage a conditional delete (expanded at flush time)
+!flush                apply staged inserts, then staged retractions
+!discard              drop staged facts/retractions without applying them
 ?- body.              plain certain answers (auto-flushes staged facts)
 ?q- body.             quality answers over the quality versions
 ?d- body.             quality answers, demand-driven (magic-set chase)
@@ -210,6 +255,30 @@ pub fn serve_session<R: BufRead, W: Write>(
     }
 }
 
+/// The session's staged-but-unapplied work: insert facts and retraction
+/// rules.  The next flush applies the inserts as one batch, then the
+/// retractions as one delete-and-rederive batch.
+#[derive(Default)]
+struct Staged {
+    facts: Vec<(String, Tuple)>,
+    retractions: ontodq_datalog::Program,
+}
+
+impl Staged {
+    fn len(&self) -> usize {
+        self.facts.len() + self.retractions.rule_count()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn clear(&mut self) {
+        self.facts.clear();
+        self.retractions = ontodq_datalog::Program::new();
+    }
+}
+
 /// The session loop proper; io errors (including disconnects) propagate to
 /// [`serve_session`], which classifies them.
 fn session_loop<R: BufRead, W: Write>(
@@ -220,7 +289,7 @@ fn session_loop<R: BufRead, W: Write>(
     writer: &mut W,
 ) -> std::io::Result<()> {
     let mut context = default_context.to_string();
-    let mut staged: Vec<(String, Tuple)> = Vec::new();
+    let mut staged = Staged::default();
 
     for line in reader.lines() {
         let line = line?;
@@ -246,11 +315,11 @@ fn session_loop<R: BufRead, W: Write>(
             }
             Request::UseContext(name) => {
                 if !staged.is_empty() {
-                    // Staged facts belong to the context they were staged
+                    // Staged changes belong to the context they were staged
                     // for; switching would silently apply them elsewhere.
                     writeln!(
                         writer,
-                        "err: {} fact(s) staged for context '{context}'; !flush them first",
+                        "err: {} change(s) staged for context '{context}'; !flush them first",
                         staged.len()
                     )?;
                 } else if service.context_names().iter().any(|n| n == &name) {
@@ -271,9 +340,14 @@ fn session_loop<R: BufRead, W: Write>(
                     // the snapshot's columnar-arena footprint.
                     let joins = ontodq_relational::counters::snapshot();
                     let arena_bytes = snapshot.database.arena_bytes();
+                    // Tombstones make live vs physical rows distinct: the
+                    // arena keeps dead rows until compaction, and
+                    // `reclaimable_bytes` is the share a compaction would
+                    // recover.
+                    let retract = service.retraction_stats();
                     writeln!(
                         writer,
-                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={}",
+                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={} live_rows={} total_rows={} reclaimable_bytes={} retractions={} cascaded_deletes={} rederived={}",
                         context,
                         snapshot.version,
                         snapshot.total_tuples(),
@@ -291,6 +365,12 @@ fn session_loop<R: BufRead, W: Write>(
                         joins.wco_seeks,
                         joins.materializations,
                         arena_bytes,
+                        snapshot.database.total_tuples(),
+                        snapshot.database.total_rows(),
+                        snapshot.database.reclaimable_bytes(),
+                        retract.retractions,
+                        retract.cascaded_deletes,
+                        retract.rederived,
                     )?;
                 }
                 Err(e) => writeln!(writer, "err: {e}")?,
@@ -305,7 +385,14 @@ fn session_loop<R: BufRead, W: Write>(
             },
             Request::InsertFact(text) => match parse_facts(&text) {
                 Ok(facts) => {
-                    staged.extend(facts);
+                    staged.facts.extend(facts);
+                    writeln!(writer, "ok staged={}", staged.len())?;
+                }
+                Err(e) => writeln!(writer, "err: {e}")?,
+            },
+            Request::RetractFact(text) => match parse_retractions(&text) {
+                Ok(program) => {
+                    staged.retractions.extend(program);
                     writeln!(writer, "ok staged={}", staged.len())?;
                 }
                 Err(e) => writeln!(writer, "err: {e}")?,
@@ -317,16 +404,32 @@ fn session_loop<R: BufRead, W: Write>(
             }
             Request::Flush => {
                 match flush(service, &context, &mut staged) {
-                    Ok(Some(report)) => writeln!(
-                        writer,
-                        "ok applied new={} derived={} version={} violations={} micros={}",
-                        report.new_facts,
-                        report.derived,
-                        report.version,
-                        report.violations,
-                        report.elapsed.as_micros(),
-                    )?,
-                    Ok(None) => writeln!(writer, "ok applied new=0 (nothing staged)")?,
+                    Ok((None, None)) => writeln!(writer, "ok applied new=0 (nothing staged)")?,
+                    Ok((inserted, retracted)) => {
+                        if let Some(report) = inserted {
+                            writeln!(
+                                writer,
+                                "ok applied new={} derived={} version={} violations={} micros={}",
+                                report.new_facts,
+                                report.derived,
+                                report.version,
+                                report.violations,
+                                report.elapsed.as_micros(),
+                            )?;
+                        }
+                        if let Some(report) = retracted {
+                            writeln!(
+                                writer,
+                                "ok retracted requested={} removed={} cascaded={} rederived={} version={} micros={}",
+                                report.requested,
+                                report.retracted,
+                                report.cascaded,
+                                report.rederived,
+                                report.version,
+                                report.elapsed.as_micros(),
+                            )?;
+                        }
+                    }
                     Err(e) => writeln!(writer, "err: {e}")?,
                 };
             }
@@ -384,32 +487,52 @@ fn session_loop<R: BufRead, W: Write>(
     Ok(())
 }
 
-/// Apply the staged batch, if any.  On a *rejection* (parse/schema error)
-/// the staged facts are kept — batches are applied atomically (a rejected
-/// batch changed nothing), so the client can drop or fix the offending fact
-/// and `!flush` again.  A [`ServiceError::Store`] is different: the batch
-/// **was** applied in memory and only its durability failed, so the staged
-/// facts are cleared (re-flushing them would double-apply) and the error is
-/// surfaced as the status line.
+/// Apply the staged work, if any: the insert batch first, then the
+/// retraction batch (so a flush that stages both inserts and retractions of
+/// the same fact nets to its absence).
+///
+/// On a *rejection* of the insert batch (parse/schema error) all staged
+/// work is kept — batches are applied atomically (a rejected batch changed
+/// nothing), so the client can drop or fix the offending fact and `!flush`
+/// again.  A [`ServiceError::Store`] is different: the batch **was**
+/// applied in memory and only its durability failed, so the applied part is
+/// cleared (re-flushing it would double-apply) and the error is surfaced as
+/// the status line.  Retractions have no rejection path — expansion of a
+/// rule matching nothing is an applied no-op — so their staged rules are
+/// always consumed by the attempt.
 fn flush(
     service: &Arc<QualityService>,
     context: &str,
-    staged: &mut Vec<(String, Tuple)>,
-) -> Result<Option<crate::service::UpdateReport>, ServiceError> {
-    if staged.is_empty() {
-        return Ok(None);
-    }
-    match service.insert_facts(context, staged.clone()) {
-        Ok(report) => {
-            staged.clear();
-            Ok(Some(report))
+    staged: &mut Staged,
+) -> Result<
+    (
+        Option<crate::service::UpdateReport>,
+        Option<crate::service::RetractReport>,
+    ),
+    ServiceError,
+> {
+    let inserted = if staged.facts.is_empty() {
+        None
+    } else {
+        match service.insert_facts(context, staged.facts.clone()) {
+            Ok(report) => {
+                staged.facts.clear();
+                Some(report)
+            }
+            Err(e @ ServiceError::Store(_)) => {
+                staged.facts.clear();
+                return Err(e);
+            }
+            Err(e) => return Err(e),
         }
-        Err(e @ ServiceError::Store(_)) => {
-            staged.clear();
-            Err(e)
-        }
-        Err(e) => Err(e),
-    }
+    };
+    let retracted = if staged.retractions.rule_count() == 0 {
+        None
+    } else {
+        let program = std::mem::take(&mut staged.retractions);
+        Some(service.retract_facts(context, &program)?)
+    };
+    Ok((inserted, retracted))
 }
 
 #[cfg(test)]
@@ -440,6 +563,14 @@ mod tests {
         assert_eq!(
             parse_request("+R(a)."),
             Ok(Request::InsertFact("R(a).".to_string()))
+        );
+        assert_eq!(
+            parse_request("-R(a)."),
+            Ok(Request::RetractFact("R(a).".to_string()))
+        );
+        assert_eq!(
+            parse_request("-R(x) :- S(x)."),
+            Ok(Request::RetractFact("R(x) :- S(x).".to_string()))
         );
         assert_eq!(
             parse_request("?- R(x)."),
@@ -497,6 +628,67 @@ mod tests {
         assert!(out.contains("ok answers=3 version=1"));
         assert!(out.contains("ok context=hospital version=1"));
         assert!(out.trim_end().ends_with("ok bye"));
+    }
+
+    #[test]
+    fn retractions_parse_to_retraction_programs() {
+        let program =
+            parse_retractions("Measurements(@Sep/5-12:10, \"Tom Waits\", 38.2).").unwrap();
+        assert_eq!(program.retractions.len(), 1);
+        assert!(program.deletions.is_empty());
+        let program =
+            parse_retractions("Measurements(t, p, v) :- Measurements(t, p, v), p = \"X\".")
+                .unwrap();
+        assert_eq!(program.deletions.len(), 1);
+        // Non-retraction rules and junk are rejected.
+        assert!(parse_retractions("").is_err());
+        assert!(parse_retractions("R(x), S(x)").is_err());
+    }
+
+    /// The full correction loop over one stdin session: insert → query →
+    /// retract → query, with the answers changing both times, and the new
+    /// `!stats` counters visible.
+    #[test]
+    fn end_to_end_retraction_session() {
+        let out = session_output(
+            "+Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).\n\
+             ?q- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             -Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).\n\
+             !flush\n\
+             ?q- Measurements(t, p, v), p = \"Lou Reed\".\n\
+             !stats\n\
+             !quit\n",
+        );
+        // The insert is auto-flushed by the first query; Lou has 3 quality
+        // rows at version 1.
+        assert!(out.contains("ok answers=3 version=1"), "got:\n{out}");
+        // The retraction applies on !flush and removes the row again.
+        assert!(
+            out.contains("ok retracted requested=1 removed=1"),
+            "got:\n{out}"
+        );
+        assert!(out.contains("ok answers=2 version=2"), "got:\n{out}");
+        // New counters are on the stats line.
+        assert!(out.contains("retractions=1"));
+        assert!(out.contains("live_rows="));
+        assert!(out.contains("total_rows="));
+        assert!(out.contains("reclaimable_bytes="));
+    }
+
+    /// Conditional deletes stage like ground retractions and expand at
+    /// flush time against the live instance.
+    #[test]
+    fn conditional_deletes_work_through_the_protocol() {
+        let out = session_output(
+            "-Measurements(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             !flush\n\
+             ?- Measurements(t, p, v), p = \"Tom Waits\".\n\
+             !quit\n",
+        );
+        // All four raw Tom Waits rows are condemned by the one rule.
+        assert!(out.contains("ok staged=1"));
+        assert!(out.contains("requested=4 removed=4"), "got:\n{out}");
+        assert!(out.contains("ok answers=0 version=1"), "got:\n{out}");
     }
 
     /// `?d-` answers must equal `?q-` answers line for line — the
@@ -575,7 +767,7 @@ mod tests {
              !quit\n",
         );
         // Switching with staged facts is refused, even to the same name…
-        assert!(out.contains("err: 1 fact(s) staged for context 'hospital'"));
+        assert!(out.contains("err: 1 change(s) staged for context 'hospital'"));
         // …discarding clears them, after which switching works and the
         // discarded fact never reached the instance (Lou keeps 2 quality
         // rows).

@@ -6,8 +6,9 @@ use crate::snapshot::Snapshot;
 use ontodq_core::{Context, ContextBuilder, ResumableAssessment};
 use ontodq_qa::AnswerSet;
 use ontodq_relational::{Database, Tuple};
-use ontodq_store::{ContextImage, Recovery, Store, WalStats};
+use ontodq_store::{BatchKind, ContextImage, Recovery, Store, WalStats};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,39 @@ pub struct UpdateReport {
     pub violations: usize,
     /// Wall-clock time of the incremental re-chase + snapshot swap.
     pub elapsed: Duration,
+}
+
+/// What an applied retraction batch did (delete-and-rederive).
+#[derive(Debug, Clone)]
+pub struct RetractReport {
+    /// The snapshot version the retraction produced.
+    pub version: u64,
+    /// Concrete facts the batch asked to retract (after conditional-delete
+    /// expansion; requests for absent facts are counted here too).
+    pub requested: usize,
+    /// Extensional facts actually removed from the base.
+    pub retracted: usize,
+    /// Derived tuples condemned by the cascade (0 on the EGD fallback
+    /// path, which rebuilds instead of condemning individually).
+    pub cascaded: usize,
+    /// Tuples re-derived from surviving supports.
+    pub rederived: usize,
+    /// EGD/constraint violations observed by the re-derivation step.
+    pub violations: usize,
+    /// Wall-clock time of expansion + DRed + snapshot swap.
+    pub elapsed: Duration,
+}
+
+/// Process-lifetime retraction counters, surfaced by `!stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetractionCounters {
+    /// Concrete retraction requests applied (expanded conditional deletes
+    /// included).
+    pub retractions: u64,
+    /// Derived tuples condemned by DRed cascades.
+    pub cascaded_deletes: u64,
+    /// Tuples re-derived from alternative supports after cascades.
+    pub rederived: u64,
 }
 
 /// The answers to one query, with their provenance.
@@ -106,6 +140,12 @@ pub struct QualityService {
     /// `persist_all` takes every writer then the store, so the order is
     /// consistent and deadlock-free.
     store: Option<Arc<Mutex<Store>>>,
+    /// Process-lifetime retraction counters (`!stats`): requests applied,
+    /// cascade condemnations, re-derivations.  Recovery replay counts too —
+    /// the counters describe work this process performed.
+    retractions: AtomicU64,
+    cascaded_deletes: AtomicU64,
+    rederived: AtomicU64,
 }
 
 impl QualityService {
@@ -115,6 +155,9 @@ impl QualityService {
             contexts: RwLock::new(BTreeMap::new()),
             cache: QueryCache::new(),
             store: None,
+            retractions: AtomicU64::new(0),
+            cascaded_deletes: AtomicU64::new(0),
+            rederived: AtomicU64::new(0),
         }
     }
 
@@ -123,9 +166,8 @@ impl QualityService {
     /// [`QualityService::persist_all`].
     pub fn with_store(store: Arc<Mutex<Store>>) -> Self {
         Self {
-            contexts: RwLock::new(BTreeMap::new()),
-            cache: QueryCache::new(),
             store: Some(store),
+            ..Self::new()
         }
     }
 
@@ -232,9 +274,21 @@ impl QualityService {
             None => ResumableAssessment::new(context.clone(), initial_instance),
         };
         for batch in tail {
-            writer
-                .insert_batch(batch.facts)
-                .map_err(|e| ServiceError::Store(format!("replaying batch {}: {e}", batch.seq)))?;
+            match batch.kind {
+                BatchKind::Insert => {
+                    writer.insert_batch(batch.facts).map_err(|e| {
+                        ServiceError::Store(format!("replaying batch {}: {e}", batch.seq))
+                    })?;
+                }
+                BatchKind::Retract => {
+                    // Replay through the same delete-and-rederive path the
+                    // live server used; the logged facts are already the
+                    // expanded concrete deletions, so replay is
+                    // deterministic even for conditional deletes.
+                    let result = writer.retract_batch(batch.facts);
+                    self.note_retraction(&result.stats);
+                }
+            }
             if writer.batches_applied() != batch.seq {
                 return Err(ServiceError::Store(format!(
                     "WAL sequence gap for context '{name}': replayed batch {} as version {}",
@@ -407,6 +461,86 @@ impl QualityService {
             violations,
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Apply a batch of retraction rules to `context`: ground retractions
+    /// and conditional deletes are expanded against the current chased
+    /// instance into concrete facts, those facts are deleted from the
+    /// extensional base, and their derived consequences are withdrawn with
+    /// **delete-and-rederive** (cascade the over-approximated closure, then
+    /// re-derive survivors from alternative supports) before the new
+    /// snapshot is swapped in atomically.  Version-keyed query memos
+    /// invalidate by construction, exactly as for inserts.
+    ///
+    /// With a store attached, the **expanded** deletions are appended to
+    /// the write-ahead log as a retraction record sharing the per-context
+    /// sequence with insert batches, so recovery replays the interleaving
+    /// in application order.  A failed append is surfaced as
+    /// [`ServiceError::Store`] with the same durability semantics as
+    /// [`QualityService::insert_facts`]: the in-memory application stands.
+    pub fn retract_facts(
+        &self,
+        context: &str,
+        retractions: &ontodq_datalog::Program,
+    ) -> Result<RetractReport, ServiceError> {
+        let entry = self.entry(context)?;
+        let start = Instant::now();
+        let mut writer = entry.writer.lock().unwrap();
+        let expanded = writer.expand_retractions(retractions);
+        let result = writer.retract_batch(expanded.iter().cloned());
+        let stats = result.stats;
+        let violations = result.chase.violations.len();
+        let version = writer.batches_applied();
+        // Log even an empty expansion: the version advanced, and recovery
+        // checks for per-context sequence gaps.
+        let wal_error = self.store.as_ref().and_then(|store| {
+            store
+                .lock()
+                .unwrap()
+                .append_retraction(context, version, &expanded)
+                .err()
+        });
+        let snapshot = Self::build_snapshot(
+            context,
+            version,
+            &writer,
+            Arc::clone(&entry.program),
+            result.chase.database,
+        );
+        *entry.snapshot.write().unwrap() = Arc::new(snapshot);
+        drop(writer);
+        self.note_retraction(&stats);
+        if let Some(e) = wal_error {
+            return Err(ServiceError::Store(e.to_string()));
+        }
+        Ok(RetractReport {
+            version,
+            requested: stats.requested,
+            retracted: stats.retracted,
+            cascaded: stats.cascaded,
+            rederived: stats.rederived,
+            violations,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Fold one applied retraction into the process-lifetime counters.
+    fn note_retraction(&self, stats: &ontodq_chase::RetractStats) {
+        self.retractions
+            .fetch_add(stats.requested as u64, Ordering::Relaxed);
+        self.cascaded_deletes
+            .fetch_add(stats.cascaded as u64, Ordering::Relaxed);
+        self.rederived
+            .fetch_add(stats.rederived as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time retraction counters.
+    pub fn retraction_stats(&self) -> RetractionCounters {
+        RetractionCounters {
+            retractions: self.retractions.load(Ordering::Relaxed),
+            cascaded_deletes: self.cascaded_deletes.load(Ordering::Relaxed),
+            rederived: self.rederived.load(Ordering::Relaxed),
+        }
     }
 
     /// The certain answers to `text` (see
@@ -878,6 +1012,141 @@ mod tests {
         let demand = service.demand_answers("notes", "Notes(id, text)").unwrap();
         assert_eq!(quality.answers.len(), 3);
         assert_eq!(quality.answers, demand.answers);
+    }
+
+    /// Retract-after-insert through the service: the quality answers return
+    /// to their pre-insert state, the version advances, and the memoized
+    /// answers invalidate by construction.
+    #[test]
+    fn retract_facts_restore_the_pre_insert_answers() {
+        let service = hospital_service();
+        let q = "Measurements(t, p, v)";
+        let before = service.quality_answers("hospital", q).unwrap();
+        service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap();
+        let inserted = service.quality_answers("hospital", q).unwrap();
+        assert_eq!(inserted.answers.len(), before.answers.len() + 1);
+
+        let retraction =
+            ontodq_datalog::parse_program("-Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).")
+                .unwrap();
+        let report = service.retract_facts("hospital", &retraction).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.requested, 1);
+        assert_eq!(report.retracted, 1);
+        let after = service.quality_answers("hospital", q).unwrap();
+        assert_eq!(after.version, 2);
+        assert!(!after.cached, "version bump must invalidate the memo");
+        assert_eq!(after.answers, before.answers);
+        let counters = service.retraction_stats();
+        assert_eq!(counters.retractions, 1);
+    }
+
+    /// Conditional deletes expand against the live instance: one rule
+    /// removes every matching row in one batch.
+    #[test]
+    fn conditional_deletes_expand_against_the_live_instance() {
+        let service = hospital_service();
+        let q = "Measurements(t, p, v)";
+        let before = service.quality_answers("hospital", q).unwrap();
+        assert!(!before.answers.is_empty());
+        let delete_tom = ontodq_datalog::parse_program(
+            "-Measurements(t, p, v) :- Measurements(t, p, v), p = \"Tom Waits\".",
+        )
+        .unwrap();
+        let report = service.retract_facts("hospital", &delete_tom).unwrap();
+        assert!(report.requested >= 2, "got {report:?}");
+        assert_eq!(report.requested, report.retracted);
+        let after = service
+            .quality_answers("hospital", "Measurements(t, p, v), p = \"Tom Waits\"")
+            .unwrap();
+        assert!(after.answers.is_empty());
+    }
+
+    /// A retraction batch must survive a restart: the WAL retraction record
+    /// replays through the same delete-and-rederive path, interleaved with
+    /// insert batches in application order.
+    #[test]
+    fn retractions_survive_a_restart_via_wal_replay() {
+        let (dir, store) = open_store("retractreplay", true);
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap();
+        let retraction =
+            ontodq_datalog::parse_program("-Measurements(@Sep/6-11:05, \"Lou Reed\", 39.9).")
+                .unwrap();
+        let report = service.retract_facts("hospital", &retraction).unwrap();
+        assert_eq!(report.version, 2);
+        let live = service
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        drop(service);
+
+        let (_, store) = open_store("retractreplay", false);
+        let mut recovery = store.lock().unwrap().recover().unwrap();
+        let recovered = QualityService::with_store(store);
+        let summary = recovered
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+                &mut recovery,
+            )
+            .unwrap();
+        assert_eq!(summary.replayed_batches, 2);
+        assert_eq!(summary.version, 2);
+        let revived = recovered
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        assert_eq!(revived.version, live.version);
+        assert_eq!(revived.answers, live.answers);
+        // Replay went through the retraction path, visibly.
+        assert_eq!(recovered.retraction_stats().retractions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A deletion record for a context this configuration never registered
+    /// must surface as a clean error (compaction refused, state preserved),
+    /// never a panic.
+    #[test]
+    fn retraction_records_for_unknown_contexts_are_a_clean_error() {
+        let (dir, store) = open_store("ghostretract", true);
+        store
+            .lock()
+            .unwrap()
+            .append_retraction("ghost", 1, &[lou_reed_fact()])
+            .unwrap();
+        drop(store);
+
+        let (_, store) = open_store("ghostretract", false);
+        let mut recovery = store.lock().unwrap().recover().unwrap();
+        assert_eq!(recovery.tails["ghost"].len(), 1);
+        let service = QualityService::with_store(store);
+        service
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+                &mut recovery,
+            )
+            .unwrap();
+        // The ghost context's deletion record still lives only in the log:
+        // checkpointing must refuse to destroy it, with a clean error.
+        let err = service.persist_all().unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::Store(msg) if msg.contains("ghost")),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

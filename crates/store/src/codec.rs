@@ -364,23 +364,29 @@ fn decode_schema(cursor: &mut Cursor<'_>, dict: &DictReader) -> Result<RelationS
 }
 
 /// Serialize a whole database: epoch, then every relation with its schema
-/// and stamped rows (insertion order, so stamps stay sorted on replay).
+/// and **physical** rows — stamp, liveness byte, support count, tuple — in
+/// arena order (stamps stay sorted on replay).  Tombstoned rows are
+/// persisted too, so the delta structure *and* the retraction bookkeeping
+/// survive the round trip bit-for-bit.
 pub(crate) fn encode_database(buf: &mut Vec<u8>, dict: &mut DictWriter, db: &Database) {
     put_u64(buf, db.epoch());
     put_u32(buf, db.relation_count() as u32);
     for relation in db.relations() {
         encode_schema(buf, dict, relation.schema());
-        put_u32(buf, relation.len() as u32);
-        for (tuple, stamp) in relation.iter().zip(relation.stamps()) {
-            put_u64(buf, *stamp);
-            encode_tuple(buf, dict, &tuple);
+        put_u32(buf, relation.total_rows() as u32);
+        let stamps = relation.stamps();
+        for row in 0..relation.total_rows() as u32 {
+            put_u64(buf, stamps[row as usize]);
+            put_u8(buf, relation.is_live(row) as u8);
+            put_u32(buf, relation.support_of(row));
+            encode_tuple(buf, dict, &relation.row_tuple(row));
         }
     }
 }
 
 /// The inverse of [`encode_database`]: rows are replayed with their original
-/// stamps and the serialized epoch is restored exactly (it may sit above
-/// every stamp).
+/// stamps, liveness and support counts, and the serialized epoch is restored
+/// exactly (it may sit above every stamp).
 pub(crate) fn decode_database(cursor: &mut Cursor<'_>, dict: &DictReader) -> Result<Database> {
     let epoch = cursor.take_u64()?;
     let relation_count = cursor.take_u32()? as usize;
@@ -388,11 +394,34 @@ pub(crate) fn decode_database(cursor: &mut Cursor<'_>, dict: &DictReader) -> Res
     for _ in 0..relation_count {
         let schema = decode_schema(cursor, dict)?;
         let rows = cursor.take_u32()? as usize;
+        let name = schema.name().to_string();
         let mut relation = RelationInstance::new(schema);
-        for _ in 0..rows {
+        for row in 0..rows {
             let stamp = cursor.take_u64()?;
+            let live = match cursor.take_u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(cursor.corrupt(format!("unknown liveness byte {other}")));
+                }
+            };
+            let support = cursor.take_u32()?;
             let tuple = decode_tuple(cursor, dict)?;
-            relation.insert_stamped(tuple, stamp)?;
+            // Physical rows are pairwise distinct among the *live* subset,
+            // and a dead row is tombstoned immediately after its append —
+            // which drops it from the dedup map — so every append lands in
+            // a fresh slot and the arena layout is reproduced exactly.
+            if !relation.insert_stamped(tuple, stamp)? {
+                return Err(
+                    cursor.corrupt(format!("duplicate physical row {row} in relation '{name}'"))
+                );
+            }
+            let row = row as u32;
+            if !live {
+                relation.delete_row(row);
+            } else if support != 1 {
+                relation.set_support(row, support);
+            }
         }
         db.insert_relation(relation);
     }
@@ -507,6 +536,39 @@ mod tests {
             assert_eq!(got.stamps(), relation.stamps());
             assert_eq!(got.schema(), relation.schema());
         }
+    }
+
+    #[test]
+    fn databases_round_trip_tombstones_and_support_counts() {
+        let mut db = Database::new();
+        db.insert_values("E", ["a", "b"]).unwrap();
+        db.advance_epoch();
+        db.insert_values("E", ["b", "c"]).unwrap();
+        db.insert_values("E", ["c", "d"]).unwrap();
+        db.advance_epoch();
+        // Tombstone one row, bump another's support, and delete-then-reinsert
+        // a third so the arena holds a dead row before a live duplicate.
+        let e = db.relation_mut("E").unwrap();
+        e.delete(&Tuple::from_iter(["b", "c"]));
+        e.set_support(0, 3);
+        e.delete(&Tuple::from_iter(["c", "d"]));
+        e.insert(Tuple::from_iter(["c", "d"])).unwrap();
+        assert_eq!(e.total_rows(), 4);
+        assert_eq!(e.dead_rows(), 2);
+
+        let decoded = round_trip_db(&db);
+        assert_eq!(decoded.epoch(), db.epoch());
+        let got = decoded.relation("E").unwrap();
+        let want = db.relation("E").unwrap();
+        assert_eq!(got.total_rows(), want.total_rows());
+        assert_eq!(got.dead_rows(), want.dead_rows());
+        assert_eq!(got.stamps(), want.stamps());
+        for row in 0..want.total_rows() as u32 {
+            assert_eq!(got.is_live(row), want.is_live(row), "row {row}");
+            assert_eq!(got.support_of(row), want.support_of(row), "row {row}");
+            assert_eq!(got.row_tuple(row), want.row_tuple(row), "row {row}");
+        }
+        assert_eq!(got.tuples(), want.tuples());
     }
 
     #[test]

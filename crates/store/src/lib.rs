@@ -52,7 +52,7 @@ pub use codec::crc32;
 pub use error::{Result, StoreError};
 pub use snapshot::{ContextImage, PersistedContext};
 pub use store::{Recovery, Store, StoreConfig};
-pub use wal::{ReplayedBatch, Wal, WalConfig, WalStats};
+pub use wal::{BatchKind, ReplayedBatch, Wal, WalConfig, WalStats};
 
 #[cfg(test)]
 mod send_sync_audit {

@@ -14,9 +14,13 @@
 //!   `seq > version`).
 //!
 //! Files use the same framing and local-dictionary codec as WAL segments
-//! (magic `ODQSNP1\n`, symbol-definition records, then one snapshot
+//! (magic `ODQSNP2\n`, symbol-definition records, then one snapshot
 //! record), and are written to a temporary sibling, fsynced, and renamed
 //! into place — a crash mid-save leaves the previous snapshot intact.
+//! Format version 2 persists physical arena rows (stamp, liveness,
+//! support count, tuple) so retraction bookkeeping survives restarts;
+//! version-1 files are rejected as corrupt and recovery falls back to the
+//! WAL as for any unreadable snapshot.
 
 use crate::codec::{
     decode_database, decode_floors, encode_database, encode_floors, put_u32, put_u64, Cursor,
@@ -31,7 +35,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
-const SNAPSHOT_MAGIC: &[u8; 8] = b"ODQSNP1\n";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"ODQSNP2\n";
 
 /// Record type: the snapshot body (exactly one per file, after its symbol
 /// definitions).

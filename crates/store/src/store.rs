@@ -107,6 +107,19 @@ impl Store {
         self.wal.append_batch(context, seq, facts)
     }
 
+    /// Append one applied retraction batch for `context` and fsync it;
+    /// `facts` are the expanded concrete deletions.  Shares the per-context
+    /// sequence with [`Store::append_batch`], so recovery replays inserts
+    /// and retractions in exactly the order they were applied.
+    pub fn append_retraction(
+        &mut self,
+        context: &str,
+        seq: u64,
+        facts: &[(String, Tuple)],
+    ) -> Result<()> {
+        self.wal.append_retraction(context, seq, facts)
+    }
+
     /// Fsync the active WAL segment (clean-shutdown path; appends already
     /// fsync themselves).
     pub fn sync(&mut self) -> Result<()> {
@@ -243,6 +256,35 @@ mod tests {
         );
         assert_eq!(recovery.tails["scaled"].len(), 1);
         assert!(!recovery.truncated_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_preserves_insert_retract_interleaving() {
+        use crate::wal::BatchKind;
+        let dir = temp_dir("interleave");
+        let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+        store
+            .append_batch("hospital", 1, &[fact(&["a", "1"])])
+            .unwrap();
+        store
+            .append_retraction("hospital", 2, &[fact(&["a", "1"])])
+            .unwrap();
+        store
+            .append_batch("hospital", 3, &[fact(&["b", "2"])])
+            .unwrap();
+        // Snapshot at version 1: the retraction and the later insert form
+        // the tail, in order.
+        save_empty_snapshot(&mut store, "hospital", 1);
+        drop(store);
+
+        let mut reopened = Store::open(&dir, StoreConfig::default()).unwrap();
+        let recovery = reopened.recover().unwrap();
+        let tail = &recovery.tails["hospital"];
+        assert_eq!(
+            tail.iter().map(|b| (b.seq, b.kind)).collect::<Vec<_>>(),
+            vec![(2, BatchKind::Retract), (3, BatchKind::Insert)]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -39,6 +39,15 @@ pub(crate) const REC_SYMDEF: u8 = 1;
 /// Record type: one applied update batch.
 pub(crate) const REC_BATCH: u8 = 2;
 
+/// Record type: one applied retraction batch.  Same payload layout as
+/// [`REC_BATCH`]; the facts are the **expanded** concrete deletions (never
+/// unexpanded conditional-delete rules), so replay is deterministic no
+/// matter what state the database reaches in between.
+///
+/// (`3` is taken by the snapshot record of [`crate::snapshot`] — the two
+/// files share one framing, so tags stay globally unique.)
+pub(crate) const REC_RETRACT: u8 = 4;
+
 /// Bytes of framing per record (length + CRC).
 const FRAME_BYTES: u64 = 8;
 
@@ -68,6 +77,15 @@ pub struct WalStats {
     pub batches_appended: u64,
 }
 
+/// Whether a replayed batch inserted or retracted its facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKind {
+    /// An update batch: the facts were inserted.
+    Insert,
+    /// A retraction batch: the facts were deleted (delete-and-rederive).
+    Retract,
+}
+
 /// One batch decoded from the log during replay.
 #[derive(Debug, Clone)]
 pub struct ReplayedBatch {
@@ -75,6 +93,8 @@ pub struct ReplayedBatch {
     pub context: String,
     /// The snapshot version the batch produced (per-context, monotone).
     pub seq: u64,
+    /// Whether the facts were inserted or retracted.
+    pub kind: BatchKind,
     /// The facts of the batch, in application order.
     pub facts: Vec<(String, Tuple)>,
 }
@@ -189,13 +209,36 @@ impl Wal {
         seq: u64,
         facts: &[(String, Tuple)],
     ) -> Result<()> {
+        self.append_record(REC_BATCH, context, seq, facts)
+    }
+
+    /// Append one applied retraction batch and fsync it; `facts` are the
+    /// expanded concrete deletions.  Same durability and poisoning contract
+    /// as [`Wal::append_batch`] — insertions and retractions share one
+    /// per-context sequence, so replay interleaves them exactly as applied.
+    pub fn append_retraction(
+        &mut self,
+        context: &str,
+        seq: u64,
+        facts: &[(String, Tuple)],
+    ) -> Result<()> {
+        self.append_record(REC_RETRACT, context, seq, facts)
+    }
+
+    fn append_record(
+        &mut self,
+        tag: u8,
+        context: &str,
+        seq: u64,
+        facts: &[(String, Tuple)],
+    ) -> Result<()> {
         if let Some(reason) = &self.poisoned {
             return Err(StoreError::Data(format!(
                 "wal disabled by an earlier append failure ({reason}); \
                  checkpoint (!save) to restore durability"
             )));
         }
-        let result = self.try_append(context, seq, facts);
+        let result = self.try_append(tag, context, seq, facts);
         if let Err(e) = &result {
             // Abandon the segment: whatever prefix of a group reached the
             // disk is a tail tear in a now-final segment, which recovery
@@ -211,9 +254,15 @@ impl Wal {
         result
     }
 
-    /// The fallible body of [`Wal::append_batch`]; the wrapper poisons the
+    /// The fallible body of [`Wal::append_record`]; the wrapper poisons the
     /// log on any error.
-    fn try_append(&mut self, context: &str, seq: u64, facts: &[(String, Tuple)]) -> Result<()> {
+    fn try_append(
+        &mut self,
+        tag: u8,
+        context: &str,
+        seq: u64,
+        facts: &[(String, Tuple)],
+    ) -> Result<()> {
         if self.current.is_none() {
             self.current = Some(self.create_segment()?);
         }
@@ -222,7 +271,7 @@ impl Wal {
         // Encode the batch first so the dictionary learns which strings it
         // references; the owed definitions are framed *before* the batch in
         // the same write group.
-        let mut batch = vec![REC_BATCH];
+        let mut batch = vec![tag];
         put_u32(&mut batch, segment.dict.local_str(context));
         put_u64(&mut batch, seq);
         put_u32(&mut batch, facts.len() as u32);
@@ -338,7 +387,7 @@ impl Wal {
                     let text = cursor.take_str(len)?;
                     dict.define(local, text, path)?;
                 }
-                REC_BATCH => {
+                tag @ (REC_BATCH | REC_RETRACT) => {
                     let context = dict.resolve(cursor.take_u32()?, path)?.as_str().to_string();
                     let seq = cursor.take_u64()?;
                     let count = cursor.take_u32()? as usize;
@@ -353,6 +402,11 @@ impl Wal {
                     on_batch(ReplayedBatch {
                         context,
                         seq,
+                        kind: if tag == REC_BATCH {
+                            BatchKind::Insert
+                        } else {
+                            BatchKind::Retract
+                        },
                         facts,
                     });
                 }
@@ -546,6 +600,71 @@ mod tests {
             batches[1].facts[0].1,
             Tuple::new(vec![Value::str("c"), Value::str("d")])
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retraction_records_replay_interleaved_with_inserts() {
+        let dir = temp_dir("retract");
+        let mut wal = Wal::open(&dir, WalConfig::default()).unwrap();
+        wal.append_batch("hospital", 1, &[fact("M", &["a", "b"])])
+            .unwrap();
+        wal.append_retraction("hospital", 2, &[fact("M", &["a", "b"])])
+            .unwrap();
+        wal.append_batch("hospital", 3, &[fact("M", &["c", "d"])])
+            .unwrap();
+        drop(wal);
+
+        let mut reopened = Wal::open(&dir, WalConfig::default()).unwrap();
+        let (batches, report) = collect_replay(&mut reopened);
+        assert!(!report.truncated_tail);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].kind, BatchKind::Insert);
+        assert_eq!(batches[1].kind, BatchKind::Retract);
+        assert_eq!(batches[1].seq, 2);
+        assert_eq!(batches[1].facts, vec![fact("M", &["a", "b"])]);
+        assert_eq!(batches[2].kind, BatchKind::Insert);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_with_retraction_records_truncate_at_every_cut_point() {
+        let dir = temp_dir("torn-retract");
+        let mut wal = Wal::open(&dir, WalConfig::default()).unwrap();
+        wal.append_batch("hospital", 1, &[fact("M", &["a", "b"])])
+            .unwrap();
+        wal.append_retraction("hospital", 2, &[fact("M", &["a", "b"])])
+            .unwrap();
+        wal.append_retraction("hospital", 3, &[fact("N", &["e"])])
+            .unwrap();
+        drop(wal);
+        let (_, path) = Wal::segment_paths(&dir).unwrap().pop().unwrap();
+        let full = fs::read(&path).unwrap();
+
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let mut wal = Wal::open(&dir, WalConfig::default()).unwrap();
+            let mut batches = Vec::new();
+            wal.replay(|b| batches.push(b)).unwrap();
+            // Always a clean prefix of the committed sequence, kinds intact.
+            assert!(batches.len() <= 3, "phantom batch at cut {cut}");
+            for (i, b) in batches.iter().enumerate() {
+                assert_eq!(b.seq, i as u64 + 1, "cut {cut}");
+                let want = if i == 0 {
+                    BatchKind::Insert
+                } else {
+                    BatchKind::Retract
+                };
+                assert_eq!(b.kind, want, "cut {cut}");
+            }
+            // The truncation healed the file: a second recovery is clean.
+            drop(wal);
+            let mut again = Wal::open(&dir, WalConfig::default()).unwrap();
+            let mut second = Vec::new();
+            let report = again.replay(|b| second.push(b)).unwrap();
+            assert!(!report.truncated_tail, "cut {cut} not healed");
+            assert_eq!(second.len(), batches.len());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -14,6 +14,9 @@
 //! * [`querygen`] — selectivity-sweeping query workloads over the scaled
 //!   hospital (point lookups like the doctor's query vs. broad scans), for
 //!   the demand-driven vs. full-materialization comparison,
+//! * [`corrections`] — deterministic insert/retract interleavings over the
+//!   scaled hospital, for the delete-and-rederive (`retract_bench`)
+//!   comparison and the retraction equivalence suite,
 //! * [`skewed`] — Zipf-skewed cyclic triangle workloads, the adversarial
 //!   case for atom-at-a-time join plans and the benchmark target of the
 //!   worst-case-optimal join path.
@@ -24,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrections;
 pub mod dimgen;
 pub mod querygen;
 pub mod scaled_hospital;
 pub mod skewed;
 
+pub use corrections::{generate_corrections, CorrectionOp, CorrectionScale, CorrectionWorkload};
 pub use dimgen::{generate_linear_dimension, DimGenError, DimensionParams};
 pub use querygen::{doctors_style_query, generate_queries, QuerySpec, Selectivity};
 pub use scaled_hospital::{generate, HospitalScale, ScaledHospital};

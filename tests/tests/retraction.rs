@@ -1,0 +1,238 @@
+//! Equivalence of the retraction subsystem: delete-and-rederive
+//! (`ChaseEngine::retract`, DRed) must produce the same instance as a
+//! from-scratch chase of the surviving EDB, modulo labeled-null renaming,
+//! on every evaluation strategy — and randomized insert/retract
+//! interleavings driven through the server must converge to the same
+//! snapshot and the same quality answers as a fresh registration of the
+//! surviving instance.
+
+use ontodq_chase::{chase_naive, ChaseConfig, ChaseEngine, ChaseState, EvalStrategy};
+use ontodq_core::{compile_context, scenarios};
+use ontodq_datalog::{Atom, Program, Retraction, Term};
+use ontodq_integration_tests::{canonicalize_database, databases_equivalent};
+use ontodq_mdm::fixtures::hospital;
+use ontodq_relational::{Database, Tuple};
+use ontodq_server::QualityService;
+use ontodq_workload::{
+    generate, generate_corrections, CorrectionOp, CorrectionScale, HospitalScale,
+};
+
+/// The three maintained-evaluation strategies the retraction path must
+/// agree on.  (Naive is the oracle; parallel is pinned to a 4-worker team
+/// so the genuinely concurrent path runs even on 1-CPU CI containers.)
+fn engines() -> Vec<(&'static str, ChaseEngine)> {
+    vec![
+        (
+            "naive",
+            ChaseEngine::new(ChaseConfig {
+                strategy: EvalStrategy::Naive,
+                ..Default::default()
+            }),
+        ),
+        ("semi-naive", ChaseEngine::with_defaults()),
+        (
+            "parallel",
+            ChaseEngine::new(ChaseConfig::parallel_with_threads(4)),
+        ),
+    ]
+}
+
+/// Chase `db`, retract `victims` from `relation` through the engine's DRed
+/// path, and assert the maintained instance equals a fresh naive chase of
+/// the surviving EDB (modulo labeled-null renaming).
+fn assert_retract_matches_fresh(
+    program: &Program,
+    db: &Database,
+    relation: &str,
+    victims: &[Tuple],
+    label: &str,
+) {
+    let mut surviving = db.clone();
+    for victim in victims {
+        assert!(
+            surviving.delete(relation, victim),
+            "{label}: victim not present in the base instance"
+        );
+    }
+    let fresh = chase_naive(program, &surviving);
+
+    let requested: Vec<(String, Tuple)> = victims
+        .iter()
+        .map(|t| (relation.to_string(), t.clone()))
+        .collect();
+    for (name, engine) in engines() {
+        let mut state = ChaseState::new(program, db);
+        engine.resume(program, &mut state);
+        let result = engine.retract(program, &mut state, &surviving, &requested, None);
+        assert_eq!(
+            result.stats.requested,
+            victims.len(),
+            "{label}/{name}: wrong requested count"
+        );
+        assert_eq!(
+            result.stats.retracted,
+            victims.len(),
+            "{label}/{name}: some victims were not retracted"
+        );
+        assert!(
+            databases_equivalent(state.database(), &fresh.database),
+            "{label}/{name}: retract-then-rederive diverges from a fresh \
+             chase of the surviving EDB\nmaintained:\n{:#?}\nfresh:\n{:#?}",
+            canonicalize_database(state.database()),
+            canonicalize_database(&fresh.database),
+        );
+    }
+}
+
+#[test]
+fn hospital_retractions_match_fresh_chase_on_every_strategy() {
+    // The paper's hospital context compiled over Table I: retractions hit
+    // the *contextual* copy of `Measurements`, the relation the chase and
+    // the quality rules actually read.
+    let context = scenarios::hospital_context();
+    let (program, database) = compile_context(&context, &hospital::measurements_database());
+    let contextual = context
+        .contextual_name_of("Measurements")
+        .expect("hospital context maps Measurements")
+        .to_string();
+    let measurements: Vec<Tuple> = database
+        .relation(&contextual)
+        .map(|r| r.iter().collect())
+        .unwrap_or_default();
+    assert!(measurements.len() >= 2);
+    // One victim, and separately a batch of half the relation.
+    assert_retract_matches_fresh(
+        &program,
+        &database,
+        &contextual,
+        &measurements[..1],
+        "hospital/single",
+    );
+    assert_retract_matches_fresh(
+        &program,
+        &database,
+        &contextual,
+        &measurements[..measurements.len() / 2],
+        "hospital/batch",
+    );
+}
+
+#[test]
+fn scaled_workload_retractions_match_fresh_chase_on_every_strategy() {
+    let workload = generate(&HospitalScale::with_measurements(80));
+    let context = workload.context();
+    let (program, database) = compile_context(&context, &workload.instance);
+    let contextual = context
+        .contextual_name_of("Measurements")
+        .expect("scaled hospital context maps Measurements")
+        .to_string();
+    let measurements: Vec<Tuple> = database
+        .relation(&contextual)
+        .map(|r| r.iter().collect())
+        .unwrap_or_default();
+    // Every 3rd tuple: a third of the relation, spread across the instance.
+    let victims: Vec<Tuple> = measurements.iter().step_by(3).cloned().collect();
+    assert!(!victims.is_empty());
+    assert_retract_matches_fresh(&program, &database, &contextual, &victims, "scaled");
+}
+
+/// Build the `-fact.`-shaped retraction program the server flushes: one
+/// ground [`Retraction`] per fact.
+fn retraction_program(facts: &[(String, Tuple)]) -> Program {
+    let mut program = Program::new();
+    for (relation, tuple) in facts {
+        let terms: Vec<Term> = tuple.values().iter().map(|v| Term::constant(*v)).collect();
+        let retraction =
+            Retraction::new(Atom::new(relation.clone(), terms)).expect("workload facts are ground");
+        program.retractions.push(retraction);
+    }
+    program
+}
+
+/// Randomized (seeded, reproducible) insert/retract interleavings applied
+/// through the live service must land on the same snapshot — same chased
+/// instance modulo null renaming, same quality answers — as registering
+/// the surviving instance from scratch.
+#[test]
+fn randomized_interleavings_through_the_server_match_from_scratch() {
+    for seed in [11u64, 42, 99] {
+        let scale = CorrectionScale {
+            seed,
+            ..CorrectionScale::small()
+        };
+        let workload = generate_corrections(&scale);
+        let service = QualityService::new();
+        service
+            .register_context(
+                "live",
+                workload.base.context(),
+                workload.base.instance.clone(),
+            )
+            .unwrap();
+
+        let mut batches = 0u64;
+        for op in &workload.ops {
+            match op {
+                CorrectionOp::Insert(facts) => {
+                    let report = service.insert_facts("live", facts.clone()).unwrap();
+                    batches += 1;
+                    assert_eq!(report.version, batches, "seed {seed}: version skew");
+                }
+                CorrectionOp::Retract(facts) => {
+                    let program = retraction_program(facts);
+                    let report = service.retract_facts("live", &program).unwrap();
+                    batches += 1;
+                    assert_eq!(report.version, batches, "seed {seed}: version skew");
+                    assert_eq!(
+                        report.requested, report.retracted,
+                        "seed {seed}: a live fact failed to retract"
+                    );
+                }
+            }
+        }
+
+        let reference = QualityService::new();
+        reference
+            .register_context(
+                "fresh",
+                workload.base.context(),
+                workload.surviving_instance(),
+            )
+            .unwrap();
+
+        let live = service.snapshot("live").unwrap();
+        let fresh = reference.snapshot("fresh").unwrap();
+        assert!(
+            databases_equivalent(&live.database, &fresh.database),
+            "seed {seed}: maintained snapshot diverges from a from-scratch \
+             chase of the surviving instance",
+        );
+        assert!(
+            databases_equivalent(&live.quality, &fresh.quality),
+            "seed {seed}: quality versions diverge",
+        );
+        for query in ["Measurements(t, p, v)", "Measurements(t, \"Patient_0\", v)"] {
+            let live_answers = service.quality_answers("live", query).unwrap();
+            let fresh_answers = reference.quality_answers("fresh", query).unwrap();
+            assert_eq!(
+                *live_answers.answers, *fresh_answers.answers,
+                "seed {seed}: quality answers diverge on '{query}'",
+            );
+        }
+
+        // The service counter tallies requested facts, one per `-fact.`.
+        let requested_facts: u64 = workload
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                CorrectionOp::Retract(facts) => Some(facts.len() as u64),
+                CorrectionOp::Insert(_) => None,
+            })
+            .sum();
+        let counters = service.retraction_stats();
+        assert_eq!(
+            counters.retractions, requested_facts,
+            "seed {seed}: retraction counter does not match the stream",
+        );
+    }
+}
