@@ -36,8 +36,10 @@
 //! hash vs worst-case-optimal join kernels on the Zipf-skewed triangle
 //! workload, and per-trigger counter costs), and `retract_bench` writes
 //! `BENCH_retract.json` (delete-and-rederive retraction vs from-scratch
-//! re-chase of the surviving EDB, across scales) so future changes have a
-//! perf trajectory to compare against.
+//! re-chase of the surviving EDB, across scales), and `faults_bench`
+//! writes `BENCH_faults.json` (the fault-injection layer's disarmed cost
+//! on the durable write path, plus a degradation / probe-recovery drill)
+//! so future changes have a perf trajectory to compare against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -51,7 +53,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 17] = [
+const EXPERIMENT_IDS: [&str; 18] = [
     "table1",
     "table2",
     "table3_4",
@@ -69,6 +71,7 @@ const EXPERIMENT_IDS: [&str; 17] = [
     "query_perf",
     "join_bench",
     "retract_bench",
+    "faults_bench",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -173,6 +176,9 @@ fn main() {
     }
     if want("retract_bench") {
         retract_bench(scale);
+    }
+    if want("faults_bench") {
+        faults_bench(scale);
     }
 }
 
@@ -1811,6 +1817,220 @@ fn retract_bench(scale: usize) {
         entries.join(",\n")
     );
     let path = "BENCH_retract.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// The fault-injection layer's price when nothing is armed, and a
+/// degradation drill through the health machine — printed as markdown and
+/// written to `BENCH_faults.json`.
+///
+/// Every WAL write/fsync and snapshot write/rename in `ontodq-store` now
+/// routes through an [`ontodq_store::IoPolicy`] decision point.  The bench
+/// answers two questions: (1) what does that indirection cost on the
+/// durable write path when the policy is the default passthrough vs an
+/// armed-but-empty [`ontodq_store::FaultSchedule`] (a mutex acquisition
+/// per guarded op), and (2) how expensive is the degradation round-trip —
+/// a WAL fsync failure flips the service read-only, later writes are
+/// refused at the admission check (no chase work), and one recovery probe
+/// (`persist_all`) restores service.
+fn faults_bench(scale: usize) {
+    use ontodq_server::{QualityService, ServiceError};
+    use ontodq_store::{FaultSchedule, IoOp, SharedIoPolicy, Store, StoreConfig};
+    use std::sync::{Arc, Mutex};
+
+    println!("### ontodq-store — fault-injection layer overhead and degradation drill\n");
+    let measurements = 200 * scale;
+    let workload = generate(&HospitalScale::with_measurements(measurements));
+    let context = workload.context();
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .expect("scaled instance has measurements")
+        .tuples()
+        .to_vec();
+    let batch_count = 10usize;
+    let batch_size = 10 * scale;
+    let batches: Vec<Vec<(String, Tuple)>> = (0..batch_count)
+        .map(|batch_index| {
+            (0..batch_size)
+                .map(|i| {
+                    let source = &base[(batch_index * batch_size + i) % base.len()];
+                    let value = 41.0 + (batch_index * batch_size + i) as f64 / 100.0;
+                    (
+                        "Measurements".to_string(),
+                        Tuple::new(vec![
+                            *source.get(0).unwrap(),
+                            *source.get(1).unwrap(),
+                            Value::double(value),
+                        ]),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let scratch_dir = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("ontodq-faults-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+
+    // -------- disarmed overhead on the durable write path --------
+    let run_batches = |service: &QualityService| {
+        let mut total = std::time::Duration::ZERO;
+        for batch in &batches {
+            total += service
+                .insert_facts("scaled", batch.clone())
+                .expect("bench batches apply")
+                .elapsed;
+        }
+        total.as_secs_f64() / batch_count as f64
+    };
+
+    // Untimed warmup so neither timed run pays the cold file-system and
+    // allocator costs of the very first durable apply sequence.
+    let warm_dir = scratch_dir("warmup");
+    {
+        let store = Store::open(&warm_dir, StoreConfig::default()).expect("open store");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register warmup context");
+        run_batches(&service);
+    }
+    let _ = std::fs::remove_dir_all(&warm_dir);
+
+    let pass_dir = scratch_dir("passthrough");
+    let passthrough_mean = {
+        let store = Store::open(&pass_dir, StoreConfig::default()).expect("open store");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register passthrough context");
+        run_batches(&service)
+    };
+    let _ = std::fs::remove_dir_all(&pass_dir);
+
+    let armed_dir = scratch_dir("armed");
+    let armed_mean = {
+        // An armed but empty schedule: every guarded op consults the
+        // policy mutex and gets `Pass`.
+        let policy: SharedIoPolicy = Arc::new(Mutex::new(FaultSchedule::new()));
+        let store =
+            Store::open_with_policy(&armed_dir, StoreConfig::default(), policy).expect("open");
+        let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .expect("register armed context");
+        run_batches(&service)
+    };
+    let _ = std::fs::remove_dir_all(&armed_dir);
+    let overhead_ratio = armed_mean / passthrough_mean.max(1e-9);
+
+    let mut table = MarkdownTable::new(["write path", "batches", "mean apply latency"]);
+    table.row([
+        "durable, passthrough policy".to_string(),
+        batch_count.to_string(),
+        fmt_duration(std::time::Duration::from_secs_f64(passthrough_mean)),
+    ]);
+    table.row([
+        "durable, armed empty schedule".to_string(),
+        batch_count.to_string(),
+        fmt_duration(std::time::Duration::from_secs_f64(armed_mean)),
+    ]);
+    println!("{}", table.render());
+    println!("fault-layer overhead ratio (armed / passthrough): {overhead_ratio:.3}x\n");
+
+    // -------- degradation drill --------
+    // Fail the third WAL fsync: two batches ack, one lands in limbo, the
+    // rest are refused read-only; a single probe checkpoint heals.
+    let drill_dir = scratch_dir("drill");
+    let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+    schedule
+        .lock()
+        .expect("plan lock")
+        .fail_nth(IoOp::WalFsync, 2);
+    let policy: SharedIoPolicy = schedule;
+    let store = Store::open_with_policy(&drill_dir, StoreConfig::default(), policy).expect("open");
+    let service = QualityService::with_store(Arc::new(Mutex::new(store)));
+    service.set_probe_interval(std::time::Duration::from_secs(3600));
+    service
+        .register_context("scaled", context.clone(), workload.instance.clone())
+        .expect("register drill context");
+    let mut acked = 0usize;
+    let mut limbo = 0usize;
+    let mut refused = 0usize;
+    let mut refusal_total = std::time::Duration::ZERO;
+    for batch in &batches {
+        let start = Instant::now();
+        match service.insert_facts("scaled", batch.clone()) {
+            Ok(_) => acked += 1,
+            Err(ServiceError::Store(_)) => limbo += 1,
+            Err(ServiceError::Degraded(_)) => {
+                refused += 1;
+                refusal_total += start.elapsed();
+            }
+            Err(e) => panic!("drill: unexpected error: {e}"),
+        }
+    }
+    let refusal_mean = refusal_total.as_secs_f64() / refused.max(1) as f64;
+    let probe_start = Instant::now();
+    service.persist_all().expect("the probe checkpoint heals");
+    let probe_seconds = probe_start.elapsed().as_secs_f64();
+    let healthy_after_probe = matches!(service.health().state, ontodq_server::Health::Healthy);
+    let post_probe_write_ok = service.insert_facts("scaled", batches[0].clone()).is_ok();
+    let _ = std::fs::remove_dir_all(&drill_dir);
+
+    println!(
+        "degradation drill: acked={acked} limbo={limbo} refused={refused} \
+         (mean refusal {}), probe checkpoint {} -> healthy={healthy_after_probe}\n",
+        fmt_duration(std::time::Duration::from_secs_f64(refusal_mean)),
+        fmt_duration(std::time::Duration::from_secs_f64(probe_seconds)),
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": {},\n",
+            "  \"measurements\": {},\n",
+            "  \"batches\": {},\n",
+            "  \"batch_size\": {},\n",
+            "  \"write_path\": {{\n",
+            "    \"passthrough_mean_seconds\": {:.6},\n",
+            "    \"armed_schedule_mean_seconds\": {:.6},\n",
+            "    \"overhead_ratio\": {:.3}\n",
+            "  }},\n",
+            "  \"degradation_drill\": {{\n",
+            "    \"acked_batches\": {},\n",
+            "    \"limbo_batches\": {},\n",
+            "    \"refused_writes\": {},\n",
+            "    \"refusal_mean_seconds\": {:.9},\n",
+            "    \"probe_seconds\": {:.6},\n",
+            "    \"healthy_after_probe\": {},\n",
+            "    \"post_probe_write_ok\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        scale,
+        measurements,
+        batch_count,
+        batch_size,
+        passthrough_mean,
+        armed_mean,
+        overhead_ratio,
+        acked,
+        limbo,
+        refused,
+        refusal_mean,
+        probe_seconds,
+        healthy_after_probe,
+        post_probe_write_ok,
+    );
+    let path = "BENCH_faults.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -85,6 +85,17 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
+    /// The entry map, recovering a lock poisoned by a panicking peer: the
+    /// closures run under this lock are all non-panicking map plumbing, so
+    /// a poisoned guard only records that a peer died mid-lookup — the map
+    /// itself is structurally intact and the cache (a pure memo) can
+    /// always be used as found.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// An empty cache with the default size bound.
     pub fn new() -> Self {
         Self::with_max_entries(MAX_ENTRIES)
@@ -118,7 +129,7 @@ impl QueryCache {
         text: &str,
     ) -> Result<Arc<ConjunctiveQuery>, ServiceError> {
         let key: Key = (context_name.to_string(), kind, text.to_string());
-        if let Some(entry) = self.entries.lock().unwrap().get_mut(&key) {
+        if let Some(entry) = self.map().get_mut(&key) {
             entry.hot = true;
             return Ok(entry.query.clone());
         }
@@ -129,7 +140,7 @@ impl QueryCache {
             QueryKind::Plain => parsed,
             QueryKind::Quality | QueryKind::Demand => rewrite_to_quality(context, &parsed),
         });
-        let mut map = self.entries.lock().unwrap();
+        let mut map = self.map();
         if map.len() >= self.max_entries && !map.contains_key(&key) {
             // Second chance: keep what was referenced since the last sweep.
             map.retain(|_, entry| std::mem::take(&mut entry.hot));
@@ -164,7 +175,7 @@ impl QueryCache {
         version: u64,
     ) -> Option<Arc<AnswerSet>> {
         let key: Key = (context_name.to_string(), kind, text.to_string());
-        let mut map = self.entries.lock().unwrap();
+        let mut map = self.map();
         match map.get_mut(&key) {
             Some(entry) => match entry.answers.as_ref() {
                 Some((v, answers)) if *v == version => {
@@ -202,7 +213,7 @@ impl QueryCache {
         answers: Arc<AnswerSet>,
     ) {
         let key: Key = (context_name.to_string(), kind, text.to_string());
-        let mut map = self.entries.lock().unwrap();
+        let mut map = self.map();
         if let Some(entry) = map.get_mut(&key) {
             match &entry.answers {
                 Some((v, _)) if *v > version => {}
@@ -217,7 +228,7 @@ impl QueryCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap().len() as u64,
+            entries: self.map().len() as u64,
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }

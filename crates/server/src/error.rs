@@ -30,6 +30,24 @@ pub enum ServiceError {
     /// A durability command (`!save`) was issued but the server has no
     /// store attached (started without `--data-dir`).
     NoStore,
+    /// The service is in read-only degradation after a durability failure:
+    /// queries are still served from the last good in-memory state, but
+    /// updates are refused until a recovery probe succeeds.  Carries the
+    /// reason the service degraded.
+    Degraded(String),
+    /// Admission control refused the job: the worker-pool queue already
+    /// holds `queued` jobs against a bound of `bound`.  Typed so clients
+    /// can distinguish "retry later" from a hard failure.
+    Overloaded {
+        /// Jobs queued when the submission was refused.
+        queued: usize,
+        /// The configured admission bound.
+        bound: usize,
+    },
+    /// An internal invariant broke (a lock poisoned by a panicking writer,
+    /// an impossible merge).  The session survives and reports this instead
+    /// of panicking, but the operator should investigate.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -48,6 +66,16 @@ impl fmt::Display for ServiceError {
             ServiceError::NoStore => {
                 write!(f, "no durable store attached (start with --data-dir DIR)")
             }
+            ServiceError::Degraded(reason) => {
+                write!(f, "degraded (read-only): {reason}")
+            }
+            ServiceError::Overloaded { queued, bound } => {
+                write!(
+                    f,
+                    "overloaded: {queued} jobs queued (bound {bound}), retry later"
+                )
+            }
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

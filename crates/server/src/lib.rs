@@ -77,6 +77,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Session and writer paths must degrade through typed errors, never panic
+// on a fallible operation; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod error;
@@ -88,10 +91,13 @@ pub mod snapshot;
 pub use cache::{parse_query_text, CacheStats, QueryCache, QueryKind};
 pub use error::ServiceError;
 pub use pool::WorkerPool;
-pub use protocol::{parse_facts, parse_request, parse_retractions, serve_session, Request};
+pub use protocol::{
+    parse_facts, parse_request, parse_retractions, serve_session, serve_session_with, Request,
+    SessionConfig,
+};
 pub use service::{
-    PersistReport, QualityService, QueryResponse, RecoverySummary, RetractReport,
-    RetractionCounters, UpdateReport,
+    Health, HealthReport, PersistReport, QualityService, QueryResponse, RecoverySummary,
+    RetractReport, RetractionCounters, UpdateReport,
 };
 pub use snapshot::Snapshot;
 

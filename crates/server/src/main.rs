@@ -13,10 +13,14 @@
 //! (durable storage: recover snapshots + WAL on startup **before accepting
 //! connections**, append applied batches to the WAL, checkpoint on `!save`).
 
+// The binary holds the same bar as the library: fallible operations exit
+// through typed errors or explicit process exits, never unwrap panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use ontodq_core::scenarios;
 use ontodq_mdm::fixtures::hospital;
 use ontodq_relational::Database;
-use ontodq_server::{serve_session, QualityService, WorkerPool};
+use ontodq_server::{serve_session_with, QualityService, SessionConfig, WorkerPool};
 use ontodq_store::{Recovery, Store, StoreConfig};
 use ontodq_workload::{generate, HospitalScale};
 use std::io::{BufReader, BufWriter, Write};
@@ -31,6 +35,10 @@ usage: ontodq-server (--stdin | --listen ADDR) [options]
   --empty          register the hospital context with an empty instance
   --scale N        also register a 'scaled' context (N hundred measurements)
   --data-dir DIR   durable storage: WAL + snapshots, recovered on startup
+  --idle-timeout S per-session socket read/write deadline in seconds; idle
+                   clients are disconnected after 3 missed deadlines (0 = none)
+  --max-queue N    admission bound on in-flight query jobs; submissions beyond
+                   it get a typed overload error (0 = unbounded, default 1024)
   --help           this text";
 
 struct Options {
@@ -40,6 +48,8 @@ struct Options {
     empty: bool,
     scale: Option<usize>,
     data_dir: Option<String>,
+    idle_timeout: Option<std::time::Duration>,
+    max_queue: usize,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -50,6 +60,8 @@ fn parse_options() -> Result<Options, String> {
         empty: false,
         scale: None,
         data_dir: None,
+        idle_timeout: None,
+        max_queue: 1024,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +81,16 @@ fn parse_options() -> Result<Options, String> {
             }
             "--data-dir" => {
                 options.data_dir = Some(args.next().ok_or("--data-dir needs a directory")?);
+            }
+            "--idle-timeout" => {
+                let n = args.next().ok_or("--idle-timeout needs seconds")?;
+                let secs: u64 = n.parse().map_err(|_| format!("bad idle timeout '{n}'"))?;
+                options.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--max-queue" => {
+                let n = args.next().ok_or("--max-queue needs a number")?;
+                let bound: usize = n.parse().map_err(|_| format!("bad queue bound '{n}'"))?;
+                options.max_queue = if bound == 0 { usize::MAX } else { bound };
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -106,9 +128,12 @@ fn register(
                 );
             }
         }
-        None => service
-            .register_context(name, context, instance)
-            .expect("register context"),
+        None => {
+            if let Err(e) = service.register_context(name, context, instance) {
+                eprintln!("error: cannot register context '{name}': {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -181,18 +206,33 @@ fn main() {
             );
         }
     }
-    let pool = Arc::new(WorkerPool::new(options.workers));
+    let pool = Arc::new(WorkerPool::with_queue_bound(
+        options.workers,
+        options.max_queue,
+    ));
+    let session_config = SessionConfig::default();
 
     if options.stdin {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        if let Err(e) = serve_session(&service, &pool, "hospital", stdin.lock(), stdout.lock()) {
+        // No read deadline on stdin: a pipe feeding a batch script may
+        // legitimately pause for as long as it likes.
+        if let Err(e) = serve_session_with(
+            &service,
+            &pool,
+            "hospital",
+            stdin.lock(),
+            stdout.lock(),
+            &session_config,
+        ) {
             eprintln!("session error: {e}");
             std::process::exit(1);
         }
         return;
     }
 
+    // Invariant, not I/O: parse_options rejected every argument set where
+    // --stdin is absent and --listen is too.
     let address = options.listen.expect("validated above");
     let listener = match TcpListener::bind(&address) {
         Ok(listener) => listener,
@@ -220,11 +260,26 @@ fn main() {
         };
         let service = Arc::clone(&service);
         let pool = Arc::clone(&pool);
+        let session_config = session_config.clone();
+        let idle_timeout = options.idle_timeout;
         std::thread::spawn(move || {
             let peer = stream
                 .peer_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| "?".to_string());
+            if let Some(deadline) = idle_timeout {
+                // A deadline on both directions: reads so an idle client
+                // cannot pin the session thread (the session counts missed
+                // deadlines and disconnects), writes so a stalled client
+                // cannot wedge it mid-answer.
+                if let Err(e) = stream
+                    .set_read_timeout(Some(deadline))
+                    .and_then(|()| stream.set_write_timeout(Some(deadline)))
+                {
+                    eprintln!("[{peer}] cannot arm socket timeouts: {e}");
+                    return;
+                }
+            }
             let reader = match stream.try_clone() {
                 Ok(clone) => BufReader::new(clone),
                 Err(e) => {
@@ -238,7 +293,9 @@ fn main() {
             let mut writer = BufWriter::new(stream);
             let _ = writeln!(writer, "ok ontodq-server ready (try !help)");
             let _ = writer.flush();
-            if let Err(e) = serve_session(&service, &pool, "hospital", reader, writer) {
+            if let Err(e) =
+                serve_session_with(&service, &pool, "hospital", reader, writer, &session_config)
+            {
                 eprintln!("[{peer}] session error: {e}");
             }
         });

@@ -14,6 +14,7 @@
 //! "pool shut down".
 
 use crate::error::ServiceError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -24,6 +25,23 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs admitted but not yet finished (queued + running).
+    pending: Arc<AtomicUsize>,
+    /// Admission bound on `pending`; submissions beyond it are refused
+    /// with a typed [`ServiceError::Overloaded`] instead of queueing
+    /// without limit.
+    bound: usize,
+}
+
+/// Decrements the pending counter when the job finishes — or when the job
+/// box is dropped unrun (channel closed, worker panic unwound past it), so
+/// the admission count can never leak upward.
+struct PendingGuard(Arc<AtomicUsize>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Render a caught panic payload as a message (the `&str`/`String` payloads
@@ -39,9 +57,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 impl WorkerPool {
-    /// Spawn a pool of `size` workers (at least one).
+    /// Spawn a pool of `size` workers (at least one) with no admission
+    /// bound — every submission queues.
     pub fn new(size: usize) -> Self {
+        Self::with_queue_bound(size, usize::MAX)
+    }
+
+    /// Spawn a pool of `size` workers (at least one) that refuses
+    /// submissions once `bound` jobs are in flight (queued + running),
+    /// reporting [`ServiceError::Overloaded`] so clients can back off
+    /// instead of growing the queue without limit.
+    pub fn with_queue_bound(size: usize, bound: usize) -> Self {
         let size = size.max(1);
+        let bound = bound.max(1);
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..size)
@@ -68,12 +96,17 @@ impl WorkerPool {
                         // would error out.
                         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     })
+                    // Invariant, not I/O: spawning fails only when the OS
+                    // is out of threads at startup, where there is no
+                    // server to degrade yet — aborting is the right call.
                     .expect("spawn worker thread")
             })
             .collect();
         Self {
             sender: Some(sender),
             workers,
+            pending: Arc::new(AtomicUsize::new(0)),
+            bound,
         }
     }
 
@@ -82,20 +115,53 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Jobs currently in flight (queued + running).
+    pub fn queued(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// The admission bound (`usize::MAX` when unbounded).
+    pub fn queue_bound(&self) -> usize {
+        self.bound
+    }
+
     /// Enqueue a fire-and-forget job.
     ///
     /// # Errors
     /// [`ServiceError::PoolClosed`] when the queue is gone (the pool is
     /// being dropped) — reported, never panicked, so a session thread racing
-    /// a shutdown degrades gracefully.
+    /// a shutdown degrades gracefully.  [`ServiceError::Overloaded`] when
+    /// the in-flight count has reached the admission bound.
     pub fn execute<F>(&self, job: F) -> Result<(), ServiceError>
     where
         F: FnOnce() + Send + 'static,
     {
         let sender = self.sender.as_ref().ok_or(ServiceError::PoolClosed)?;
-        sender
-            .send(Box::new(job))
-            .map_err(|_| ServiceError::PoolClosed)
+        // Atomically claim an admission slot; `fetch_update` closes the
+        // check-then-increment race so concurrent submitters can never
+        // overshoot the bound.
+        if let Err(queued) = self
+            .pending
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                if n >= self.bound {
+                    None
+                } else {
+                    Some(n + 1)
+                }
+            })
+        {
+            return Err(ServiceError::Overloaded {
+                queued,
+                bound: self.bound,
+            });
+        }
+        let guard = PendingGuard(Arc::clone(&self.pending));
+        let wrapped: Job = Box::new(move || {
+            let _release_slot = guard;
+            job();
+        });
+        // A failed send drops the boxed job, whose guard releases the slot.
+        sender.send(wrapped).map_err(|_| ServiceError::PoolClosed)
     }
 
     /// Enqueue `job` and return a receiver for its outcome; `recv()` on it
@@ -219,6 +285,54 @@ mod tests {
             Err(ServiceError::JobPanicked(msg)) if msg.contains("non-string")
         ));
         assert_eq!(pool.submit(|| 1).recv().unwrap().unwrap(), 1);
+    }
+
+    /// Admission control: once `bound` jobs are in flight the pool refuses
+    /// further submissions with a typed overload error, and accepts again
+    /// as soon as a slot frees up — including slots held by panicked jobs.
+    #[test]
+    fn overload_is_reported_and_clears_when_slots_free() {
+        let pool = WorkerPool::with_queue_bound(1, 2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        // Fill both slots: one running (blocked on the channel), one queued.
+        let blockers: Vec<_> = (0..2)
+            .map(|_| {
+                let release_rx = Arc::clone(&release_rx);
+                pool.submit(move || {
+                    release_rx.lock().unwrap().recv().unwrap();
+                })
+            })
+            .collect();
+        // Wait until the worker has actually picked up the first job so the
+        // in-flight count is stable at 2.
+        while pool.queued() < 2 {
+            std::thread::yield_now();
+        }
+        match pool.execute(|| {}) {
+            Err(ServiceError::Overloaded { queued, bound }) => {
+                assert_eq!(queued, 2);
+                assert_eq!(bound, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Release both blockers; the pool must accept work again.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        for rx in blockers {
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(pool.submit(|| 5).recv().unwrap().unwrap(), 5);
+        // Panicked jobs release their slot too.
+        let rx = pool.submit(|| -> usize { panic!("slot must still free") });
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(ServiceError::JobPanicked(_))
+        ));
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.queued(), 0);
     }
 
     /// Interleaved good and panicking jobs across several workers: every

@@ -64,6 +64,9 @@ pub enum Request {
     /// `!save` — snapshot every context to the durable store and compact
     /// the write-ahead log.
     Save,
+    /// `!health` — the service's health state (healthy / degraded /
+    /// recovering), admission-control counters and durability status.
+    Health,
     /// `!help` — print the command summary.
     Help,
     /// `!quit` — end the session.
@@ -104,6 +107,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ("contexts", "") => Ok(Request::Contexts),
             ("stats", "") => Ok(Request::Stats),
             ("save", "") => Ok(Request::Save),
+            ("health", "") => Ok(Request::Health),
             ("help", "") => Ok(Request::Help),
             ("quit", "") | ("exit", "") => Ok(Request::Quit),
             _ => Err(format!("unknown command '!{rest}' (try !help)")),
@@ -216,6 +220,7 @@ const HELP: &str = "\
 !use NAME             switch context        !contexts  list contexts
 !stats                versions, cache, wal  !help      this text
 !save                 snapshot all contexts to the store, compact the wal
+!health               health state (healthy/degraded/recovering), queue load
 !quit                 end the session";
 
 /// `true` when an io error just means the peer went away — a normal way
@@ -231,22 +236,62 @@ fn is_disconnect(e: &std::io::Error) -> bool {
     )
 }
 
+/// Per-session tunables for [`serve_session_with`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// How many consecutive timed-out reads (`WouldBlock`/`TimedOut`, the
+    /// kinds a socket read deadline produces) the session tolerates before
+    /// disconnecting the idle client.  Each strike spans one OS-level read
+    /// timeout (`--idle-timeout` sets the deadline; the strike budget
+    /// multiplies it).  Partial lines received before a timeout are kept
+    /// and completed by the next read.
+    pub max_idle_strikes: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            max_idle_strikes: 3,
+        }
+    }
+}
+
 /// Serve one session: read protocol lines from `reader`, write responses to
-/// `writer`, until EOF or `!quit`.
+/// `writer`, until EOF or `!quit` — with the default [`SessionConfig`].
 ///
-/// However the session ends — `!quit`, EOF, or the client vanishing — the
-/// store's active WAL segment is flushed and fsynced before the session
-/// thread winds down, and a disconnect on the write path is swallowed (a
-/// client that hangs up mid-answer ends the session cleanly instead of
-/// surfacing `BrokenPipe` out of the session thread).
+/// However the session ends — `!quit`, EOF, idle timeout, or the client
+/// vanishing — the store's active WAL segment is flushed and fsynced before
+/// the session thread winds down (failures there are logged and swallowed:
+/// every acked batch already fsynced), and a disconnect on the write path
+/// is swallowed too (a client that hangs up mid-answer ends the session
+/// cleanly instead of surfacing `BrokenPipe` out of the session thread).
 pub fn serve_session<R: BufRead, W: Write>(
     service: &Arc<QualityService>,
     pool: &Arc<WorkerPool>,
     default_context: &str,
     reader: R,
-    mut writer: W,
+    writer: W,
 ) -> std::io::Result<()> {
-    let result = session_loop(service, pool, default_context, reader, &mut writer);
+    serve_session_with(
+        service,
+        pool,
+        default_context,
+        reader,
+        writer,
+        &SessionConfig::default(),
+    )
+}
+
+/// [`serve_session`] with explicit per-session tunables.
+pub fn serve_session_with<R: BufRead, W: Write>(
+    service: &Arc<QualityService>,
+    pool: &Arc<WorkerPool>,
+    default_context: &str,
+    reader: R,
+    mut writer: W,
+    config: &SessionConfig,
+) -> std::io::Result<()> {
+    let result = session_loop(service, pool, default_context, reader, &mut writer, config);
     // Durability before thread teardown, on every exit path.
     service.sync_store();
     match result {
@@ -280,19 +325,51 @@ impl Staged {
 }
 
 /// The session loop proper; io errors (including disconnects) propagate to
-/// [`serve_session`], which classifies them.
+/// [`serve_session_with`], which classifies them.
 fn session_loop<R: BufRead, W: Write>(
     service: &Arc<QualityService>,
     pool: &Arc<WorkerPool>,
     default_context: &str,
-    reader: R,
+    mut reader: R,
     writer: &mut W,
+    config: &SessionConfig,
 ) -> std::io::Result<()> {
     let mut context = default_context.to_string();
     let mut staged = Staged::default();
+    // The read buffer persists across reads: a read deadline elapsing
+    // mid-line leaves the partial bytes here (`read_line` appends what it
+    // got before the error) and the next read completes them, so slow
+    // clients never lose input to a timeout — only silent ones lose the
+    // session.
+    let mut buffer = String::new();
+    let mut idle_strikes: u32 = 0;
 
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        match reader.read_line(&mut buffer) {
+            Ok(0) => break, // EOF
+            Ok(_) => idle_strikes = 0,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A read deadline elapsed.  Strike the client; disconnect
+                // after the budget so an abandoned connection cannot pin a
+                // session thread forever.
+                idle_strikes += 1;
+                if idle_strikes >= config.max_idle_strikes.max(1) {
+                    // Best effort — the peer may be long gone.
+                    let _ = writeln!(writer, "err: idle timeout, closing session");
+                    let _ = writer.flush();
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        let line = std::mem::take(&mut buffer);
         let request = match parse_request(&line) {
             Ok(request) => request,
             Err(message) => {
@@ -383,6 +460,35 @@ fn session_loop<R: BufRead, W: Write>(
                 )?,
                 Err(e) => writeln!(writer, "err: {e}")?,
             },
+            Request::Health => {
+                let health = service.health();
+                let bound = pool.queue_bound();
+                let bound = if bound == usize::MAX {
+                    "unbounded".to_string()
+                } else {
+                    bound.to_string()
+                };
+                let reason = health
+                    .reason
+                    .as_deref()
+                    .map(|r| format!(" reason=\"{r}\""))
+                    .unwrap_or_default();
+                writeln!(
+                    writer,
+                    "ok health={} store={} queued={} queue_bound={} refused_writes={} probes={}{}",
+                    health.state,
+                    if service.has_store() {
+                        "attached"
+                    } else {
+                        "none"
+                    },
+                    pool.queued(),
+                    bound,
+                    health.refused_writes,
+                    health.probes,
+                    reason,
+                )?;
+            }
             Request::InsertFact(text) => match parse_facts(&text) {
                 Ok(facts) => {
                     staged.facts.extend(facts);

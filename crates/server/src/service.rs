@@ -32,7 +32,84 @@ struct ContextEntry {
 
 impl ContextEntry {
     fn snapshot(&self) -> Arc<Snapshot> {
-        self.snapshot.read().unwrap().clone()
+        // A poisoned slot only means a writer panicked somewhere between
+        // building a snapshot and swapping it; the stored Arc is always a
+        // complete snapshot (the swap is a single assignment), so readers
+        // recover the value instead of propagating the panic.
+        self.snapshot
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+}
+
+/// The service's write-availability state — see
+/// [`QualityService::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Updates and queries are both served.
+    Healthy,
+    /// A durability failure poisoned the write path: queries are still
+    /// served from the last good in-memory snapshots, updates are refused
+    /// with [`ServiceError::Degraded`] until a recovery probe succeeds.
+    Degraded,
+    /// A recovery probe (snapshot-all + WAL compaction) is in flight;
+    /// writes are refused until it resolves one way or the other.
+    Recovering,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Recovering => "recovering",
+        })
+    }
+}
+
+/// Point-in-time health of the service (`!health`).
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Current state.
+    pub state: Health,
+    /// Why the service degraded (`None` when healthy).
+    pub reason: Option<String>,
+    /// Writes refused while degraded/recovering, process lifetime.
+    pub refused_writes: u64,
+    /// Recovery probes attempted, process lifetime.
+    pub probes: u64,
+}
+
+/// Mutable health-machine state behind the service's health lock.
+struct HealthState {
+    state: Health,
+    reason: Option<String>,
+    /// When the last failure or probe happened — the backoff clock.
+    last_probe: Option<Instant>,
+    /// Minimum spacing between recovery probes; writes arriving inside the
+    /// window are refused without re-touching the store.
+    probe_interval: Duration,
+    refused_writes: u64,
+    probes: u64,
+}
+
+impl HealthState {
+    fn new() -> Self {
+        Self {
+            state: Health::Healthy,
+            reason: None,
+            last_probe: None,
+            probe_interval: Duration::from_secs(2),
+            refused_writes: 0,
+            probes: 0,
+        }
+    }
+
+    fn degraded_reason(&self) -> String {
+        self.reason
+            .clone()
+            .unwrap_or_else(|| "durability failure".to_string())
     }
 }
 
@@ -146,6 +223,10 @@ pub struct QualityService {
     retractions: AtomicU64,
     cascaded_deletes: AtomicU64,
     rederived: AtomicU64,
+    /// The health state machine: `Healthy → Degraded (read-only) →
+    /// Recovering → Healthy|Degraded`.  Store-wide, because a poisoned WAL
+    /// refuses appends for every context.
+    health: Mutex<HealthState>,
 }
 
 impl QualityService {
@@ -158,7 +239,34 @@ impl QualityService {
             retractions: AtomicU64::new(0),
             cascaded_deletes: AtomicU64::new(0),
             rederived: AtomicU64::new(0),
+            health: Mutex::new(HealthState::new()),
         }
+    }
+
+    /// Locked access to the context map for readers; a map poisoned by a
+    /// panicking registration is still structurally valid (entries are
+    /// inserted fully built), so recover the guard instead of cascading
+    /// the panic into every session.
+    fn read_contexts(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<ContextEntry>>> {
+        self.contexts
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write_contexts(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<ContextEntry>>> {
+        self.contexts
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The health lock never protects data a panic could half-update (all
+    /// fields are plain scalars assigned atomically), so recover it.
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, HealthState> {
+        self.health
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// An empty service whose applied batches are appended to `store`'s
@@ -177,19 +285,111 @@ impl QualityService {
     }
 
     /// Durability counters of the attached store (`None` without one).
+    /// Counters are plain scalars, so a store lock poisoned by a panicked
+    /// writer is recovered for this read-only peek.
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.store
-            .as_ref()
-            .map(|store| store.lock().unwrap().wal_stats())
+        self.store.as_ref().map(|store| {
+            store
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .wal_stats()
+        })
     }
 
     /// Fsync the store's active WAL segment, best-effort — the
     /// clean-shutdown path (appends already fsync themselves, so this only
     /// matters for durability of the final group on exotic filesystems).
+    /// Failures here are logged and swallowed: the session is exiting and
+    /// has nobody to report to, and every acked batch already fsynced.
     pub fn sync_store(&self) {
         if let Some(store) = &self.store {
-            if let Err(e) = store.lock().unwrap().sync() {
-                eprintln!("wal sync failed: {e}");
+            match store.lock() {
+                Ok(mut store) => {
+                    if let Err(e) = store.sync() {
+                        eprintln!("wal sync failed: {e}");
+                    }
+                }
+                Err(_) => eprintln!("wal sync skipped: store lock poisoned"),
+            }
+        }
+    }
+
+    /// The current health of the service — see [`Health`].
+    pub fn health(&self) -> HealthReport {
+        let h = self.lock_health();
+        HealthReport {
+            state: h.state,
+            reason: h.reason.clone(),
+            refused_writes: h.refused_writes,
+            probes: h.probes,
+        }
+    }
+
+    /// Set the minimum spacing between recovery probes (default 2s).
+    /// Tests set `Duration::ZERO` so the first write after a fault clears
+    /// probes immediately.
+    pub fn set_probe_interval(&self, interval: Duration) {
+        self.lock_health().probe_interval = interval;
+    }
+
+    /// Enter read-only degradation, remembering why.  The backoff clock
+    /// restarts so the next write inside the probe window is refused
+    /// without touching the store again.
+    fn degrade(&self, reason: &str) {
+        let mut h = self.lock_health();
+        h.state = Health::Degraded;
+        h.reason = Some(reason.to_string());
+        h.last_probe = Some(Instant::now());
+    }
+
+    fn mark_healthy(&self) {
+        let mut h = self.lock_health();
+        h.state = Health::Healthy;
+        h.reason = None;
+    }
+
+    /// Gate on the write path: healthy services pass for free; degraded
+    /// ones either refuse with [`ServiceError::Degraded`] (inside the probe
+    /// backoff window, or while another writer's probe is in flight) or run
+    /// one recovery probe — a full [`QualityService::persist_all`], whose
+    /// fresh snapshots supersede the poisoned WAL and whose compaction
+    /// clears the poison.  A successful probe returns the service to
+    /// [`Health::Healthy`] and lets the gated write proceed.
+    fn ensure_writable(&self) -> Result<(), ServiceError> {
+        {
+            let mut h = self.lock_health();
+            match h.state {
+                Health::Healthy => return Ok(()),
+                Health::Recovering => {
+                    h.refused_writes += 1;
+                    return Err(ServiceError::Degraded(h.degraded_reason()));
+                }
+                Health::Degraded => {
+                    let due = h
+                        .last_probe
+                        .is_none_or(|at| at.elapsed() >= h.probe_interval);
+                    if !due {
+                        h.refused_writes += 1;
+                        return Err(ServiceError::Degraded(h.degraded_reason()));
+                    }
+                    h.state = Health::Recovering;
+                    h.last_probe = Some(Instant::now());
+                    h.probes += 1;
+                }
+            }
+        }
+        // Probe outside the health lock — it snapshots every context and
+        // can be slow.  Concurrent writers see `Recovering` and refuse.
+        match self.persist_all() {
+            Ok(_) => Ok(()), // persist_all marked the service healthy
+            Err(e) => {
+                let reason = format!("recovery probe failed: {e}");
+                let mut h = self.lock_health();
+                h.state = Health::Degraded;
+                h.reason = Some(reason.clone());
+                h.last_probe = Some(Instant::now());
+                h.refused_writes += 1;
+                Err(ServiceError::Degraded(reason))
             }
         }
     }
@@ -213,7 +413,7 @@ impl QualityService {
         // Fast duplicate probe before paying for the initial chase.  The
         // authoritative check is repeated under the write lock below (two
         // racing registrations may both pass the probe; one loses there).
-        if self.contexts.read().unwrap().contains_key(name) {
+        if self.read_contexts().contains_key(name) {
             return Err(ServiceError::DuplicateContext(name.to_string()));
         }
         // Chase outside the map lock: registration of a large context must
@@ -239,7 +439,7 @@ impl QualityService {
         initial_instance: Database,
         recovery: &mut Recovery,
     ) -> Result<RecoverySummary, ServiceError> {
-        if self.contexts.read().unwrap().contains_key(name) {
+        if self.read_contexts().contains_key(name) {
             return Err(ServiceError::DuplicateContext(name.to_string()));
         }
         let snapshot = recovery.snapshots.remove(name);
@@ -304,7 +504,14 @@ impl QualityService {
         // store allows `!save` to compact the log again (compaction is
         // refused while unclaimed durable state lives only in the WAL).
         if let Some(store) = &self.store {
-            store.lock().unwrap().claim(name);
+            store
+                .lock()
+                .map_err(|_| {
+                    ServiceError::Internal(
+                        "store lock poisoned while claiming a recovered context".to_string(),
+                    )
+                })?
+                .claim(name);
         }
         Ok(summary)
     }
@@ -323,14 +530,14 @@ impl QualityService {
             &writer,
             Arc::clone(&program),
             writer.contextual().clone(),
-        );
+        )?;
         let entry = Arc::new(ContextEntry {
             context,
             program,
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(writer),
         });
-        let mut map = self.contexts.write().unwrap();
+        let mut map = self.write_contexts();
         if map.contains_key(name) {
             return Err(ServiceError::DuplicateContext(name.to_string()));
         }
@@ -348,12 +555,23 @@ impl QualityService {
         // Hold the map read lock for the whole checkpoint: a context
         // registered mid-save could otherwise apply (and log) a batch that
         // the compaction below would delete.
-        let map = self.contexts.read().unwrap();
-        let guards: Vec<(&String, std::sync::MutexGuard<'_, ResumableAssessment>)> = map
-            .iter()
-            .map(|(name, entry)| (name, entry.writer.lock().unwrap()))
-            .collect();
-        let mut store = store.lock().unwrap();
+        let map = self.read_contexts();
+        let mut guards: Vec<(&String, std::sync::MutexGuard<'_, ResumableAssessment>)> =
+            Vec::with_capacity(map.len());
+        for (name, entry) in map.iter() {
+            // A writer lock poisoned by a panicked batch means that
+            // context's chase state may be mid-mutation — snapshotting it
+            // would persist the inconsistency, so the checkpoint refuses.
+            let guard = entry.writer.lock().map_err(|_| {
+                ServiceError::Internal(format!(
+                    "writer for context '{name}' poisoned by a panicked update"
+                ))
+            })?;
+            guards.push((name, guard));
+        }
+        let mut store = store.lock().map_err(|_| {
+            ServiceError::Internal("store lock poisoned by a panicked writer".to_string())
+        })?;
         for (name, writer) in &guards {
             // Borrowed image: no deep clone of the instance or chase state
             // while every writer is blocked on the checkpoint.
@@ -370,6 +588,9 @@ impl QualityService {
         let segments_removed = store
             .compact()
             .map_err(|e| ServiceError::Store(e.to_string()))?;
+        // Every context is snapshotted and the log is compacted: whatever
+        // durability failure degraded the service is superseded.
+        self.mark_healthy();
         Ok(PersistReport {
             contexts: guards.len(),
             segments_removed,
@@ -392,7 +613,7 @@ impl QualityService {
 
     /// The names of all registered contexts.
     pub fn context_names(&self) -> Vec<String> {
-        self.contexts.read().unwrap().keys().cloned().collect()
+        self.read_contexts().keys().cloned().collect()
     }
 
     /// The current snapshot of `context` — the entry point for lock-free
@@ -417,24 +638,26 @@ impl QualityService {
     /// `!save`, every later one) is **not durable** — the store poisons the
     /// log rather than writing a gapped or torn sequence, and a `!save`
     /// checkpoint restores durability by superseding the log with fresh
-    /// snapshots.
+    /// snapshots.  A failed append also flips the service to
+    /// [`Health::Degraded`]: later writes are refused with
+    /// [`ServiceError::Degraded`] until a recovery probe (an automatic
+    /// `persist_all`, rate-limited by the probe interval) succeeds.
     pub fn insert_facts(
         &self,
         context: &str,
         facts: Vec<(String, Tuple)>,
     ) -> Result<UpdateReport, ServiceError> {
+        self.ensure_writable()?;
         let entry = self.entry(context)?;
         let start = Instant::now();
-        let mut writer = entry.writer.lock().unwrap();
+        let mut writer = entry.writer.lock().map_err(|_| {
+            ServiceError::Internal(format!(
+                "writer for context '{context}' poisoned by a panicked update"
+            ))
+        })?;
         let outcome = writer.insert_batch(facts.iter().cloned())?;
         let version = writer.batches_applied();
-        let wal_error = self.store.as_ref().and_then(|store| {
-            store
-                .lock()
-                .unwrap()
-                .append_batch(context, version, &facts)
-                .err()
-        });
+        let wal_error = self.append_to_wal(|store| store.append_batch(context, version, &facts));
         let derived = outcome.chase.stats.tuples_added;
         let violations = outcome.chase.violations.len();
         let snapshot = Self::build_snapshot(
@@ -443,16 +666,22 @@ impl QualityService {
             &writer,
             Arc::clone(&entry.program),
             outcome.chase.database,
-        );
+        )?;
         // Swap even when the WAL append failed: the writer state already
         // advanced, and readers must keep seeing a snapshot consistent with
         // it — only durability is in doubt, and that is what the error says.
-        *entry.snapshot.write().unwrap() = Arc::new(snapshot);
+        // The slot lock is recovered on poison for the same reason as in
+        // `ContextEntry::snapshot`: the swap is a single assignment.
+        *entry
+            .snapshot
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(snapshot);
         // Release the writer lock only after the swap so versions are
         // published in order.
         drop(writer);
-        if let Some(e) = wal_error {
-            return Err(ServiceError::Store(e.to_string()));
+        if let Some(reason) = wal_error {
+            self.degrade(&reason);
+            return Err(ServiceError::Store(reason));
         }
         Ok(UpdateReport {
             version,
@@ -483,9 +712,14 @@ impl QualityService {
         context: &str,
         retractions: &ontodq_datalog::Program,
     ) -> Result<RetractReport, ServiceError> {
+        self.ensure_writable()?;
         let entry = self.entry(context)?;
         let start = Instant::now();
-        let mut writer = entry.writer.lock().unwrap();
+        let mut writer = entry.writer.lock().map_err(|_| {
+            ServiceError::Internal(format!(
+                "writer for context '{context}' poisoned by a panicked update"
+            ))
+        })?;
         let expanded = writer.expand_retractions(retractions);
         let result = writer.retract_batch(expanded.iter().cloned());
         let stats = result.stats;
@@ -493,25 +727,24 @@ impl QualityService {
         let version = writer.batches_applied();
         // Log even an empty expansion: the version advanced, and recovery
         // checks for per-context sequence gaps.
-        let wal_error = self.store.as_ref().and_then(|store| {
-            store
-                .lock()
-                .unwrap()
-                .append_retraction(context, version, &expanded)
-                .err()
-        });
+        let wal_error =
+            self.append_to_wal(|store| store.append_retraction(context, version, &expanded));
         let snapshot = Self::build_snapshot(
             context,
             version,
             &writer,
             Arc::clone(&entry.program),
             result.chase.database,
-        );
-        *entry.snapshot.write().unwrap() = Arc::new(snapshot);
+        )?;
+        *entry
+            .snapshot
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(snapshot);
         drop(writer);
         self.note_retraction(&stats);
-        if let Some(e) = wal_error {
-            return Err(ServiceError::Store(e.to_string()));
+        if let Some(reason) = wal_error {
+            self.degrade(&reason);
+            return Err(ServiceError::Store(reason));
         }
         Ok(RetractReport {
             version,
@@ -522,6 +755,21 @@ impl QualityService {
             violations,
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Run `append` against the store (when attached) and return the
+    /// failure reason, if any.  A store lock poisoned by a panicked peer is
+    /// reported as an append failure too: the WAL's in-memory bookkeeping
+    /// may be mid-mutation, so pretending durability succeeded would lie.
+    fn append_to_wal(
+        &self,
+        append: impl FnOnce(&mut Store) -> ontodq_store::Result<()>,
+    ) -> Option<String> {
+        let store = self.store.as_ref()?;
+        match store.lock() {
+            Ok(mut store) => append(&mut store).err().map(|e| e.to_string()),
+            Err(_) => Some("store lock poisoned by a panicked writer".to_string()),
+        }
     }
 
     /// Fold one applied retraction into the process-lifetime counters.
@@ -613,9 +861,7 @@ impl QualityService {
     }
 
     fn entry(&self, context: &str) -> Result<Arc<ContextEntry>, ServiceError> {
-        self.contexts
-            .read()
-            .unwrap()
+        self.read_contexts()
             .get(context)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownContext(context.to_string()))
@@ -642,16 +888,25 @@ impl QualityService {
         writer: &ResumableAssessment,
         program: Arc<ontodq_datalog::Program>,
         mut database: Database,
-    ) -> Snapshot {
+    ) -> Result<Snapshot, ServiceError> {
         let epoch = database.epoch();
-        database
-            .merge(writer.instance())
-            .expect("original relations merge into the snapshot");
+        // These merges re-add the instance's own relations into copies that
+        // share its schema, so arity conflicts are impossible by
+        // construction — but a broken invariant must surface as a typed
+        // error, not a panic under the writer lock.
+        database.merge(writer.instance()).map_err(|e| {
+            ServiceError::Internal(format!(
+                "original relations failed to merge into snapshot '{name}': {e}"
+            ))
+        })?;
         let (quality, metrics) = writer.extract();
         let mut base = writer.base_database().clone();
-        base.merge(writer.instance())
-            .expect("original relations merge into the demand base");
-        Snapshot {
+        base.merge(writer.instance()).map_err(|e| {
+            ServiceError::Internal(format!(
+                "original relations failed to merge into demand base '{name}': {e}"
+            ))
+        })?;
+        Ok(Snapshot {
             context: name.to_string(),
             version,
             database,
@@ -661,7 +916,7 @@ impl QualityService {
             metrics,
             violations: writer.last_violations().len(),
             epoch,
-        }
+        })
     }
 }
 
@@ -1178,5 +1433,157 @@ mod tests {
             count_before + 1
         );
         assert_eq!(after.version, before.version + 1);
+    }
+
+    /// The health state machine end to end: a permanent WAL append failure
+    /// degrades the service — the write that hit the fault reports a store
+    /// error, later writes are refused with the typed degraded error while
+    /// the probe backoff holds, reads keep answering from the in-memory
+    /// state — and the first write after the backoff triggers an automatic
+    /// recovery probe (a full checkpoint superseding the poisoned log) that
+    /// returns the service to healthy.
+    #[test]
+    fn wal_failures_degrade_writes_and_probes_recover() {
+        use ontodq_store::{FaultSchedule, IoOp, SharedIoPolicy};
+        let dir =
+            std::env::temp_dir().join(format!("ontodq-service-health-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        // First batch appends fine; the second one's write fails hard.
+        schedule.lock().unwrap().fail_nth(IoOp::WalWrite, 1);
+        let policy: SharedIoPolicy = schedule.clone();
+        let store = Arc::new(Mutex::new(
+            Store::open_with_policy(&dir, ontodq_store::StoreConfig::default(), policy).unwrap(),
+        ));
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        assert_eq!(service.health().state, Health::Healthy);
+        service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap();
+
+        let nick = (
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/7-09:15").unwrap(),
+                Value::str("Nick Cave"),
+                Value::double(37.5),
+            ]),
+        );
+        let err = service
+            .insert_facts("hospital", vec![nick.clone()])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Store(_)), "got {err:?}");
+        assert_eq!(service.health().state, Health::Degraded);
+
+        // Reads still answer, from the in-memory state that includes the
+        // applied-but-not-durable batch.
+        let reads = service
+            .quality_answers("hospital", "Measurements(t, p, v)")
+            .unwrap();
+        assert_eq!(reads.version, 2);
+
+        // Inside the probe backoff, writes are refused with the typed
+        // degraded error and counted.
+        let cale = (
+            "Measurements".to_string(),
+            Tuple::new(vec![
+                Value::parse_time("Sep/7-10:40").unwrap(),
+                Value::str("John Cale"),
+                Value::double(38.1),
+            ]),
+        );
+        service.set_probe_interval(Duration::from_secs(3600));
+        let err = service
+            .insert_facts("hospital", vec![cale.clone()])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Degraded(_)), "got {err:?}");
+        assert!(service.health().refused_writes >= 1);
+        assert_eq!(service.health().state, Health::Degraded);
+
+        // With the backoff elapsed (interval zero), the same write runs the
+        // recovery probe: fresh snapshots supersede the poisoned WAL, the
+        // compaction clears the poison, and the write lands.
+        service.set_probe_interval(Duration::ZERO);
+        let report = service.insert_facts("hospital", vec![cale]).unwrap();
+        assert_eq!(report.version, 3);
+        let health = service.health();
+        assert_eq!(health.state, Health::Healthy);
+        assert_eq!(health.probes, 1);
+        assert!(health.reason.is_none());
+
+        // The recovered-on-disk state equals the in-memory state: snapshot
+        // at version 2 (including the non-durable-at-the-time batch) plus
+        // the version-3 WAL tail.
+        drop(service);
+        let mut store = Store::open(&dir, ontodq_store::StoreConfig::default()).unwrap();
+        let mut recovery = store.recover().unwrap();
+        let recovered = QualityService::new();
+        let summary = recovered
+            .register_recovered(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+                &mut recovery,
+            )
+            .unwrap();
+        assert!(summary.restored_from_snapshot);
+        assert_eq!(summary.version, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `persist_all` (the `!save` path) also exits degradation directly —
+    /// an operator command, not just the automatic probe.
+    #[test]
+    fn explicit_save_exits_degradation() {
+        use ontodq_store::{FaultSchedule, IoOp, SharedIoPolicy};
+        let dir = std::env::temp_dir().join(format!("ontodq-service-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        schedule.lock().unwrap().fail_nth(IoOp::WalFsync, 0);
+        let policy: SharedIoPolicy = schedule.clone();
+        let store = Arc::new(Mutex::new(
+            Store::open_with_policy(&dir, ontodq_store::StoreConfig::default(), policy).unwrap(),
+        ));
+        let service = QualityService::with_store(store);
+        service
+            .register_context(
+                "hospital",
+                scenarios::hospital_context(),
+                hospital::measurements_database(),
+            )
+            .unwrap();
+        // Permanent-looking fsync failure on the very first append (retries
+        // see the schedule's `Fail` only once, but the heal path reseals and
+        // the error kind is permanent, so no retry happens).
+        let err = service
+            .insert_facts("hospital", vec![lou_reed_fact()])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Store(_)), "got {err:?}");
+        assert_eq!(service.health().state, Health::Degraded);
+        let report = service.persist_all().unwrap();
+        assert_eq!(report.contexts, 1);
+        assert_eq!(service.health().state, Health::Healthy);
+        service
+            .insert_facts(
+                "hospital",
+                vec![(
+                    "Measurements".to_string(),
+                    Tuple::new(vec![
+                        Value::parse_time("Sep/7-11:00").unwrap(),
+                        Value::str("Nico"),
+                        Value::double(36.8),
+                    ]),
+                )],
+            )
+            .unwrap();
+        assert_eq!(service.health().state, Health::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,6 +23,13 @@ pub enum StoreError {
     /// (should only happen when the log was produced by an incompatible
     /// schema version).
     Data(String),
+    /// A fault-injection policy simulated process death mid-operation
+    /// (see [`crate::io::FaultDecision::Crash`]).  The instance must be
+    /// abandoned and recovery run on a fresh one; in particular the WAL
+    /// skips its heal-and-retry path, leaving whatever torn bytes the
+    /// "crash" left for recovery to truncate — exactly like a real power
+    /// loss.
+    SimulatedCrash(String),
 }
 
 impl StoreError {
@@ -31,6 +38,27 @@ impl StoreError {
             path: path.into(),
             reason: reason.into(),
         }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    /// `Interrupted`/`WouldBlock`/`TimedOut` I/O errors are transient
+    /// (injected transient faults use these kinds too); corruption,
+    /// schema violations and simulated crashes are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// Whether this error is an injected process-death simulation.
+    pub fn is_simulated_crash(&self) -> bool {
+        matches!(self, StoreError::SimulatedCrash(_))
     }
 }
 
@@ -42,6 +70,9 @@ impl fmt::Display for StoreError {
                 write!(f, "corrupt store file {}: {reason}", path.display())
             }
             StoreError::Data(msg) => write!(f, "data error: {msg}"),
+            StoreError::SimulatedCrash(what) => {
+                write!(f, "simulated crash during {what}")
+            }
         }
     }
 }

@@ -31,6 +31,10 @@
 //!   ([`PersistedContext`]): the instance under assessment, the chased
 //!   contextual instance, and the [`ontodq_chase::ChaseState`] per-rule
 //!   epoch watermarks and null counter.
+//! * [`io`] — deterministic fault injection: an [`IoPolicy`] consulted at
+//!   every durability edge (WAL writes/fsyncs/rotation, snapshot
+//!   temp+rename), passthrough in production, a seeded [`FaultSchedule`]
+//!   of injected errors, short writes and crash points under test.
 //! * [`store`] — the [`Store`]: one data directory tying both together,
 //!   with [`Store::recover`] returning each context's newest snapshot plus
 //!   exactly the committed batches newer than it, and [`Store::compact`]
@@ -41,15 +45,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Durability code must degrade through typed errors, never panic on a
+// fallible operation; tests are free to unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod codec;
 pub mod error;
+pub mod io;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use codec::crc32;
 pub use error::{Result, StoreError};
+pub use io::{
+    passthrough_policy, FaultDecision, FaultSchedule, IoOp, IoPolicy, PassThrough, PlannedFault,
+    SharedIoPolicy,
+};
 pub use snapshot::{ContextImage, PersistedContext};
 pub use store::{Recovery, Store, StoreConfig};
 pub use wal::{BatchKind, ReplayedBatch, Wal, WalConfig, WalStats};

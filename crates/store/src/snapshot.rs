@@ -27,11 +27,14 @@ use crate::codec::{
     DictReader, DictWriter,
 };
 use crate::error::{Result, StoreError};
-use crate::wal::{frame, parse_frame, sync_dir, REC_SYMDEF};
+use crate::io::{
+    guarded_fsync, guarded_rename, guarded_sync_dir, guarded_write, IoOp, SharedIoPolicy,
+};
+use crate::wal::{frame, parse_frame, REC_SYMDEF};
 use ontodq_chase::ChaseState;
 use ontodq_relational::Database;
 use std::fs::{self, File};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
@@ -79,8 +82,13 @@ pub struct PersistedContext {
     pub state: ChaseState,
 }
 
-/// Write `snapshot` to `path` atomically (temp file + fsync + rename).
-pub(crate) fn save_snapshot(path: &Path, snapshot: &ContextImage<'_>) -> Result<()> {
+/// Write `snapshot` to `path` atomically (temp file + fsync + rename),
+/// with every durability edge guarded by `policy`.
+pub(crate) fn save_snapshot(
+    path: &Path,
+    snapshot: &ContextImage<'_>,
+    policy: &SharedIoPolicy,
+) -> Result<()> {
     let mut dict = DictWriter::new();
     let mut body = vec![REC_SNAPSHOT];
     put_u32(&mut body, dict.local_str(snapshot.name));
@@ -107,15 +115,19 @@ pub(crate) fn save_snapshot(path: &Path, snapshot: &ContextImage<'_>) -> Result<
         fs::create_dir_all(parent)?;
     }
     let mut file = File::create(&tmp)?;
-    file.write_all(&bytes)?;
-    file.sync_data()?;
+    guarded_write(policy, IoOp::SnapshotWrite, &mut file, &bytes)?;
+    guarded_fsync(policy, IoOp::SnapshotFsync, &file)?;
     drop(file);
-    fs::rename(&tmp, path)?;
+    // A failure up to and including the rename leaves the previous
+    // snapshot untouched — the temp file is garbage a later save
+    // overwrites — so snapshot faults never lose committed state, only
+    // the checkpoint attempt.
+    guarded_rename(policy, IoOp::SnapshotRename, &tmp, path)?;
     // Persist the rename itself: the WAL is compacted right after a
     // checkpoint on the strength of this snapshot, so the directory entry
     // must be durable before the segment unlinks can be.
     if let Some(parent) = path.parent() {
-        sync_dir(parent)?;
+        guarded_sync_dir(policy, parent)?;
     }
     Ok(())
 }
@@ -240,7 +252,7 @@ mod tests {
             state: &state,
         };
         let path = snapshot_path(&dir, image.name);
-        save_snapshot(&path, &image).unwrap();
+        save_snapshot(&path, &image, &crate::io::passthrough_policy()).unwrap();
         let loaded = load_snapshot(&path).unwrap();
         assert_eq!(loaded.name, image.name);
         assert_eq!(loaded.version, 5);
@@ -275,7 +287,7 @@ mod tests {
             state: &state,
         };
         let path = snapshot_path(&dir, "ctx");
-        save_snapshot(&path, &image).unwrap();
+        save_snapshot(&path, &image, &crate::io::passthrough_policy()).unwrap();
         // Simulate a crash mid-save: a stale temp file must not shadow or
         // corrupt the committed snapshot.
         fs::write(path.with_extension("snap.tmp"), b"garbage").unwrap();
@@ -297,7 +309,7 @@ mod tests {
             state: &state,
         };
         let path = snapshot_path(&dir, "ctx");
-        save_snapshot(&path, &image).unwrap();
+        save_snapshot(&path, &image, &crate::io::passthrough_policy()).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;

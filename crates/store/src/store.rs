@@ -17,6 +17,7 @@
 //! has just superseded with snapshots.
 
 use crate::error::{Result, StoreError};
+use crate::io::{passthrough_policy, SharedIoPolicy};
 use crate::snapshot::{
     load_snapshot, save_snapshot, snapshot_path, ContextImage, PersistedContext,
 };
@@ -56,6 +57,9 @@ impl Recovery {
 pub struct Store {
     data_dir: PathBuf,
     wal: Wal,
+    /// Fault-injection policy shared with the WAL and the snapshot writer
+    /// (the production passthrough unless a harness installed a schedule).
+    policy: SharedIoPolicy,
     /// Context names whose durable state [`Store::recover`] surfaced but no
     /// caller has [`Store::claim`]ed yet.  While any remain, [`Store::compact`]
     /// refuses to run — their batches live only in the log, and deleting it
@@ -65,15 +69,29 @@ pub struct Store {
 }
 
 impl Store {
-    /// Open (creating if needed) the store at `data_dir`.
+    /// Open (creating if needed) the store at `data_dir` with the
+    /// production passthrough I/O policy.
     pub fn open(data_dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Self> {
+        Self::open_with_policy(data_dir, config, passthrough_policy())
+    }
+
+    /// [`Store::open`] with an explicit fault-injection policy (see
+    /// [`crate::io`]): every WAL append/fsync/rotation and snapshot
+    /// write/fsync/rename consults it, so a test harness can reach every
+    /// durability edge deterministically.
+    pub fn open_with_policy(
+        data_dir: impl Into<PathBuf>,
+        config: StoreConfig,
+        policy: SharedIoPolicy,
+    ) -> Result<Self> {
         let data_dir = data_dir.into();
         fs::create_dir_all(&data_dir)?;
         fs::create_dir_all(data_dir.join("snap"))?;
-        let wal = Wal::open(data_dir.join("wal"), config.wal)?;
+        let wal = Wal::open_with_policy(data_dir.join("wal"), config.wal, policy.clone())?;
         Ok(Self {
             data_dir,
             wal,
+            policy,
             unclaimed: BTreeSet::new(),
         })
     }
@@ -94,6 +112,12 @@ impl Store {
     /// Durability counters (segment count, bytes, batches appended).
     pub fn wal_stats(&self) -> WalStats {
         self.wal.stats()
+    }
+
+    /// Why the WAL is refusing appends, if it is (a failed append poisons
+    /// the log until [`Store::compact`] supersedes it with snapshots).
+    pub fn wal_poisoned(&self) -> Option<&str> {
+        self.wal.poisoned()
     }
 
     /// Append one applied batch for `context` and fsync it; `seq` is the
@@ -134,6 +158,7 @@ impl Store {
         save_snapshot(
             &snapshot_path(&self.data_dir.join("snap"), snapshot.name),
             snapshot,
+            &self.policy,
         )
     }
 

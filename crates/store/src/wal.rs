@@ -24,10 +24,15 @@
 
 use crate::codec::{crc32, put_u32, put_u64, Cursor, DictReader, DictWriter};
 use crate::error::{Result, StoreError};
+use crate::io::{
+    guarded_fsync, guarded_sync_dir, guarded_truncate, guarded_write, passthrough_policy, IoOp,
+    SharedIoPolicy,
+};
 use ontodq_relational::Tuple;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Magic bytes opening every segment file.
 const SEGMENT_MAGIC: &[u8; 8] = b"ODQWAL1\n";
@@ -56,12 +61,21 @@ const FRAME_BYTES: u64 = 8;
 pub struct WalConfig {
     /// Rotate to a new segment once the current one exceeds this many bytes.
     pub segment_bytes: u64,
+    /// How many times a *transient* append failure (`Interrupted`,
+    /// `WouldBlock`, `TimedOut`) is retried — after healing the segment
+    /// back to its last good boundary — before the log is poisoned.
+    pub append_retries: u32,
+    /// Base back-off between append retries (multiplied by the attempt
+    /// number).
+    pub retry_backoff: Duration,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
         Self {
             segment_bytes: 4 * 1024 * 1024,
+            append_retries: 2,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -75,6 +89,8 @@ pub struct WalStats {
     pub bytes: u64,
     /// Batches appended through this handle since it was opened.
     pub batches_appended: u64,
+    /// Transient append failures healed by retrying into a fresh segment.
+    pub append_retries: u64,
 }
 
 /// Whether a replayed batch inserted or retracted its facts.
@@ -120,22 +136,46 @@ struct OpenSegment {
 pub struct Wal {
     dir: PathBuf,
     config: WalConfig,
+    policy: SharedIoPolicy,
     current: Option<OpenSegment>,
     next_segment_id: u64,
     sealed_segments: u64,
     sealed_bytes: u64,
     batches_appended: u64,
+    append_retries: u64,
     /// Set (to the failure reason) by a failed append; while set, further
     /// appends fail fast — see [`Wal::append_batch`].  Cleared by
     /// [`Wal::compact`], whose snapshots supersede the damaged log.
     poisoned: Option<String>,
 }
 
+/// What [`Wal::try_append`] did.  `Err` from `try_append` always means
+/// *nothing of this group is durably committed*; a failure after the
+/// group's own fsync succeeded is reported here instead, so the retry
+/// loop can never duplicate a committed record.
+enum AppendOutcome {
+    /// The group is durable and the segment is in a clean state.
+    Committed,
+    /// The group is durable but the rotation seal that followed failed.
+    CommittedSealFailed(StoreError),
+}
+
 impl Wal {
-    /// Open (creating if needed) the log directory.  Existing segments are
-    /// left untouched until [`Wal::replay`]; new appends go to a fresh
-    /// segment numbered after the newest existing one.
+    /// Open (creating if needed) the log directory with the production
+    /// passthrough I/O policy.  Existing segments are left untouched until
+    /// [`Wal::replay`]; new appends go to a fresh segment numbered after
+    /// the newest existing one.
     pub fn open(dir: impl Into<PathBuf>, config: WalConfig) -> Result<Self> {
+        Self::open_with_policy(dir, config, passthrough_policy())
+    }
+
+    /// [`Wal::open`] with an explicit fault-injection policy (see
+    /// [`crate::io`]).
+    pub fn open_with_policy(
+        dir: impl Into<PathBuf>,
+        config: WalConfig,
+        policy: SharedIoPolicy,
+    ) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let segments = Self::segment_paths(&dir)?;
@@ -147,11 +187,13 @@ impl Wal {
         Ok(Self {
             dir,
             config,
+            policy,
             current: None,
             next_segment_id,
             sealed_segments: segments.len() as u64,
             sealed_bytes,
             batches_appended: 0,
+            append_retries: 0,
             poisoned: None,
         })
     }
@@ -186,7 +228,13 @@ impl Wal {
             segments: self.sealed_segments + active_segments,
             bytes: self.sealed_bytes + active_bytes,
             batches_appended: self.batches_appended,
+            append_retries: self.append_retries,
         }
+    }
+
+    /// Why the log is refusing appends, if it is (see [`Wal::append_batch`]).
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
     }
 
     /// Append one applied batch and fsync it.  Returns only after the bytes
@@ -238,31 +286,91 @@ impl Wal {
                  checkpoint (!save) to restore durability"
             )));
         }
-        let result = self.try_append(tag, context, seq, facts);
-        if let Err(e) = &result {
-            // Abandon the segment: whatever prefix of a group reached the
-            // disk is a tail tear in a now-final segment, which recovery
-            // truncates cleanly; the dictionary state is not reusable.
-            if let Some(abandoned) = self.current.take() {
-                self.sealed_segments += 1;
-                self.sealed_bytes += fs::metadata(&abandoned.path)
-                    .map(|m| m.len())
-                    .unwrap_or(abandoned.len);
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_append(tag, context, seq, facts) {
+                Ok(AppendOutcome::Committed) => return Ok(()),
+                Ok(AppendOutcome::CommittedSealFailed(e)) => {
+                    // The group is durable (its own fsync succeeded); only
+                    // the redundant rotation seal failed.  Retrying would
+                    // duplicate a committed record — a seq the recovery
+                    // gap check rejects — so poison instead and surface
+                    // the error: the caller treats durability of *later*
+                    // writes as suspect until a checkpoint.
+                    self.poisoned = Some(e.to_string());
+                    return Err(e);
+                }
+                Err(e) if e.is_simulated_crash() => {
+                    // The process is "dead": no healing (a crashed process
+                    // heals nothing), no retry.  Whatever torn prefix hit
+                    // the disk is exactly what recovery must truncate.
+                    self.abandon_current();
+                    self.poisoned = Some(e.to_string());
+                    return Err(e);
+                }
+                Err(e) => {
+                    // Nothing of the group is committed.  Heal the segment
+                    // back to its last good record boundary and seal it;
+                    // a transient failure is then safe to retry into a
+                    // fresh segment (never around the tear — burying a
+                    // torn record mid-segment would make recovery truncate
+                    // away batches acknowledged after it).
+                    let healed = self.heal_after_failed_append();
+                    if healed && e.is_transient() && attempt < self.config.append_retries {
+                        attempt += 1;
+                        self.append_retries += 1;
+                        std::thread::sleep(self.config.retry_backoff * attempt);
+                        continue;
+                    }
+                    self.abandon_current();
+                    self.poisoned = Some(e.to_string());
+                    return Err(e);
+                }
             }
-            self.poisoned = Some(e.to_string());
         }
-        result
     }
 
-    /// The fallible body of [`Wal::append_record`]; the wrapper poisons the
-    /// log on any error.
+    /// After a failed, non-crash append: truncate the active segment back
+    /// to its last known-good record boundary (`OpenSegment::len` only
+    /// advances after a successful write + fsync, so it *is* that
+    /// boundary), fsync the truncation, and seal the segment so a retry
+    /// starts a fresh one.  Returns `false` — leaving the caller to
+    /// poison the log — if the heal itself fails; the torn bytes then sit
+    /// in what is now the final segment, where recovery truncates them.
+    fn heal_after_failed_append(&mut self) -> bool {
+        let Some(segment) = self.current.take() else {
+            // The failure was in segment creation: nothing on disk to heal.
+            return true;
+        };
+        let healed = guarded_truncate(&self.policy, IoOp::WalTruncate, &segment.file, segment.len)
+            .and_then(|()| guarded_fsync(&self.policy, IoOp::WalSeal, &segment.file));
+        self.sealed_segments += 1;
+        self.sealed_bytes += segment.len;
+        healed.is_ok()
+    }
+
+    /// Close the active segment without healing (crash / give-up paths);
+    /// counters fold in whatever the file actually holds.
+    fn abandon_current(&mut self) {
+        if let Some(abandoned) = self.current.take() {
+            self.sealed_segments += 1;
+            self.sealed_bytes += fs::metadata(&abandoned.path)
+                .map(|m| m.len())
+                .unwrap_or(abandoned.len);
+        }
+    }
+
+    /// One append attempt.  `Err` always means nothing of the group is
+    /// durably committed; a post-commit failure (rotation seal) comes back
+    /// as [`AppendOutcome::CommittedSealFailed`] so the caller never
+    /// retries a committed record.
     fn try_append(
         &mut self,
         tag: u8,
         context: &str,
         seq: u64,
         facts: &[(String, Tuple)],
-    ) -> Result<()> {
+    ) -> Result<AppendOutcome> {
         if self.current.is_none() {
             self.current = Some(self.create_segment()?);
         }
@@ -292,15 +400,17 @@ impl Wal {
         }
         group.extend_from_slice(&batch_frame);
 
-        segment.file.write_all(&group)?;
-        segment.file.sync_data()?;
+        guarded_write(&self.policy, IoOp::WalWrite, &mut segment.file, &group)?;
+        guarded_fsync(&self.policy, IoOp::WalFsync, &segment.file)?;
         segment.len += group.len() as u64;
         self.batches_appended += 1;
 
         if segment.len >= self.config.segment_bytes {
-            self.seal_current()?;
+            if let Err(e) = self.seal_current() {
+                return Ok(AppendOutcome::CommittedSealFailed(e));
+            }
         }
-        Ok(())
+        Ok(AppendOutcome::Committed)
     }
 
     /// Flush and fsync the active segment, if any.  Called on clean
@@ -437,7 +547,7 @@ impl Wal {
         // this compaction is the caller's side: `save_snapshot` fsyncs the
         // snapshot directory after its rename, so by the time the unlinks
         // can hit the disk the covering snapshots already have.
-        sync_dir(&self.dir)?;
+        guarded_sync_dir(&self.policy, &self.dir)?;
         self.sealed_segments = 0;
         self.sealed_bytes = 0;
         // The snapshots that justified this compaction supersede whatever a
@@ -466,13 +576,30 @@ impl Wal {
             .create_new(true)
             .append(true)
             .open(&path)?;
-        file.write_all(SEGMENT_MAGIC)?;
-        file.sync_data()?;
+        let initialized = guarded_write(
+            &self.policy,
+            IoOp::WalSegmentCreate,
+            &mut file,
+            SEGMENT_MAGIC,
+        )
+        .and_then(|()| guarded_fsync(&self.policy, IoOp::WalSegmentCreate, &file))
         // Make the new directory entry itself durable: fsyncing the file
         // alone does not persist its name in the directory, and a power
         // loss could otherwise drop the whole segment — every acknowledged
         // batch in it — without any torn-tail signal at recovery.
-        sync_dir(&self.dir)?;
+        .and_then(|()| guarded_sync_dir(&self.policy, &self.dir));
+        if let Err(e) = initialized {
+            // A retried append would create the *next* segment id, turning
+            // this torn-magic file into a non-final segment recovery rejects
+            // as corrupt — unlink it while the process is still alive.  (A
+            // simulated crash skips the cleanup, exactly like a real one:
+            // the short file is then the final segment, which recovery
+            // removes itself.)
+            if !e.is_simulated_crash() {
+                let _ = fs::remove_file(&path);
+            }
+            return Err(e);
+        }
         Ok(OpenSegment {
             path,
             file,
@@ -483,9 +610,12 @@ impl Wal {
 
     fn seal_current(&mut self) -> Result<()> {
         if let Some(segment) = self.current.take() {
-            segment.file.sync_data()?;
+            // `len` tracks the file exactly (it only advances on committed
+            // groups), so the counters never need a metadata round trip.
+            let sealed = guarded_fsync(&self.policy, IoOp::WalSeal, &segment.file);
             self.sealed_segments += 1;
-            self.sealed_bytes += fs::metadata(&segment.path)?.len();
+            self.sealed_bytes += segment.len;
+            sealed?;
         }
         Ok(())
     }
@@ -520,8 +650,8 @@ pub(crate) fn parse_frame(bytes: &[u8]) -> Option<Framed<'_>> {
     if bytes.len() < FRAME_BYTES as usize {
         return None;
     }
-    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     let payload = bytes.get(8..8 + len)?;
     if crc32(payload) != crc {
         return None;
@@ -539,17 +669,13 @@ fn truncate_file(path: &Path, len: u64) -> Result<()> {
     Ok(())
 }
 
-/// Fsync a directory, making renames/creates/unlinks inside it durable.
-pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
-    File::open(dir)?.sync_all()?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::FaultSchedule;
     use ontodq_relational::Value;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -671,7 +797,14 @@ mod tests {
     #[test]
     fn segments_rotate_at_the_size_threshold() {
         let dir = temp_dir("rotate");
-        let mut wal = Wal::open(&dir, WalConfig { segment_bytes: 256 }).unwrap();
+        let mut wal = Wal::open(
+            &dir,
+            WalConfig {
+                segment_bytes: 256,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
         for seq in 1..=20u64 {
             wal.append_batch(
                 "hospital",
@@ -734,7 +867,14 @@ mod tests {
     #[test]
     fn corruption_in_a_sealed_segment_is_an_error_not_a_truncation() {
         let dir = temp_dir("sealed");
-        let mut wal = Wal::open(&dir, WalConfig { segment_bytes: 64 }).unwrap();
+        let mut wal = Wal::open(
+            &dir,
+            WalConfig {
+                segment_bytes: 64,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
         for seq in 1..=6u64 {
             wal.append_batch("hospital", seq, &[fact("M", &["x", "y"])])
                 .unwrap();
@@ -780,10 +920,95 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// A transient write/fsync failure is healed (segment truncated back
+    /// to its last good boundary and sealed) and the whole group retried
+    /// into a fresh segment — the append succeeds, nothing is duplicated,
+    /// and the retry is visible in the stats.
+    #[test]
+    fn transient_append_failures_heal_by_retrying_into_a_fresh_segment() {
+        let dir = temp_dir("transient");
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        schedule.lock().unwrap().transient_nth(IoOp::WalFsync, 1);
+        let mut wal = Wal::open_with_policy(&dir, WalConfig::default(), schedule.clone()).unwrap();
+        for seq in 1..=3u64 {
+            wal.append_batch("hospital", seq, &[fact("M", &["a", &seq.to_string()])])
+                .unwrap();
+        }
+        assert_eq!(wal.stats().append_retries, 1);
+        assert!(wal.poisoned().is_none());
+        // The healed segment plus the fresh one both replay; every batch
+        // appears exactly once, in order.
+        drop(wal);
+        let (batches, report) = collect_replay(&mut Wal::open(&dir, WalConfig::default()).unwrap());
+        assert!(!report.truncated_tail);
+        assert_eq!(
+            batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A permanent failure exhausts no retries, poisons the log, and the
+    /// surviving log is exactly the acked prefix.
+    #[test]
+    fn permanent_append_failures_poison_and_keep_the_acked_prefix() {
+        let dir = temp_dir("permanent");
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        schedule.lock().unwrap().fail_nth(IoOp::WalWrite, 1);
+        let mut wal = Wal::open_with_policy(&dir, WalConfig::default(), schedule.clone()).unwrap();
+        wal.append_batch("hospital", 1, &[fact("M", &["a", "1"])])
+            .unwrap();
+        let err = wal
+            .append_batch("hospital", 2, &[fact("M", &["a", "2"])])
+            .unwrap_err();
+        assert!(!err.is_transient());
+        assert!(wal.poisoned().is_some());
+        let fast = wal
+            .append_batch("hospital", 3, &[fact("M", &["a", "3"])])
+            .unwrap_err();
+        assert!(fast.to_string().contains("wal disabled"), "got {fast}");
+        drop(wal);
+        let (batches, _) = collect_replay(&mut Wal::open(&dir, WalConfig::default()).unwrap());
+        assert_eq!(batches.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash mid-write leaves the torn prefix on disk (no healing — the
+    /// process is "dead"); recovery truncates it and replays exactly the
+    /// acked batches.
+    #[test]
+    fn a_crash_mid_write_leaves_a_torn_tail_recovery_truncates() {
+        let dir = temp_dir("crash");
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        schedule.lock().unwrap().crash_nth(IoOp::WalWrite, 1, 5);
+        let mut wal = Wal::open_with_policy(&dir, WalConfig::default(), schedule.clone()).unwrap();
+        wal.append_batch("hospital", 1, &[fact("M", &["a", "1"])])
+            .unwrap();
+        let err = wal
+            .append_batch("hospital", 2, &[fact("M", &["a", "2"])])
+            .unwrap_err();
+        assert!(err.is_simulated_crash(), "got {err}");
+        drop(wal);
+        // Recovery on a fresh instance: the 5 torn bytes are truncated
+        // away and only the acked batch survives.
+        let mut reopened = Wal::open(&dir, WalConfig::default()).unwrap();
+        let (batches, report) = collect_replay(&mut reopened);
+        assert!(report.truncated_tail);
+        assert_eq!(batches.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn compaction_supersedes_all_segments() {
         let dir = temp_dir("compact");
-        let mut wal = Wal::open(&dir, WalConfig { segment_bytes: 64 }).unwrap();
+        let mut wal = Wal::open(
+            &dir,
+            WalConfig {
+                segment_bytes: 64,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
         for seq in 1..=6u64 {
             wal.append_batch("hospital", seq, &[fact("M", &["x", "y"])])
                 .unwrap();

@@ -13,8 +13,8 @@
 use ontodq_core::assess;
 use ontodq_integration_tests::databases_equivalent;
 use ontodq_relational::{Database, Tuple, Value};
-use ontodq_server::QualityService;
-use ontodq_store::{Store, StoreConfig};
+use ontodq_server::{QualityService, ServiceError};
+use ontodq_store::{FaultSchedule, IoOp, SharedIoPolicy, Store, StoreConfig};
 use ontodq_workload::{generate, HospitalScale};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -305,4 +305,153 @@ fn hospital_restart_preserves_quality_answers() {
         assert_eq!(revived.answers, live_answers.answers, "round {round}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic failpoint sweep: for every batch index `k`, fail the
+/// `k`-th WAL fsync, short-write the `k`-th WAL record, and (once) crash
+/// during a checkpoint's snapshot rename.  In each case the service must
+/// ack exactly the batches that survived, degrade afterwards, and a
+/// restart must recover exactly the acked prefix — the failed record is
+/// healed off the log, never replayed torn.
+#[test]
+fn failpoint_sweep_recovers_exactly_the_acked_prefix() {
+    use std::time::Duration;
+
+    let workload = generate(&small_scale());
+    let context = workload.context();
+    let base: Vec<Tuple> = workload
+        .instance
+        .relation("Measurements")
+        .unwrap()
+        .tuples()
+        .to_vec();
+    let batches = random_batches(&base, 4, 3, 23);
+
+    // References that applied exactly the first `c` batches in memory.
+    let references: Vec<QualityService> = (0..=batches.len())
+        .map(|committed| {
+            let service = QualityService::new();
+            service
+                .register_context("scaled", context.clone(), workload.instance.clone())
+                .unwrap();
+            for batch in &batches[..committed] {
+                service.insert_facts("scaled", batch.clone()).unwrap();
+            }
+            service
+        })
+        .collect();
+
+    #[derive(Clone, Copy)]
+    enum Case {
+        /// Fail the k-th WAL fsync: batch k lands in memory only.
+        FsyncFail(u64),
+        /// Tear the k-th WAL record after 7 bytes.
+        ShortWrite(u64),
+        /// Crash mid-checkpoint, at the snapshot rename.
+        SnapshotCrash,
+    }
+
+    let mut cases: Vec<(String, Case)> = Vec::new();
+    for k in 0..batches.len() as u64 {
+        cases.push((format!("fsync-fail-{k}"), Case::FsyncFail(k)));
+        cases.push((format!("short-write-{k}"), Case::ShortWrite(k)));
+    }
+    cases.push(("snapshot-crash".to_string(), Case::SnapshotCrash));
+
+    for (label, case) in cases {
+        let dir = temp_dir(&format!("sweep-{label}"));
+        let schedule = Arc::new(Mutex::new(FaultSchedule::new()));
+        {
+            let mut plan = schedule.lock().unwrap();
+            match case {
+                Case::FsyncFail(k) => plan.fail_nth(IoOp::WalFsync, k),
+                Case::ShortWrite(k) => plan.short_write_nth(IoOp::WalWrite, k, 7),
+                Case::SnapshotCrash => plan.crash_nth(IoOp::SnapshotRename, 0, 0),
+            };
+        }
+        let policy: SharedIoPolicy = schedule.clone();
+        let store = Arc::new(Mutex::new(
+            Store::open_with_policy(&dir, StoreConfig::default(), policy).unwrap(),
+        ));
+        let service = QualityService::with_store(Arc::clone(&store));
+        // A shut probe window keeps the sweep deterministic: once degraded,
+        // every later write is refused instead of probing recovery.
+        service.set_probe_interval(Duration::from_secs(3600));
+        service
+            .register_context("scaled", context.clone(), workload.instance.clone())
+            .unwrap();
+
+        let mut acked = 0usize;
+        let mut applied = 0usize;
+        let mut refused = 0usize;
+        'stream: for (i, batch) in batches.iter().enumerate() {
+            if matches!(case, Case::SnapshotCrash) && i == 2 {
+                service
+                    .persist_all()
+                    .expect_err("the checkpoint must report the crash");
+                if schedule.lock().unwrap().crashed() {
+                    break 'stream;
+                }
+            }
+            match service.insert_facts("scaled", batch.clone()) {
+                Ok(_) => {
+                    applied += 1;
+                    acked = applied;
+                }
+                Err(ServiceError::Store(_)) => applied += 1,
+                Err(ServiceError::Degraded(_)) => refused += 1,
+                Err(e) => panic!("{label}: unexpected error on batch {i}: {e}"),
+            }
+            if schedule.lock().unwrap().crashed() {
+                break 'stream;
+            }
+        }
+        match case {
+            Case::FsyncFail(k) | Case::ShortWrite(k) => {
+                assert_eq!(acked, k as usize, "{label}: acked prefix");
+                assert_eq!(applied, k as usize + 1, "{label}: one limbo batch");
+                assert_eq!(refused, batches.len() - k as usize - 1, "{label}: refusals");
+                assert!(
+                    schedule.lock().unwrap().injected() > 0,
+                    "{label}: fault fired"
+                );
+            }
+            Case::SnapshotCrash => {
+                assert_eq!(acked, 2, "{label}: both pre-checkpoint batches acked");
+                assert_eq!(applied, 2, "{label}");
+                assert!(schedule.lock().unwrap().crashed(), "{label}: crash fired");
+            }
+        }
+
+        // Restart with a clean store and recover.
+        drop(service);
+        drop(store);
+        let (_store, revived, mut recovery) = open_service(&dir);
+        let summary = revived
+            .register_recovered(
+                "scaled",
+                context.clone(),
+                workload.instance.clone(),
+                &mut recovery,
+            )
+            .unwrap();
+        let v = summary.version as usize;
+        // The failed record is healed off the log (and a crashed rename
+        // leaves only an ignored temp file), so recovery lands exactly on
+        // the acked prefix — the limbo batch never reappears.
+        assert_eq!(v, acked, "{label}: recovered version");
+
+        let recovered = revived.snapshot("scaled").unwrap();
+        let reference = references[v].snapshot("scaled").unwrap();
+        assert_eq!(recovered.version, reference.version, "{label}");
+        assert!(
+            databases_equivalent(&recovered.database, &reference.database),
+            "{label}: recovered instance differs from a chase of the acked prefix"
+        );
+        assert!(
+            databases_equivalent(&recovered.quality, &reference.quality),
+            "{label}: recovered quality versions differ from the acked prefix"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
