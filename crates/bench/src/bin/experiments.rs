@@ -12,7 +12,8 @@
 //! Available experiment ids: `table1`, `table2`, `table3_4`, `table5`,
 //! `example5`, `example7`, `fig1`, `fig2`, `classes`, `scaling`,
 //! `chase_perf`, `intern_bench`, `service_throughput`, `recovery_bench`,
-//! `query_perf`.
+//! `query_perf`, `join_bench`, `retract_bench`, `faults_bench`,
+//! `obs_bench`.
 //!
 //! `--scale N` multiplies the synthetic workload sizes of the scaling
 //! experiments (`scaling`, `chase_perf`, `service_throughput`,
@@ -36,10 +37,13 @@
 //! hash vs worst-case-optimal join kernels on the Zipf-skewed triangle
 //! workload, and per-trigger counter costs), and `retract_bench` writes
 //! `BENCH_retract.json` (delete-and-rederive retraction vs from-scratch
-//! re-chase of the surviving EDB, across scales), and `faults_bench`
+//! re-chase of the surviving EDB, across scales), `faults_bench`
 //! writes `BENCH_faults.json` (the fault-injection layer's disarmed cost
-//! on the durable write path, plus a degradation / probe-recovery drill)
-//! so future changes have a perf trajectory to compare against.
+//! on the durable write path, plus a degradation / probe-recovery drill),
+//! and `obs_bench` writes `BENCH_obs.json` (the chase profiler's overhead:
+//! semi-naive chase with per-rule profiling on vs off, CI-guarded to a
+//! <= 3% ratio) so future changes have a perf trajectory to compare
+//! against.
 
 use ontodq_bench::{compiled_hospital, compiled_hospital_with_discharge, upward_only_hospital};
 use ontodq_bench::{fmt_duration, MarkdownTable};
@@ -53,7 +57,7 @@ use ontodq_relational::{Tuple, Value};
 use ontodq_workload::{generate, HospitalScale};
 use std::time::Instant;
 
-const EXPERIMENT_IDS: [&str; 18] = [
+const EXPERIMENT_IDS: [&str; 19] = [
     "table1",
     "table2",
     "table3_4",
@@ -72,6 +76,7 @@ const EXPERIMENT_IDS: [&str; 18] = [
     "join_bench",
     "retract_bench",
     "faults_bench",
+    "obs_bench",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -179,6 +184,9 @@ fn main() {
     }
     if want("faults_bench") {
         faults_bench(scale);
+    }
+    if want("obs_bench") {
+        obs_bench(scale);
     }
 }
 
@@ -2031,6 +2039,137 @@ fn faults_bench(scale: usize) {
         post_probe_write_ok,
     );
     let path = "BENCH_faults.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// The chase profiler's overhead: the semi-naive chase of the scaled
+/// hospital workload with per-rule profiling **on** (the production
+/// default — every served context pays it) vs **off**, best-of-N at each
+/// scale point.  Writes `BENCH_obs.json`; CI guards the overall
+/// instrumented/uninstrumented ratio at <= 1.03 and re-checks the armed
+/// (profile-on) throughput curve for monotone-or-flat scaling.
+fn obs_bench(scale: usize) {
+    use ontodq_chase::{ChaseConfig, ChaseEngine};
+
+    println!("### Chase profiler overhead — profiling on vs off\n");
+    let mut table = MarkdownTable::new([
+        "edb tuples",
+        "chased tuples",
+        "profiled",
+        "unprofiled",
+        "overhead",
+        "tuples/sec (profiled)",
+    ]);
+
+    /// Best-of-`runs` wall-clock of `f`, with the last result returned.
+    fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (std::time::Duration, T) {
+        let mut best = std::time::Duration::MAX;
+        let mut last = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = f();
+            best = best.min(start.elapsed());
+            last = Some(out);
+        }
+        (best, last.expect("runs >= 1"))
+    }
+
+    let profiled_engine = ChaseEngine::new(ChaseConfig::default());
+    let unprofiled_engine = ChaseEngine::new(ChaseConfig {
+        profile: false,
+        ..ChaseConfig::default()
+    });
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut profiled_total = 0.0f64;
+    let mut unprofiled_total = 0.0f64;
+    let mut armed_curve: Vec<(usize, f64)> = Vec::new();
+    for &measurements in &[100usize, 200, 400, 800] {
+        let workload = generate(&HospitalScale::with_measurements(measurements * scale));
+        let compiled = compile(&workload.ontology);
+        let edb = compiled.database.total_tuples();
+
+        let (on_time, on_result) = time_best(5, || {
+            profiled_engine.run(&compiled.program, &compiled.database)
+        });
+        let (off_time, off_result) = time_best(5, || {
+            unprofiled_engine.run(&compiled.program, &compiled.database)
+        });
+        assert_eq!(
+            on_result.database.total_tuples(),
+            off_result.database.total_tuples(),
+            "profiling must not change the chased instance"
+        );
+        assert!(
+            on_result.profile.enabled && !off_result.profile.enabled,
+            "the profile flag must round-trip onto the result"
+        );
+
+        let ratio = on_time.as_secs_f64() / off_time.as_secs_f64().max(1e-9);
+        let tuples_per_sec = on_result.stats.tuples_added as f64 / on_time.as_secs_f64().max(1e-9);
+        profiled_total += on_time.as_secs_f64();
+        unprofiled_total += off_time.as_secs_f64();
+        armed_curve.push((edb, tuples_per_sec));
+        table.row([
+            edb.to_string(),
+            on_result.database.total_tuples().to_string(),
+            fmt_duration(on_time),
+            fmt_duration(off_time),
+            format!("{:.1}%", (ratio - 1.0) * 100.0),
+            format!("{tuples_per_sec:.0}"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"edb_tuples\": {},\n",
+                "      \"chased_tuples\": {},\n",
+                "      \"tuples_added\": {},\n",
+                "      \"profiled_seconds\": {:.6},\n",
+                "      \"unprofiled_seconds\": {:.6},\n",
+                "      \"overhead_ratio\": {:.4},\n",
+                "      \"tuples_per_second_profiled\": {:.1}\n",
+                "    }}"
+            ),
+            edb,
+            on_result.database.total_tuples(),
+            on_result.stats.tuples_added,
+            on_time.as_secs_f64(),
+            off_time.as_secs_f64(),
+            ratio,
+            tuples_per_sec,
+        ));
+    }
+    println!("{}", table.render());
+
+    let overall_ratio = profiled_total / unprofiled_total.max(1e-9);
+    let (first_edb, first_tps) = armed_curve.first().copied().unwrap_or((0, 0.0));
+    let (last_edb, last_tps) = armed_curve.last().copied().unwrap_or((0, 0.0));
+    println!(
+        "note: per-rule profiling is ON by default in every served context, so its \
+         overhead rides every chase; overall instrumented/uninstrumented ratio \
+         {overall_ratio:.4} (CI ceiling 1.03), armed throughput {first_tps:.0} tuples/s \
+         at {first_edb} EDB tuples -> {last_tps:.0} at {last_edb}\n"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"chase_profiler_overhead\",\n",
+            "  \"workload\": \"scaled_hospital\",\n",
+            "  \"scale\": {},\n",
+            "  \"overhead_ratio\": {:.4},\n",
+            "  \"ceiling\": 1.03,\n",
+            "  \"scales\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale,
+        overall_ratio,
+        entries.join(",\n")
+    );
+    let path = "BENCH_obs.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -48,12 +48,14 @@
 
 use crate::eval::{
     ensure_indexes, evaluate_delta_with, evaluate_with, extend_over_atoms, for_each_trigger,
-    has_extension, JoinEngine,
+    has_extension, plan_uses_wco, JoinEngine,
 };
+use crate::profile::{ChaseProfile, DredTiming};
 use crate::provenance::{ChaseStats, ChaseStep, Provenance, SupportGraph, TriggerRecord};
 use crate::violation::{EgdViolation, NcViolation, Violations};
 use ontodq_datalog::analysis::{magic_transform, DemandProgram};
 use ontodq_datalog::{Assignment, Atom, Conjunction, Program, Term, Tgd, Variable};
+use ontodq_obs::SharedClock;
 use ontodq_relational::{Database, NullGenerator, Tuple, Value};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
@@ -142,6 +144,11 @@ pub struct ChaseConfig {
     /// (each trigger is recorded once); the naive strategy re-discovers
     /// triggers every round and over-counts accordingly.
     pub track_support: bool,
+    /// Collect a per-rule [`ChaseProfile`] (join time, delta sizes, fires,
+    /// kernel choice) while chasing.  On by default — the cost is a few
+    /// clock reads per rule per round; `false` skips every measurement
+    /// (the `obs_bench` experiment quantifies the difference).
+    pub profile: bool,
 }
 
 impl Default for ChaseConfig {
@@ -158,6 +165,7 @@ impl Default for ChaseConfig {
             threads: 0,
             join: JoinEngine::Auto,
             track_support: false,
+            profile: true,
         }
     }
 }
@@ -235,6 +243,11 @@ pub struct ChaseResult {
     pub provenance: Provenance,
     /// Why the run stopped.
     pub termination: TerminationReason,
+    /// Per-rule profile (join time, delta sizes, kernel choice); disabled
+    /// and empty unless [`ChaseConfig::profile`] is on.  Kept out of
+    /// [`ChaseStats`] so stats stay timing-free and comparable across
+    /// strategies.
+    pub profile: ChaseProfile,
 }
 
 impl ChaseResult {
@@ -549,6 +562,15 @@ fn stage_full_tgd_triggers(
     staged
 }
 
+/// A rule's display label for profiles: its declared label, or
+/// `tgd<i> -> <head predicates>` when unlabeled.
+fn rule_label(index: usize, tgd: &Tgd) -> String {
+    match &tgd.label {
+        Some(label) => label.clone(),
+        None => format!("tgd{index}->{}", tgd.head_predicates().join(",")),
+    }
+}
+
 /// Mutable chase-run state shared between the strategies.
 struct RunState {
     nulls: NullGenerator,
@@ -557,18 +579,33 @@ struct RunState {
     provenance: Provenance,
     /// Oblivious-mode dedup of fired triggers.
     fired: HashSet<(usize, Vec<(Variable, Value)>)>,
+    /// Per-rule measurements (disabled unless [`ChaseConfig::profile`]).
+    profile: ChaseProfile,
 }
 
 /// The chase engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ChaseEngine {
     config: ChaseConfig,
+    /// Time source for the profiler (monotonic unless a caller injected a
+    /// virtual clock for deterministic replay).
+    clock: SharedClock,
+}
+
+impl Default for ChaseEngine {
+    fn default() -> Self {
+        Self::new(ChaseConfig::default())
+    }
 }
 
 impl ChaseEngine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration (and the production
+    /// monotonic clock).
     pub fn new(config: ChaseConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            clock: ontodq_obs::monotonic(),
+        }
     }
 
     /// An engine with default configuration (restricted semi-naive chase,
@@ -577,9 +614,88 @@ impl ChaseEngine {
         Self::default()
     }
 
+    /// Replace the profiler's time source (see [`ontodq_obs::Clock`]) —
+    /// deterministic tests inject a frozen [`ontodq_obs::VirtualClock`].
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The engine's clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &ChaseConfig {
         &self.config
+    }
+
+    /// A fresh per-rule profile honoring [`ChaseConfig::profile`].
+    fn fresh_profile(&self, program: &Program) -> ChaseProfile {
+        if !self.config.profile {
+            return ChaseProfile::disabled();
+        }
+        ChaseProfile::for_rules(
+            program
+                .tgds
+                .iter()
+                .enumerate()
+                .map(|(index, tgd)| rule_label(index, tgd))
+                .collect(),
+        )
+    }
+
+    /// Clock read gated on profiling (0 when off, so the disabled path
+    /// never touches the clock).
+    fn profile_now(&self) -> u64 {
+        if self.config.profile {
+            self.clock.now_micros()
+        } else {
+            0
+        }
+    }
+
+    /// Record one trigger-discovery evaluation of `tgd` into the profile.
+    fn note_eval(
+        &self,
+        profile: &mut ChaseProfile,
+        tgd_index: usize,
+        tgd: &Tgd,
+        micros: u64,
+        delta_rows: u64,
+    ) {
+        if !profile.enabled {
+            return;
+        }
+        let rule = &mut profile.rules[tgd_index];
+        rule.evaluations += 1;
+        rule.delta_rows += delta_rows;
+        rule.join_micros += micros;
+        if plan_uses_wco(&tgd.body, self.config.join) {
+            rule.wco_evals += 1;
+        } else {
+            rule.hash_evals += 1;
+        }
+    }
+
+    /// Attribute the firing outcome of one rule's batch to its profile by
+    /// diffing the global stats across the batch.
+    fn note_outcome(
+        profile: &mut ChaseProfile,
+        tgd_index: usize,
+        stats: &ChaseStats,
+        fired_before: usize,
+        satisfied_before: usize,
+        added_before: usize,
+    ) {
+        if !profile.enabled {
+            return;
+        }
+        let rule = &mut profile.rules[tgd_index];
+        rule.fires += (stats.triggers_fired - fired_before) as u64;
+        rule.satisfied += (stats.triggers_satisfied - satisfied_before) as u64;
+        rule.tuples_added += (stats.tuples_added - added_before) as u64;
     }
 
     /// A fresh provenance log honoring the engine's recording flags.
@@ -612,13 +728,18 @@ impl ChaseEngine {
             violations: Violations::default(),
             provenance: self.fresh_provenance(),
             fired: HashSet::new(),
+            profile: self.fresh_profile(program),
         };
 
+        let run_start = self.profile_now();
         let termination = match self.config.strategy {
             EvalStrategy::Naive => self.run_naive(program, &mut db, &mut state),
             EvalStrategy::SemiNaive => self.run_seminaive(program, &mut db, &mut state),
             EvalStrategy::Parallel => self.run_parallel(program, &mut db, &mut state),
         };
+        if self.config.profile {
+            state.profile.total_micros = self.profile_now().saturating_sub(run_start);
+        }
 
         // Negative constraints on the final instance.
         if self.config.check_constraints {
@@ -640,6 +761,7 @@ impl ChaseEngine {
             violations: state.violations,
             provenance: state.provenance,
             termination,
+            profile: state.profile,
         }
     }
 
@@ -668,8 +790,10 @@ impl ChaseEngine {
             violations: Violations::default(),
             provenance: self.fresh_provenance(),
             fired: HashSet::new(),
+            profile: self.fresh_profile(program),
         };
 
+        let run_start = self.profile_now();
         let termination = if self.config.strategy == EvalStrategy::Parallel {
             self.run_parallel_with_floors(
                 program,
@@ -687,6 +811,9 @@ impl ChaseEngine {
                 &mut state.egd_floor,
             )
         };
+        if self.config.profile {
+            run.profile.total_micros = self.profile_now().saturating_sub(run_start);
+        }
         state.next_null = run.nulls.peek();
 
         if self.config.check_constraints {
@@ -708,6 +835,7 @@ impl ChaseEngine {
             violations: run.violations,
             provenance: run.provenance,
             termination,
+            profile: run.profile,
         }
     }
 
@@ -734,19 +862,49 @@ impl ChaseEngine {
 
             // TGD application over the full instance.
             for (tgd_index, tgd) in program.tgds.iter().enumerate() {
+                let eval_start = self.profile_now();
+                let fired_before = state.stats.triggers_fired;
+                let satisfied_before = state.stats.triggers_satisfied;
+                let added_before = state.stats.tuples_added;
                 let triggers = evaluate_with(db, &tgd.body, self.config.join);
+                if self.config.profile {
+                    self.note_eval(
+                        &mut state.profile,
+                        tgd_index,
+                        tgd,
+                        self.profile_now().saturating_sub(eval_start),
+                        triggers.len() as u64,
+                    );
+                }
+                let mut limited = false;
                 for assignment in triggers {
                     if state.stats.tuples_added >= self.config.max_new_tuples {
                         termination = TerminationReason::TupleLimit;
-                        break 'rounds;
+                        limited = true;
+                        break;
                     }
                     changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                }
+                Self::note_outcome(
+                    &mut state.profile,
+                    tgd_index,
+                    &state.stats,
+                    fired_before,
+                    satisfied_before,
+                    added_before,
+                );
+                if limited {
+                    break 'rounds;
                 }
             }
 
             // EGD enforcement (to local fixpoint within the round).
             if self.config.apply_egds {
+                let egd_start = self.profile_now();
                 let egd_changed = self.apply_egds_naive(program, db, state);
+                if self.config.profile {
+                    state.profile.egd_micros += self.profile_now().saturating_sub(egd_start);
+                }
                 changed = changed || egd_changed;
             }
 
@@ -876,12 +1034,34 @@ impl ChaseEngine {
                 // (epoch advanced below), so they form the next delta.
                 let watermark = db.epoch();
                 let floor = tgd_floor[tgd_index];
+                let eval_start = self.profile_now();
+                let fired_before = state.stats.triggers_fired;
+                let satisfied_before = state.stats.triggers_satisfied;
+                let added_before = state.stats.tuples_added;
                 if self.batchable(tgd) {
                     let staged = stage_full_tgd_triggers(db, tgd, floor, self.config.join);
+                    if self.config.profile {
+                        let chunk: usize = tgd.head.iter().map(|a| a.arity()).sum();
+                        self.note_eval(
+                            &mut state.profile,
+                            tgd_index,
+                            tgd,
+                            self.profile_now().saturating_sub(eval_start),
+                            (staged.len() / chunk.max(1)) as u64,
+                        );
+                    }
                     db.advance_epoch();
                     let (batch_changed, limited) =
                         self.apply_staged_triggers(tgd_index, tgd, &staged, db, state, round);
                     changed |= batch_changed;
+                    Self::note_outcome(
+                        &mut state.profile,
+                        tgd_index,
+                        &state.stats,
+                        fired_before,
+                        satisfied_before,
+                        added_before,
+                    );
                     if limited {
                         // Leave the floor untouched: the unfired remainder
                         // of this rule's triggers must be re-discoverable
@@ -894,14 +1074,36 @@ impl ChaseEngine {
                         None => evaluate_with(db, &tgd.body, self.config.join),
                         Some(floor) => evaluate_delta_with(db, &tgd.body, floor, self.config.join),
                     };
+                    if self.config.profile {
+                        self.note_eval(
+                            &mut state.profile,
+                            tgd_index,
+                            tgd,
+                            self.profile_now().saturating_sub(eval_start),
+                            triggers.len() as u64,
+                        );
+                    }
                     db.advance_epoch();
+                    let mut limited = false;
                     for assignment in triggers {
                         if state.stats.tuples_added >= self.config.max_new_tuples {
                             // Leave the floor untouched, as above.
                             termination = TerminationReason::TupleLimit;
-                            break 'rounds;
+                            limited = true;
+                            break;
                         }
                         changed |= self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
+                    }
+                    Self::note_outcome(
+                        &mut state.profile,
+                        tgd_index,
+                        &state.stats,
+                        fired_before,
+                        satisfied_before,
+                        added_before,
+                    );
+                    if limited {
+                        break 'rounds;
                     }
                 }
                 // Only after every discovered trigger has been processed is
@@ -910,7 +1112,11 @@ impl ChaseEngine {
             }
 
             if self.config.apply_egds {
+                let egd_start = self.profile_now();
                 let egd_changed = self.apply_egds_seminaive(program, db, state, egd_floor);
+                if self.config.profile {
+                    state.profile.egd_micros += self.profile_now().saturating_sub(egd_start);
+                }
                 changed = changed || egd_changed;
             }
 
@@ -992,20 +1198,35 @@ impl ChaseEngine {
             let floors: Vec<Option<u64>> = tgd_floor.to_vec();
             let join = self.config.join;
             let snapshot: &Database = db;
+            let profiling = self.config.profile;
+            // Each worker measures its own rule's join on the shared clock
+            // and ships `(batch, join_micros, delta_rows)` back for the
+            // sequential merge to attribute.
             let batches = crate::par::parallel_map(threads, &program.tgds, |index, tgd| {
-                if self.batchable(tgd) {
-                    TriggerBatch::Staged(stage_full_tgd_triggers(
-                        snapshot,
-                        tgd,
-                        floors[index],
-                        join,
-                    ))
+                let eval_start = if profiling {
+                    self.clock.now_micros()
                 } else {
-                    TriggerBatch::Assignments(match floors[index] {
+                    0
+                };
+                let (batch, delta_rows) = if self.batchable(tgd) {
+                    let staged = stage_full_tgd_triggers(snapshot, tgd, floors[index], join);
+                    let chunk: usize = tgd.head.iter().map(|a| a.arity()).sum();
+                    let rows = (staged.len() / chunk.max(1)) as u64;
+                    (TriggerBatch::Staged(staged), rows)
+                } else {
+                    let triggers = match floors[index] {
                         None => evaluate_with(snapshot, &tgd.body, join),
                         Some(floor) => evaluate_delta_with(snapshot, &tgd.body, floor, join),
-                    })
-                }
+                    };
+                    let rows = triggers.len() as u64;
+                    (TriggerBatch::Assignments(triggers), rows)
+                };
+                let micros = if profiling {
+                    self.clock.now_micros().saturating_sub(eval_start)
+                } else {
+                    0
+                };
+                (batch, micros, delta_rows)
             });
             db.advance_epoch();
 
@@ -1015,34 +1236,57 @@ impl ChaseEngine {
             // not mark the dropped triggers of this (or any later) rule as
             // consumed, or a subsequent [`ChaseState`] resume would
             // silently lose them.
-            for (tgd_index, batch) in batches.into_iter().enumerate() {
+            for (tgd_index, (batch, join_micros, delta_rows)) in batches.into_iter().enumerate() {
                 let tgd = &program.tgds[tgd_index];
+                if profiling {
+                    self.note_eval(&mut state.profile, tgd_index, tgd, join_micros, delta_rows);
+                }
+                let fired_before = state.stats.triggers_fired;
+                let satisfied_before = state.stats.triggers_satisfied;
+                let added_before = state.stats.tuples_added;
+                let mut limited = false;
                 match batch {
                     TriggerBatch::Staged(staged) => {
-                        let (batch_changed, limited) =
+                        let (batch_changed, batch_limited) =
                             self.apply_staged_triggers(tgd_index, tgd, &staged, db, state, round);
                         changed |= batch_changed;
-                        if limited {
+                        if batch_limited {
                             termination = TerminationReason::TupleLimit;
-                            break 'rounds;
+                            limited = true;
                         }
                     }
                     TriggerBatch::Assignments(triggers) => {
                         for assignment in triggers {
                             if state.stats.tuples_added >= self.config.max_new_tuples {
                                 termination = TerminationReason::TupleLimit;
-                                break 'rounds;
+                                limited = true;
+                                break;
                             }
                             changed |=
                                 self.fire_trigger(tgd_index, tgd, &assignment, db, state, round);
                         }
                     }
                 }
+                Self::note_outcome(
+                    &mut state.profile,
+                    tgd_index,
+                    &state.stats,
+                    fired_before,
+                    satisfied_before,
+                    added_before,
+                );
+                if limited {
+                    break 'rounds;
+                }
                 tgd_floor[tgd_index] = Some(watermark);
             }
 
             if self.config.apply_egds {
+                let egd_start = self.profile_now();
                 let egd_changed = self.apply_egds_seminaive(program, db, state, egd_floor);
+                if self.config.profile {
+                    state.profile.egd_micros += self.profile_now().saturating_sub(egd_start);
+                }
                 changed = changed || egd_changed;
             }
 
@@ -1434,6 +1678,7 @@ impl ChaseEngine {
         }
         // Phase 1: over-approximated consequence closure, computed while
         // every fact is still visible.
+        let cascade_start = self.profile_now();
         let condemned = match graph {
             Some(g) if g.is_enabled() => g.cascade(&seeds, &|relation, tuple| {
                 protected.contains(relation, tuple)
@@ -1441,6 +1686,7 @@ impl ChaseEngine {
             _ => self.cascade_consequences(program, &state.database, protected, &seeds),
         };
         // Phase 2: tombstone the closure.
+        let delete_start = self.profile_now();
         let seed_set: HashSet<&(String, Tuple)> = seeds.iter().collect();
         let mut stats = RetractStats {
             requested: requested.len(),
@@ -1477,8 +1723,17 @@ impl ChaseEngine {
                 state.tgd_floor[index] = None;
             }
         }
-        let chase = self.resume(program, state);
+        let rederive_start = self.profile_now();
+        let mut chase = self.resume(program, state);
         stats.rederived = chase.stats.tuples_added;
+        if self.config.profile {
+            chase.profile.dred = DredTiming {
+                batches: 1,
+                cascade_micros: delete_start.saturating_sub(cascade_start),
+                delete_micros: rederive_start.saturating_sub(delete_start),
+                rederive_micros: self.profile_now().saturating_sub(rederive_start),
+            };
+        }
         RetractResult { stats, chase }
     }
 
@@ -1632,7 +1887,8 @@ impl ChaseEngine {
         let engine = ChaseEngine::new(ChaseConfig {
             check_constraints: false,
             ..self.config.clone()
-        });
+        })
+        .with_clock(self.clock.clone());
         engine.run(&demand.program, &db)
     }
 }
@@ -2704,5 +2960,66 @@ mod tests {
         // answers the query without auditing.
         assert!(demanded.violations.is_empty());
         assert_eq!(demanded.termination, TerminationReason::Fixpoint);
+    }
+
+    /// A full rule plus an existential rule over the hospital fixture, so
+    /// the profiler is exercised on both the staged and the fire-trigger
+    /// paths.
+    fn profiled_program() -> Program {
+        parse_program(
+            "PatientUnit(u, d, p) :- PatientWard(w, d, p), UnitWard(u, w).\n\
+             Shifts(w, d, n, z) :- WorkingSchedules(u, d, n, t), UnitWard(u, w).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_counts_agree_with_stats_across_strategies() {
+        let program = profiled_program();
+        for config in strategies() {
+            let result = ChaseEngine::new(config.clone()).run(&program, &hospital_db());
+            let profile = &result.profile;
+            assert!(profile.enabled, "profiling is on by default");
+            assert_eq!(profile.rules.len(), program.tgds.len());
+            let fires: u64 = profile.rules.iter().map(|r| r.fires).sum();
+            let satisfied: u64 = profile.rules.iter().map(|r| r.satisfied).sum();
+            let added: u64 = profile.rules.iter().map(|r| r.tuples_added).sum();
+            assert_eq!(fires, result.stats.triggers_fired as u64, "{config:?}");
+            assert_eq!(satisfied, result.stats.triggers_satisfied as u64);
+            assert_eq!(added, result.stats.tuples_added as u64);
+            // Every rule was evaluated at least once per executed round,
+            // and each evaluation chose exactly one join kernel.
+            for rule in &profile.rules {
+                assert!(rule.evaluations >= 1);
+                assert_eq!(rule.hash_evals + rule.wco_evals, rule.evaluations);
+                assert!(!rule.label.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_can_be_disabled() {
+        let program = profiled_program();
+        let config = ChaseConfig {
+            profile: false,
+            ..Default::default()
+        };
+        let result = ChaseEngine::new(config).run(&program, &hospital_db());
+        assert!(!result.profile.enabled);
+        assert!(result.profile.rules.is_empty());
+        assert_eq!(result.profile.total_micros, 0);
+    }
+
+    #[test]
+    fn profile_times_through_the_injected_clock() {
+        // A frozen virtual clock forces every measured duration to zero —
+        // the determinism contract the record/replay harness relies on.
+        let program = profiled_program();
+        let engine = ChaseEngine::with_defaults().with_clock(ontodq_obs::frozen());
+        let result = engine.run(&program, &hospital_db());
+        assert!(result.profile.enabled);
+        assert_eq!(result.profile.total_micros, 0);
+        assert_eq!(result.profile.join_micros(), 0);
+        assert_eq!(result.profile.egd_micros, 0);
     }
 }

@@ -23,6 +23,7 @@
 pub mod chase;
 pub mod eval;
 pub mod par;
+pub mod profile;
 pub mod provenance;
 pub mod violation;
 pub mod wco;
@@ -38,6 +39,7 @@ pub use eval::{
     JoinEngine,
 };
 pub use par::parallel_map;
+pub use profile::{ChaseProfile, DredTiming, RuleProfile};
 pub use provenance::{ChaseStats, ChaseStep, Provenance, SupportGraph, TriggerRecord};
 pub use violation::{EgdViolation, NcViolation, Violations};
 

@@ -215,6 +215,10 @@ pub struct ResumableAssessment {
     state: ChaseState,
     last: ChaseSummary,
     batches_applied: u64,
+    /// Cumulative per-rule chase profile, merged across the initial chase
+    /// and every batch folded in since (see
+    /// [`ontodq_chase::ChaseProfile`]).
+    profile: ontodq_chase::ChaseProfile,
 }
 
 /// The statistics/violations of the most recent chase step, kept **without**
@@ -245,10 +249,24 @@ impl ResumableAssessment {
 
     /// Like [`ResumableAssessment::new`] with explicit chase options.
     pub fn with_options(context: Context, instance: Database, options: &AssessmentOptions) -> Self {
+        Self::with_options_and_clock(context, instance, options, ontodq_obs::monotonic())
+    }
+
+    /// Like [`ResumableAssessment::with_options`] with an injected clock
+    /// for the chase profiler (see [`ontodq_obs::Clock`]) — the server
+    /// passes its own clock down so deterministic-replay tests freeze every
+    /// timing at once.
+    pub fn with_options_and_clock(
+        context: Context,
+        instance: Database,
+        options: &AssessmentOptions,
+        clock: ontodq_obs::SharedClock,
+    ) -> Self {
         let (program, database) = compile_context(&context, &instance);
-        let engine = ChaseEngine::new(options.chase.clone());
+        let engine = ChaseEngine::new(options.chase.clone()).with_clock(clock);
         let mut state = ChaseState::new(&program, &database);
-        let last = ChaseSummary::of(&engine.resume(&program, &mut state));
+        let initial = engine.resume(&program, &mut state);
+        let last = ChaseSummary::of(&initial);
         Self {
             context,
             program,
@@ -258,6 +276,7 @@ impl ResumableAssessment {
             state,
             last,
             batches_applied: 0,
+            profile: initial.profile,
         }
     }
 
@@ -281,6 +300,24 @@ impl ResumableAssessment {
         state: ChaseState,
         batches_applied: u64,
     ) -> Self {
+        Self::restore_with_clock(
+            context,
+            instance,
+            state,
+            batches_applied,
+            ontodq_obs::monotonic(),
+        )
+    }
+
+    /// Like [`ResumableAssessment::restore`] with an injected profiler
+    /// clock.
+    pub fn restore_with_clock(
+        context: Context,
+        instance: Database,
+        state: ChaseState,
+        batches_applied: u64,
+        clock: ontodq_obs::SharedClock,
+    ) -> Self {
         let (program, mut base) = compile_context(&context, &instance);
         // Recover the extensional base for the demand-driven path: the
         // persisted instance carries the mapped relations, and the chased
@@ -299,7 +336,7 @@ impl ResumableAssessment {
             program,
             instance,
             base,
-            engine: ChaseEngine::new(AssessmentOptions::default().chase),
+            engine: ChaseEngine::new(AssessmentOptions::default().chase).with_clock(clock),
             state,
             last: ChaseSummary {
                 stats: ontodq_chase::ChaseStats::default(),
@@ -307,6 +344,7 @@ impl ResumableAssessment {
                 termination: ontodq_chase::TerminationReason::Fixpoint,
             },
             batches_applied,
+            profile: ontodq_chase::ChaseProfile::disabled(),
         }
     }
 
@@ -406,6 +444,12 @@ impl ResumableAssessment {
         self.batches_applied
     }
 
+    /// The cumulative per-rule chase profile across the initial chase and
+    /// every batch since — what the server's `!profile` command reports.
+    pub fn profile(&self) -> &ontodq_chase::ChaseProfile {
+        &self.profile
+    }
+
     /// Fold a batch of new facts in and incrementally re-chase.
     ///
     /// # Errors
@@ -464,6 +508,7 @@ impl ResumableAssessment {
         }
         let chase = self.engine.resume(&self.program, &mut self.state);
         self.last = ChaseSummary::of(&chase);
+        self.profile.merge(&chase.profile);
         self.batches_applied += 1;
         Ok(BatchOutcome { new_facts, chase })
     }
@@ -528,6 +573,7 @@ impl ResumableAssessment {
                 .retract(&self.program, &mut self.state, &self.base, &seeds, None)
         };
         self.last = ChaseSummary::of(&result.chase);
+        self.profile.merge(&result.chase.profile);
         self.batches_applied += 1;
         result
     }
@@ -644,6 +690,7 @@ impl ResumableAssessment {
                 violations: self.last.violations.clone(),
                 provenance: ontodq_chase::Provenance::disabled(),
                 termination: self.last.termination,
+                profile: self.profile.clone(),
             },
             program: self.program.clone(),
         }

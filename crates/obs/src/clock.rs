@@ -1,0 +1,127 @@
+//! The clock seam: every latency measurement and `micros=` response field
+//! in the workspace reads time through a [`Clock`], never `Instant::now()`
+//! directly.  Production code installs a [`MonotonicClock`]; deterministic
+//! tests and the record/replay harness install a [`VirtualClock`] (frozen
+//! or script-advanced), which makes timed output byte-for-byte reproducible
+//! with no masking.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of microsecond timestamps on an arbitrary (per-clock) origin.
+///
+/// Timestamps are only meaningful as differences against the same clock;
+/// they are **not** wall-clock epochs.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Microseconds elapsed since this clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// A shared, dynamically-dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The production clock: monotonic time since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually-advanced clock for tests and deterministic replay.
+///
+/// Never moves on its own: two runs driving the same script against a
+/// frozen (or identically-advanced) `VirtualClock` observe identical
+/// timestamps, so every derived `micros=` field is reproducible.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at `start_micros`.
+    pub fn new(start_micros: u64) -> Self {
+        Self {
+            now: AtomicU64::new(start_micros),
+        }
+    }
+
+    /// Move the clock forward by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute reading.
+    pub fn set(&self, micros: u64) {
+        self.now.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// A fresh production clock handle (monotonic since now).
+pub fn monotonic() -> SharedClock {
+    Arc::new(MonotonicClock::new())
+}
+
+/// A frozen virtual clock handle reading `0` forever — every duration
+/// measured through it is exactly zero, the replay-determinism baseline.
+pub fn frozen() -> SharedClock {
+    Arc::new(VirtualClock::new(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let clock = VirtualClock::new(5);
+        assert_eq!(clock.now_micros(), 5);
+        assert_eq!(clock.now_micros(), 5);
+        clock.advance(10);
+        assert_eq!(clock.now_micros(), 15);
+        clock.set(3);
+        assert_eq!(clock.now_micros(), 3);
+    }
+
+    #[test]
+    fn frozen_clock_reads_zero() {
+        let clock = frozen();
+        assert_eq!(clock.now_micros(), 0);
+        assert_eq!(clock.now_micros(), 0);
+    }
+}

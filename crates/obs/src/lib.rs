@@ -1,0 +1,30 @@
+//! # ontodq-obs
+//!
+//! The workspace's observability layer, `std`-only like everything else:
+//!
+//! * a **clock seam** ([`Clock`], [`MonotonicClock`], [`VirtualClock`]) —
+//!   every latency measurement and `micros=` response field reads time
+//!   through an injected clock, so deterministic tests and the
+//!   record/replay harness swap in a virtual clock and get byte-identical
+//!   output with no masking;
+//! * **lock-free instruments** ([`Counter`], [`Gauge`], [`Histogram`] with
+//!   `p50`/`p95`/`p99`/`max` readout over fixed exponential buckets);
+//! * a **[`Registry`]** mapping stable metric names (plus label sets) to
+//!   instruments and rendering the whole state in the Prometheus text
+//!   exposition format (the server's `!metrics` command);
+//! * a **span ring** ([`SpanLog`], [`SpanRecord`]) — a bounded buffer of
+//!   recent measured spans, backing the server's slow-query log (`!slow`).
+//!
+//! See `docs/observability.md` for the metric name inventory and the
+//! threading of this crate through chase, store and server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{frozen, monotonic, Clock, MonotonicClock, SharedClock, VirtualClock};
+pub use metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_MICROS};
+pub use trace::{Span, SpanLog, SpanRecord};

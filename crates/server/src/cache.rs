@@ -18,9 +18,9 @@
 use crate::error::ServiceError;
 use ontodq_core::{rewrite_to_quality, Context};
 use ontodq_datalog::{parse_rule, Rule};
+use ontodq_obs::Counter;
 use ontodq_qa::{AnswerSet, ConjunctiveQuery};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which answer semantics a query uses.
@@ -78,10 +78,10 @@ type Key = (String, QueryKind, String);
 pub struct QueryCache {
     entries: Mutex<HashMap<Key, Entry>>,
     max_entries: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl QueryCache {
@@ -112,11 +112,41 @@ impl QueryCache {
         Self {
             entries: Mutex::new(HashMap::new()),
             max_entries: max_entries.max(2),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            invalidations: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// Adopt the cache's counters into `registry`, so one `!metrics` scrape
+    /// covers them alongside every other layer's instruments.  The counters
+    /// stay owned here — `stats()` and the registry read the same atomics.
+    pub fn register_into(&self, registry: &ontodq_obs::Registry) {
+        registry.adopt_counter(
+            "ontodq_cache_hits_total",
+            "Answer-layer cache hits (query answered without touching the instance).",
+            &[],
+            Arc::clone(&self.hits),
+        );
+        registry.adopt_counter(
+            "ontodq_cache_misses_total",
+            "Answer-layer cache misses for queries never answered before.",
+            &[],
+            Arc::clone(&self.misses),
+        );
+        registry.adopt_counter(
+            "ontodq_cache_invalidations_total",
+            "Answer-layer misses because the snapshot version moved on.",
+            &[],
+            Arc::clone(&self.invalidations),
+        );
+        registry.adopt_counter(
+            "ontodq_cache_evictions_total",
+            "Second-chance eviction sweeps triggered by the size bound.",
+            &[],
+            Arc::clone(&self.evictions),
+        );
     }
 
     /// The prepared form of `text` for `kind` under `context`, parsing (and
@@ -154,7 +184,7 @@ impl QueryCache {
                     kept <= target
                 });
             }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         let entry = map.entry(key).or_insert(Entry {
             query: query.clone(),
@@ -180,22 +210,22 @@ impl QueryCache {
             Some(entry) => match entry.answers.as_ref() {
                 Some((v, answers)) if *v == version => {
                     entry.hot = true;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     Some(answers.clone())
                 }
                 Some(_) => {
                     // Stale answers for a reused shape: the *prepared* layer
                     // was still useful, and `prepared` marked that reuse.
-                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    self.invalidations.inc();
                     None
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     None
                 }
             },
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -225,11 +255,11 @@ impl QueryCache {
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
             entries: self.map().len() as u64,
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: self.evictions.get(),
         }
     }
 }

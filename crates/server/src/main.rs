@@ -11,7 +11,8 @@
 //! `--scale N` (additionally register a `scaled` context with an
 //! N-hundred-measurement scaled-hospital workload), `--data-dir DIR`
 //! (durable storage: recover snapshots + WAL on startup **before accepting
-//! connections**, append applied batches to the WAL, checkpoint on `!save`).
+//! connections**, append applied batches to the WAL, checkpoint on `!save`),
+//! `--slow-query-micros N` (arm the slow-query ring `!slow` dumps).
 
 // The binary holds the same bar as the library: fallible operations exit
 // through typed errors or explicit process exits, never unwrap panics.
@@ -39,6 +40,9 @@ usage: ontodq-server (--stdin | --listen ADDR) [options]
                    clients are disconnected after 3 missed deadlines (0 = none)
   --max-queue N    admission bound on in-flight query jobs; submissions beyond
                    it get a typed overload error (0 = unbounded, default 1024)
+  --slow-query-micros N
+                   record queries slower than N microseconds end-to-end in the
+                   bounded ring !slow dumps (0 = disabled, the default)
   --help           this text";
 
 struct Options {
@@ -50,6 +54,7 @@ struct Options {
     data_dir: Option<String>,
     idle_timeout: Option<std::time::Duration>,
     max_queue: usize,
+    slow_query_micros: u64,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -62,6 +67,7 @@ fn parse_options() -> Result<Options, String> {
         data_dir: None,
         idle_timeout: None,
         max_queue: 1024,
+        slow_query_micros: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +97,12 @@ fn parse_options() -> Result<Options, String> {
                 let n = args.next().ok_or("--max-queue needs a number")?;
                 let bound: usize = n.parse().map_err(|_| format!("bad queue bound '{n}'"))?;
                 options.max_queue = if bound == 0 { usize::MAX } else { bound };
+            }
+            "--slow-query-micros" => {
+                let n = args.next().ok_or("--slow-query-micros needs a number")?;
+                options.slow_query_micros = n
+                    .parse()
+                    .map_err(|_| format!("bad slow-query threshold '{n}'"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -170,6 +182,7 @@ fn main() {
         Some(store) => QualityService::with_store(Arc::clone(store)),
         None => QualityService::new(),
     });
+    service.set_slow_query_threshold(options.slow_query_micros);
     let instance = if options.empty {
         Database::new()
     } else {

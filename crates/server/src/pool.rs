@@ -14,6 +14,7 @@
 //! "pool shut down".
 
 use crate::error::ServiceError;
+use ontodq_obs::{Histogram, SharedClock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -27,10 +28,18 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
     /// Jobs admitted but not yet finished (queued + running).
     pending: Arc<AtomicUsize>,
+    /// High-watermark of `pending` over the pool's lifetime — the queue
+    /// depth an operator should size `--max-queue` against.
+    pending_peak: Arc<AtomicUsize>,
     /// Admission bound on `pending`; submissions beyond it are refused
     /// with a typed [`ServiceError::Overloaded`] instead of queueing
     /// without limit.
     bound: usize,
+    /// Time jobs spend between admission and a worker picking them up.
+    wait_histogram: Arc<Histogram>,
+    /// The clock the wait histogram is measured on (monotonic by default;
+    /// virtual under record/replay tests).
+    clock: SharedClock,
 }
 
 /// Decrements the pending counter when the job finishes — or when the job
@@ -106,7 +115,10 @@ impl WorkerPool {
             sender: Some(sender),
             workers,
             pending: Arc::new(AtomicUsize::new(0)),
+            pending_peak: Arc::new(AtomicUsize::new(0)),
             bound,
+            wait_histogram: Arc::new(Histogram::latency()),
+            clock: ontodq_obs::monotonic(),
         }
     }
 
@@ -120,9 +132,22 @@ impl WorkerPool {
         self.pending.load(Ordering::SeqCst)
     }
 
+    /// The highest in-flight count ever observed (queued + running) — the
+    /// queue-depth high-watermark surfaced by `!health` and `!metrics`.
+    pub fn queued_peak(&self) -> usize {
+        self.pending_peak.load(Ordering::SeqCst)
+    }
+
     /// The admission bound (`usize::MAX` when unbounded).
     pub fn queue_bound(&self) -> usize {
         self.bound
+    }
+
+    /// The queue-wait histogram: microseconds between a job's admission and
+    /// a worker picking it up.  Owned by the pool; adopt it into a
+    /// [`ontodq_obs::Registry`] to expose it via `!metrics`.
+    pub fn wait_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.wait_histogram)
     }
 
     /// Enqueue a fire-and-forget job.
@@ -140,7 +165,7 @@ impl WorkerPool {
         // Atomically claim an admission slot; `fetch_update` closes the
         // check-then-increment race so concurrent submitters can never
         // overshoot the bound.
-        if let Err(queued) = self
+        match self
             .pending
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                 if n >= self.bound {
@@ -148,16 +173,24 @@ impl WorkerPool {
                 } else {
                     Some(n + 1)
                 }
-            })
-        {
-            return Err(ServiceError::Overloaded {
-                queued,
-                bound: self.bound,
-            });
+            }) {
+            Ok(previous) => {
+                self.pending_peak.fetch_max(previous + 1, Ordering::SeqCst);
+            }
+            Err(queued) => {
+                return Err(ServiceError::Overloaded {
+                    queued,
+                    bound: self.bound,
+                });
+            }
         }
         let guard = PendingGuard(Arc::clone(&self.pending));
+        let admitted_at = self.clock.now_micros();
+        let clock = Arc::clone(&self.clock);
+        let wait = Arc::clone(&self.wait_histogram);
         let wrapped: Job = Box::new(move || {
             let _release_slot = guard;
+            wait.observe(clock.now_micros().saturating_sub(admitted_at));
             job();
         });
         // A failed send drops the boxed job, whose guard releases the slot.

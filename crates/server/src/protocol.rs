@@ -15,7 +15,8 @@
 //! ?q- Measurements(t, p, v).                        quality answers
 //! ?d- Measurements(t, p, v), p = "Tom Waits".       quality answers, demand-driven
 //! !use CONTEXT                                      switch context
-//! !contexts    !stats    !save    !help    !quit
+//! !contexts    !stats    !save    !health    !help    !quit
+//! !metrics     !profile [CONTEXT]    !slow           observability
 //! ```
 //!
 //! Staged facts are applied as **one batch** before any query (or on
@@ -67,6 +68,16 @@ pub enum Request {
     /// `!health` — the service's health state (healthy / degraded /
     /// recovering), admission-control counters and durability status.
     Health,
+    /// `!metrics` — every metric series in Prometheus text exposition
+    /// format: request/apply/WAL latency histograms, cache and retraction
+    /// counters, queue and health gauges, per-rule chase profiles.
+    Metrics,
+    /// `!profile [CONTEXT]` — the top chase rules by cumulative join time
+    /// for the named context (default: the session's current one).
+    Profile(String),
+    /// `!slow` — dump the slow-query ring (armed with
+    /// `--slow-query-micros`).
+    Slow,
     /// `!help` — print the command summary.
     Help,
     /// `!quit` — end the session.
@@ -108,6 +119,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ("stats", "") => Ok(Request::Stats),
             ("save", "") => Ok(Request::Save),
             ("health", "") => Ok(Request::Health),
+            ("metrics", "") => Ok(Request::Metrics),
+            ("profile", arg) => Ok(Request::Profile(arg.to_string())),
+            ("slow", "") => Ok(Request::Slow),
             ("help", "") => Ok(Request::Help),
             ("quit", "") | ("exit", "") => Ok(Request::Quit),
             _ => Err(format!("unknown command '!{rest}' (try !help)")),
@@ -221,6 +235,9 @@ const HELP: &str = "\
 !stats                versions, cache, wal  !help      this text
 !save                 snapshot all contexts to the store, compact the wal
 !health               health state (healthy/degraded/recovering), queue load
+!metrics              every metric series, Prometheus text exposition format
+!profile [CONTEXT]    top chase rules by cumulative join time
+!slow                 recent slow queries (arm with --slow-query-micros)
 !quit                 end the session";
 
 /// `true` when an io error just means the peer went away — a normal way
@@ -336,6 +353,7 @@ fn session_loop<R: BufRead, W: Write>(
 ) -> std::io::Result<()> {
     let mut context = default_context.to_string();
     let mut staged = Staged::default();
+    let clock = service.clock();
     // The read buffer persists across reads: a read deadline elapsing
     // mid-line leaves the partial bytes here (`read_line` appends what it
     // got before the error) and the next read completes them, so slow
@@ -378,6 +396,30 @@ fn session_loop<R: BufRead, W: Write>(
                 continue;
             }
         };
+        // Per-verb request timing (`ontodq_request_micros{verb=…}`),
+        // observed after the handler regardless of outcome — errors are
+        // served requests too.  `!quit` breaks out before the observation:
+        // its only latency is the goodbye line.
+        let verb = match &request {
+            Request::Empty | Request::Quit => None,
+            Request::InsertFact(_) => Some("insert"),
+            Request::RetractFact(_) => Some("retract"),
+            Request::PlainQuery(_) => Some("query"),
+            Request::QualityQuery(_) => Some("quality_query"),
+            Request::DemandQuery(_) => Some("demand_query"),
+            Request::Flush => Some("flush"),
+            Request::Discard => Some("discard"),
+            Request::UseContext(_) => Some("use"),
+            Request::Contexts => Some("contexts"),
+            Request::Stats => Some("stats"),
+            Request::Save => Some("save"),
+            Request::Health => Some("health"),
+            Request::Metrics => Some("metrics"),
+            Request::Profile(_) => Some("profile"),
+            Request::Slow => Some("slow"),
+            Request::Help => Some("help"),
+        };
+        let request_start = clock.now_micros();
         match request {
             Request::Empty => continue,
             Request::Quit => {
@@ -406,50 +448,8 @@ fn session_loop<R: BufRead, W: Write>(
                     writeln!(writer, "err: unknown context '{name}'")?;
                 }
             }
-            Request::Stats => match service.snapshot(&context) {
-                Ok(snapshot) => {
-                    let cache = service.cache_stats();
-                    let interner_writes =
-                        ontodq_relational::SymbolInterner::global().write_acquisitions();
-                    let wal = service.wal_stats().unwrap_or_default();
-                    // Process-wide join-kernel counters (monotone totals
-                    // across every chase and query this process ran) and
-                    // the snapshot's columnar-arena footprint.
-                    let joins = ontodq_relational::counters::snapshot();
-                    let arena_bytes = snapshot.database.arena_bytes();
-                    // Tombstones make live vs physical rows distinct: the
-                    // arena keeps dead rows until compaction, and
-                    // `reclaimable_bytes` is the share a compaction would
-                    // recover.
-                    let retract = service.retraction_stats();
-                    writeln!(
-                        writer,
-                        "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={} live_rows={} total_rows={} reclaimable_bytes={} retractions={} cascaded_deletes={} rederived={}",
-                        context,
-                        snapshot.version,
-                        snapshot.total_tuples(),
-                        staged.len(),
-                        cache.hits,
-                        cache.misses,
-                        cache.invalidations,
-                        cache.entries,
-                        cache.evictions,
-                        interner_writes,
-                        wal.segments,
-                        wal.bytes,
-                        joins.probes,
-                        joins.gallop_seeks,
-                        joins.wco_seeks,
-                        joins.materializations,
-                        arena_bytes,
-                        snapshot.database.total_tuples(),
-                        snapshot.database.total_rows(),
-                        snapshot.database.reclaimable_bytes(),
-                        retract.retractions,
-                        retract.cascaded_deletes,
-                        retract.rederived,
-                    )?;
-                }
+            Request::Stats => match service.stats_line(&context, staged.len()) {
+                Ok(line) => writeln!(writer, "{line}")?,
                 Err(e) => writeln!(writer, "err: {e}")?,
             },
             Request::Save => match service.persist_all() {
@@ -475,7 +475,7 @@ fn session_loop<R: BufRead, W: Write>(
                     .unwrap_or_default();
                 writeln!(
                     writer,
-                    "ok health={} store={} queued={} queue_bound={} refused_writes={} probes={}{}",
+                    "ok health={} store={} queued={} queue_bound={} refused_writes={} probes={} queue_peak={} queue_wait_p95={}{}",
                     health.state,
                     if service.has_store() {
                         "attached"
@@ -486,7 +486,70 @@ fn session_loop<R: BufRead, W: Write>(
                     bound,
                     health.refused_writes,
                     health.probes,
+                    pool.queued_peak(),
+                    pool.wait_histogram().p95(),
                     reason,
+                )?;
+            }
+            Request::Metrics => {
+                // Gauges are sampled at scrape time; counters/histograms
+                // were updated at their sources.  The payload is the
+                // standard Prometheus text exposition format, one series
+                // block per family, terminated by the usual `ok` line.
+                write!(writer, "{}", service.render_metrics(pool))?;
+                writeln!(writer, "ok")?;
+            }
+            Request::Profile(name) => {
+                let name = if name.is_empty() {
+                    context.clone()
+                } else {
+                    name
+                };
+                match service.chase_profile(&name) {
+                    Ok(profile) => {
+                        for rule in profile.top_by_join_micros(10) {
+                            writeln!(
+                                writer,
+                                "rule={} evals={} delta_rows={} fires={} satisfied={} tuples={} join_micros={} kernel={} label=\"{}\"",
+                                rule.rule_index,
+                                rule.evaluations,
+                                rule.delta_rows,
+                                rule.fires,
+                                rule.satisfied,
+                                rule.tuples_added,
+                                rule.join_micros,
+                                rule.kernel(),
+                                rule.label,
+                            )?;
+                        }
+                        writeln!(
+                            writer,
+                            "ok context={} rules={} total_join_micros={} egd_micros={} chase_micros={} dred_batches={}",
+                            name,
+                            profile.rules.iter().filter(|r| r.evaluations > 0).count(),
+                            profile.join_micros(),
+                            profile.egd_micros,
+                            profile.total_micros,
+                            profile.dred.batches,
+                        )?;
+                    }
+                    Err(e) => writeln!(writer, "err: {e}")?,
+                }
+            }
+            Request::Slow => {
+                let records = service.slow_queries();
+                for record in &records {
+                    writeln!(
+                        writer,
+                        "slow verb={} micros={} start={} query={}",
+                        record.name, record.duration_micros, record.start_micros, record.detail,
+                    )?;
+                }
+                writeln!(
+                    writer,
+                    "ok slow={} threshold_micros={}",
+                    records.len(),
+                    service.slow_query_threshold(),
                 )?;
             }
             Request::InsertFact(text) => match parse_facts(&text) {
@@ -556,12 +619,13 @@ fn session_loop<R: BufRead, W: Write>(
                     continue;
                 }
                 // Evaluate on the shared worker pool.
-                let service = Arc::clone(service);
+                let slow_text = text.clone();
+                let job_service = Arc::clone(service);
                 let job_context = context.clone();
                 let receiver = pool.submit(move || match kind {
-                    QueryKind::Plain => service.plain_answers(&job_context, &text),
-                    QueryKind::Quality => service.quality_answers(&job_context, &text),
-                    QueryKind::Demand => service.demand_answers(&job_context, &text),
+                    QueryKind::Plain => job_service.plain_answers(&job_context, &text),
+                    QueryKind::Quality => job_service.quality_answers(&job_context, &text),
+                    QueryKind::Demand => job_service.demand_answers(&job_context, &text),
                 });
                 // Three layers: the channel (closed only if the pool died
                 // mid-shutdown), the job outcome (panics surface as
@@ -586,7 +650,17 @@ fn session_loop<R: BufRead, W: Write>(
                     }
                     Err(e) => writeln!(writer, "err: {e}")?,
                 }
+                // Slow-query log: the end-to-end latency the client saw
+                // (auto-flush + queue wait + evaluation), against the armed
+                // threshold.  A disabled threshold makes this a no-op.
+                if let Some(verb) = verb {
+                    let micros = clock.now_micros().saturating_sub(request_start);
+                    service.note_query(verb, &slow_text, micros);
+                }
             }
+        }
+        if let Some(verb) = verb {
+            service.observe_request(verb, clock.now_micros().saturating_sub(request_start));
         }
         writer.flush()?;
     }
@@ -699,6 +773,16 @@ mod tests {
         assert_eq!(parse_request("!contexts"), Ok(Request::Contexts));
         assert_eq!(parse_request("!stats"), Ok(Request::Stats));
         assert_eq!(parse_request("!save"), Ok(Request::Save));
+        assert_eq!(parse_request("!metrics"), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request("!profile"),
+            Ok(Request::Profile(String::new()))
+        );
+        assert_eq!(
+            parse_request("!profile hospital"),
+            Ok(Request::Profile("hospital".to_string()))
+        );
+        assert_eq!(parse_request("!slow"), Ok(Request::Slow));
         assert_eq!(parse_request("!help"), Ok(Request::Help));
         assert_eq!(parse_request("!quit"), Ok(Request::Quit));
         assert!(parse_request("!nope").is_err());

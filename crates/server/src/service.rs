@@ -2,15 +2,17 @@
 
 use crate::cache::{CacheStats, QueryCache, QueryKind};
 use crate::error::ServiceError;
+use crate::pool::WorkerPool;
 use crate::snapshot::Snapshot;
 use ontodq_core::{Context, ContextBuilder, ResumableAssessment};
+use ontodq_obs::{Counter, Histogram, Registry, SharedClock, SpanLog, SpanRecord};
 use ontodq_qa::AnswerSet;
 use ontodq_relational::{Database, Tuple};
 use ontodq_store::{BatchKind, ContextImage, Recovery, Store, WalStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One registered context: an immutable snapshot slot for readers and a
 /// serialized writer state.
@@ -85,8 +87,10 @@ pub struct HealthReport {
 struct HealthState {
     state: Health,
     reason: Option<String>,
-    /// When the last failure or probe happened — the backoff clock.
-    last_probe: Option<Instant>,
+    /// When the last failure or probe happened, on the service clock — the
+    /// backoff reference point (a reading of [`QualityService`]'s injected
+    /// clock, so record/replay tests control the backoff deterministically).
+    last_probe_micros: Option<u64>,
     /// Minimum spacing between recovery probes; writes arriving inside the
     /// window are refused without re-touching the store.
     probe_interval: Duration,
@@ -99,7 +103,7 @@ impl HealthState {
         Self {
             state: Health::Healthy,
             reason: None,
-            last_probe: None,
+            last_probe_micros: None,
             probe_interval: Duration::from_secs(2),
             refused_writes: 0,
             probes: 0,
@@ -217,12 +221,35 @@ pub struct QualityService {
     /// `persist_all` takes every writer then the store, so the order is
     /// consistent and deadlock-free.
     store: Option<Arc<Mutex<Store>>>,
+    /// The service-wide metric registry (`!metrics`): every layer's
+    /// counters, gauges and latency histograms, adopted or created here.
+    /// Per-service (not process-global) so concurrently running services
+    /// — notably parallel tests — never share counters.
+    registry: Registry,
+    /// The clock every service-side duration is measured on.  Monotonic in
+    /// production; a virtual clock under record/replay tests, which makes
+    /// the `micros=` response fields deterministic.
+    clock: SharedClock,
     /// Process-lifetime retraction counters (`!stats`): requests applied,
     /// cascade condemnations, re-derivations.  Recovery replay counts too —
-    /// the counters describe work this process performed.
-    retractions: AtomicU64,
-    cascaded_deletes: AtomicU64,
-    rederived: AtomicU64,
+    /// the counters describe work this process performed.  Registered in
+    /// `registry`, read by `retraction_stats`.
+    retractions: Arc<Counter>,
+    cascaded_deletes: Arc<Counter>,
+    rederived: Arc<Counter>,
+    /// Apply-path latency histograms (insert / retract batches) and the
+    /// DRed phase breakdown (cascade / delete / re-derive).
+    insert_micros: Arc<Histogram>,
+    retract_micros: Arc<Histogram>,
+    dred_cascade_micros: Arc<Histogram>,
+    dred_delete_micros: Arc<Histogram>,
+    dred_rederive_micros: Arc<Histogram>,
+    /// The slow-query ring (`!slow`): queries over the threshold, newest
+    /// last, bounded so an unattended server cannot grow it.
+    slow_log: SpanLog,
+    /// Slow-query threshold in microseconds; 0 disables the log.
+    slow_threshold_micros: AtomicU64,
+    slow_queries_total: Arc<Counter>,
     /// The health state machine: `Healthy → Degraded (read-only) →
     /// Recovering → Healthy|Degraded`.  Store-wide, because a poisoned WAL
     /// refuses appends for every context.
@@ -230,15 +257,80 @@ pub struct QualityService {
 }
 
 impl QualityService {
-    /// An empty, in-memory-only service (no durability).
+    /// An empty, in-memory-only service (no durability), timed on the
+    /// monotonic clock.
     pub fn new() -> Self {
+        Self::with_clock(ontodq_obs::monotonic())
+    }
+
+    /// An empty, in-memory-only service timed on `clock` — the seam
+    /// record/replay tests use to freeze every `micros=` response field.
+    pub fn with_clock(clock: SharedClock) -> Self {
+        let registry = Registry::new();
+        let cache = QueryCache::new();
+        cache.register_into(&registry);
+        let retractions = registry.counter(
+            "ontodq_retractions_total",
+            "Concrete retraction requests applied (expanded conditional deletes included).",
+            &[],
+        );
+        let cascaded_deletes = registry.counter(
+            "ontodq_cascaded_deletes_total",
+            "Derived tuples condemned by DRed cascades.",
+            &[],
+        );
+        let rederived = registry.counter(
+            "ontodq_rederived_total",
+            "Tuples re-derived from alternative supports after cascades.",
+            &[],
+        );
+        let insert_micros = registry.histogram(
+            "ontodq_apply_micros",
+            "Apply-path latency of one batch (incremental re-chase + snapshot swap).",
+            &[("op", "insert")],
+        );
+        let retract_micros = registry.histogram(
+            "ontodq_apply_micros",
+            "Apply-path latency of one batch (incremental re-chase + snapshot swap).",
+            &[("op", "retract")],
+        );
+        let dred_cascade_micros = registry.histogram(
+            "ontodq_dred_phase_micros",
+            "Delete-and-rederive phase latency per retraction batch.",
+            &[("phase", "cascade")],
+        );
+        let dred_delete_micros = registry.histogram(
+            "ontodq_dred_phase_micros",
+            "Delete-and-rederive phase latency per retraction batch.",
+            &[("phase", "delete")],
+        );
+        let dred_rederive_micros = registry.histogram(
+            "ontodq_dred_phase_micros",
+            "Delete-and-rederive phase latency per retraction batch.",
+            &[("phase", "rederive")],
+        );
+        let slow_queries_total = registry.counter(
+            "ontodq_slow_queries_total",
+            "Queries whose end-to-end latency crossed --slow-query-micros.",
+            &[],
+        );
         Self {
             contexts: RwLock::new(BTreeMap::new()),
-            cache: QueryCache::new(),
+            cache,
             store: None,
-            retractions: AtomicU64::new(0),
-            cascaded_deletes: AtomicU64::new(0),
-            rederived: AtomicU64::new(0),
+            registry,
+            clock,
+            retractions,
+            cascaded_deletes,
+            rederived,
+            insert_micros,
+            retract_micros,
+            dred_cascade_micros,
+            dred_delete_micros,
+            dred_rederive_micros,
+            slow_log: SpanLog::new(128),
+            slow_threshold_micros: AtomicU64::new(0),
+            slow_queries_total,
             health: Mutex::new(HealthState::new()),
         }
     }
@@ -273,9 +365,46 @@ impl QualityService {
     /// write-ahead log and whose contexts can be snapshotted with
     /// [`QualityService::persist_all`].
     pub fn with_store(store: Arc<Mutex<Store>>) -> Self {
+        Self::with_store_and_clock(store, ontodq_obs::monotonic())
+    }
+
+    /// [`QualityService::with_store`] timed on `clock`: the store's
+    /// durability clock is re-seated onto the same seam and its WAL/snapshot
+    /// histograms are adopted into the service registry, so one `!metrics`
+    /// scrape covers the storage layer too.
+    pub fn with_store_and_clock(store: Arc<Mutex<Store>>, clock: SharedClock) -> Self {
+        let service = Self::with_clock(Arc::clone(&clock));
+        {
+            // Counter adoption only — a freshly opened store's lock cannot
+            // be poisoned, and a poisoned one is recovered like everywhere
+            // else (the metrics handles are plain Arcs).
+            let mut guard = store
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.set_clock(clock);
+            let metrics = guard.metrics();
+            service.registry.adopt_histogram(
+                "ontodq_wal_write_micros",
+                "WAL record-group write latency (buffer to kernel).",
+                &[],
+                metrics.wal_write,
+            );
+            service.registry.adopt_histogram(
+                "ontodq_wal_fsync_micros",
+                "WAL fsync latency per acked append.",
+                &[],
+                metrics.wal_fsync,
+            );
+            service.registry.adopt_histogram(
+                "ontodq_snapshot_write_micros",
+                "Context snapshot write latency (serialize + temp + rename).",
+                &[],
+                metrics.snapshot_write,
+            );
+        }
         Self {
             store: Some(store),
-            ..Self::new()
+            ..service
         }
     }
 
@@ -336,10 +465,11 @@ impl QualityService {
     /// restarts so the next write inside the probe window is refused
     /// without touching the store again.
     fn degrade(&self, reason: &str) {
+        let now = self.clock.now_micros();
         let mut h = self.lock_health();
         h.state = Health::Degraded;
         h.reason = Some(reason.to_string());
-        h.last_probe = Some(Instant::now());
+        h.last_probe_micros = Some(now);
     }
 
     fn mark_healthy(&self) {
@@ -357,6 +487,7 @@ impl QualityService {
     /// [`Health::Healthy`] and lets the gated write proceed.
     fn ensure_writable(&self) -> Result<(), ServiceError> {
         {
+            let now = self.clock.now_micros();
             let mut h = self.lock_health();
             match h.state {
                 Health::Healthy => return Ok(()),
@@ -365,15 +496,17 @@ impl QualityService {
                     return Err(ServiceError::Degraded(h.degraded_reason()));
                 }
                 Health::Degraded => {
+                    let interval_micros =
+                        u64::try_from(h.probe_interval.as_micros()).unwrap_or(u64::MAX);
                     let due = h
-                        .last_probe
-                        .is_none_or(|at| at.elapsed() >= h.probe_interval);
+                        .last_probe_micros
+                        .is_none_or(|at| now.saturating_sub(at) >= interval_micros);
                     if !due {
                         h.refused_writes += 1;
                         return Err(ServiceError::Degraded(h.degraded_reason()));
                     }
                     h.state = Health::Recovering;
-                    h.last_probe = Some(Instant::now());
+                    h.last_probe_micros = Some(now);
                     h.probes += 1;
                 }
             }
@@ -384,10 +517,11 @@ impl QualityService {
             Ok(_) => Ok(()), // persist_all marked the service healthy
             Err(e) => {
                 let reason = format!("recovery probe failed: {e}");
+                let now = self.clock.now_micros();
                 let mut h = self.lock_health();
                 h.state = Health::Degraded;
                 h.reason = Some(reason.clone());
-                h.last_probe = Some(Instant::now());
+                h.last_probe_micros = Some(now);
                 h.refused_writes += 1;
                 Err(ServiceError::Degraded(reason))
             }
@@ -418,7 +552,12 @@ impl QualityService {
         }
         // Chase outside the map lock: registration of a large context must
         // not stall queries against other contexts.
-        let writer = ResumableAssessment::new(context.clone(), instance);
+        let writer = ResumableAssessment::with_options_and_clock(
+            context.clone(),
+            instance,
+            &ontodq_core::AssessmentOptions::default(),
+            Arc::clone(&self.clock),
+        );
         self.register_writer(name, context, writer)
     }
 
@@ -451,11 +590,12 @@ impl QualityService {
         let mut writer = match snapshot {
             Some(persisted) => {
                 let expected_fingerprint = persisted.program_fingerprint;
-                let writer = ResumableAssessment::restore(
+                let writer = ResumableAssessment::restore_with_clock(
                     context.clone(),
                     persisted.instance,
                     persisted.state,
                     persisted.version,
+                    Arc::clone(&self.clock),
                 );
                 // The persisted watermarks are positional: they are only
                 // meaningful for the rule set they were chased with.  A
@@ -471,7 +611,12 @@ impl QualityService {
                 }
                 writer
             }
-            None => ResumableAssessment::new(context.clone(), initial_instance),
+            None => ResumableAssessment::with_options_and_clock(
+                context.clone(),
+                initial_instance,
+                &ontodq_core::AssessmentOptions::default(),
+                Arc::clone(&self.clock),
+            ),
         };
         for batch in tail {
             match batch.kind {
@@ -649,7 +794,7 @@ impl QualityService {
     ) -> Result<UpdateReport, ServiceError> {
         self.ensure_writable()?;
         let entry = self.entry(context)?;
-        let start = Instant::now();
+        let start = self.clock.now_micros();
         let mut writer = entry.writer.lock().map_err(|_| {
             ServiceError::Internal(format!(
                 "writer for context '{context}' poisoned by a panicked update"
@@ -679,6 +824,8 @@ impl QualityService {
         // Release the writer lock only after the swap so versions are
         // published in order.
         drop(writer);
+        let elapsed_micros = self.clock.now_micros().saturating_sub(start);
+        self.insert_micros.observe(elapsed_micros);
         if let Some(reason) = wal_error {
             self.degrade(&reason);
             return Err(ServiceError::Store(reason));
@@ -688,7 +835,7 @@ impl QualityService {
             new_facts: outcome.new_facts,
             derived,
             violations,
-            elapsed: start.elapsed(),
+            elapsed: Duration::from_micros(elapsed_micros),
         })
     }
 
@@ -714,7 +861,7 @@ impl QualityService {
     ) -> Result<RetractReport, ServiceError> {
         self.ensure_writable()?;
         let entry = self.entry(context)?;
-        let start = Instant::now();
+        let start = self.clock.now_micros();
         let mut writer = entry.writer.lock().map_err(|_| {
             ServiceError::Internal(format!(
                 "writer for context '{context}' poisoned by a panicked update"
@@ -723,6 +870,12 @@ impl QualityService {
         let expanded = writer.expand_retractions(retractions);
         let result = writer.retract_batch(expanded.iter().cloned());
         let stats = result.stats;
+        let dred = &result.chase.profile.dred;
+        if dred.batches > 0 {
+            self.dred_cascade_micros.observe(dred.cascade_micros);
+            self.dred_delete_micros.observe(dred.delete_micros);
+            self.dred_rederive_micros.observe(dred.rederive_micros);
+        }
         let violations = result.chase.violations.len();
         let version = writer.batches_applied();
         // Log even an empty expansion: the version advanced, and recovery
@@ -742,6 +895,8 @@ impl QualityService {
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(snapshot);
         drop(writer);
         self.note_retraction(&stats);
+        let elapsed_micros = self.clock.now_micros().saturating_sub(start);
+        self.retract_micros.observe(elapsed_micros);
         if let Some(reason) = wal_error {
             self.degrade(&reason);
             return Err(ServiceError::Store(reason));
@@ -753,7 +908,7 @@ impl QualityService {
             cascaded: stats.cascaded,
             rederived: stats.rederived,
             violations,
-            elapsed: start.elapsed(),
+            elapsed: Duration::from_micros(elapsed_micros),
         })
     }
 
@@ -774,20 +929,17 @@ impl QualityService {
 
     /// Fold one applied retraction into the process-lifetime counters.
     fn note_retraction(&self, stats: &ontodq_chase::RetractStats) {
-        self.retractions
-            .fetch_add(stats.requested as u64, Ordering::Relaxed);
-        self.cascaded_deletes
-            .fetch_add(stats.cascaded as u64, Ordering::Relaxed);
-        self.rederived
-            .fetch_add(stats.rederived as u64, Ordering::Relaxed);
+        self.retractions.add(stats.requested as u64);
+        self.cascaded_deletes.add(stats.cascaded as u64);
+        self.rederived.add(stats.rederived as u64);
     }
 
     /// Point-in-time retraction counters.
     pub fn retraction_stats(&self) -> RetractionCounters {
         RetractionCounters {
-            retractions: self.retractions.load(Ordering::Relaxed),
-            cascaded_deletes: self.cascaded_deletes.load(Ordering::Relaxed),
-            rederived: self.rederived.load(Ordering::Relaxed),
+            retractions: self.retractions.get(),
+            cascaded_deletes: self.cascaded_deletes.get(),
+            rederived: self.rederived.get(),
         }
     }
 
@@ -858,6 +1010,266 @@ impl QualityService {
     /// Prepared-query cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The service-wide metric registry.  Every layer's series live here:
+    /// callers may register additional series, but should prefer
+    /// [`QualityService::render_metrics`] for a consistent scrape.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The clock the service measures durations on (shared with the store
+    /// and every context writer).
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    /// The cumulative chase profile of `context`'s writer: per-rule
+    /// evaluation counts, join time and kernel choice, EGD and DRed phase
+    /// timings — everything the `!profile` verb prints.  Reads under the
+    /// writer lock (cheap: the profile is cloned out, no chase work runs).
+    pub fn chase_profile(&self, context: &str) -> Result<ontodq_chase::ChaseProfile, ServiceError> {
+        let entry = self.entry(context)?;
+        let writer = entry.writer.lock().map_err(|_| {
+            ServiceError::Internal(format!(
+                "writer for context '{context}' poisoned by a panicked update"
+            ))
+        })?;
+        Ok(writer.profile().clone())
+    }
+
+    /// Fold one served request into the per-verb latency histogram
+    /// (`ontodq_request_micros{verb=…}`).  Called by the protocol layer
+    /// after every non-empty request, so `!metrics` sees request-level
+    /// latency for each verb including errors.
+    pub fn observe_request(&self, verb: &str, micros: u64) {
+        self.registry
+            .histogram(
+                "ontodq_request_micros",
+                "End-to-end latency of one protocol request, by verb.",
+                &[("verb", verb)],
+            )
+            .observe(micros);
+    }
+
+    /// Note one completed query for the slow-query log: when a threshold is
+    /// armed (`--slow-query-micros`) and `micros` crosses it, the query text
+    /// is recorded in the bounded ring surfaced by `!slow`.
+    pub fn note_query(&self, verb: &str, text: &str, micros: u64) {
+        let threshold = self.slow_threshold_micros.load(Ordering::Relaxed);
+        if threshold == 0 || micros < threshold {
+            return;
+        }
+        self.slow_queries_total.inc();
+        self.slow_log.record(SpanRecord {
+            name: verb.to_string(),
+            detail: text.to_string(),
+            start_micros: self.clock.now_micros().saturating_sub(micros),
+            duration_micros: micros,
+        });
+    }
+
+    /// Arm (or, with 0, disarm) the slow-query log.
+    pub fn set_slow_query_threshold(&self, micros: u64) {
+        self.slow_threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// The armed slow-query threshold in microseconds (0: disabled).
+    pub fn slow_query_threshold(&self) -> u64 {
+        self.slow_threshold_micros.load(Ordering::Relaxed)
+    }
+
+    /// The retained slow-query records, oldest first.
+    pub fn slow_queries(&self) -> Vec<SpanRecord> {
+        self.slow_log.recent()
+    }
+
+    /// Render the whole registry in Prometheus text exposition format —
+    /// the `!metrics` payload.  Point-in-time gauges (queue depth, health,
+    /// per-context snapshot versions, per-rule chase profiles) are sampled
+    /// into the registry here so the scrape is self-consistent; cumulative
+    /// series (counters, histograms) were updated at their sources.
+    pub fn render_metrics(&self, pool: &WorkerPool) -> String {
+        // Worker-pool load: the wait histogram is adopted idempotently (the
+        // first pool a service renders with wins the handle; in practice a
+        // server has exactly one pool).
+        self.registry.adopt_histogram(
+            "ontodq_queue_wait_micros",
+            "Time a query spent queued before a worker picked it up.",
+            &[],
+            pool.wait_histogram(),
+        );
+        self.registry
+            .gauge(
+                "ontodq_queue_depth",
+                "Jobs admitted to the worker pool and not yet finished.",
+                &[],
+            )
+            .set(pool.queued() as u64);
+        self.registry
+            .gauge(
+                "ontodq_queue_depth_peak",
+                "High-watermark of the worker-pool queue depth.",
+                &[],
+            )
+            .set(pool.queued_peak() as u64);
+        self.registry
+            .gauge("ontodq_workers", "Worker threads in the shared pool.", &[])
+            .set(pool.size() as u64);
+        // Health machine: the state as an enum gauge plus its counters.
+        let health = self.health();
+        self.registry
+            .gauge(
+                "ontodq_health_state",
+                "Service health: 0 healthy, 1 degraded, 2 recovering.",
+                &[],
+            )
+            .set(match health.state {
+                Health::Healthy => 0,
+                Health::Degraded => 1,
+                Health::Recovering => 2,
+            });
+        self.registry
+            .gauge(
+                "ontodq_refused_writes",
+                "Writes refused while degraded or recovering, process lifetime.",
+                &[],
+            )
+            .set(health.refused_writes);
+        self.registry
+            .gauge(
+                "ontodq_recovery_probes",
+                "Recovery probes attempted, process lifetime.",
+                &[],
+            )
+            .set(health.probes);
+        self.registry
+            .gauge(
+                "ontodq_slow_query_threshold_micros",
+                "Armed slow-query threshold (0: log disabled).",
+                &[],
+            )
+            .set(self.slow_query_threshold());
+        // Per-context snapshot state and chase profiles.
+        let entries: Vec<(String, Arc<ContextEntry>)> = self
+            .read_contexts()
+            .iter()
+            .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
+            .collect();
+        for (name, entry) in entries {
+            let snapshot = entry.snapshot();
+            let labels = [("context", name.as_str())];
+            self.registry
+                .gauge(
+                    "ontodq_snapshot_version",
+                    "Published snapshot version (batches applied).",
+                    &labels,
+                )
+                .set(snapshot.version);
+            self.registry
+                .gauge(
+                    "ontodq_snapshot_tuples",
+                    "Tuples in the published snapshot's materialized instance.",
+                    &labels,
+                )
+                .set(snapshot.total_tuples() as u64);
+            // Skip a writer a panicked update poisoned: the scrape must
+            // never take a session down, and the other series still render.
+            let Ok(writer) = entry.writer.lock() else {
+                continue;
+            };
+            let profile = writer.profile().clone();
+            drop(writer);
+            self.registry
+                .gauge(
+                    "ontodq_chase_egd_micros",
+                    "Cumulative EGD-enforcement time in this context's chases.",
+                    &labels,
+                )
+                .set(profile.egd_micros);
+            self.registry
+                .gauge(
+                    "ontodq_chase_total_micros",
+                    "Cumulative end-to-end chase driver time for this context.",
+                    &labels,
+                )
+                .set(profile.total_micros);
+            for rule in &profile.rules {
+                if rule.evaluations == 0 {
+                    continue;
+                }
+                let rule_labels = [("context", name.as_str()), ("rule", rule.label.as_str())];
+                self.registry
+                    .gauge(
+                        "ontodq_rule_join_micros",
+                        "Cumulative join time spent evaluating this rule.",
+                        &rule_labels,
+                    )
+                    .set(rule.join_micros);
+                self.registry
+                    .gauge(
+                        "ontodq_rule_fires",
+                        "Batches in which this rule derived at least one new tuple.",
+                        &rule_labels,
+                    )
+                    .set(rule.fires);
+                self.registry
+                    .gauge(
+                        "ontodq_rule_tuples_added",
+                        "Tuples this rule added to the instance, cumulative.",
+                        &rule_labels,
+                    )
+                    .set(rule.tuples_added);
+            }
+        }
+        self.registry.render_prometheus()
+    }
+
+    /// Assemble the `!stats` status line for `context` with `staged`
+    /// session-local staged changes — one service-side snapshot of every
+    /// counter family, byte-identical to the line the protocol printed
+    /// before this consolidation.
+    pub fn stats_line(&self, context: &str, staged: usize) -> Result<String, ServiceError> {
+        let snapshot = self.snapshot(context)?;
+        let cache = self.cache_stats();
+        let interner_writes = ontodq_relational::SymbolInterner::global().write_acquisitions();
+        let wal = self.wal_stats().unwrap_or_default();
+        // Process-wide join-kernel counters (monotone totals across every
+        // chase and query this process ran) and the snapshot's
+        // columnar-arena footprint.
+        let joins = ontodq_relational::counters::snapshot();
+        let arena_bytes = snapshot.database.arena_bytes();
+        // Tombstones make live vs physical rows distinct: the arena keeps
+        // dead rows until compaction, and `reclaimable_bytes` is the share
+        // a compaction would recover.
+        let retract = self.retraction_stats();
+        Ok(format!(
+            "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={} live_rows={} total_rows={} reclaimable_bytes={} retractions={} cascaded_deletes={} rederived={}",
+            context,
+            snapshot.version,
+            snapshot.total_tuples(),
+            staged,
+            cache.hits,
+            cache.misses,
+            cache.invalidations,
+            cache.entries,
+            cache.evictions,
+            interner_writes,
+            wal.segments,
+            wal.bytes,
+            joins.probes,
+            joins.gallop_seeks,
+            joins.wco_seeks,
+            joins.materializations,
+            arena_bytes,
+            snapshot.database.total_tuples(),
+            snapshot.database.total_rows(),
+            snapshot.database.reclaimable_bytes(),
+            retract.retractions,
+            retract.cascaded_deletes,
+            retract.rederived,
+        ))
     }
 
     fn entry(&self, context: &str) -> Result<Arc<ContextEntry>, ServiceError> {

@@ -63,7 +63,7 @@ pub use io::{
     SharedIoPolicy,
 };
 pub use snapshot::{ContextImage, PersistedContext};
-pub use store::{Recovery, Store, StoreConfig};
+pub use store::{Recovery, Store, StoreConfig, StoreMetrics};
 pub use wal::{BatchKind, ReplayedBatch, Wal, WalConfig, WalStats};
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use ontodq_relational::Tuple;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Store tuning.
 #[derive(Debug, Clone, Default)]
@@ -66,6 +67,24 @@ pub struct Store {
     /// would destroy the very state the recovery warning told the operator
     /// was still restorable.
     unclaimed: BTreeSet<String>,
+    /// Time source for the snapshot-write histogram (and, via
+    /// [`Store::set_clock`], the WAL's).
+    clock: ontodq_obs::SharedClock,
+    /// Latency of each whole snapshot save (encode + write + fsync +
+    /// rename), µs.
+    snapshot_histogram: Arc<ontodq_obs::Histogram>,
+}
+
+/// Shared handles to the store's latency histograms, for adoption into an
+/// [`ontodq_obs::Registry`] (the server's `!metrics` surface).
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// WAL append-group `write(2)` latency.
+    pub wal_write: Arc<ontodq_obs::Histogram>,
+    /// WAL append-group fsync latency.
+    pub wal_fsync: Arc<ontodq_obs::Histogram>,
+    /// Whole-snapshot save latency.
+    pub snapshot_write: Arc<ontodq_obs::Histogram>,
 }
 
 impl Store {
@@ -93,7 +112,25 @@ impl Store {
             wal,
             policy,
             unclaimed: BTreeSet::new(),
+            clock: ontodq_obs::monotonic(),
+            snapshot_histogram: Arc::new(ontodq_obs::Histogram::latency()),
         })
+    }
+
+    /// Replace the time source behind the store's latency histograms
+    /// (deterministic tests inject a virtual clock).
+    pub fn set_clock(&mut self, clock: ontodq_obs::SharedClock) {
+        self.wal.set_clock(clock.clone());
+        self.clock = clock;
+    }
+
+    /// Shared handles to the WAL and snapshot latency histograms.
+    pub fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            wal_write: self.wal.write_histogram(),
+            wal_fsync: self.wal.fsync_histogram(),
+            snapshot_write: Arc::clone(&self.snapshot_histogram),
+        }
     }
 
     /// Mark `context`'s recovered durable state as claimed (registered by
@@ -155,11 +192,15 @@ impl Store {
     /// locks never deep-clone the instance and chase state just to encode
     /// them.
     pub fn save_snapshot(&mut self, snapshot: &ContextImage<'_>) -> Result<()> {
-        save_snapshot(
+        let start = self.clock.now_micros();
+        let result = save_snapshot(
             &snapshot_path(&self.data_dir.join("snap"), snapshot.name),
             snapshot,
             &self.policy,
-        )
+        );
+        self.snapshot_histogram
+            .observe(self.clock.now_micros().saturating_sub(start));
+        result
     }
 
     /// Delete every WAL segment.  **Only sound immediately after saving

@@ -32,6 +32,7 @@ use ontodq_relational::Tuple;
 use std::fs::{self, File, OpenOptions};
 use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Magic bytes opening every segment file.
@@ -147,6 +148,13 @@ pub struct Wal {
     /// appends fail fast — see [`Wal::append_batch`].  Cleared by
     /// [`Wal::compact`], whose snapshots supersede the damaged log.
     poisoned: Option<String>,
+    /// Time source for the latency histograms below (monotonic unless a
+    /// caller injected a virtual clock — see [`Wal::set_clock`]).
+    clock: ontodq_obs::SharedClock,
+    /// Latency of each append group's `write(2)`, µs.
+    write_histogram: Arc<ontodq_obs::Histogram>,
+    /// Latency of each append group's fsync, µs.
+    fsync_histogram: Arc<ontodq_obs::Histogram>,
 }
 
 /// What [`Wal::try_append`] did.  `Err` from `try_append` always means
@@ -195,7 +203,27 @@ impl Wal {
             batches_appended: 0,
             append_retries: 0,
             poisoned: None,
+            clock: ontodq_obs::monotonic(),
+            write_histogram: Arc::new(ontodq_obs::Histogram::latency()),
+            fsync_histogram: Arc::new(ontodq_obs::Histogram::latency()),
         })
+    }
+
+    /// Replace the histogram time source (deterministic tests inject a
+    /// virtual clock).
+    pub fn set_clock(&mut self, clock: ontodq_obs::SharedClock) {
+        self.clock = clock;
+    }
+
+    /// The `write(2)` latency histogram (shared handle, adoptable into an
+    /// [`ontodq_obs::Registry`]).
+    pub fn write_histogram(&self) -> Arc<ontodq_obs::Histogram> {
+        Arc::clone(&self.write_histogram)
+    }
+
+    /// The fsync latency histogram (shared handle).
+    pub fn fsync_histogram(&self) -> Arc<ontodq_obs::Histogram> {
+        Arc::clone(&self.fsync_histogram)
     }
 
     /// The segment files of `dir`, sorted by segment id.
@@ -400,8 +428,14 @@ impl Wal {
         }
         group.extend_from_slice(&batch_frame);
 
+        let write_start = self.clock.now_micros();
         guarded_write(&self.policy, IoOp::WalWrite, &mut segment.file, &group)?;
+        let fsync_start = self.clock.now_micros();
+        self.write_histogram
+            .observe(fsync_start.saturating_sub(write_start));
         guarded_fsync(&self.policy, IoOp::WalFsync, &segment.file)?;
+        self.fsync_histogram
+            .observe(self.clock.now_micros().saturating_sub(fsync_start));
         segment.len += group.len() as u64;
         self.batches_appended += 1;
 

@@ -512,28 +512,13 @@ fn partial_lines_survive_read_timeouts() {
     );
 }
 
-/// Replace the digits after every `micros=` with `X`: the only
-/// non-deterministic bytes a replayed session legitimately differs in.
-fn normalize_micros(output: &str) -> String {
-    let mut result = String::with_capacity(output.len());
-    let mut rest = output;
-    while let Some(at) = rest.find("micros=") {
-        let (head, tail) = rest.split_at(at + "micros=".len());
-        result.push_str(head);
-        let digits = tail.len() - tail.trim_start_matches(|c: char| c.is_ascii_digit()).len();
-        if digits > 0 {
-            result.push('X');
-        }
-        rest = &tail[digits..];
-    }
-    result.push_str(rest);
-    result
-}
-
-/// Part E: record/replay.  The same session script against two identically
-/// seeded durable services produces byte-identical transcripts (modulo
-/// timing digits), and a crash-recovered service replays a fresh query
-/// script byte-identically against its still-live twin.
+/// Part E: record/replay.  Every service-side duration is measured on the
+/// injected clock, so freezing it (`ontodq_obs::frozen()`) makes the
+/// `micros=` response fields deterministic: the same session script against
+/// two identically seeded durable services produces **byte-identical**
+/// transcripts — no masking, no normalization — and a crash-recovered
+/// service replays a fresh query script byte-identically against its
+/// still-live twin.
 #[test]
 fn protocol_sessions_record_and_replay_byte_identically() {
     let script = "?q- Measurements(t, p, v), p = \"Tom Waits\".\n\
@@ -552,7 +537,10 @@ fn protocol_sessions_record_and_replay_byte_identically() {
         let store = Arc::new(Mutex::new(
             Store::open(&dir, StoreConfig::default()).unwrap(),
         ));
-        let service = Arc::new(QualityService::with_store(store));
+        let service = Arc::new(QualityService::with_store_and_clock(
+            store,
+            ontodq_obs::frozen(),
+        ));
         service
             .register_context(
                 "hospital",
@@ -562,17 +550,17 @@ fn protocol_sessions_record_and_replay_byte_identically() {
             .unwrap();
         let pool = Arc::new(WorkerPool::new(2));
         let output = run_session(&service, &pool, script);
-        transcripts.push(normalize_micros(&output));
+        transcripts.push(output);
         services.push((service, pool));
         dirs.push(dir);
     }
     assert_eq!(
         transcripts[0], transcripts[1],
-        "identically seeded sessions must record identical transcripts"
+        "identically seeded frozen-clock sessions must record byte-identical transcripts"
     );
     assert!(
-        transcripts[0].contains("micros=X"),
-        "normalization should have hit the flush report: {}",
+        transcripts[0].contains("micros=0"),
+        "a frozen clock must pin every duration to zero: {}",
         transcripts[0]
     );
 
@@ -584,7 +572,10 @@ fn protocol_sessions_record_and_replay_byte_identically() {
     let mut store = Store::open(&dirs[0], StoreConfig::default()).unwrap();
     let mut recovery = store.recover().unwrap();
     let store = Arc::new(Mutex::new(store));
-    let recovered = Arc::new(QualityService::with_store(store));
+    let recovered = Arc::new(QualityService::with_store_and_clock(
+        store,
+        ontodq_obs::frozen(),
+    ));
     let summary = recovered
         .register_recovered(
             "hospital",
@@ -599,9 +590,9 @@ fn protocol_sessions_record_and_replay_byte_identically() {
                   ?- Measurements(t, p, v).\n\
                   !quit\n";
     let pool = Arc::new(WorkerPool::new(2));
-    let replayed = normalize_micros(&run_session(&recovered, &pool, replay));
+    let replayed = run_session(&recovered, &pool, replay);
     let (service_b, pool_b) = services.remove(0);
-    let live = normalize_micros(&run_session(&service_b, &pool_b, replay));
+    let live = run_session(&service_b, &pool_b, replay);
     assert_eq!(
         replayed, live,
         "a recovered service must replay queries byte-identically to its live twin"
