@@ -1,0 +1,91 @@
+//! `ontodq-lint` — the static-analysis gate, as a standalone binary.
+//!
+//! Lints Datalog± program files (concrete rule syntax, as accepted by
+//! [`ontodq_datalog::parse_program`]) and, with `--fixtures`, the contexts
+//! the repository ships (the hospital scenario).  Every diagnostic is
+//! printed in the machine-readable `diag …` line format shared with the
+//! server's `!check` verb, followed by one `summary` line per target; the
+//! process exits nonzero when any target carries error-severity
+//! diagnostics — which is what makes it a CI gate.
+//!
+//! ```text
+//! cargo run --release -p ontodq-bench --bin ontodq-lint -- program.dl
+//! cargo run --release -p ontodq-bench --bin ontodq-lint -- --fixtures
+//! ```
+
+use ontodq_core::{lint_context, scenarios};
+use ontodq_datalog::{lint, LintReport};
+use ontodq_mdm::fixtures::hospital;
+
+const USAGE: &str = "usage: ontodq-lint [--fixtures] [FILE...]
+  FILE        lint a Datalog± program file (concrete rule syntax)
+  --fixtures  lint the shipped contexts (hospital scenario)
+exits 1 when any target has error-severity diagnostics";
+
+/// Print one target's report; `true` when it carries no errors.
+fn report(target: &str, report: &LintReport) -> bool {
+    println!("== {target}");
+    for diagnostic in &report.diagnostics {
+        println!("{}", diagnostic.line());
+    }
+    println!("summary target={target} {}", report.summary());
+    report.error_count() == 0
+}
+
+fn run() -> i32 {
+    let mut fixtures = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fixtures" => fixtures = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'\n{USAGE}");
+                return 2;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !fixtures && files.is_empty() {
+        eprintln!("error: nothing to lint\n{USAGE}");
+        return 2;
+    }
+
+    let mut clean = true;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return 2;
+            }
+        };
+        let program = match ontodq_datalog::parse_program(&text) {
+            Ok(program) => program,
+            Err(e) => {
+                eprintln!("error: cannot parse {file}: {e}");
+                return 2;
+            }
+        };
+        clean &= report(file, &lint(&program));
+    }
+    if fixtures {
+        // The hospital scenario: the paper's running example, linted with
+        // full deployment knowledge (EDB relations + quality goals).
+        let context = scenarios::hospital_context();
+        let instance = hospital::measurements_database();
+        clean &= report("fixtures/hospital", &lint_context(&context, &instance));
+    }
+    if clean {
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}

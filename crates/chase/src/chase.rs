@@ -55,6 +55,7 @@ use crate::provenance::{ChaseStats, ChaseStep, Provenance, SupportGraph, Trigger
 use crate::violation::{EgdViolation, NcViolation, Violations};
 use ontodq_datalog::analysis::{magic_transform, DemandProgram};
 use ontodq_datalog::{Assignment, Atom, Conjunction, Program, Term, Tgd, Variable};
+use ontodq_datalog::{Diagnostic, Severity, TerminationCertificate};
 use ontodq_obs::SharedClock;
 use ontodq_relational::{Database, NullGenerator, Tuple, Value};
 use std::collections::{BTreeSet, HashSet, VecDeque};
@@ -149,6 +150,16 @@ pub struct ChaseConfig {
     /// clock reads per rule per round; `false` skips every measurement
     /// (the `obs_bench` experiment quantifies the difference).
     pub profile: bool,
+    /// The program's [`TerminationCertificate`] (from `ontodq-lint`'s
+    /// classifier), when the caller ran the analysis.  A certificate that
+    /// certifies termination (`terminating == true`, i.e. the TGD set is
+    /// weakly acyclic) turns a [`TerminationReason::TupleLimit`] stop into
+    /// an **error diagnostic** on the result — the budget firing contradicts
+    /// the certificate, so truncation must not pass silently.  An
+    /// uncertified certificate attaches a warning diagnostic instead: the
+    /// chase may be cut short legitimately.  `None` (the default) attaches
+    /// nothing — plain library callers keep the historical behaviour.
+    pub certificate: Option<TerminationCertificate>,
 }
 
 impl Default for ChaseConfig {
@@ -166,6 +177,7 @@ impl Default for ChaseConfig {
             join: JoinEngine::Auto,
             track_support: false,
             profile: true,
+            certificate: None,
         }
     }
 }
@@ -248,6 +260,14 @@ pub struct ChaseResult {
     /// [`ChaseStats`] so stats stay timing-free and comparable across
     /// strategies.
     pub profile: ChaseProfile,
+    /// Diagnostics attached by the engine itself — today, the termination
+    /// certificate cross-check: a warning when the run was configured with
+    /// an uncertified [`TerminationCertificate`], an **error** when a
+    /// certified-terminating program nonetheless stopped on
+    /// [`TerminationReason::TupleLimit`] (an invariant violation: either the
+    /// certificate or the chase is wrong).  Empty when
+    /// [`ChaseConfig::certificate`] is `None`.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl ChaseResult {
@@ -711,6 +731,62 @@ impl ChaseEngine {
         provenance
     }
 
+    /// The certificate cross-check diagnostics for a run that stopped with
+    /// `termination` (see [`ChaseConfig::certificate`]), also folding the
+    /// certificate and diagnostic counts into `profile`.
+    fn certificate_diagnostics(
+        &self,
+        termination: TerminationReason,
+        profile: &mut ChaseProfile,
+    ) -> Vec<Diagnostic> {
+        let Some(certificate) = &self.config.certificate else {
+            return Vec::new();
+        };
+        if profile.certificate.is_none() {
+            profile.certificate = Some(certificate.clone());
+        }
+        let mut diagnostics = Vec::new();
+        if certificate.terminating {
+            if termination == TerminationReason::TupleLimit {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "C001",
+                        Severity::Error,
+                        format!(
+                            "invariant violation: program certified terminating ({certificate}) \
+                             but the chase stopped on the tuple budget \
+                             (max_new_tuples={}); the result is truncated",
+                            self.config.max_new_tuples
+                        ),
+                    )
+                    .witnessed(certificate.report.to_string()),
+                );
+            }
+        } else {
+            let mut diag = Diagnostic::new(
+                "C002",
+                Severity::Warn,
+                format!(
+                    "chase ran without a termination certificate ({certificate}); \
+                     budget limits (max_rounds={}, max_new_tuples={}) may truncate the result",
+                    self.config.max_rounds, self.config.max_new_tuples
+                ),
+            );
+            if !certificate.witness_cycle.is_empty() {
+                diag = diag.witnessed(certificate.rendered_cycle());
+            }
+            diagnostics.push(diag);
+        }
+        for diagnostic in &diagnostics {
+            match diagnostic.severity {
+                Severity::Error => profile.lint_errors += 1,
+                Severity::Warn => profile.lint_warnings += 1,
+                Severity::Info => {}
+            }
+        }
+        diagnostics
+    }
+
     /// Run the chase of `program` over `database` (which is not modified; the
     /// result carries the chased copy).
     pub fn run(&self, program: &Program, database: &Database) -> ChaseResult {
@@ -755,6 +831,7 @@ impl ChaseEngine {
             }
         }
 
+        let diagnostics = self.certificate_diagnostics(termination, &mut state.profile);
         ChaseResult {
             database: db,
             stats: state.stats,
@@ -762,6 +839,7 @@ impl ChaseEngine {
             provenance: state.provenance,
             termination,
             profile: state.profile,
+            diagnostics,
         }
     }
 
@@ -829,6 +907,7 @@ impl ChaseEngine {
             }
         }
 
+        let diagnostics = self.certificate_diagnostics(termination, &mut run.profile);
         ChaseResult {
             database: state.database.clone(),
             stats: run.stats,
@@ -836,6 +915,7 @@ impl ChaseEngine {
             provenance: run.provenance,
             termination,
             profile: run.profile,
+            diagnostics,
         }
     }
 

@@ -13,9 +13,10 @@ use ontodq_chase::{
     egds_read_relations, ChaseConfig, ChaseEngine, ChaseResult, ChaseState, RetractResult,
     RetractStats,
 };
-use ontodq_datalog::Program;
+use ontodq_datalog::{lint_with, Diagnostic, LintReport, Program};
 use ontodq_mdm::compile;
 use ontodq_relational::{Database, RelationSchema, Tuple};
+use std::collections::BTreeSet;
 
 /// The result of assessing an instance against a context.
 #[derive(Debug, Clone)]
@@ -71,8 +72,15 @@ pub fn assess_with(
 ) -> AssessmentResult {
     let (program, database) = compile_context(context, instance);
 
-    // Chase.
-    let chase = ChaseEngine::new(options.chase.clone()).run(&program, &database);
+    // Chase, under the program's termination certificate (unless the caller
+    // supplied one): a certified-terminating program hitting the tuple
+    // budget becomes an error diagnostic instead of silent truncation.
+    let mut chase_config = options.chase.clone();
+    if chase_config.certificate.is_none() {
+        chase_config.certificate =
+            Some(ontodq_datalog::TerminationCertificate::of_program(&program));
+    }
+    let chase = ChaseEngine::new(chase_config).run(&program, &database);
 
     // Extract quality versions and metrics.
     let (quality_database, metrics) = extract_quality(context, instance, &chase.database);
@@ -123,6 +131,31 @@ pub fn compile_context(context: &Context, instance: &Database) -> (Program, Data
     program.tgds.extend(context.context_rules());
 
     (program, database)
+}
+
+/// Statically analyse the compiled program of `context` over `instance`:
+/// run `ontodq-lint` with the deployment knowledge only the pipeline has —
+/// the extensional relations the pre-chase contextual instance actually
+/// provides, and the context's [`Context::goal_predicates`] as the
+/// reachability goals.
+///
+/// The report's [`ontodq_datalog::TerminationCertificate`] is what
+/// [`ResumableAssessment`] hands to the chase engine; its error-severity
+/// diagnostics are what `ontodq-server` rejects registrations over
+/// ([`crate::context::ContextError::Rejected`]).
+pub fn lint_context(context: &Context, instance: &Database) -> LintReport {
+    let (program, database) = compile_context(context, instance);
+    lint_compiled(context, &program, &database)
+}
+
+/// [`lint_context`] for an already-compiled program/instance pair.
+fn lint_compiled(context: &Context, program: &Program, database: &Database) -> LintReport {
+    let edb: BTreeSet<String> = database
+        .relation_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    lint_with(program, Some(&edb), &context.goal_predicates())
 }
 
 /// Steps 6–7 of the pipeline: extract the quality versions under the
@@ -219,6 +252,9 @@ pub struct ResumableAssessment {
     /// and every batch folded in since (see
     /// [`ontodq_chase::ChaseProfile`]).
     profile: ontodq_chase::ChaseProfile,
+    /// The static-analysis report of the compiled program (computed once at
+    /// construction; the program never changes afterwards).
+    lint: LintReport,
 }
 
 /// The statistics/violations of the most recent chase step, kept **without**
@@ -229,6 +265,7 @@ struct ChaseSummary {
     stats: ontodq_chase::ChaseStats,
     violations: ontodq_chase::Violations,
     termination: ontodq_chase::TerminationReason,
+    diagnostics: Vec<Diagnostic>,
 }
 
 impl ChaseSummary {
@@ -237,6 +274,7 @@ impl ChaseSummary {
             stats: result.stats.clone(),
             violations: result.violations.clone(),
             termination: result.termination,
+            diagnostics: result.diagnostics.clone(),
         }
     }
 }
@@ -263,7 +301,12 @@ impl ResumableAssessment {
         clock: ontodq_obs::SharedClock,
     ) -> Self {
         let (program, database) = compile_context(&context, &instance);
-        let engine = ChaseEngine::new(options.chase.clone()).with_clock(clock);
+        let lint = lint_compiled(&context, &program, &database);
+        let mut chase_config = options.chase.clone();
+        if chase_config.certificate.is_none() {
+            chase_config.certificate = Some(lint.certificate.clone());
+        }
+        let engine = ChaseEngine::new(chase_config).with_clock(clock);
         let mut state = ChaseState::new(&program, &database);
         let initial = engine.resume(&program, &mut state);
         let last = ChaseSummary::of(&initial);
@@ -277,6 +320,7 @@ impl ResumableAssessment {
             last,
             batches_applied: 0,
             profile: initial.profile,
+            lint,
         }
     }
 
@@ -331,20 +375,25 @@ impl ResumableAssessment {
                 }
             }
         }
+        let lint = lint_compiled(&context, &program, &base);
+        let mut chase_config = AssessmentOptions::default().chase;
+        chase_config.certificate = Some(lint.certificate.clone());
         Self {
             context,
             program,
             instance,
             base,
-            engine: ChaseEngine::new(AssessmentOptions::default().chase).with_clock(clock),
+            engine: ChaseEngine::new(chase_config).with_clock(clock),
             state,
             last: ChaseSummary {
                 stats: ontodq_chase::ChaseStats::default(),
                 violations: ontodq_chase::Violations::default(),
                 termination: ontodq_chase::TerminationReason::Fixpoint,
+                diagnostics: Vec::new(),
             },
             batches_applied,
             profile: ontodq_chase::ChaseProfile::disabled(),
+            lint,
         }
     }
 
@@ -448,6 +497,13 @@ impl ResumableAssessment {
     /// every batch since — what the server's `!profile` command reports.
     pub fn profile(&self) -> &ontodq_chase::ChaseProfile {
         &self.profile
+    }
+
+    /// The static-analysis report of the compiled program (see
+    /// [`lint_context`]): every diagnostic, the termination certificate the
+    /// chase engine runs under, and the stratification outcome.
+    pub fn lint_report(&self) -> &LintReport {
+        &self.lint
     }
 
     /// Fold a batch of new facts in and incrementally re-chase.
@@ -691,6 +747,7 @@ impl ResumableAssessment {
                 provenance: ontodq_chase::Provenance::disabled(),
                 termination: self.last.termination,
                 profile: self.profile.clone(),
+                diagnostics: self.last.diagnostics.clone(),
             },
             program: self.program.clone(),
         }

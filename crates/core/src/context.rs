@@ -17,7 +17,7 @@
 //! [`crate::assessment::assess`], which compiles everything into one Datalog±
 //! program, chases it, and extracts the quality versions.
 
-use ontodq_datalog::{parse_rule, Rule, Tgd};
+use ontodq_datalog::{parse_rule, Diagnostic, Rule, Severity, Tgd};
 use ontodq_mdm::MdOntology;
 use ontodq_relational::Database;
 use std::collections::BTreeMap;
@@ -48,6 +48,11 @@ pub enum ContextError {
     },
     /// Two external sources disagreed on a relation schema.
     ExternalSourceConflict(String),
+    /// The compiled program failed static analysis: `ontodq-lint` reported
+    /// error-severity diagnostics (unsafe rules, arity clashes, …).  Carries
+    /// **every** diagnostic of the report — errors first — so callers can
+    /// show the full picture, not just the first failure.
+    Rejected(Vec<Diagnostic>),
 }
 
 impl fmt::Display for ContextError {
@@ -61,6 +66,17 @@ impl fmt::Display for ContextError {
             }
             ContextError::ExternalSourceConflict(message) => {
                 write!(f, "external sources conflict: {message}")
+            }
+            ContextError::Rejected(diagnostics) => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                write!(f, "program rejected by static analysis ({errors} errors)")?;
+                for diagnostic in diagnostics {
+                    write!(f, "; {diagnostic}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -189,6 +205,26 @@ impl Context {
             .iter()
             .find(|m| m.original() == relation)
             .map(|m| m.contextual())
+    }
+
+    /// The context's goal predicates: every quality predicate `P_i` plus
+    /// every quality-version predicate `S_i^q` — the outputs an assessment
+    /// extracts.  The linter's reachability analysis treats rules outside
+    /// the cone of these goals as unreachable.
+    pub fn goal_predicates(&self) -> Vec<String> {
+        let mut goals: Vec<String> = self
+            .quality_predicates
+            .iter()
+            .map(|qp| qp.name.clone())
+            .collect();
+        goals.extend(
+            self.quality_versions
+                .values()
+                .map(|spec| spec.quality_name.clone()),
+        );
+        goals.sort();
+        goals.dedup();
+        goals
     }
 
     /// All rules contributed by the context itself (contextual rules, quality

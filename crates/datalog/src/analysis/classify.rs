@@ -149,7 +149,10 @@ pub fn is_sticky(tgds: &[Tgd]) -> bool {
 /// Is the TGD set weakly sticky?  (Every variable occurring more than once in
 /// a body is non-marked or occurs at least once at a finite-rank position.)
 pub fn is_weakly_sticky(tgds: &[Tgd]) -> bool {
-    is_weakly_sticky_with(tgds, &PositionGraph::from_tgds(tgds, all_positions(tgds)))
+    is_weakly_sticky_with(
+        tgds,
+        &PositionGraph::from_tgds(tgds, schema_positions(tgds)),
+    )
 }
 
 /// Weak-stickiness test reusing an already-built position graph.
@@ -174,10 +177,13 @@ pub fn is_weakly_sticky_with(tgds: &[Tgd], graph: &PositionGraph) -> bool {
 
 /// Is the TGD set weakly acyclic (terminating restricted chase)?
 pub fn is_weakly_acyclic(tgds: &[Tgd]) -> bool {
-    PositionGraph::from_tgds(tgds, all_positions(tgds)).is_weakly_acyclic()
+    PositionGraph::from_tgds(tgds, schema_positions(tgds)).is_weakly_acyclic()
 }
 
-fn all_positions(tgds: &[Tgd]) -> Vec<Position> {
+/// All schema positions mentioned by `tgds` (first-seen arity per
+/// predicate) — shared with the lint pass so its position graph matches the
+/// classifier's.
+pub(crate) fn schema_positions(tgds: &[Tgd]) -> Vec<Position> {
     let mut arities: BTreeMap<String, usize> = BTreeMap::new();
     for tgd in tgds {
         for atom in tgd.body.atoms.iter().chain(tgd.head.iter()) {
@@ -199,7 +205,7 @@ pub fn classify(program: &Program) -> ClassReport {
 
 /// Classify an explicit set of TGDs.
 pub fn classify_tgds(tgds: &[Tgd]) -> ClassReport {
-    let graph = PositionGraph::from_tgds(tgds, all_positions(tgds));
+    let graph = PositionGraph::from_tgds(tgds, schema_positions(tgds));
     let linear = is_linear(tgds);
     let guarded = is_guarded(tgds);
     let weakly_guarded = is_weakly_guarded(tgds);

@@ -8,9 +8,14 @@
 //!   from the TGDs, as used by the paper for dimensional constraints;
 //! * [`magic`] — the magic-set (demand) transformation specializing a
 //!   program to one query's bound constants, for goal-directed chase
-//!   evaluation.
+//!   evaluation;
+//! * [`mod@lint`] — the `ontodq-lint` diagnostics pass: safety, arity and
+//!   stratification checks, dead/unreachable/cartesian/duplicate rule lints,
+//!   EGD-separability surfacing, and the [`lint::TerminationCertificate`]
+//!   the chase engine consumes.
 
 pub mod classify;
+pub mod lint;
 pub mod magic;
 pub mod marking;
 pub mod separability;
@@ -18,6 +23,9 @@ pub mod separability;
 pub use classify::{
     classify, classify_tgds, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
     is_weakly_guarded, is_weakly_sticky, ClassReport, DatalogClass,
+};
+pub use lint::{
+    lint, lint_with, Diagnostic, LintReport, RuleRef, Severity, TerminationCertificate,
 };
 pub use magic::{magic_transform, BoundSet, DemandProgram, DemandStats};
 pub use marking::Marking;

@@ -118,7 +118,9 @@ impl PredicateGraph {
             visited += 1;
             if let Some(tos) = self.edges.get(node) {
                 for to in tos {
-                    let d = indegree.get_mut(to.as_str()).unwrap();
+                    let d = indegree
+                        .get_mut(to.as_str())
+                        .expect("every edge target is a node");
                     *d -= 1;
                     if *d == 0 {
                         queue.push_back(to.as_str());
@@ -269,6 +271,56 @@ impl PositionGraph {
             .iter()
             .filter(|e| e.special)
             .all(|e| !self.reaches(&e.to, &e.from))
+    }
+
+    /// A witness cycle through a special edge, when one exists: for the
+    /// first special edge `u ⇒ v` (in sorted edge order) whose source is
+    /// reachable from its target, the position sequence `u, v, …, u` — the
+    /// concrete reason the program is not weakly acyclic, suitable for
+    /// diagnostics.  `None` exactly when
+    /// [`PositionGraph::is_weakly_acyclic`] holds.
+    pub fn special_cycle(&self) -> Option<Vec<Position>> {
+        for edge in self.edges.iter().filter(|e| e.special) {
+            if let Some(path) = self.path(&edge.to, &edge.from) {
+                let mut cycle = Vec::with_capacity(path.len() + 1);
+                cycle.push(edge.from.clone());
+                cycle.extend(path);
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    /// A shortest path `from → … → to` (inclusive of both endpoints,
+    /// following edges of either kind), or `None` when unreachable.  A
+    /// trivial `from == to` path is the single position.
+    fn path(&self, from: &Position, to: &Position) -> Option<Vec<Position>> {
+        if from == to {
+            return Some(vec![from.clone()]);
+        }
+        let mut parent: BTreeMap<Position, Position> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from.clone());
+        while let Some(current) = queue.pop_front() {
+            for (next, _) in self.successors(&current) {
+                if next == from || parent.contains_key(next) {
+                    continue;
+                }
+                parent.insert(next.clone(), current.clone());
+                if next == to {
+                    let mut path = vec![next.clone()];
+                    let mut cursor = next;
+                    while let Some(prev) = parent.get(cursor) {
+                        path.push(prev.clone());
+                        cursor = prev;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next.clone());
+            }
+        }
+        None
     }
 
     /// Is `to` reachable from `from` following edges of either kind?

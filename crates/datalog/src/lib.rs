@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod atom;
@@ -36,6 +37,9 @@ pub mod rule;
 pub mod substitution;
 pub mod term;
 
+pub use analysis::lint::{
+    lint, lint_with, Diagnostic, LintReport, RuleRef, Severity, TerminationCertificate,
+};
 pub use atom::{Atom, CompareOp, Comparison, Conjunction};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use program::{Position, Program};

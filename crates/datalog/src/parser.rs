@@ -440,7 +440,9 @@ impl Parser {
                         Some(Token::Period) => {
                             // A fact (or conjunction of facts).
                             if heads.len() == 1 && heads[0].is_ground() {
-                                return Ok(Rule::Fact(Fact::new(heads.pop().unwrap()).unwrap()));
+                                let atom = heads.pop().expect("length checked above");
+                                let fact = Fact::new(atom).expect("groundness checked above");
+                                return Ok(Rule::Fact(fact));
                             }
                             return Err(ParseError::new(
                                 "headless non-ground atom list is not a valid rule",

@@ -147,6 +147,11 @@ fn register(
             }
         }
     }
+    // Registration response: the static-analysis summary, so warning counts
+    // (and the termination-certificate class) are visible at startup.
+    if let Ok(report) = service.check(name) {
+        eprintln!("registered context '{name}': {}", report.summary());
+    }
 }
 
 fn main() {

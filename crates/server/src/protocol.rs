@@ -75,6 +75,11 @@ pub enum Request {
     /// `!profile [CONTEXT]` — the top chase rules by cumulative join time
     /// for the named context (default: the session's current one).
     Profile(String),
+    /// `!check [CONTEXT]` — the static-analysis report of the named
+    /// context's compiled program (default: the session's current one):
+    /// every `ontodq-lint` diagnostic in machine-readable `diag …` line
+    /// format, then a summary with the termination certificate.
+    Check(String),
     /// `!slow` — dump the slow-query ring (armed with
     /// `--slow-query-micros`).
     Slow,
@@ -121,6 +126,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ("health", "") => Ok(Request::Health),
             ("metrics", "") => Ok(Request::Metrics),
             ("profile", arg) => Ok(Request::Profile(arg.to_string())),
+            ("check", arg) => Ok(Request::Check(arg.to_string())),
             ("slow", "") => Ok(Request::Slow),
             ("help", "") => Ok(Request::Help),
             ("quit", "") | ("exit", "") => Ok(Request::Quit),
@@ -237,6 +243,7 @@ const HELP: &str = "\
 !health               health state (healthy/degraded/recovering), queue load
 !metrics              every metric series, Prometheus text exposition format
 !profile [CONTEXT]    top chase rules by cumulative join time
+!check [CONTEXT]      static-analysis report: diagnostics + termination certificate
 !slow                 recent slow queries (arm with --slow-query-micros)
 !quit                 end the session";
 
@@ -416,6 +423,7 @@ fn session_loop<R: BufRead, W: Write>(
             Request::Health => Some("health"),
             Request::Metrics => Some("metrics"),
             Request::Profile(_) => Some("profile"),
+            Request::Check(_) => Some("check"),
             Request::Slow => Some("slow"),
             Request::Help => Some("help"),
         };
@@ -531,6 +539,34 @@ fn session_loop<R: BufRead, W: Write>(
                             profile.egd_micros,
                             profile.total_micros,
                             profile.dred.batches,
+                        )?;
+                    }
+                    Err(e) => writeln!(writer, "err: {e}")?,
+                }
+            }
+            Request::Check(name) => {
+                let name = if name.is_empty() {
+                    context.clone()
+                } else {
+                    name
+                };
+                match service.check(&name) {
+                    Ok(report) => {
+                        for diagnostic in &report.diagnostics {
+                            writeln!(writer, "{}", diagnostic.line())?;
+                        }
+                        writeln!(
+                            writer,
+                            "ok check context={} class={} certified={} strata={} errors={} warnings={}",
+                            name,
+                            report.certificate.class,
+                            if report.certificate.terminating { "yes" } else { "no" },
+                            report
+                                .strata
+                                .map(|s| s.to_string())
+                                .unwrap_or_else(|| "-".to_string()),
+                            report.error_count(),
+                            report.warning_count(),
                         )?;
                     }
                     Err(e) => writeln!(writer, "err: {e}")?,
@@ -781,6 +817,11 @@ mod tests {
         assert_eq!(
             parse_request("!profile hospital"),
             Ok(Request::Profile("hospital".to_string()))
+        );
+        assert_eq!(parse_request("!check"), Ok(Request::Check(String::new())));
+        assert_eq!(
+            parse_request("!check hospital"),
+            Ok(Request::Check("hospital".to_string()))
         );
         assert_eq!(parse_request("!slow"), Ok(Request::Slow));
         assert_eq!(parse_request("!help"), Ok(Request::Help));

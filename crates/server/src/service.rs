@@ -30,6 +30,10 @@ struct ContextEntry {
     /// The resumable chase state.  One writer at a time per context; readers
     /// never touch it.
     writer: Mutex<ResumableAssessment>,
+    /// The static-analysis report of the compiled program (immutable after
+    /// registration, like the program itself) — what `!check` prints and
+    /// what the lint gauges sample, without touching the writer lock.
+    lint: ontodq_datalog::LintReport,
 }
 
 impl ContextEntry {
@@ -250,6 +254,9 @@ pub struct QualityService {
     /// Slow-query threshold in microseconds; 0 disables the log.
     slow_threshold_micros: AtomicU64,
     slow_queries_total: Arc<Counter>,
+    /// Chase runs (initial chase or batch resume) executed for a context
+    /// whose program carries no termination certificate.
+    chase_uncertified: Arc<Counter>,
     /// The health state machine: `Healthy → Degraded (read-only) →
     /// Recovering → Healthy|Degraded`.  Store-wide, because a poisoned WAL
     /// refuses appends for every context.
@@ -314,6 +321,11 @@ impl QualityService {
             "Queries whose end-to-end latency crossed --slow-query-micros.",
             &[],
         );
+        let chase_uncertified = registry.counter(
+            "ontodq_chase_uncertified_total",
+            "Chase runs executed without a termination certificate (program not weakly acyclic).",
+            &[],
+        );
         Self {
             contexts: RwLock::new(BTreeMap::new()),
             cache,
@@ -331,6 +343,7 @@ impl QualityService {
             slow_log: SpanLog::new(128),
             slow_threshold_micros: AtomicU64::new(0),
             slow_queries_total,
+            chase_uncertified,
             health: Mutex::new(HealthState::new()),
         }
     }
@@ -550,6 +563,13 @@ impl QualityService {
         if self.read_contexts().contains_key(name) {
             return Err(ServiceError::DuplicateContext(name.to_string()));
         }
+        // Static analysis gates the chase: a program with error-severity
+        // diagnostics (unsafe rules, arity clashes, …) is rejected before
+        // any chase work runs, carrying the full report back to the caller.
+        let report = ontodq_core::lint_context(&context, &instance);
+        if report.error_count() > 0 {
+            return Err(ontodq_core::ContextError::Rejected(report.diagnostics).into());
+        }
         // Chase outside the map lock: registration of a large context must
         // not stall queries against other contexts.
         let writer = ResumableAssessment::with_options_and_clock(
@@ -676,11 +696,18 @@ impl QualityService {
             Arc::clone(&program),
             writer.contextual().clone(),
         )?;
+        let lint = writer.lint_report().clone();
+        if !lint.certificate.terminating {
+            // The writer's construction chase (or snapshot restore) ran
+            // without a termination certificate.
+            self.chase_uncertified.inc();
+        }
         let entry = Arc::new(ContextEntry {
             context,
             program,
             snapshot: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(writer),
+            lint,
         });
         let mut map = self.write_contexts();
         if map.contains_key(name) {
@@ -801,6 +828,10 @@ impl QualityService {
             ))
         })?;
         let outcome = writer.insert_batch(facts.iter().cloned())?;
+        if !entry.lint.certificate.terminating {
+            // This batch's incremental re-chase ran uncertified.
+            self.chase_uncertified.inc();
+        }
         let version = writer.batches_applied();
         let wal_error = self.append_to_wal(|store| store.append_batch(context, version, &facts));
         let derived = outcome.chase.stats.tuples_added;
@@ -868,6 +899,10 @@ impl QualityService {
             ))
         })?;
         let expanded = writer.expand_retractions(retractions);
+        if !entry.lint.certificate.terminating {
+            // The re-derivation resume of this retraction runs uncertified.
+            self.chase_uncertified.inc();
+        }
         let result = writer.retract_batch(expanded.iter().cloned());
         let stats = result.stats;
         let dred = &result.chase.profile.dred;
@@ -1039,6 +1074,14 @@ impl QualityService {
         Ok(writer.profile().clone())
     }
 
+    /// The static-analysis report of `context`'s compiled program — the
+    /// `!check` payload: every diagnostic, the termination certificate, and
+    /// the stratification outcome.  Reads the immutable report stored at
+    /// registration; no writer lock is touched.
+    pub fn check(&self, context: &str) -> Result<ontodq_datalog::LintReport, ServiceError> {
+        Ok(self.entry(context)?.lint.clone())
+    }
+
     /// Fold one served request into the per-verb latency histogram
     /// (`ontodq_request_micros{verb=…}`).  Called by the protocol layer
     /// after every non-empty request, so `!metrics` sees request-level
@@ -1174,6 +1217,20 @@ impl QualityService {
                     &labels,
                 )
                 .set(snapshot.total_tuples() as u64);
+            self.registry
+                .gauge(
+                    "ontodq_lint_errors",
+                    "Error-severity static-analysis diagnostics of this context's program.",
+                    &labels,
+                )
+                .set(entry.lint.error_count() as u64);
+            self.registry
+                .gauge(
+                    "ontodq_lint_warnings",
+                    "Warning-severity static-analysis diagnostics of this context's program.",
+                    &labels,
+                )
+                .set(entry.lint.warning_count() as u64);
             // Skip a writer a panicked update poisoned: the scrape must
             // never take a session down, and the other series still render.
             let Ok(writer) = entry.writer.lock() else {
@@ -1231,7 +1288,8 @@ impl QualityService {
     /// counter family, byte-identical to the line the protocol printed
     /// before this consolidation.
     pub fn stats_line(&self, context: &str, staged: usize) -> Result<String, ServiceError> {
-        let snapshot = self.snapshot(context)?;
+        let entry = self.entry(context)?;
+        let snapshot = entry.snapshot();
         let cache = self.cache_stats();
         let interner_writes = ontodq_relational::SymbolInterner::global().write_acquisitions();
         let wal = self.wal_stats().unwrap_or_default();
@@ -1245,7 +1303,7 @@ impl QualityService {
         // a compaction would recover.
         let retract = self.retraction_stats();
         Ok(format!(
-            "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={} live_rows={} total_rows={} reclaimable_bytes={} retractions={} cascaded_deletes={} rederived={}",
+            "ok context={} version={} tuples={} staged={} cache_hits={} cache_misses={} cache_invalidations={} cache_entries={} cache_evictions={} interner_writes={} wal_segments={} wal_bytes={} probes={} gallops={} wco_seeks={} materializations={} arena_bytes={} live_rows={} total_rows={} reclaimable_bytes={} retractions={} cascaded_deletes={} rederived={} lint_errors={} lint_warnings={}",
             context,
             snapshot.version,
             snapshot.total_tuples(),
@@ -1269,6 +1327,8 @@ impl QualityService {
             retract.retractions,
             retract.cascaded_deletes,
             retract.rederived,
+            entry.lint.error_count(),
+            entry.lint.warning_count(),
         ))
     }
 

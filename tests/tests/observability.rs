@@ -357,6 +357,9 @@ fn metrics_are_valid_prometheus_and_cover_every_layer() {
         "ontodq_snapshot_version", // per-context state
         "ontodq_rule_join_micros", // chase profiler
         "ontodq_chase_total_micros",
+        "ontodq_lint_errors", // static analysis
+        "ontodq_lint_warnings",
+        "ontodq_chase_uncertified_total",
     ] {
         let family = families
             .get(name)
@@ -381,6 +384,27 @@ fn metrics_are_valid_prometheus_and_cover_every_layer() {
     assert!(
         apply_counts >= 2.0,
         "insert + retract batches must be observed, got {apply_counts}"
+    );
+    // Static analysis: the hospital program lints error-free with exactly
+    // the expected baseline warning (L102: the Shifts rule is outside the
+    // quality-goal cone), and its certificate means no chase ran
+    // uncertified.
+    let lint_errors = &families["ontodq_lint_errors"].samples[0];
+    assert!(
+        lint_errors
+            .labels
+            .iter()
+            .any(|(k, v)| k == "context" && v == "hospital"),
+        "lint gauges are per-context"
+    );
+    assert_eq!(lint_errors.value, 0.0, "hospital program lints error-free");
+    assert_eq!(
+        families["ontodq_lint_warnings"].samples[0].value, 1.0,
+        "the hospital baseline is exactly one warning (L102 unreachable Shifts rule)"
+    );
+    assert_eq!(
+        families["ontodq_chase_uncertified_total"].samples[0].value, 0.0,
+        "the hospital program is certified terminating, so no chase ran uncertified"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
